@@ -1,0 +1,53 @@
+// Shared helpers for the figure-reproduction harnesses.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "core/rate.hpp"
+#include "workload/experiment.hpp"
+#include "workload/setups.hpp"
+
+namespace mcss::bench {
+
+inline constexpr std::size_t kPacketBytes = 1470;  // iperf-style datagram
+
+/// Optimal multichannel rate for the setup, in payload Mbps.
+inline double optimal_mbps(const workload::Setup& setup, double mu) {
+  const ChannelSet model = setup.to_model(kPacketBytes);
+  return optimal_rate(model, mu) * static_cast<double>(kPacketBytes) * 8.0 / 1e6;
+}
+
+/// Run the standard rate experiment (iperf at 1000 Mbps offered).
+inline workload::ExperimentResult run_rate_point(const workload::Setup& setup,
+                                                 double kappa, double mu,
+                                                 std::uint64_t seed) {
+  workload::ExperimentConfig cfg;
+  cfg.setup = setup;
+  cfg.kappa = kappa;
+  cfg.mu = mu;
+  cfg.offered_bps = 1e9;
+  cfg.packet_bytes = kPacketBytes;
+  cfg.warmup_s = 0.05;
+  cfg.duration_s = 0.25;
+  cfg.seed = seed;
+  return workload::run_experiment(cfg);
+}
+
+/// The paper's (kappa, mu) sweep for one figure panel: kappa in 1..n,
+/// mu from kappa to n in steps of `step`. Calls row(kappa, mu).
+template <typename RowFn>
+void sweep_kappa_mu(int n, double step, RowFn&& row) {
+  for (int kappa = 1; kappa <= n; ++kappa) {
+    for (double mu = kappa; mu <= static_cast<double>(n) + 1e-9; mu += step) {
+      row(static_cast<double>(kappa), std::min(mu, static_cast<double>(n)));
+    }
+  }
+}
+
+inline void print_header(const std::string& title, const std::string& columns) {
+  std::printf("# %s\n", title.c_str());
+  std::printf("%s\n", columns.c_str());
+}
+
+}  // namespace mcss::bench

@@ -1,0 +1,40 @@
+// Figure 3 (right): optimal and actual rate over (kappa, mu) on the
+// Diverse setup (5, 20, 60, 65, 100 Mbps).
+//
+// Paper result: within 4% of optimal (aside from anomalous behavior near
+// mu = 3.4); the curve is "bumpy" — each bump is a channel dropping out
+// of full utilization (Theorem 2 knee points).
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace mcss;
+  using namespace mcss::bench;
+
+  const auto setup = workload::diverse_setup();
+  const ChannelSet model = setup.to_model(kPacketBytes);
+  std::printf("# Theorem 2 full-utilization limit: mu <= %.3f\n",
+              full_utilization_mu_limit(model));
+
+  print_header("Figure 3 (right): rate over (kappa, mu), Diverse setup",
+               "kappa   mu    optimal_mbps  achieved_mbps  overhead_pct");
+
+  double worst_overhead = 0.0;
+  sweep_kappa_mu(5, 0.1, [&](double kappa, double mu) {
+    const double optimal = optimal_mbps(setup, mu);
+    const auto r = run_rate_point(setup, kappa, mu, 2000);
+    const double overhead = (1.0 - r.achieved_mbps / optimal) * 100.0;
+    worst_overhead = std::max(worst_overhead, overhead);
+    std::printf("%5.1f  %4.1f  %12.2f  %13.2f  %11.2f\n", kappa, mu, optimal,
+                r.achieved_mbps, overhead);
+  });
+
+  std::printf("\n# max overhead vs optimal: %.2f%%  (paper: <= 4%% aside from mu ~ 3.4)\n",
+              worst_overhead);
+  std::printf("# shape check: %s\n",
+              worst_overhead <= 8.0 ? "PASS (within 8%% of optimal everywhere)"
+                                    : "FAIL");
+  return worst_overhead <= 8.0 ? 0 : 1;
+}

@@ -1,0 +1,126 @@
+// file_transfer: move a 4 MB "file" across the Lossy testbed with
+// ReMICSS and verify it arrives bit-exact, without retransmissions.
+//
+// The file is chunked into datagrams, each split into threshold shares.
+// At kappa = 2, mu = 4, every chunk tolerates two lost shares AND forces
+// an eavesdropper to tap two channels — choose different parameters on
+// the command line to feel the tradeoff:
+//
+//   file_transfer [kappa] [mu]     (defaults: 2 4)
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/rate.hpp"
+#include "net/sim_channel.hpp"
+#include "net/simulator.hpp"
+#include "protocol/receiver.hpp"
+#include "protocol/scheduler.hpp"
+#include "protocol/sender.hpp"
+#include "util/rng.hpp"
+#include "workload/setups.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mcss;
+
+  const double kappa = argc > 1 ? std::atof(argv[1]) : 2.0;
+  const double mu = argc > 2 ? std::atof(argv[2]) : 4.0;
+
+  // --- the "file" -------------------------------------------------------
+  constexpr std::size_t kFileBytes = 4 << 20;
+  constexpr std::size_t kChunk = 1400;
+  Rng data_rng(1);
+  std::vector<std::uint8_t> file(kFileBytes);
+  for (auto& b : file) b = data_rng.byte();
+
+  // --- network: the paper's Lossy testbed --------------------------------
+  const auto setup = workload::lossy_setup();
+  net::Simulator sim;
+  Rng seeder(99);
+  std::vector<std::unique_ptr<net::SimChannel>> storage;
+  std::vector<net::SimChannel*> wires;
+  for (const auto& cfg : setup.channels) {
+    storage.push_back(std::make_unique<net::SimChannel>(sim, cfg, seeder.fork()));
+    wires.push_back(storage.back().get());
+  }
+
+  // --- endpoints ----------------------------------------------------------
+  std::map<std::uint64_t, std::vector<std::uint8_t>> received;
+  net::SimTime last_delivery = 0;
+  proto::Receiver receiver(sim);
+  for (auto* w : wires) receiver.attach(*w);
+  receiver.set_deliver([&](std::uint64_t id, std::vector<std::uint8_t> chunk) {
+    received[id] = std::move(chunk);
+    last_delivery = sim.now();
+  });
+
+  proto::SenderConfig tx_cfg;
+  tx_cfg.max_queue_packets = 64;
+  proto::Sender sender(
+      sim, wires,
+      std::make_unique<proto::DynamicScheduler>(kappa, mu,
+                                                setup.num_channels()),
+      seeder.fork(), nullptr, tx_cfg);
+
+  // --- drive: offer the next chunk whenever the sender has room ----------
+  std::size_t offset = 0;
+  std::uint64_t chunks_total = 0;
+  std::function<void()> feed = [&] {
+    while (offset < file.size() && sender.queued_packets() < 32) {
+      const std::size_t len = std::min(kChunk, file.size() - offset);
+      std::vector<std::uint8_t> chunk(file.begin() + static_cast<std::ptrdiff_t>(offset),
+                                      file.begin() + static_cast<std::ptrdiff_t>(offset + len));
+      if (!sender.send(std::move(chunk))) break;
+      offset += len;
+      ++chunks_total;
+    }
+    if (offset < file.size()) sim.schedule_in(net::from_micros(200), feed);
+  };
+  sim.schedule_at(0, feed);
+  sim.run();
+
+  // --- verify --------------------------------------------------------------
+  std::vector<std::uint8_t> reassembled;
+  reassembled.reserve(file.size());
+  std::uint64_t missing = 0;
+  for (std::uint64_t id = 1; id <= chunks_total; ++id) {
+    const auto it = received.find(id);
+    if (it == received.end()) {
+      ++missing;
+      // Best-effort transport: a real application layers FEC or selective
+      // retransmission on top. Pad with zeros to keep offsets aligned.
+      reassembled.resize(reassembled.size() + kChunk, 0);
+    } else {
+      reassembled.insert(reassembled.end(), it->second.begin(), it->second.end());
+    }
+  }
+
+  // sim.now() at quiescence includes trailing reassembly timers; the
+  // transfer finished at the last delivery.
+  const double seconds = net::to_seconds(last_delivery);
+  const auto& st = sender.stats();
+  const ChannelSet model = setup.to_model(kChunk);
+  std::printf("file transfer over the Lossy testbed\n");
+  std::printf("  parameters:       kappa = %.2f, mu = %.2f (achieved %.2f / %.2f)\n",
+              kappa, mu, st.achieved_kappa(), st.achieved_mu());
+  std::printf("  file size:        %zu bytes in %llu chunks\n", file.size(),
+              static_cast<unsigned long long>(chunks_total));
+  std::printf("  transfer time:    %.2f s (%.1f Mbps goodput; optimal %.1f Mbps)\n",
+              seconds, static_cast<double>(file.size()) * 8 / seconds / 1e6,
+              optimal_rate(model, mu) * kChunk * 8 / 1e6);
+  std::printf("  shares sent:      %llu (%llu per chunk avg)\n",
+              static_cast<unsigned long long>(st.shares_sent),
+              static_cast<unsigned long long>(st.shares_sent /
+                                              std::max<std::uint64_t>(1, chunks_total)));
+  std::printf("  chunks lost:      %llu of %llu (%.4f%%; shares lost on the\n"
+              "                    wire were absorbed by the threshold scheme)\n",
+              static_cast<unsigned long long>(missing),
+              static_cast<unsigned long long>(chunks_total),
+              100.0 * static_cast<double>(missing) / static_cast<double>(chunks_total));
+  const bool intact = missing == 0 && reassembled == file;
+  std::printf("  integrity:        %s\n",
+              intact ? "bit-exact" : "incomplete (see chunks lost)");
+  return 0;
+}

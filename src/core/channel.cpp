@@ -1,0 +1,61 @@
+#include "core/channel.hpp"
+
+#include <algorithm>
+
+#include "util/ensure.hpp"
+
+namespace mcss {
+
+ChannelSet::ChannelSet(std::vector<Channel> channels)
+    : channels_(std::move(channels)) {
+  MCSS_ENSURE(!channels_.empty(), "channel set must be nonempty");
+  MCSS_ENSURE(channels_.size() <= 32, "at most 32 channels are supported");
+  for (const Channel& c : channels_) {
+    MCSS_ENSURE(c.risk >= 0.0 && c.risk <= 1.0, "risk must be in [0, 1]");
+    MCSS_ENSURE(c.loss >= 0.0 && c.loss < 1.0, "loss must be in [0, 1)");
+    MCSS_ENSURE(c.delay >= 0.0, "delay must be nonnegative");
+    MCSS_ENSURE(c.rate > 0.0, "rate must be positive");
+  }
+}
+
+std::vector<double> ChannelSet::risks() const {
+  std::vector<double> v(channels_.size());
+  std::transform(channels_.begin(), channels_.end(), v.begin(),
+                 [](const Channel& c) { return c.risk; });
+  return v;
+}
+
+std::vector<double> ChannelSet::losses() const {
+  std::vector<double> v(channels_.size());
+  std::transform(channels_.begin(), channels_.end(), v.begin(),
+                 [](const Channel& c) { return c.loss; });
+  return v;
+}
+
+std::vector<double> ChannelSet::delays() const {
+  std::vector<double> v(channels_.size());
+  std::transform(channels_.begin(), channels_.end(), v.begin(),
+                 [](const Channel& c) { return c.delay; });
+  return v;
+}
+
+std::vector<double> ChannelSet::rates() const {
+  std::vector<double> v(channels_.size());
+  std::transform(channels_.begin(), channels_.end(), v.begin(),
+                 [](const Channel& c) { return c.rate; });
+  return v;
+}
+
+double ChannelSet::total_rate() const noexcept {
+  double sum = 0.0;
+  for (const Channel& c : channels_) sum += c.rate;
+  return sum;
+}
+
+double ChannelSet::max_rate() const noexcept {
+  double best = 0.0;
+  for (const Channel& c : channels_) best = std::max(best, c.rate);
+  return best;
+}
+
+}  // namespace mcss

@@ -1,0 +1,68 @@
+// Channels and channel sets (paper Section III-B).
+//
+// A channel is a distinct means of transferring data between two hosts,
+// described by the quadruple (z, l, d, r):
+//   z — risk:  probability an adversary observes a share sent on it
+//   l — loss:  probability a share fails to arrive
+//   d — delay: expected one-way latency of a share that does arrive
+//   r — rate:  maximum share symbols per unit time
+// with (z, l, d, r) in [0,1] x [0,1) x [0,inf) x (0,inf). Channels with
+// zero probability of successful transmission are excluded by definition,
+// hence l < 1 and r > 0. Channels are assumed disjoint (the optimal case;
+// see III-B), so per-channel events are independent.
+#pragma once
+
+#include <initializer_list>
+#include <vector>
+
+#include "util/subset.hpp"
+
+namespace mcss {
+
+/// One channel's measured/estimated properties.
+struct Channel {
+  double risk = 0.0;   ///< z_i in [0, 1]
+  double loss = 0.0;   ///< l_i in [0, 1)
+  double delay = 0.0;  ///< d_i in [0, inf), unit time
+  double rate = 1.0;   ///< r_i in (0, inf), symbols per unit time
+
+  friend bool operator==(const Channel&, const Channel&) = default;
+};
+
+/// An immutable, validated set C of disjoint channels.
+///
+/// Indices are stable; subsets M of C are `Mask` bitmasks over them. At
+/// most 32 channels are supported (mask width), far above the paper's
+/// five-channel testbed.
+class ChannelSet {
+ public:
+  /// Validates every channel's ranges; throws PreconditionError on
+  /// violation or if the set is empty or larger than 32.
+  explicit ChannelSet(std::vector<Channel> channels);
+  ChannelSet(std::initializer_list<Channel> channels)
+      : ChannelSet(std::vector<Channel>(channels)) {}
+
+  [[nodiscard]] int size() const noexcept { return static_cast<int>(channels_.size()); }
+  [[nodiscard]] const Channel& operator[](int i) const { return channels_.at(static_cast<std::size_t>(i)); }
+  [[nodiscard]] auto begin() const noexcept { return channels_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return channels_.end(); }
+
+  /// Mask containing every channel in the set.
+  [[nodiscard]] Mask all() const noexcept { return full_mask(size()); }
+
+  /// Column views, convenient for the vector formulas in the paper.
+  [[nodiscard]] std::vector<double> risks() const;
+  [[nodiscard]] std::vector<double> losses() const;
+  [[nodiscard]] std::vector<double> delays() const;
+  [[nodiscard]] std::vector<double> rates() const;
+
+  /// Sum of all channel rates (the max-rate result R_C at kappa = mu = 1).
+  [[nodiscard]] double total_rate() const noexcept;
+  /// Largest single-channel rate.
+  [[nodiscard]] double max_rate() const noexcept;
+
+ private:
+  std::vector<Channel> channels_;
+};
+
+}  // namespace mcss

@@ -1,0 +1,124 @@
+#include "core/lp_schedule.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "util/ensure.hpp"
+
+namespace mcss {
+
+namespace {
+
+struct Var {
+  int k;
+  Mask channels;
+};
+
+std::vector<Var> enumerate_vars(const ChannelSet& c, const ScheduleLpSpec& spec) {
+  const bool limited = spec.restriction == Restriction::Limited;
+  const auto k_min =
+      limited ? static_cast<int>(std::floor(spec.kappa + 1e-12)) : 1;
+  const auto m_min =
+      limited ? static_cast<int>(std::floor(spec.mu + 1e-12)) : 1;
+  std::vector<Var> vars;
+  for_each_nonempty_subset(c.size(), [&](Mask m) {
+    const int msize = mask_size(m);
+    if (msize < m_min) return;
+    for (int k = std::max(1, k_min); k <= msize; ++k) {
+      vars.push_back({k, m});
+    }
+  });
+  return vars;
+}
+
+double objective_coeff(const ChannelSet& c, Objective obj, const Var& v) {
+  switch (obj) {
+    case Objective::Risk:
+      return subset_risk(c, v.k, v.channels);
+    case Objective::Loss:
+      return subset_loss(c, v.k, v.channels);
+    case Objective::Delay:
+      return subset_delay(c, v.k, v.channels);
+  }
+  MCSS_INVARIANT(false, "unknown objective");
+}
+
+}  // namespace
+
+ScheduleLpResult solve_schedule_lp(const ChannelSet& c,
+                                   const ScheduleLpSpec& spec) {
+  const auto n = static_cast<double>(c.size());
+  MCSS_ENSURE(spec.kappa >= 1.0 && spec.kappa <= spec.mu && spec.mu <= n,
+              "parameters must satisfy 1 <= kappa <= mu <= n");
+  MCSS_ENSURE(c.size() <= 12, "schedule LP capped at 12 channels");
+
+  const std::vector<Var> vars = enumerate_vars(c, spec);
+  const std::size_t nv = vars.size();
+
+  lp::Problem problem;
+  problem.sense = lp::Sense::Minimize;
+  problem.objective.resize(nv);
+  for (std::size_t j = 0; j < nv; ++j) {
+    problem.objective[j] = objective_coeff(c, spec.objective, vars[j]);
+  }
+
+  // sum p = 1.
+  problem.add(std::vector<double>(nv, 1.0), lp::Relation::Equal, 1.0);
+
+  // sum p * k = kappa.
+  {
+    std::vector<double> row(nv);
+    for (std::size_t j = 0; j < nv; ++j) row[j] = vars[j].k;
+    problem.add(std::move(row), lp::Relation::Equal, spec.kappa);
+  }
+
+  ScheduleLpResult result;
+  if (spec.rate == RateConstraint::None) {
+    // sum p * |M| = mu.
+    std::vector<double> row(nv);
+    for (std::size_t j = 0; j < nv; ++j) row[j] = mask_size(vars[j].channels);
+    problem.add(std::move(row), lp::Relation::Equal, spec.mu);
+  } else {
+    // Per-channel usage equalities at the Theorem 4 optimal rate; these
+    // sum to mu across channels, so the mu row is implied.
+    const Utilization u = utilization(c, spec.mu);
+    result.max_rate = u.rate;
+    for (int i = 0; i < c.size(); ++i) {
+      std::vector<double> row(nv, 0.0);
+      for (std::size_t j = 0; j < nv; ++j) {
+        if (mask_contains(vars[j].channels, i)) row[j] = 1.0;
+      }
+      problem.add(std::move(row), lp::Relation::Equal,
+                  u.fraction[static_cast<std::size_t>(i)]);
+    }
+  }
+
+  // Metric ceilings: one <= row per requested bound.
+  const auto add_ceiling = [&](Objective metric, std::optional<double> bound) {
+    if (!bound) return;
+    std::vector<double> row(nv);
+    for (std::size_t j = 0; j < nv; ++j) {
+      row[j] = objective_coeff(c, metric, vars[j]);
+    }
+    problem.add(std::move(row), lp::Relation::LessEqual, *bound);
+  };
+  add_ceiling(Objective::Risk, spec.max_risk);
+  add_ceiling(Objective::Loss, spec.max_loss);
+  add_ceiling(Objective::Delay, spec.max_delay);
+
+  const lp::Solution sol = lp::solve(problem);
+  result.status = sol.status;
+  if (sol.status != lp::Status::Optimal) return result;
+
+  std::vector<ScheduleEntry> entries;
+  for (std::size_t j = 0; j < nv; ++j) {
+    if (sol.x[j] > 1e-9) {
+      entries.push_back({vars[j].k, vars[j].channels, sol.x[j]});
+    }
+  }
+  result.schedule.emplace(c, std::move(entries));
+  result.objective_value = sol.objective;
+  return result;
+}
+
+}  // namespace mcss

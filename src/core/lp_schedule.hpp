@@ -1,0 +1,68 @@
+// Share-schedule linear programs (paper Sections IV-B, IV-D, IV-E).
+//
+// Finds the share schedule minimizing risk Z(p), loss L(p), or delay D(p)
+// subject to:
+//   - p is a distribution over the valid (k, M) pairs,
+//   - average threshold = kappa, average multiplicity = mu (IV-B), and
+//   - optionally the per-channel maximum-rate equalities
+//       sum_{M : i in M} p(k, M) = min{ r_i / R_C, 1 }   for all i in C
+//     which pin the schedule to the optimal rate R_C from Theorem 4
+//     (IV-D; the mu constraint is then implied and omitted, as in the
+//     paper).
+// The variable set may be restricted to the limited schedules M' of
+// Section IV-E (k >= floor(kappa), |M| >= floor(mu)) to serve the
+// MICSS/courier threat model of fixed adversarial channel subsets.
+#pragma once
+
+#include <optional>
+
+#include "core/channel.hpp"
+#include "core/rate.hpp"
+#include "core/schedule.hpp"
+#include "lp/simplex.hpp"
+
+namespace mcss {
+
+enum class Objective { Risk, Loss, Delay };
+
+/// Which extra structure to impose on the program.
+enum class RateConstraint {
+  None,     ///< IV-B: only the kappa and mu equalities
+  MaxRate,  ///< IV-D: additionally pin the schedule to the Theorem 4 rate
+};
+enum class Restriction {
+  None,     ///< all of M
+  Limited,  ///< only M' (Section IV-E)
+};
+
+struct ScheduleLpSpec {
+  Objective objective = Objective::Risk;
+  double kappa = 1.0;
+  double mu = 1.0;
+  RateConstraint rate = RateConstraint::None;
+  Restriction restriction = Restriction::None;
+
+  // Optional ceilings on the OTHER metrics, expressible because Z(p),
+  // L(p), and D(p) are all linear in p. E.g. minimize delay subject to
+  // Z(p) <= 0.05. Infeasible combinations are reported via status.
+  std::optional<double> max_risk;
+  std::optional<double> max_loss;
+  std::optional<double> max_delay;
+};
+
+struct ScheduleLpResult {
+  lp::Status status = lp::Status::Infeasible;
+  std::optional<ShareSchedule> schedule;  ///< engaged when status == Optimal
+  double objective_value = 0.0;           ///< Z/L/D of the found schedule
+  double max_rate = 0.0;                  ///< R_C used (MaxRate mode only)
+};
+
+/// Build and solve the program. Throws PreconditionError when parameters
+/// are outside 1 <= kappa <= mu <= n or the set has more than 12 channels
+/// (the variable count grows as n * 2^(n-1)). Infeasibility (e.g. a
+/// Limited restriction that cannot meet the rate equalities) is reported
+/// via status, not an exception.
+[[nodiscard]] ScheduleLpResult solve_schedule_lp(const ChannelSet& c,
+                                                 const ScheduleLpSpec& spec);
+
+}  // namespace mcss

@@ -1,0 +1,77 @@
+#include "core/planner.hpp"
+
+#include <cmath>
+
+#include "core/rate.hpp"
+#include "util/ensure.hpp"
+
+namespace mcss {
+
+namespace {
+
+/// Evaluate one (kappa, mu) candidate; returns an infeasible Plan when
+/// the LP cannot satisfy the goal there.
+Plan evaluate(const ChannelSet& channels, const PlannerGoal& goal, double kappa,
+              double mu) {
+  Plan plan;
+  plan.kappa = kappa;
+  plan.mu = mu;
+  plan.rate = optimal_rate(channels, mu);
+  if (goal.min_rate && plan.rate < *goal.min_rate) return plan;
+
+  // Minimize risk at maximum rate, under the goal's loss/delay ceilings
+  // (and the risk ceiling itself, so "minimize risk subject to risk <= R"
+  // degenerates gracefully to a feasibility check).
+  ScheduleLpSpec spec;
+  spec.objective = Objective::Risk;
+  spec.kappa = kappa;
+  spec.mu = mu;
+  spec.rate = RateConstraint::MaxRate;
+  spec.restriction = goal.restriction;
+  spec.max_risk = goal.max_risk;
+  spec.max_loss = goal.max_loss;
+  spec.max_delay = goal.max_delay;
+  const auto result = solve_schedule_lp(channels, spec);
+  if (result.status != lp::Status::Optimal) return plan;
+
+  plan.feasible = true;
+  plan.schedule = result.schedule;
+  plan.risk = result.objective_value;
+  plan.loss = schedule_loss(channels, *result.schedule);
+  plan.delay = schedule_delay(channels, *result.schedule);
+  return plan;
+}
+
+/// Strictly-better comparison under the goal's objective.
+bool better(const PlannerGoal& goal, const Plan& a, const Plan& b) {
+  if (!b.feasible) return a.feasible;
+  if (!a.feasible) return false;
+  switch (goal.objective) {
+    case PlannerGoal::Objective::MaxRate:
+      if (a.rate != b.rate) return a.rate > b.rate;
+      return a.risk < b.risk;
+    case PlannerGoal::Objective::MinRisk:
+      if (a.risk != b.risk) return a.risk < b.risk;
+      return a.rate > b.rate;
+  }
+  MCSS_INVARIANT(false, "unknown planner objective");
+}
+
+}  // namespace
+
+Plan plan_parameters(const ChannelSet& channels, const PlannerGoal& goal) {
+  MCSS_ENSURE(goal.step > 0.0, "search step must be positive");
+  const auto n = static_cast<double>(channels.size());
+
+  Plan best;
+  for (double kappa = 1.0; kappa <= n + 1e-9; kappa += goal.step) {
+    const double k = std::min(kappa, n);
+    for (double mu = k; mu <= n + 1e-9; mu += goal.step) {
+      const Plan candidate = evaluate(channels, goal, k, std::min(mu, n));
+      if (better(goal, candidate, best)) best = candidate;
+    }
+  }
+  return best;
+}
+
+}  // namespace mcss

@@ -1,0 +1,59 @@
+// Parameter planning: choosing (kappa, mu) for a goal.
+//
+// The paper derives the tradeoff surface but leaves parameter selection
+// to the operator ("these parameters can be chosen and adjusted
+// accordingly", Section III-A). The planner closes that loop: given hard
+// requirements on risk/loss/delay/rate, it searches the (kappa, mu) grid,
+// solving the Section IV-D maximum-rate LP with metric ceilings at each
+// candidate, and returns the best feasible operating point plus the
+// share schedule that realizes it.
+#pragma once
+
+#include <optional>
+
+#include "core/channel.hpp"
+#include "core/lp_schedule.hpp"
+#include "core/schedule.hpp"
+
+namespace mcss {
+
+struct PlannerGoal {
+  /// Hard requirements; unset means unconstrained. Rate is in source
+  /// symbols per unit time (same unit as Channel::rate). The metric
+  /// ceilings apply to the schedule the protocol would actually run (the
+  /// max-rate LP solution), not to the unconstrained optima.
+  std::optional<double> max_risk;
+  std::optional<double> max_loss;
+  std::optional<double> max_delay;
+  std::optional<double> min_rate;
+
+  /// Among feasible points, what to optimize.
+  enum class Objective {
+    MaxRate,     ///< highest R_C; ties broken toward lower risk
+    MinRisk,     ///< lowest achievable risk; ties broken toward higher rate
+  };
+  Objective objective = Objective::MaxRate;
+
+  /// Search granularity over kappa and mu.
+  double step = 0.25;
+  /// Restrict to limited schedules (Section IV-E threat model).
+  Restriction restriction = Restriction::None;
+};
+
+struct Plan {
+  bool feasible = false;
+  double kappa = 0.0;
+  double mu = 0.0;
+  double rate = 0.0;   ///< R_C at the chosen mu
+  double risk = 0.0;   ///< Z(p) of the chosen schedule
+  double loss = 0.0;   ///< L(p)
+  double delay = 0.0;  ///< D(p)
+  std::optional<ShareSchedule> schedule;  ///< engaged when feasible
+};
+
+/// Search the grid and return the best feasible plan (feasible = false
+/// when no grid point satisfies the goal). Deterministic.
+[[nodiscard]] Plan plan_parameters(const ChannelSet& channels,
+                                   const PlannerGoal& goal);
+
+}  // namespace mcss

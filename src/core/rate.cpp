@@ -1,0 +1,98 @@
+#include "core/rate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/ensure.hpp"
+
+namespace mcss {
+
+namespace {
+
+void check_mu(const ChannelSet& c, double mu) {
+  MCSS_ENSURE(mu >= 1.0 && mu <= static_cast<double>(c.size()),
+              "average multiplicity mu must be in [1, n]");
+}
+
+/// Smallest integer s with s > n - mu (the |S| > n - mu bound).
+int min_subset_size(int n, double mu) {
+  const double bound = static_cast<double>(n) - mu;
+  auto s = static_cast<int>(std::floor(bound)) + 1;
+  if (s < 1) s = 1;
+  return s;
+}
+
+}  // namespace
+
+double optimal_rate(const ChannelSet& c, double mu) {
+  check_mu(c, mu);
+  const int n = c.size();
+  std::vector<double> rates = c.rates();
+  std::sort(rates.begin(), rates.end());  // ascending: prefix = smallest rates
+
+  double best = std::numeric_limits<double>::infinity();
+  double prefix = 0.0;
+  const int s_min = min_subset_size(n, mu);
+  for (int s = 1; s <= n; ++s) {
+    prefix += rates[static_cast<std::size_t>(s - 1)];
+    if (s < s_min) continue;
+    const double denom = mu - static_cast<double>(n) + static_cast<double>(s);
+    MCSS_INVARIANT(denom > 0.0, "subset size bound violated");
+    best = std::min(best, prefix / denom);
+  }
+  return best;
+}
+
+double optimal_rate_bruteforce(const ChannelSet& c, double mu) {
+  check_mu(c, mu);
+  const int n = c.size();
+  MCSS_ENSURE(n <= 20, "brute-force rate minimization capped at 20 channels");
+  double best = std::numeric_limits<double>::infinity();
+  for_each_nonempty_subset(n, [&](Mask s) {
+    const double size = mask_size(s);
+    if (size <= static_cast<double>(n) - mu) return;
+    double sum = 0.0;
+    for_each_member(s, [&](int i) { sum += c[i].rate; });
+    best = std::min(best, sum / (mu - static_cast<double>(n) + size));
+  });
+  return best;
+}
+
+double mu_for_rate(const ChannelSet& c, double rate) {
+  MCSS_ENSURE(rate > 0.0, "target rate must be positive");
+  double mu = 0.0;
+  for (const Channel& ch : c) mu += std::min(ch.rate / rate, 1.0);
+  return mu;
+}
+
+double rate_lower_bound(const ChannelSet& c, double mu) {
+  check_mu(c, mu);
+  std::vector<double> rates = c.rates();
+  std::sort(rates.begin(), rates.end(), std::greater<>());
+  const auto idx = static_cast<std::size_t>(std::ceil(mu - 1e-12)) - 1;
+  return rates[std::min(idx, rates.size() - 1)];
+}
+
+double full_utilization_mu_limit(const ChannelSet& c) {
+  return c.total_rate() / c.max_rate();
+}
+
+Utilization utilization(const ChannelSet& c, double mu) {
+  Utilization u;
+  u.rate = optimal_rate(c, mu);
+  const int n = c.size();
+  u.r_prime.resize(static_cast<std::size_t>(n));
+  u.fraction.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const double rp = std::min(c[i].rate, u.rate);
+    u.r_prime[static_cast<std::size_t>(i)] = rp;
+    u.fraction[static_cast<std::size_t>(i)] = rp / u.rate;
+    if (c[i].rate <= u.rate * (1.0 + 1e-12)) {
+      u.fully_utilized |= Mask{1} << i;
+    }
+  }
+  return u;
+}
+
+}  // namespace mcss

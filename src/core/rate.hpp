@@ -1,0 +1,48 @@
+// Rate optimality results (paper Section IV-C, Theorems 1-4).
+//
+// R_C is the maximum number of SOURCE symbols per unit time achievable
+// with average multiplicity mu over channel set C, under the constraints
+// that channel i carries at most r_i shares per unit time and at most one
+// share of any given symbol.
+#pragma once
+
+#include <vector>
+
+#include "core/channel.hpp"
+
+namespace mcss {
+
+/// Per-channel utilization at the optimal rate for a given mu.
+struct Utilization {
+  double rate = 0.0;             ///< R_C, optimal source symbols per unit time
+  std::vector<double> r_prime;   ///< r'_i = min{r_i, R_C}, shares per unit time
+  std::vector<double> fraction;  ///< r'_i / R_C — proportion of symbols using channel i
+  Mask fully_utilized = 0;       ///< A = { i : r_i <= R_C } (Definition 1)
+};
+
+/// Theorem 4: the optimal multichannel rate for average multiplicity mu,
+///   R_C = min over S subset of C, |S| > n - mu, of (sum_S r_i)/(mu-n+|S|),
+/// computed via the sorted-prefix reduction (the minimizing S of size s is
+/// always the s smallest rates). Throws unless 1 <= mu <= n.
+[[nodiscard]] double optimal_rate(const ChannelSet& c, double mu);
+
+/// Literal Theorem 4 minimization over all subsets, for cross-checking.
+[[nodiscard]] double optimal_rate_bruteforce(const ChannelSet& c, double mu);
+
+/// Theorem 3: the average multiplicity that exactly saturates target rate
+/// R, mu(R) = sum_i min{r_i / R, 1}. Monotone decreasing in R. Throws
+/// unless R is positive.
+[[nodiscard]] double mu_for_rate(const ChannelSet& c, double rate);
+
+/// Theorem 1 lower bound: the rate of the ceil(mu)-th fastest channel.
+[[nodiscard]] double rate_lower_bound(const ChannelSet& c, double mu);
+
+/// Theorem 2: full utilization of every channel is possible iff
+/// mu <= (sum_i r_i) / (max_j r_j). Returns that limit.
+[[nodiscard]] double full_utilization_mu_limit(const ChannelSet& c);
+
+/// Optimal rate plus the per-channel share quotas r'_i = min{r_i, R_C},
+/// usage fractions, and the fully-utilized set A.
+[[nodiscard]] Utilization utilization(const ChannelSet& c, double mu);
+
+}  // namespace mcss

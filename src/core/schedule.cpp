@@ -1,0 +1,105 @@
+#include "core/schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/ensure.hpp"
+
+namespace mcss {
+
+namespace {
+constexpr double kProbTolerance = 1e-9;
+}
+
+ShareSchedule::ShareSchedule(const ChannelSet& channels,
+                             std::vector<ScheduleEntry> entries)
+    : num_channels_(channels.size()) {
+  double total = 0.0;
+  entries_.reserve(entries.size());
+  for (ScheduleEntry& e : entries) {
+    MCSS_ENSURE(e.probability >= -kProbTolerance, "negative probability");
+    if (e.probability <= kProbTolerance) continue;  // drop null atoms
+    MCSS_ENSURE(e.channels != 0, "schedule entry with empty channel subset");
+    MCSS_ENSURE((e.channels & ~channels.all()) == 0,
+                "schedule entry uses channels outside the set");
+    MCSS_ENSURE(e.k >= 1 && e.k <= mask_size(e.channels),
+                "schedule entry must satisfy 1 <= k <= |M|");
+    total += e.probability;
+    entries_.push_back(e);
+  }
+  MCSS_ENSURE(std::abs(total - 1.0) < 1e-6,
+              "schedule probabilities must sum to 1");
+  // Renormalize exactly and build the sampling CDF.
+  cumulative_.reserve(entries_.size());
+  double acc = 0.0;
+  for (ScheduleEntry& e : entries_) {
+    e.probability /= total;
+    acc += e.probability;
+    cumulative_.push_back(acc);
+  }
+  if (!cumulative_.empty()) cumulative_.back() = 1.0;
+  MCSS_ENSURE(!entries_.empty(), "schedule has no entries with positive probability");
+}
+
+double ShareSchedule::kappa() const noexcept {
+  double acc = 0.0;
+  for (const ScheduleEntry& e : entries_) acc += e.probability * e.k;
+  return acc;
+}
+
+double ShareSchedule::mu() const noexcept {
+  double acc = 0.0;
+  for (const ScheduleEntry& e : entries_) {
+    acc += e.probability * mask_size(e.channels);
+  }
+  return acc;
+}
+
+bool ShareSchedule::is_limited() const noexcept {
+  const auto k_floor = static_cast<int>(std::floor(kappa() + 1e-9));
+  const auto m_floor = static_cast<int>(std::floor(mu() + 1e-9));
+  return std::all_of(entries_.begin(), entries_.end(), [&](const ScheduleEntry& e) {
+    return e.k >= k_floor && mask_size(e.channels) >= m_floor;
+  });
+}
+
+const ScheduleEntry& ShareSchedule::sample(Rng& rng) const noexcept {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+  const auto idx = static_cast<std::size_t>(it - cumulative_.begin());
+  return entries_[std::min(idx, entries_.size() - 1)];
+}
+
+double ShareSchedule::channel_usage(int i) const noexcept {
+  double acc = 0.0;
+  for (const ScheduleEntry& e : entries_) {
+    if (mask_contains(e.channels, i)) acc += e.probability;
+  }
+  return acc;
+}
+
+double schedule_risk(const ChannelSet& c, const ShareSchedule& p) {
+  double acc = 0.0;
+  for (const ScheduleEntry& e : p.entries()) {
+    acc += e.probability * subset_risk(c, e.k, e.channels);
+  }
+  return acc;
+}
+
+double schedule_loss(const ChannelSet& c, const ShareSchedule& p) {
+  double acc = 0.0;
+  for (const ScheduleEntry& e : p.entries()) {
+    acc += e.probability * subset_loss(c, e.k, e.channels);
+  }
+  return acc;
+}
+
+double schedule_delay(const ChannelSet& c, const ShareSchedule& p) {
+  double acc = 0.0;
+  for (const ScheduleEntry& e : p.entries()) {
+    acc += e.probability * subset_delay(c, e.k, e.channels);
+  }
+  return acc;
+}
+
+}  // namespace mcss

@@ -1,0 +1,74 @@
+// Share schedules (paper Section III-C).
+//
+// A share schedule is a categorical distribution p(k, M) over
+//   M = { (k, M) in N x P(C) : 1 <= k <= |M| },
+// giving the proportion of source symbols sent with threshold k over the
+// channel subset M. Its marginals kappa (average threshold) and mu
+// (average multiplicity) are the protocol's real-valued tuning knobs:
+// privacy scales with kappa - 1, reliability with mu - kappa, and spare
+// capacity with n - mu.
+#pragma once
+
+#include <vector>
+
+#include "core/channel.hpp"
+#include "core/subset_metrics.hpp"
+#include "util/rng.hpp"
+#include "util/subset.hpp"
+
+namespace mcss {
+
+/// One atom of a share schedule: use threshold `k` over subset `channels`
+/// for a `probability` fraction of symbols.
+struct ScheduleEntry {
+  int k = 1;
+  Mask channels = 0;
+  double probability = 0.0;
+
+  friend bool operator==(const ScheduleEntry&, const ScheduleEntry&) = default;
+};
+
+/// A validated share schedule over a channel set.
+class ShareSchedule {
+ public:
+  /// Validates against the channel set: every entry must satisfy
+  /// 1 <= k <= |M|, M a nonempty subset of C, probabilities nonnegative
+  /// and summing to 1 (within tolerance; entries with probability 0 are
+  /// dropped). Throws PreconditionError otherwise.
+  ShareSchedule(const ChannelSet& channels, std::vector<ScheduleEntry> entries);
+
+  [[nodiscard]] const std::vector<ScheduleEntry>& entries() const noexcept {
+    return entries_;
+  }
+  [[nodiscard]] int num_channels() const noexcept { return num_channels_; }
+
+  /// Average threshold over the distribution.
+  [[nodiscard]] double kappa() const noexcept;
+  /// Average multiplicity |M| over the distribution.
+  [[nodiscard]] double mu() const noexcept;
+
+  /// True if the schedule draws only from the limited set M'
+  /// (Section IV-E): k >= floor(kappa) and |M| >= floor(mu) everywhere.
+  [[nodiscard]] bool is_limited() const noexcept;
+
+  /// Sample an entry according to the distribution (CDF inversion).
+  [[nodiscard]] const ScheduleEntry& sample(Rng& rng) const noexcept;
+
+  /// Proportion of symbols whose M includes channel i — the left side of
+  /// the Section IV-D per-channel rate constraint.
+  [[nodiscard]] double channel_usage(int i) const noexcept;
+
+ private:
+  std::vector<ScheduleEntry> entries_;
+  std::vector<double> cumulative_;
+  int num_channels_ = 0;
+};
+
+/// Z(p): schedule risk — the probability-weighted average of z(k, M).
+[[nodiscard]] double schedule_risk(const ChannelSet& c, const ShareSchedule& p);
+/// L(p): schedule loss.
+[[nodiscard]] double schedule_loss(const ChannelSet& c, const ShareSchedule& p);
+/// D(p): schedule delay.
+[[nodiscard]] double schedule_delay(const ChannelSet& c, const ShareSchedule& p);
+
+}  // namespace mcss

@@ -1,0 +1,98 @@
+#include "core/subset_metrics.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/ensure.hpp"
+#include "util/poisson_binomial.hpp"
+
+namespace mcss {
+
+namespace {
+
+void check_args(const ChannelSet& c, int k, Mask m) {
+  MCSS_ENSURE(m != 0, "channel subset M must be nonempty");
+  MCSS_ENSURE((m & ~c.all()) == 0, "M contains channels outside the set");
+  MCSS_ENSURE(k >= 1 && k <= mask_size(m), "threshold must satisfy 1 <= k <= |M|");
+}
+
+std::vector<double> member_values(const ChannelSet& c, Mask m, double (*get)(const Channel&)) {
+  std::vector<double> vals;
+  vals.reserve(static_cast<std::size_t>(mask_size(m)));
+  for_each_member(m, [&](int i) { vals.push_back(get(c[i])); });
+  return vals;
+}
+
+}  // namespace
+
+double subset_risk(const ChannelSet& c, int k, Mask m) {
+  check_args(c, k, m);
+  const auto z = member_values(c, m, [](const Channel& ch) { return ch.risk; });
+  return poisson_binomial_tail_geq(z, k);
+}
+
+double subset_loss(const ChannelSet& c, int k, Mask m) {
+  check_args(c, k, m);
+  const auto arrive =
+      member_values(c, m, [](const Channel& ch) { return 1.0 - ch.loss; });
+  return poisson_binomial_tail_lt(arrive, k);
+}
+
+double subset_delay(const ChannelSet& c, int k, Mask m) {
+  check_args(c, k, m);
+  MCSS_ENSURE(mask_size(m) <= 20, "subset delay enumeration capped at 20 channels");
+
+  // Weighted average over every surviving subset K (|K| >= k) of the k-th
+  // smallest delay in K, weighted by P(K is exactly the arriving set).
+  double weighted = 0.0;
+  double survive_prob = 0.0;
+  std::vector<double> delays;
+  for_each_subset(m, [&](Mask kset) {
+    if (mask_size(kset) < k) return;
+    double weight = 1.0;
+    for_each_member(m, [&](int i) {
+      weight *= mask_contains(kset, i) ? (1.0 - c[i].loss) : c[i].loss;
+    });
+    if (weight == 0.0) return;
+    delays.clear();
+    for_each_member(kset, [&](int i) { delays.push_back(c[i].delay); });
+    std::nth_element(delays.begin(), delays.begin() + (k - 1), delays.end());
+    weighted += weight * delays[static_cast<std::size_t>(k - 1)];
+    survive_prob += weight;
+  });
+  MCSS_INVARIANT(survive_prob > 0.0,
+                 "symbol survival probability is zero (all channels fully lossy)");
+  return weighted / survive_prob;
+}
+
+double subset_risk_bruteforce(const ChannelSet& c, int k, Mask m) {
+  check_args(c, k, m);
+  MCSS_ENSURE(mask_size(m) <= 20, "brute-force enumeration capped at 20 channels");
+  double total = 0.0;
+  for_each_subset(m, [&](Mask kset) {
+    if (mask_size(kset) < k) return;
+    double term = 1.0;
+    for_each_member(m, [&](int i) {
+      term *= mask_contains(kset, i) ? c[i].risk : (1.0 - c[i].risk);
+    });
+    total += term;
+  });
+  return total;
+}
+
+double subset_loss_bruteforce(const ChannelSet& c, int k, Mask m) {
+  check_args(c, k, m);
+  MCSS_ENSURE(mask_size(m) <= 20, "brute-force enumeration capped at 20 channels");
+  double total = 0.0;
+  for_each_subset(m, [&](Mask kset) {
+    if (mask_size(kset) >= k) return;
+    double term = 1.0;
+    for_each_member(m, [&](int i) {
+      term *= mask_contains(kset, i) ? (1.0 - c[i].loss) : c[i].loss;
+    });
+    total += term;
+  });
+  return total;
+}
+
+}  // namespace mcss

@@ -1,0 +1,42 @@
+// Subset privacy, loss, and delay (paper Section IV-A).
+//
+// These are the properties of transmitting ONE source symbol as shares
+// over a chosen subset M of channels with threshold k: exactly one share
+// per channel in M, reconstruction from any k of them.
+//
+//   z(k, M) — probability an adversary observes >= k shares
+//             (upper tail of the Poisson binomial over the z_i)
+//   l(k, M) — probability fewer than k shares arrive
+//             (lower tail of the Poisson binomial over the 1 - l_i)
+//   d(k, M) — expected time until the k-th surviving share arrives,
+//             conditioned on the symbol not being lost
+//
+// Risk and loss are computed with the O(|M|^2) Poisson-binomial dynamic
+// program; brute-force 2^|M| enumerations of the paper's literal sums are
+// provided for cross-checking. Delay inherently requires the subset
+// enumeration (it weights an order statistic per surviving subset), so it
+// is limited to |M| <= 20.
+#pragma once
+
+#include "core/channel.hpp"
+#include "util/subset.hpp"
+
+namespace mcss {
+
+/// z(k, M): subset risk. Throws unless 1 <= k and M is a nonempty subset
+/// of C with k <= |M|.
+[[nodiscard]] double subset_risk(const ChannelSet& c, int k, Mask m);
+
+/// l(k, M): subset loss.
+[[nodiscard]] double subset_loss(const ChannelSet& c, int k, Mask m);
+
+/// d(k, M): subset delay, conditioned on successful reconstruction.
+/// Exponential in |M| (capped at 20 channels).
+[[nodiscard]] double subset_delay(const ChannelSet& c, int k, Mask m);
+
+/// The paper's literal sum-over-subsets forms, used to validate the DP
+/// implementations in tests and benchmarks. Exponential in |M|.
+[[nodiscard]] double subset_risk_bruteforce(const ChannelSet& c, int k, Mask m);
+[[nodiscard]] double subset_loss_bruteforce(const ChannelSet& c, int k, Mask m);
+
+}  // namespace mcss

@@ -1,0 +1,97 @@
+#include "crypto/siphash.hpp"
+
+namespace mcss::crypto {
+
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int b) noexcept {
+  return (x << b) | (x >> (64 - b));
+}
+
+constexpr std::uint64_t load_le64(const std::uint8_t* p) noexcept {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+struct State {
+  std::uint64_t v0, v1, v2, v3;
+
+  constexpr void sipround() noexcept {
+    v0 += v1;
+    v1 = rotl(v1, 13);
+    v1 ^= v0;
+    v0 = rotl(v0, 32);
+    v2 += v3;
+    v3 = rotl(v3, 16);
+    v3 ^= v2;
+    v0 += v3;
+    v3 = rotl(v3, 21);
+    v3 ^= v0;
+    v2 += v1;
+    v1 = rotl(v1, 17);
+    v1 ^= v2;
+    v2 = rotl(v2, 32);
+  }
+};
+
+}  // namespace
+
+std::uint64_t siphash24(std::span<const std::uint8_t> data,
+                        const SipHashKey& key) noexcept {
+  const std::uint64_t k0 = load_le64(key.data());
+  const std::uint64_t k1 = load_le64(key.data() + 8);
+
+  State s{0x736f6d6570736575ULL ^ k0, 0x646f72616e646f6dULL ^ k1,
+          0x6c7967656e657261ULL ^ k0, 0x7465646279746573ULL ^ k1};
+
+  const std::size_t len = data.size();
+  const std::size_t full_blocks = len / 8;
+  for (std::size_t i = 0; i < full_blocks; ++i) {
+    const std::uint64_t m = load_le64(data.data() + i * 8);
+    s.v3 ^= m;
+    s.sipround();
+    s.sipround();
+    s.v0 ^= m;
+  }
+
+  // Final block: remaining bytes plus the length in the top byte.
+  std::uint64_t b = static_cast<std::uint64_t>(len & 0xFF) << 56;
+  const std::size_t tail = full_blocks * 8;
+  for (std::size_t i = 0; i < len - tail; ++i) {
+    b |= static_cast<std::uint64_t>(data[tail + i]) << (8 * i);
+  }
+  s.v3 ^= b;
+  s.sipround();
+  s.sipround();
+  s.v0 ^= b;
+
+  s.v2 ^= 0xFF;
+  s.sipround();
+  s.sipround();
+  s.sipround();
+  s.sipround();
+  return s.v0 ^ s.v1 ^ s.v2 ^ s.v3;
+}
+
+std::array<std::uint8_t, 8> siphash24_tag(std::span<const std::uint8_t> data,
+                                          const SipHashKey& key) noexcept {
+  const std::uint64_t h = siphash24(data, key);
+  std::array<std::uint8_t, 8> tag{};
+  for (int i = 0; i < 8; ++i) {
+    tag[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(h >> (8 * i));
+  }
+  return tag;
+}
+
+bool tag_equal(std::span<const std::uint8_t> a,
+               std::span<const std::uint8_t> b) noexcept {
+  if (a.size() != b.size()) return false;
+  unsigned diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    diff |= static_cast<unsigned>(a[i] ^ b[i]);
+  }
+  return diff == 0;
+}
+
+}  // namespace mcss::crypto

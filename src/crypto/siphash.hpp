@@ -1,0 +1,38 @@
+// SipHash-2-4 (Aumasson & Bernstein).
+//
+// A fast keyed pseudorandom function with a 128-bit key and 64-bit
+// output, designed for exactly this use case: authenticating short
+// messages against active adversaries without public-key machinery. The
+// protocol's authenticated wire mode tags each share frame so that a
+// Byzantine channel (netem `corrupt`, or an adversary injecting forged
+// shares) cannot smuggle a bogus share into reassembly — threshold
+// schemes by themselves reconstruct garbage from tampered shares without
+// any indication.
+//
+// Implemented from the specification; test vectors from the reference
+// implementation are checked in tests/crypto_test.cpp.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace mcss::crypto {
+
+/// 128-bit SipHash key.
+using SipHashKey = std::array<std::uint8_t, 16>;
+
+/// SipHash-2-4 of `data` under `key`, as a 64-bit value (little-endian
+/// convention matching the reference implementation).
+[[nodiscard]] std::uint64_t siphash24(std::span<const std::uint8_t> data,
+                                      const SipHashKey& key) noexcept;
+
+/// Tag helpers for the wire format: the 64-bit MAC as 8 bytes, LE.
+[[nodiscard]] std::array<std::uint8_t, 8> siphash24_tag(
+    std::span<const std::uint8_t> data, const SipHashKey& key) noexcept;
+
+/// Constant-time comparison of two 8-byte tags.
+[[nodiscard]] bool tag_equal(std::span<const std::uint8_t> a,
+                             std::span<const std::uint8_t> b) noexcept;
+
+}  // namespace mcss::crypto

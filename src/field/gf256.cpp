@@ -1,0 +1,55 @@
+#include "field/gf256.hpp"
+
+namespace mcss::gf {
+
+Elem poly_eval(std::span<const Elem> coeffs, Elem x) noexcept {
+  Elem acc = 0;
+  for (std::size_t i = coeffs.size(); i > 0; --i) {
+    acc = add(mul(acc, x), coeffs[i - 1]);
+  }
+  return acc;
+}
+
+namespace {
+
+void check_abscissae(std::span<const Elem> xs) {
+  MCSS_ENSURE(!xs.empty(), "at least one point is required");
+  MCSS_ENSURE(xs.size() <= 255, "GF(256) admits at most 255 nonzero abscissae");
+  bool seen[256] = {};
+  for (const Elem x : xs) {
+    MCSS_ENSURE(x != 0, "abscissa 0 is reserved for the secret");
+    MCSS_ENSURE(!seen[x], "duplicate abscissa");
+    seen[x] = true;
+  }
+}
+
+}  // namespace
+
+std::array<Elem, 255> lagrange_weights_at_zero(std::span<const Elem> xs) {
+  check_abscissae(xs);
+  std::array<Elem, 255> weights{};
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    // weight_i = prod_{j != i} x_j / (x_j - x_i); subtraction is XOR.
+    Elem num = 1;
+    Elem den = 1;
+    for (std::size_t j = 0; j < xs.size(); ++j) {
+      if (j == i) continue;
+      num = mul(num, xs[j]);
+      den = mul(den, add(xs[j], xs[i]));
+    }
+    weights[i] = div(num, den);
+  }
+  return weights;
+}
+
+Elem lagrange_at_zero(std::span<const Elem> xs, std::span<const Elem> ys) {
+  MCSS_ENSURE(xs.size() == ys.size(), "point count mismatch");
+  const auto weights = lagrange_weights_at_zero(xs);
+  Elem acc = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    acc = add(acc, mul(weights[i], ys[i]));
+  }
+  return acc;
+}
+
+}  // namespace mcss::gf

@@ -1,0 +1,104 @@
+// GF(2^8) arithmetic.
+//
+// The Galois field with 256 elements, constructed as GF(2)[x] modulo the
+// AES polynomial x^8 + x^4 + x^3 + x + 1 (0x11B). Addition is XOR;
+// multiplication and inversion go through compile-time log/antilog tables
+// indexed by powers of the generator 0x03. This is the field under
+// byte-wise Shamir secret sharing: each byte of a secret is shared
+// independently, with share indices x = 1..255 as evaluation points.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "util/ensure.hpp"
+
+namespace mcss::gf {
+
+/// Field element; plain byte so spans of secrets/shares need no conversion.
+using Elem = std::uint8_t;
+
+namespace detail {
+
+struct Tables {
+  // exp_ is doubled so mul can index log[a]+log[b] without a mod-255.
+  std::array<Elem, 510> exp_{};
+  std::array<std::uint16_t, 256> log_{};
+};
+
+constexpr Tables build_tables() {
+  Tables t{};
+  std::uint16_t value = 1;
+  for (int i = 0; i < 255; ++i) {
+    t.exp_[static_cast<std::size_t>(i)] = static_cast<Elem>(value);
+    t.exp_[static_cast<std::size_t>(i) + 255] = static_cast<Elem>(value);
+    t.log_[value] = static_cast<std::uint16_t>(i);
+    // Multiply by the generator 0x03 = x + 1: value*2 ^ value, reduced.
+    std::uint16_t doubled = static_cast<std::uint16_t>(value << 1);
+    if (doubled & 0x100) doubled ^= 0x11B;
+    value = static_cast<std::uint16_t>(doubled ^ value);
+  }
+  t.log_[0] = 0;  // log(0) is undefined; mul() guards the zero cases.
+  return t;
+}
+
+inline constexpr Tables tables = build_tables();
+
+}  // namespace detail
+
+/// a + b (== a - b) in GF(2^8).
+[[nodiscard]] constexpr Elem add(Elem a, Elem b) noexcept {
+  return static_cast<Elem>(a ^ b);
+}
+
+/// a * b in GF(2^8).
+[[nodiscard]] constexpr Elem mul(Elem a, Elem b) noexcept {
+  if (a == 0 || b == 0) return 0;
+  return detail::tables.exp_[static_cast<std::size_t>(detail::tables.log_[a]) +
+                             detail::tables.log_[b]];
+}
+
+/// Multiplicative inverse; throws PreconditionError for 0.
+[[nodiscard]] constexpr Elem inv(Elem a) {
+  MCSS_ENSURE(a != 0, "0 has no multiplicative inverse in GF(256)");
+  return detail::tables.exp_[255 - detail::tables.log_[a]];
+}
+
+/// a / b; throws PreconditionError when b == 0.
+[[nodiscard]] constexpr Elem div(Elem a, Elem b) {
+  MCSS_ENSURE(b != 0, "division by zero in GF(256)");
+  if (a == 0) return 0;
+  return detail::tables.exp_[static_cast<std::size_t>(detail::tables.log_[a]) + 255 -
+                             detail::tables.log_[b]];
+}
+
+/// a^e with e >= 0 (0^0 defined as 1).
+[[nodiscard]] constexpr Elem pow(Elem a, unsigned e) noexcept {
+  if (e == 0) return 1;
+  if (a == 0) return 0;
+  const auto le = static_cast<std::uint32_t>(detail::tables.log_[a]) * e % 255u;
+  return detail::tables.exp_[le];
+}
+
+/// Evaluate the polynomial with the given coefficients (constant term
+/// first: c[0] + c[1] x + ... + c[n-1] x^{n-1}) at x, via Horner's rule.
+[[nodiscard]] Elem poly_eval(std::span<const Elem> coeffs, Elem x) noexcept;
+
+/// Lagrange interpolation at x = 0.
+///
+/// Given k distinct abscissae xs and matching ordinates ys, returns the
+/// value at 0 of the unique degree-(k-1) polynomial through the points —
+/// exactly the Shamir reconstruction step. Throws PreconditionError on
+/// size mismatch, empty input, duplicate abscissae, or a zero abscissa
+/// (0 is reserved for the secret itself).
+[[nodiscard]] Elem lagrange_at_zero(std::span<const Elem> xs,
+                                    std::span<const Elem> ys);
+
+/// Lagrange basis weights at x = 0: weight[i] such that
+/// secret = sum_i weight[i] * y_i for any ordinates on the same abscissae.
+/// Lets callers reconstruct many byte positions with one weight setup.
+[[nodiscard]] std::array<Elem, 255> lagrange_weights_at_zero(
+    std::span<const Elem> xs);
+
+}  // namespace mcss::gf

@@ -1,0 +1,113 @@
+#include "field/gf65536.hpp"
+
+#include <algorithm>
+#include <array>
+#include <memory>
+
+#include "util/ensure.hpp"
+
+namespace mcss::gf16 {
+
+namespace {
+
+struct Tables {
+  // exp_ doubled so mul can index log[a] + log[b] without a modulus.
+  std::array<Elem16, 131070> exp_;
+  std::array<std::uint32_t, 65536> log_;
+
+  Tables() {
+    std::uint32_t value = 1;
+    for (std::uint32_t i = 0; i < 65535; ++i) {
+      exp_[i] = static_cast<Elem16>(value);
+      exp_[i + 65535] = static_cast<Elem16>(value);
+      log_[value] = i;
+      value <<= 1;
+      if (value & 0x10000) value ^= 0x1100B;
+    }
+    log_[0] = 0;  // log(0) undefined; mul() guards zero operands.
+    // x is a generator iff its order is exactly 2^16 - 1: the multiply-by-x
+    // walk must return to 1 only after the full cycle.
+    MCSS_INVARIANT(value == 1, "0x1100B is not primitive (generator order wrong)");
+  }
+};
+
+const Tables& tables() {
+  static const Tables instance;
+  return instance;
+}
+
+}  // namespace
+
+Elem16 add(Elem16 a, Elem16 b) noexcept { return a ^ b; }
+
+Elem16 mul(Elem16 a, Elem16 b) noexcept {
+  if (a == 0 || b == 0) return 0;
+  const Tables& t = tables();
+  return t.exp_[t.log_[a] + t.log_[b]];
+}
+
+Elem16 inv(Elem16 a) {
+  MCSS_ENSURE(a != 0, "0 has no multiplicative inverse in GF(65536)");
+  const Tables& t = tables();
+  return t.exp_[65535 - t.log_[a]];
+}
+
+Elem16 div(Elem16 a, Elem16 b) {
+  MCSS_ENSURE(b != 0, "division by zero in GF(65536)");
+  if (a == 0) return 0;
+  const Tables& t = tables();
+  return t.exp_[t.log_[a] + 65535 - t.log_[b]];
+}
+
+Elem16 pow(Elem16 a, unsigned e) noexcept {
+  if (e == 0) return 1;
+  if (a == 0) return 0;
+  const Tables& t = tables();
+  const auto le = static_cast<std::uint64_t>(t.log_[a]) * e % 65535u;
+  return t.exp_[le];
+}
+
+Elem16 poly_eval(std::span<const Elem16> coeffs, Elem16 x) noexcept {
+  Elem16 acc = 0;
+  for (std::size_t i = coeffs.size(); i > 0; --i) {
+    acc = add(mul(acc, x), coeffs[i - 1]);
+  }
+  return acc;
+}
+
+std::vector<Elem16> lagrange_weights_at_zero(std::span<const Elem16> xs) {
+  MCSS_ENSURE(!xs.empty(), "at least one point is required");
+  // Duplicate detection via sorted copy: xs can be up to 65535 long.
+  {
+    std::vector<Elem16> sorted(xs.begin(), xs.end());
+    std::sort(sorted.begin(), sorted.end());
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+      MCSS_ENSURE(sorted[i] != 0, "abscissa 0 is reserved for the secret");
+      MCSS_ENSURE(i == 0 || sorted[i] != sorted[i - 1], "duplicate abscissa");
+    }
+  }
+  std::vector<Elem16> weights(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    Elem16 num = 1;
+    Elem16 den = 1;
+    for (std::size_t j = 0; j < xs.size(); ++j) {
+      if (j == i) continue;
+      num = mul(num, xs[j]);
+      den = mul(den, add(xs[j], xs[i]));
+    }
+    weights[i] = div(num, den);
+  }
+  return weights;
+}
+
+Elem16 lagrange_at_zero(std::span<const Elem16> xs, std::span<const Elem16> ys) {
+  MCSS_ENSURE(xs.size() == ys.size(), "point count mismatch");
+  const auto weights = lagrange_weights_at_zero(xs);
+  Elem16 acc = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    acc = add(acc, mul(weights[i], ys[i]));
+  }
+  return acc;
+}
+
+}  // namespace mcss::gf16

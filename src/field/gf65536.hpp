@@ -1,0 +1,42 @@
+// GF(2^16) arithmetic.
+//
+// The byte field caps Shamir at 255 shares; GF(2^16) lifts that to
+// 65535, for deployments with very large channel counts (e.g. share
+// distribution across a CDN-scale fan-out) and for 16-bit symbols.
+// Construction: GF(2)[x] modulo the primitive polynomial
+// x^16 + x^12 + x^3 + x + 1 (0x1100B), with log/antilog tables built
+// once at startup (the 65535-entry loop is too large for constexpr
+// evaluation; an internal invariant verifies the generator's order at
+// initialization).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mcss::gf16 {
+
+using Elem16 = std::uint16_t;
+
+/// a + b (== a - b).
+[[nodiscard]] Elem16 add(Elem16 a, Elem16 b) noexcept;
+/// a * b.
+[[nodiscard]] Elem16 mul(Elem16 a, Elem16 b) noexcept;
+/// Multiplicative inverse; throws PreconditionError for 0.
+[[nodiscard]] Elem16 inv(Elem16 a);
+/// a / b; throws PreconditionError when b == 0.
+[[nodiscard]] Elem16 div(Elem16 a, Elem16 b);
+/// a^e, 0^0 = 1.
+[[nodiscard]] Elem16 pow(Elem16 a, unsigned e) noexcept;
+
+/// Horner evaluation, constant term first.
+[[nodiscard]] Elem16 poly_eval(std::span<const Elem16> coeffs, Elem16 x) noexcept;
+
+/// Lagrange basis weights at x = 0 for distinct nonzero abscissae.
+[[nodiscard]] std::vector<Elem16> lagrange_weights_at_zero(
+    std::span<const Elem16> xs);
+/// Interpolate the constant term through the given points.
+[[nodiscard]] Elem16 lagrange_at_zero(std::span<const Elem16> xs,
+                                      std::span<const Elem16> ys);
+
+}  // namespace mcss::gf16

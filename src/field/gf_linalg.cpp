@@ -1,0 +1,106 @@
+#include "field/gf_linalg.hpp"
+
+#include "util/ensure.hpp"
+
+namespace mcss::gf {
+
+namespace {
+
+/// Reduce `m` (augmented with `rhs` when non-null) to row-echelon form in
+/// place; returns the rank over the first `pivot_cols` columns (pivots are
+/// never chosen beyond that bound — essential when `m` is an [A | I]
+/// augmentation and only A's rank matters). Partial pivoting is
+/// unnecessary over a finite field — any nonzero pivot is exact.
+std::size_t eliminate(Matrix& m, std::vector<Elem>* rhs,
+                      std::size_t pivot_cols) {
+  const std::size_t rows = m.rows();
+  const std::size_t cols = m.cols();
+  std::size_t pivot_row = 0;
+  for (std::size_t col = 0; col < pivot_cols && pivot_row < rows; ++col) {
+    // Find a nonzero pivot in this column.
+    std::size_t found = rows;
+    for (std::size_t r = pivot_row; r < rows; ++r) {
+      if (m.at(r, col) != 0) {
+        found = r;
+        break;
+      }
+    }
+    if (found == rows) continue;
+    // Swap into place.
+    if (found != pivot_row) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        std::swap(m.at(found, c), m.at(pivot_row, c));
+      }
+      if (rhs != nullptr) std::swap((*rhs)[found], (*rhs)[pivot_row]);
+    }
+    // Normalize the pivot row.
+    const Elem inv_pivot = inv(m.at(pivot_row, col));
+    for (std::size_t c = col; c < cols; ++c) {
+      m.at(pivot_row, c) = mul(m.at(pivot_row, c), inv_pivot);
+    }
+    if (rhs != nullptr) {
+      (*rhs)[pivot_row] = mul((*rhs)[pivot_row], inv_pivot);
+    }
+    // Clear the column everywhere else.
+    for (std::size_t r = 0; r < rows; ++r) {
+      if (r == pivot_row) continue;
+      const Elem factor = m.at(r, col);
+      if (factor == 0) continue;
+      for (std::size_t c = col; c < cols; ++c) {
+        m.at(r, c) = add(m.at(r, c), mul(factor, m.at(pivot_row, c)));
+      }
+      if (rhs != nullptr) {
+        (*rhs)[r] = add((*rhs)[r], mul(factor, (*rhs)[pivot_row]));
+      }
+    }
+    ++pivot_row;
+  }
+  return pivot_row;
+}
+
+}  // namespace
+
+std::size_t rank(Matrix m) { return eliminate(m, nullptr, m.cols()); }
+
+std::optional<std::vector<Elem>> solve(Matrix a, std::vector<Elem> b) {
+  MCSS_ENSURE(a.rows() == a.cols(), "solve requires a square matrix");
+  MCSS_ENSURE(b.size() == a.rows(), "rhs size mismatch");
+  const std::size_t n = a.rows();
+  if (eliminate(a, &b, n) < n) return std::nullopt;  // singular
+  // eliminate() produces reduced row-echelon form: b IS the solution.
+  return b;
+}
+
+std::optional<Matrix> invert(const Matrix& a) {
+  MCSS_ENSURE(a.rows() == a.cols(), "invert requires a square matrix");
+  const std::size_t n = a.rows();
+  // Augment [A | I] and reduce.
+  Matrix aug(n, 2 * n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) aug.at(r, c) = a.at(r, c);
+    aug.at(r, n + r) = 1;
+  }
+  if (eliminate(aug, nullptr, n) < n) return std::nullopt;
+  Matrix result(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) result.at(r, c) = aug.at(r, n + c);
+  }
+  return result;
+}
+
+Matrix multiply(const Matrix& a, const Matrix& b) {
+  MCSS_ENSURE(a.cols() == b.rows(), "dimension mismatch");
+  Matrix out(a.rows(), b.cols());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const Elem lhs = a.at(r, k);
+      if (lhs == 0) continue;
+      for (std::size_t c = 0; c < b.cols(); ++c) {
+        out.at(r, c) = add(out.at(r, c), mul(lhs, b.at(k, c)));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace mcss::gf

@@ -1,0 +1,52 @@
+// Linear algebra over GF(2^8).
+//
+// Gaussian elimination, rank, and linear solving in the byte field —
+// the substrate for Blakley's hyperplane-intersection secret sharing
+// (each reconstruction is a k x k solve) and generally useful for
+// erasure-code style constructions.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "field/gf256.hpp"
+
+namespace mcss::gf {
+
+/// Dense row-major matrix over GF(2^8).
+class Matrix {
+ public:
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0) {}
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] Elem& at(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] Elem at(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  friend bool operator==(const Matrix&, const Matrix&) = default;
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<Elem> data_;
+};
+
+/// Rank via Gaussian elimination (copy; the input is untouched).
+[[nodiscard]] std::size_t rank(Matrix m);
+
+/// Solve A x = b for square A. Returns nullopt when A is singular.
+[[nodiscard]] std::optional<std::vector<Elem>> solve(Matrix a,
+                                                     std::vector<Elem> b);
+
+/// Inverse of a square matrix; nullopt when singular.
+[[nodiscard]] std::optional<Matrix> invert(const Matrix& a);
+
+/// A * B (dimensions must agree; throws otherwise).
+[[nodiscard]] Matrix multiply(const Matrix& a, const Matrix& b);
+
+}  // namespace mcss::gf

@@ -1,0 +1,297 @@
+#include "lp/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/ensure.hpp"
+
+namespace mcss::lp {
+
+namespace {
+
+// Dense tableau:
+//   rows_ x (num_cols_ + 1) matrix; last column is the RHS.
+//   Row `r` is the equation for basic variable basis_[r].
+//   A separate cost row holds reduced costs for the current phase.
+class Tableau {
+ public:
+  Tableau(const Problem& problem, double tol) : tol_(tol) {
+    const std::size_t n = problem.objective.size();
+    const std::size_t m = problem.constraints.size();
+    num_structural_ = n;
+
+    // Column layout: [structural | slack/surplus | artificial | rhs].
+    // Count slack/surplus columns first.
+    std::size_t num_slack = 0;
+    for (const auto& c : problem.constraints) {
+      if (c.rel != Relation::Equal) ++num_slack;
+    }
+    // Worst case every row needs an artificial; trim later.
+    num_cols_ = n + num_slack;
+    const std::size_t artificial_base = num_cols_;
+
+    rows_.assign(m, std::vector<double>(n + num_slack + m + 1, 0.0));
+    basis_.assign(m, SIZE_MAX);
+
+    std::size_t slack_col = n;
+    std::size_t art_col = artificial_base;
+    for (std::size_t r = 0; r < m; ++r) {
+      const Constraint& c = problem.constraints[r];
+      MCSS_ENSURE(c.coeffs.size() <= n,
+                  "constraint has more coefficients than the objective");
+      double sign = 1.0;
+      Relation rel = c.rel;
+      if (c.rhs < 0.0) {
+        // Normalize to nonnegative RHS, flipping the relation.
+        sign = -1.0;
+        if (rel == Relation::LessEqual) {
+          rel = Relation::GreaterEqual;
+        } else if (rel == Relation::GreaterEqual) {
+          rel = Relation::LessEqual;
+        }
+      }
+      for (std::size_t j = 0; j < c.coeffs.size(); ++j) {
+        MCSS_ENSURE(std::isfinite(c.coeffs[j]), "non-finite constraint coefficient");
+        rows_[r][j] = sign * c.coeffs[j];
+      }
+      rows_[r].back() = sign * c.rhs;
+
+      switch (rel) {
+        case Relation::LessEqual:
+          rows_[r][slack_col] = 1.0;
+          basis_[r] = slack_col++;
+          break;
+        case Relation::GreaterEqual:
+          rows_[r][slack_col] = -1.0;
+          ++slack_col;
+          [[fallthrough]];
+        case Relation::Equal:
+          rows_[r][art_col] = 1.0;
+          basis_[r] = art_col++;
+          break;
+      }
+    }
+    num_artificial_ = art_col - artificial_base;
+    artificial_base_ = artificial_base;
+    num_cols_ = art_col;
+    // Shrink rows to the columns actually used (+ rhs).
+    for (auto& row : rows_) {
+      row[num_cols_] = row.back();
+      row.resize(num_cols_ + 1);
+    }
+  }
+
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t num_structural() const noexcept { return num_structural_; }
+  [[nodiscard]] bool has_artificials() const noexcept { return num_artificial_ > 0; }
+  [[nodiscard]] bool is_artificial(std::size_t col) const noexcept {
+    return col >= artificial_base_;
+  }
+
+  // Phase 1: minimize the sum of artificial variables. Returns the phase-1
+  // objective (infeasibility measure) or NaN on iteration limit.
+  double run_phase1(std::size_t max_iters, std::size_t& iters) {
+    std::vector<double> cost(num_cols_, 0.0);
+    for (std::size_t j = artificial_base_; j < num_cols_; ++j) cost[j] = 1.0;
+    build_cost_row(cost);
+    if (!optimize(max_iters, iters, /*allow_artificial_entering=*/true)) {
+      return std::numeric_limits<double>::quiet_NaN();
+    }
+    return -cost_row_.back();  // cost row stores -objective in rhs slot
+  }
+
+  // Pivot any artificial variables still basic (at zero) out of the basis
+  // when a structural/slack column with a nonzero coefficient exists.
+  void expel_artificials() {
+    for (std::size_t r = 0; r < num_rows(); ++r) {
+      if (!is_artificial(basis_[r])) continue;
+      for (std::size_t j = 0; j < artificial_base_; ++j) {
+        if (std::abs(rows_[r][j]) > tol_) {
+          pivot(r, j);
+          break;
+        }
+      }
+      // If no pivot column exists the row is redundant (all-zero over real
+      // columns); the artificial stays basic at value 0, which is harmless
+      // as long as artificials never re-enter.
+    }
+  }
+
+  // Phase 2: minimize the real objective. Returns false on unbounded.
+  enum class Phase2Result { Optimal, Unbounded, IterationLimit };
+  Phase2Result run_phase2(const std::vector<double>& objective,
+                          std::size_t max_iters, std::size_t& iters) {
+    std::vector<double> cost(num_cols_, 0.0);
+    std::copy(objective.begin(), objective.end(), cost.begin());
+    build_cost_row(cost);
+    if (!optimize(max_iters, iters, /*allow_artificial_entering=*/false)) {
+      return unbounded_ ? Phase2Result::Unbounded : Phase2Result::IterationLimit;
+    }
+    return Phase2Result::Optimal;
+  }
+
+  [[nodiscard]] std::vector<double> extract_solution() const {
+    std::vector<double> x(num_structural_, 0.0);
+    for (std::size_t r = 0; r < num_rows(); ++r) {
+      if (basis_[r] < num_structural_) {
+        x[basis_[r]] = rows_[r].back();
+      }
+    }
+    return x;
+  }
+
+ private:
+  // Compute reduced costs for the given cost vector under the current basis.
+  void build_cost_row(const std::vector<double>& cost) {
+    cost_row_.assign(num_cols_ + 1, 0.0);
+    std::copy(cost.begin(), cost.end(), cost_row_.begin());
+    for (std::size_t r = 0; r < num_rows(); ++r) {
+      const double cb = cost[basis_[r]];
+      if (cb == 0.0) continue;
+      for (std::size_t j = 0; j <= num_cols_; ++j) {
+        cost_row_[j] -= cb * rows_[r][j];
+      }
+    }
+  }
+
+  // Bland's rule simplex loop. Returns true on optimal; on false, check
+  // `unbounded_` to distinguish unboundedness from the iteration limit.
+  bool optimize(std::size_t max_iters, std::size_t& iters,
+                bool allow_artificial_entering) {
+    unbounded_ = false;
+    for (std::size_t it = 0; it < max_iters; ++it) {
+      // Entering column: smallest index with reduced cost < -tol (Bland).
+      std::size_t enter = SIZE_MAX;
+      for (std::size_t j = 0; j < num_cols_; ++j) {
+        if (!allow_artificial_entering && is_artificial(j)) continue;
+        if (cost_row_[j] < -tol_) {
+          enter = j;
+          break;
+        }
+      }
+      if (enter == SIZE_MAX) {
+        iters += it;
+        return true;  // optimal
+      }
+
+      // Leaving row: minimum ratio, ties broken by smallest basic index.
+      std::size_t leave = SIZE_MAX;
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (std::size_t r = 0; r < num_rows(); ++r) {
+        const double a = rows_[r][enter];
+        if (a > tol_) {
+          const double ratio = rows_[r].back() / a;
+          if (ratio < best_ratio - tol_ ||
+              (ratio < best_ratio + tol_ &&
+               (leave == SIZE_MAX || basis_[r] < basis_[leave]))) {
+            best_ratio = ratio;
+            leave = r;
+          }
+        }
+      }
+      if (leave == SIZE_MAX) {
+        unbounded_ = true;
+        iters += it;
+        return false;
+      }
+      pivot(leave, enter);
+    }
+    iters += max_iters;
+    return false;
+  }
+
+  void pivot(std::size_t row, std::size_t col) {
+    const double p = rows_[row][col];
+    for (double& v : rows_[row]) v /= p;
+    for (std::size_t r = 0; r < num_rows(); ++r) {
+      if (r == row) continue;
+      const double factor = rows_[r][col];
+      if (factor == 0.0) continue;
+      for (std::size_t j = 0; j <= num_cols_; ++j) {
+        rows_[r][j] -= factor * rows_[row][j];
+      }
+      rows_[r][col] = 0.0;  // clamp numerical residue
+    }
+    const double cf = cost_row_[col];
+    if (cf != 0.0) {
+      for (std::size_t j = 0; j <= num_cols_; ++j) {
+        cost_row_[j] -= cf * rows_[row][j];
+      }
+      cost_row_[col] = 0.0;
+    }
+    basis_[row] = col;
+  }
+
+  std::vector<std::vector<double>> rows_;
+  std::vector<double> cost_row_;
+  std::vector<std::size_t> basis_;
+  std::size_t num_structural_ = 0;
+  std::size_t num_cols_ = 0;
+  std::size_t artificial_base_ = 0;
+  std::size_t num_artificial_ = 0;
+  double tol_ = 1e-9;
+  bool unbounded_ = false;
+};
+
+}  // namespace
+
+Solution solve(const Problem& problem, const Options& options) {
+  for (const double c : problem.objective) {
+    MCSS_ENSURE(std::isfinite(c), "non-finite objective coefficient");
+  }
+  for (const auto& con : problem.constraints) {
+    MCSS_ENSURE(std::isfinite(con.rhs), "non-finite constraint rhs");
+  }
+
+  Solution sol;
+  const std::size_t n = problem.objective.size();
+  const std::size_t m = problem.constraints.size();
+  std::size_t max_iters = options.max_iterations;
+  if (max_iters == 0) {
+    // Bland's rule terminates finitely; this is a generous safety valve.
+    max_iters = 200 * (n + m + 10) * (n + m + 10);
+  }
+
+  // Internally always minimize; flip the sign for maximization.
+  std::vector<double> objective = problem.objective;
+  if (problem.sense == Sense::Maximize) {
+    for (double& c : objective) c = -c;
+  }
+
+  Tableau tableau(problem, options.tolerance);
+
+  if (tableau.has_artificials()) {
+    const double infeas = tableau.run_phase1(max_iters, sol.iterations);
+    if (std::isnan(infeas)) {
+      sol.status = Status::IterationLimit;
+      return sol;
+    }
+    // Scale feasibility tolerance mildly with problem size.
+    if (infeas > options.tolerance * static_cast<double>(1 + n + m) * 100) {
+      sol.status = Status::Infeasible;
+      return sol;
+    }
+    tableau.expel_artificials();
+  }
+
+  switch (tableau.run_phase2(objective, max_iters, sol.iterations)) {
+    case Tableau::Phase2Result::Unbounded:
+      sol.status = Status::Unbounded;
+      return sol;
+    case Tableau::Phase2Result::IterationLimit:
+      sol.status = Status::IterationLimit;
+      return sol;
+    case Tableau::Phase2Result::Optimal:
+      break;
+  }
+
+  sol.status = Status::Optimal;
+  sol.x = tableau.extract_solution();
+  double value = 0.0;
+  for (std::size_t j = 0; j < n; ++j) value += problem.objective[j] * sol.x[j];
+  sol.objective = value;
+  return sol;
+}
+
+}  // namespace mcss::lp

@@ -1,0 +1,68 @@
+// Dense two-phase primal simplex.
+//
+// Solves  min/max c^T x  subject to  A x {<=,=,>=} b,  x >= 0.
+//
+// This is the solver behind the paper's Section IV-B and IV-D share
+// schedule programs (optimize privacy/loss/delay for given kappa and mu,
+// optionally constrained to the maximum achievable rate). Those programs
+// are small — for n = 5 channels the IV-D program has 80 variables and 7
+// rows — so a dense tableau with Bland's anti-cycling rule is simple,
+// exact enough, and fast. No external LP library is used.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mcss::lp {
+
+enum class Relation { LessEqual, Equal, GreaterEqual };
+enum class Sense { Minimize, Maximize };
+
+enum class Status {
+  Optimal,         ///< solution found
+  Infeasible,      ///< constraint set is empty
+  Unbounded,       ///< objective unbounded in the feasible direction
+  IterationLimit,  ///< safety valve tripped (pathological input)
+};
+
+/// One linear constraint: coeffs . x  rel  rhs.
+struct Constraint {
+  std::vector<double> coeffs;
+  Relation rel = Relation::Equal;
+  double rhs = 0.0;
+};
+
+/// A complete LP. All variables are implicitly nonnegative; constraints
+/// shorter than `objective` are zero-padded.
+struct Problem {
+  Sense sense = Sense::Minimize;
+  std::vector<double> objective;
+  std::vector<Constraint> constraints;
+
+  /// Convenience builders.
+  Problem& add(std::vector<double> coeffs, Relation rel, double rhs) {
+    constraints.push_back({std::move(coeffs), rel, rhs});
+    return *this;
+  }
+};
+
+struct Options {
+  double tolerance = 1e-9;
+  /// 0 means "choose automatically" (a generous polynomial in problem size).
+  std::size_t max_iterations = 0;
+};
+
+struct Solution {
+  Status status = Status::Infeasible;
+  std::vector<double> x;       ///< primal values (empty unless Optimal)
+  double objective = 0.0;      ///< objective value in the problem's sense
+  std::size_t iterations = 0;  ///< total pivots across both phases
+};
+
+/// Solve the given problem. Never throws on solver-level outcomes — they
+/// are reported via Status — but throws PreconditionError on malformed
+/// input (e.g. a constraint longer than the objective, or non-finite
+/// coefficients).
+[[nodiscard]] Solution solve(const Problem& problem, const Options& options = {});
+
+}  // namespace mcss::lp

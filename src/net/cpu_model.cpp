@@ -1,0 +1,3 @@
+#include "net/cpu_model.hpp"
+
+// Header-only logic; this translation unit anchors the library target.

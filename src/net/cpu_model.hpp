@@ -1,0 +1,72 @@
+// Endpoint processing-capacity model.
+//
+// The paper's high-bandwidth experiments (Figures 6-7) show throughput
+// leveling off when the hosts, not the channels, become the bottleneck,
+// and falling off sooner for larger thresholds kappa. We model the
+// endpoint as a serial processing resource with a fixed budget of
+// abstract operations per second and per-packet costs that scale with the
+// secret sharing work:
+//
+//   split cost (sender):      base + per_share * m + per_coef * k * m
+//     (Horner evaluation of a degree-(k-1) polynomial at m points)
+//   reconstruct cost (receiver): base + per_share * k + per_coef * k^2
+//     (Lagrange weights over k shares)
+//
+// A CpuModel instance answers "when will this work finish if submitted
+// now", serializing submissions like a single busy core.
+#pragma once
+
+#include "net/sim_time.hpp"
+#include "net/simulator.hpp"
+
+namespace mcss::net {
+
+/// Cost model in abstract operations. Defaults are calibrated so a
+/// kappa = mu = 1 sender saturates around the paper's observed ~63k
+/// packets/s (750 Mbps of 1470-byte datagrams) — see workload/setups.
+struct CpuConfig {
+  double ops_per_sec = 1.0e6;  ///< processing budget
+  double base_ops = 10.0;      ///< fixed per-packet overhead
+  double per_share_ops = 2.0;  ///< per share touched (I/O, headers)
+  double per_coef_ops = 1.0;   ///< per field-coefficient operation
+  /// Disable the model entirely (infinite CPU) — the quiescent-network
+  /// experiments of Figures 3-5 run in this mode.
+  bool unlimited = true;
+};
+
+class CpuModel {
+ public:
+  CpuModel(Simulator& sim, CpuConfig config) : sim_(sim), config_(config) {}
+
+  /// Cost formulas.
+  [[nodiscard]] double split_ops(int k, int m) const noexcept {
+    return config_.base_ops + config_.per_share_ops * m +
+           config_.per_coef_ops * static_cast<double>(k) * m;
+  }
+  [[nodiscard]] double reconstruct_ops(int k) const noexcept {
+    return config_.base_ops + config_.per_share_ops * k +
+           config_.per_coef_ops * static_cast<double>(k) * k;
+  }
+
+  /// Submit `ops` of work now; returns its completion time. Work is
+  /// serialized: a busy CPU delays subsequent submissions.
+  SimTime submit(double ops) noexcept {
+    if (config_.unlimited) return sim_.now();
+    const SimTime start = busy_until_ > sim_.now() ? busy_until_ : sim_.now();
+    const auto duration =
+        from_seconds(ops / config_.ops_per_sec);
+    busy_until_ = start + duration;
+    return busy_until_;
+  }
+
+  /// When the CPU will next be idle.
+  [[nodiscard]] SimTime busy_until() const noexcept { return busy_until_; }
+  [[nodiscard]] const CpuConfig& config() const noexcept { return config_; }
+
+ private:
+  Simulator& sim_;
+  CpuConfig config_;
+  SimTime busy_until_ = 0;
+};
+
+}  // namespace mcss::net

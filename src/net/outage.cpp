@@ -1,0 +1,40 @@
+#include "net/outage.hpp"
+
+#include "util/ensure.hpp"
+
+namespace mcss::net {
+
+OutageProcess::OutageProcess(Simulator& sim, SimChannel& channel,
+                             OutageConfig config, Rng rng)
+    : sim_(sim), channel_(channel), config_(config), rng_(rng) {
+  MCSS_ENSURE(config_.mean_up_s > 0.0 && config_.mean_down_s > 0.0,
+              "mean up/down durations must be positive");
+  channel_.set_down(config_.start_down);
+  if (config_.start_down) down_since_ = sim_.now();
+  arm_next();
+}
+
+SimTime OutageProcess::downtime() const noexcept {
+  SimTime total = accumulated_down_;
+  if (channel_.is_down()) total += sim_.now() - down_since_;
+  return total;
+}
+
+void OutageProcess::arm_next() {
+  const double mean =
+      channel_.is_down() ? config_.mean_down_s : config_.mean_up_s;
+  sim_.schedule_in(from_seconds(rng_.exponential(mean)), [this] {
+    if (stopped_) return;
+    const bool was_down = channel_.is_down();
+    if (was_down) {
+      accumulated_down_ += sim_.now() - down_since_;
+    } else {
+      down_since_ = sim_.now();
+    }
+    channel_.set_down(!was_down);
+    ++transitions_;
+    arm_next();
+  });
+}
+
+}  // namespace mcss::net

@@ -1,0 +1,55 @@
+// Markov on/off channel outages.
+//
+// Drives SimChannel::set_down with alternating exponentially-distributed
+// up and down periods — the network analogue of Blakley's lost couriers.
+// An outage is SILENT: the sender sees a writable channel and keeps
+// spending shares on it; only the threshold scheme's m - k margin (or a
+// higher layer) saves the traffic. The resilience study
+// (bench/ablation_outage) sweeps (kappa, mu) against this process.
+#pragma once
+
+#include "net/sim_channel.hpp"
+#include "net/sim_time.hpp"
+#include "net/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace mcss::net {
+
+struct OutageConfig {
+  double mean_up_s = 10.0;    ///< mean time between failures
+  double mean_down_s = 0.5;   ///< mean outage duration
+  bool start_down = false;
+};
+
+class OutageProcess {
+ public:
+  /// Begins driving `channel` immediately; the first toggle is scheduled
+  /// an exponential period from now. The channel must outlive this.
+  OutageProcess(Simulator& sim, SimChannel& channel, OutageConfig config,
+                Rng rng);
+
+  OutageProcess(const OutageProcess&) = delete;
+  OutageProcess& operator=(const OutageProcess&) = delete;
+
+  /// Stop toggling (the channel keeps its current state). Outstanding
+  /// scheduled toggles become no-ops.
+  void stop() noexcept { stopped_ = true; }
+
+  [[nodiscard]] std::uint64_t transitions() const noexcept { return transitions_; }
+  /// Total simulated time spent down so far.
+  [[nodiscard]] SimTime downtime() const noexcept;
+
+ private:
+  void arm_next();
+
+  Simulator& sim_;
+  SimChannel& channel_;
+  OutageConfig config_;
+  Rng rng_;
+  bool stopped_ = false;
+  std::uint64_t transitions_ = 0;
+  SimTime down_since_ = 0;
+  SimTime accumulated_down_ = 0;
+};
+
+}  // namespace mcss::net

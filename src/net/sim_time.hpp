@@ -1,0 +1,39 @@
+// Simulation time: signed 64-bit nanoseconds.
+//
+// Integer time makes event ordering exact and runs reproducible; doubles
+// are converted only at the measurement boundary.
+#pragma once
+
+#include <cstdint>
+
+namespace mcss::net {
+
+/// Nanoseconds since simulation start.
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kNanosPerSecond = 1'000'000'000;
+
+[[nodiscard]] constexpr SimTime from_seconds(double s) noexcept {
+  // Round to the nearest nanosecond; plain truncation turns exact values
+  // like 1e-4 s (which is 99999.999... in binary) into off-by-one ticks.
+  const double scaled = s * static_cast<double>(kNanosPerSecond);
+  return static_cast<SimTime>(scaled < 0 ? scaled - 0.5 : scaled + 0.5);
+}
+
+[[nodiscard]] constexpr SimTime from_millis(double ms) noexcept {
+  return from_seconds(ms * 1e-3);
+}
+
+[[nodiscard]] constexpr SimTime from_micros(double us) noexcept {
+  return from_seconds(us * 1e-6);
+}
+
+[[nodiscard]] constexpr double to_seconds(SimTime t) noexcept {
+  return static_cast<double>(t) / static_cast<double>(kNanosPerSecond);
+}
+
+[[nodiscard]] constexpr double to_millis(SimTime t) noexcept {
+  return to_seconds(t) * 1e3;
+}
+
+}  // namespace mcss::net

@@ -1,0 +1,51 @@
+#include "net/simulator.hpp"
+
+#include <utility>
+
+#include "util/ensure.hpp"
+
+namespace mcss::net {
+
+void Simulator::schedule_at(SimTime t, Callback fn) {
+  MCSS_ENSURE(t >= now_, "cannot schedule an event in the past");
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void Simulator::schedule_in(SimTime delay, Callback fn) {
+  MCSS_ENSURE(delay >= 0, "negative delay");
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+void Simulator::dispatch(Event&& e) {
+  now_ = e.time;
+  ++processed_;
+  e.fn();
+}
+
+void Simulator::run() {
+  while (!queue_.empty()) {
+    Event e = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    dispatch(std::move(e));
+  }
+}
+
+void Simulator::run_until(SimTime t) {
+  MCSS_ENSURE(t >= now_, "cannot run backwards");
+  while (!queue_.empty() && queue_.top().time <= t) {
+    Event e = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    dispatch(std::move(e));
+  }
+  now_ = t;
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  Event e = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  dispatch(std::move(e));
+  return true;
+}
+
+}  // namespace mcss::net

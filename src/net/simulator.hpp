@@ -1,0 +1,63 @@
+// Deterministic discrete-event simulator.
+//
+// A single-threaded event loop over a priority queue keyed by
+// (time, sequence number): events at equal times fire in scheduling
+// order, so runs are bit-reproducible. All simulated components (channels,
+// protocol endpoints, traffic sources) schedule callbacks here.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "net/sim_time.hpp"
+
+namespace mcss::net {
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulation time. Advances only while events run.
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Schedule `fn` at absolute time `t` (>= now; earlier throws).
+  void schedule_at(SimTime t, Callback fn);
+
+  /// Schedule `fn` after a relative delay (>= 0).
+  void schedule_in(SimTime delay, Callback fn);
+
+  /// Run events until the queue is empty.
+  void run();
+
+  /// Run all events with time <= `t`, then set now() = t.
+  void run_until(SimTime t);
+
+  /// Process a single event; returns false if the queue was empty.
+  bool step();
+
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+  [[nodiscard]] std::uint64_t processed() const noexcept { return processed_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+    }
+  };
+
+  void dispatch(Event&& e);
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace mcss::net

@@ -1,0 +1,54 @@
+#include "protocol/dither.hpp"
+
+#include <cmath>
+
+namespace mcss::proto {
+
+KappaMuDither::KappaMuDither(double kappa, double mu, int n_max)
+    : kappa_(kappa), mu_(mu) {
+  MCSS_ENSURE(kappa >= 1.0 && kappa <= mu && mu <= static_cast<double>(n_max),
+              "parameters must satisfy 1 <= kappa <= mu <= n");
+
+  const auto kf = static_cast<int>(std::floor(kappa + 1e-12));
+  const auto mf = static_cast<int>(std::floor(mu + 1e-12));
+  const int kc = std::min(kf + 1, n_max);
+  const int mc = std::min(mf + 1, n_max);
+  const double frac_k = kappa - kf;
+  const double frac_m = mu - mf;
+
+  // Theorem 5 corner chain (see optimal.cpp for the derivation of which
+  // chain keeps k <= m).
+  if (frac_m >= frac_k) {
+    corners_[0] = {{kf, mf}, 1.0 - frac_m, 0};
+    corners_[1] = {{kf, mc}, frac_m - frac_k, 0};
+    corners_[2] = {{kc, mc}, frac_k, 0};
+  } else {
+    MCSS_INVARIANT(kc <= mf, "corner chain violates k <= m");
+    corners_[0] = {{kf, mf}, 1.0 - frac_k, 0};
+    corners_[1] = {{kc, mf}, frac_k - frac_m, 0};
+    corners_[2] = {{kc, mc}, frac_m, 0};
+  }
+  num_corners_ = 3;
+}
+
+KmPair KappaMuDither::next() noexcept {
+  // Largest remainder: pick the corner furthest behind its quota.
+  ++total_;
+  int best = -1;
+  double best_deficit = -1.0;
+  for (int i = 0; i < num_corners_; ++i) {
+    const Corner& c = corners_[static_cast<std::size_t>(i)];
+    if (c.target <= 0.0) continue;
+    const double deficit =
+        c.target * static_cast<double>(total_) - static_cast<double>(c.used);
+    if (deficit > best_deficit) {
+      best_deficit = deficit;
+      best = i;
+    }
+  }
+  Corner& chosen = corners_[static_cast<std::size_t>(best)];
+  ++chosen.used;
+  return chosen.pair;
+}
+
+}  // namespace mcss::proto

@@ -1,0 +1,55 @@
+// Deterministic (kappa, mu) dithering.
+//
+// Secret sharing needs integer parameters, but the protocol targets
+// real-valued averages (Section III-C: parameters "vary from symbol to
+// symbol so that the average ... may be real numbers"). KappaMuDither
+// emits one integer pair (k, m) per symbol with 1 <= k <= m guaranteed
+// per symbol and long-run averages exactly (kappa, mu).
+//
+// Construction: the target point is expressed as a mixture of (at most)
+// three corner points of its unit cell — the same chain used in the
+// Theorem 5 proof, which keeps k <= m at every corner — and corners are
+// emitted by largest-remainder selection, a deterministic low-discrepancy
+// dither with O(1) state. After N symbols each corner has been used
+// floor/ceil(p_i * N) times, so the averages converge as O(1/N).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/ensure.hpp"
+
+namespace mcss::proto {
+
+/// One integer parameter choice for a symbol.
+struct KmPair {
+  int k = 1;
+  int m = 1;
+};
+
+class KappaMuDither {
+ public:
+  /// Requires 1 <= kappa <= mu <= n_max.
+  KappaMuDither(double kappa, double mu, int n_max);
+
+  /// Parameters for the next symbol.
+  [[nodiscard]] KmPair next() noexcept;
+
+  [[nodiscard]] double kappa() const noexcept { return kappa_; }
+  [[nodiscard]] double mu() const noexcept { return mu_; }
+
+ private:
+  struct Corner {
+    KmPair pair;
+    double target = 0.0;  // long-run proportion
+    std::int64_t used = 0;
+  };
+
+  double kappa_;
+  double mu_;
+  std::array<Corner, 3> corners_{};
+  int num_corners_ = 0;
+  std::int64_t total_ = 0;
+};
+
+}  // namespace mcss::proto

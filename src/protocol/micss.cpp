@@ -1,0 +1,192 @@
+#include "protocol/micss.hpp"
+
+#include <utility>
+
+#include "protocol/wire.hpp"
+#include "sss/xor_sharing.hpp"
+#include "util/ensure.hpp"
+
+namespace mcss::proto {
+
+namespace {
+constexpr std::uint16_t kAckMagic = 0x414D;  // "MA"
+constexpr std::size_t kAckSize = 12;
+}  // namespace
+
+std::vector<std::uint8_t> encode_ack(const AckFrame& ack) {
+  MCSS_ENSURE(ack.share_index >= 1, "share index 0 is reserved");
+  std::vector<std::uint8_t> out;
+  out.reserve(kAckSize);
+  out.push_back(static_cast<std::uint8_t>(kAckMagic & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(kAckMagic >> 8));
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(ack.packet_id >> (8 * i)));
+  }
+  out.push_back(ack.share_index);
+  out.push_back(0);  // pad to 12 bytes
+  return out;
+}
+
+std::optional<AckFrame> decode_ack(std::span<const std::uint8_t> buf) {
+  if (buf.size() != kAckSize) return std::nullopt;
+  if ((buf[0] | (buf[1] << 8)) != kAckMagic) return std::nullopt;
+  AckFrame ack;
+  for (int i = 7; i >= 0; --i) {
+    ack.packet_id = (ack.packet_id << 8) | buf[2 + static_cast<std::size_t>(i)];
+  }
+  ack.share_index = buf[10];
+  if (ack.share_index == 0 || buf[11] != 0) return std::nullopt;
+  return ack;
+}
+
+// ---------------------------------------------------------------- sender
+
+MicssSender::MicssSender(net::Simulator& sim,
+                         std::vector<net::SimChannel*> data_out,
+                         std::vector<net::SimChannel*> ack_in, Rng rng,
+                         MicssConfig config)
+    : sim_(sim), data_out_(std::move(data_out)), rng_(rng), config_(config) {
+  MCSS_ENSURE(!data_out_.empty(), "MICSS needs at least one channel");
+  MCSS_ENSURE(ack_in.size() == data_out_.size(),
+              "each data channel needs a matching ack channel");
+  MCSS_ENSURE(config_.rto > 0, "RTO must be positive");
+  MCSS_ENSURE(config_.window_packets > 0, "window must be positive");
+  for (net::SimChannel* ch : ack_in) {
+    MCSS_ENSURE(ch != nullptr, "null ack channel");
+    ch->set_receiver([this](std::vector<std::uint8_t> f) {
+      on_ack_frame(std::move(f));
+    });
+  }
+}
+
+bool MicssSender::send(std::vector<std::uint8_t> payload) {
+  ++stats_.packets_offered;
+  if (pending_.size() >= config_.window_packets) {
+    ++stats_.packets_rejected;
+    return false;
+  }
+
+  const std::uint64_t id = next_packet_id_++;
+  const auto n = static_cast<int>(data_out_.size());
+  const auto shares = sss::xor_split(payload, n, rng_);
+
+  PendingPacket packet;
+  packet.frames.resize(static_cast<std::size_t>(n));
+  packet.acked.assign(static_cast<std::size_t>(n), false);
+  packet.unacked = n;
+  for (int j = 0; j < n; ++j) {
+    ShareFrame frame;
+    frame.packet_id = id;
+    frame.k = static_cast<std::uint8_t>(n);  // perfect scheme: need them all
+    frame.share_index = shares[static_cast<std::size_t>(j)].index;
+    frame.payload = shares[static_cast<std::size_t>(j)].data;
+    packet.frames[static_cast<std::size_t>(j)] = encode(frame);
+    ++stats_.shares_sent;
+    // Reliable transport: a queue-full drop is just an early "loss" that
+    // the RTO recovers, so the return value is intentionally ignored.
+    (void)data_out_[static_cast<std::size_t>(j)]->try_send(
+        packet.frames[static_cast<std::size_t>(j)]);
+  }
+  pending_.emplace(id, std::move(packet));
+  arm_retransmit(id);
+  return true;
+}
+
+void MicssSender::arm_retransmit(std::uint64_t id) {
+  sim_.schedule_in(config_.rto, [this, id] {
+    const auto it = pending_.find(id);
+    if (it == pending_.end()) return;  // fully acknowledged meanwhile
+    PendingPacket& packet = it->second;
+    for (std::size_t j = 0; j < packet.frames.size(); ++j) {
+      if (!packet.acked[j]) {
+        ++stats_.retransmissions;
+        (void)data_out_[j]->try_send(packet.frames[j]);
+      }
+    }
+    arm_retransmit(id);
+  });
+}
+
+void MicssSender::on_ack_frame(std::vector<std::uint8_t> raw) {
+  const auto ack = decode_ack(raw);
+  if (!ack) return;
+  const auto it = pending_.find(ack->packet_id);
+  if (it == pending_.end()) return;
+  PendingPacket& packet = it->second;
+  const std::size_t j = static_cast<std::size_t>(ack->share_index) - 1;
+  if (j >= packet.acked.size() || packet.acked[j]) return;
+  packet.acked[j] = true;
+  if (--packet.unacked == 0) {
+    pending_.erase(it);
+    ++stats_.packets_completed;
+  }
+}
+
+// ---------------------------------------------------------------- receiver
+
+MicssReceiver::MicssReceiver(net::Simulator& sim,
+                             std::vector<net::SimChannel*> data_in,
+                             std::vector<net::SimChannel*> ack_out)
+    : sim_(sim), ack_out_(std::move(ack_out)), n_(data_in.size()) {
+  MCSS_ENSURE(n_ >= 1, "MICSS needs at least one channel");
+  MCSS_ENSURE(ack_out_.size() == n_, "ack channel count mismatch");
+  for (net::SimChannel* ch : data_in) {
+    MCSS_ENSURE(ch != nullptr, "null data channel");
+    ch->set_receiver([this](std::vector<std::uint8_t> f) {
+      on_data_frame(std::move(f));
+    });
+  }
+}
+
+void MicssReceiver::send_ack(std::uint64_t id, std::uint8_t index) {
+  ++stats_.acks_sent;
+  const std::size_t j = static_cast<std::size_t>(index - 1) % ack_out_.size();
+  (void)ack_out_[j]->try_send(encode_ack({id, index}));
+}
+
+void MicssReceiver::on_data_frame(std::vector<std::uint8_t> raw) {
+  const auto frame = decode(raw);
+  if (!frame) return;
+  ++stats_.shares_received;
+  const std::uint64_t id = frame->packet_id;
+  const std::size_t j = static_cast<std::size_t>(frame->share_index) - 1;
+  if (j >= n_) return;
+
+  // Always (re-)acknowledge: the previous ack may have been lost.
+  send_ack(id, frame->share_index);
+
+  if (completed_.contains(id)) {
+    ++stats_.duplicate_shares;
+    return;
+  }
+  auto [it, created] = partials_.try_emplace(id);
+  Partial& partial = it->second;
+  if (created) partial.shares.resize(n_);
+  if (partial.shares[j].has_value()) {
+    ++stats_.duplicate_shares;
+    return;
+  }
+  partial.shares[j] = std::move(frame->payload);
+  if (++partial.have < n_) return;
+
+  // All n shares present: reconstruct with the perfect scheme.
+  std::vector<sss::Share> shares;
+  shares.reserve(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    shares.push_back({static_cast<std::uint8_t>(i + 1),
+                      std::move(*partial.shares[i])});
+  }
+  auto payload = sss::xor_reconstruct(shares);
+  ++stats_.packets_delivered;
+  stats_.bytes_delivered += payload.size();
+  partials_.erase(it);
+  completed_.insert(id);
+  completed_order_.push_back(id);
+  while (completed_order_.size() > 8192) {
+    completed_.erase(completed_order_.front());
+    completed_order_.pop_front();
+  }
+  if (deliver_) deliver_(id, std::move(payload));
+}
+
+}  // namespace mcss::proto

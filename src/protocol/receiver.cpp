@@ -1,0 +1,138 @@
+#include "protocol/receiver.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "protocol/wire.hpp"
+#include "sss/shamir.hpp"
+#include "util/ensure.hpp"
+
+namespace mcss::proto {
+
+Receiver::Receiver(net::Simulator& sim, ReceiverConfig config,
+                   net::CpuModel* cpu)
+    : sim_(sim), config_(config), cpu_(cpu) {
+  MCSS_ENSURE(config_.reassembly_timeout > 0, "timeout must be positive");
+  MCSS_ENSURE(config_.memory_limit_bytes > 0, "memory limit must be positive");
+}
+
+void Receiver::attach(net::SimChannel& channel) {
+  channel.set_receiver([this](std::vector<std::uint8_t> f) {
+    on_frame(std::move(f));
+  });
+}
+
+void Receiver::on_frame(std::vector<std::uint8_t> raw) {
+  ++stats_.frames_received;
+  DecodeStatus decode_status = DecodeStatus::Ok;
+  auto frame = decode(raw, config_.auth_key ? &*config_.auth_key : nullptr,
+                      &decode_status);
+  if (!frame) {
+    if (decode_status == DecodeStatus::AuthFailed) {
+      ++stats_.auth_failures;
+    } else {
+      ++stats_.malformed_frames;
+    }
+    return;
+  }
+  const std::uint64_t id = frame->packet_id;
+  if (completed_.contains(id)) {
+    ++stats_.late_shares;
+    return;
+  }
+
+  auto it = partials_.find(id);
+  if (it == partials_.end()) {
+    evict_oldest_for_memory(frame->payload.size());
+    Partial partial;
+    partial.k = frame->k;
+    partial.share_size = frame->payload.size();
+    partial.first_seen = sim_.now();
+    it = partials_.emplace(id, std::move(partial)).first;
+    creation_order_.push_back(id);
+    // IP-reassembly-style timer: if the packet is still partial when it
+    // fires, evict it. first_seen disambiguates id reuse (never happens
+    // with 64-bit ids, but keeps the check airtight).
+    sim_.schedule_in(config_.reassembly_timeout,
+                     [this, id, born = sim_.now()] {
+                       auto p = partials_.find(id);
+                       if (p != partials_.end() && p->second.first_seen == born) {
+                         evict(id, &stats_.packets_evicted_timeout);
+                       }
+                     });
+  }
+
+  Partial& partial = it->second;
+  if (frame->k != partial.k || frame->payload.size() != partial.share_size) {
+    ++stats_.conflicting_metadata;
+    return;
+  }
+  const auto dup = std::any_of(
+      partial.shares.begin(), partial.shares.end(),
+      [&](const sss::Share& s) { return s.index == frame->share_index; });
+  if (dup) {
+    ++stats_.duplicate_shares;
+    return;
+  }
+
+  buffered_bytes_ += frame->payload.size();
+  partial.shares.push_back({frame->share_index, std::move(frame->payload)});
+  if (partial.shares.size() >= partial.k) {
+    complete(id, partial);
+  }
+}
+
+void Receiver::complete(std::uint64_t id, Partial& partial) {
+  auto payload = sss::reconstruct_first_k(partial.shares, partial.k);
+
+  net::SimTime done = sim_.now();
+  if (cpu_ != nullptr) {
+    done = cpu_->submit(cpu_->reconstruct_ops(partial.k));
+  }
+  ++stats_.packets_delivered;
+  stats_.bytes_delivered += payload.size();
+  if (deliver_) {
+    if (done <= sim_.now()) {
+      deliver_(id, std::move(payload));
+    } else {
+      sim_.schedule_at(done, [this, id, p = std::move(payload)]() mutable {
+        deliver_(id, std::move(p));
+      });
+    }
+  }
+
+  buffered_bytes_ -= partial.share_size * partial.shares.size();
+  partials_.erase(id);
+  remember_completed(id);
+}
+
+void Receiver::evict(std::uint64_t id, std::uint64_t* counter) {
+  const auto it = partials_.find(id);
+  MCSS_INVARIANT(it != partials_.end(), "evicting a packet that is not pending");
+  buffered_bytes_ -= it->second.share_size * it->second.shares.size();
+  partials_.erase(it);
+  ++*counter;
+}
+
+void Receiver::evict_oldest_for_memory(std::size_t incoming_bytes) {
+  while (buffered_bytes_ + incoming_bytes > config_.memory_limit_bytes &&
+         !creation_order_.empty()) {
+    const std::uint64_t victim = creation_order_.front();
+    creation_order_.pop_front();
+    if (partials_.contains(victim)) {
+      evict(victim, &stats_.packets_evicted_memory);
+    }
+    // Stale entries (already completed or timed out) are skipped silently.
+  }
+}
+
+void Receiver::remember_completed(std::uint64_t id) {
+  completed_.insert(id);
+  completed_order_.push_back(id);
+  while (completed_order_.size() > config_.completed_history) {
+    completed_.erase(completed_order_.front());
+    completed_order_.pop_front();
+  }
+}
+
+}  // namespace mcss::proto

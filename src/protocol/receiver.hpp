@@ -1,0 +1,102 @@
+// ReMICSS receiving side.
+//
+// Shares of many packets arrive interleaved, reordered, duplicated, and
+// partially lost. The receiver keeps a reassembly table keyed by packet
+// id — the design borrowed from IP fragment reassembly (Section V):
+// partial packets are evicted after a timeout, total buffered memory is
+// bounded (oldest partials evicted first), and recently completed ids are
+// remembered so late duplicate shares do not resurrect finished packets.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "crypto/siphash.hpp"
+#include "net/cpu_model.hpp"
+#include "net/sim_channel.hpp"
+#include "net/simulator.hpp"
+#include "sss/share.hpp"
+
+namespace mcss::proto {
+
+struct ReceiverConfig {
+  /// Partial packets older than this are evicted (IP-reassembly timeout).
+  net::SimTime reassembly_timeout = net::from_millis(500);
+  /// Bound on total buffered share bytes across all partial packets.
+  std::size_t memory_limit_bytes = 8u << 20;
+  /// How many completed packet ids to remember for duplicate suppression.
+  std::size_t completed_history = 8192;
+  /// When set, only frames carrying a valid SipHash-2-4 tag under this key
+  /// are accepted; tampered and unauthenticated frames are dropped and
+  /// counted in stats().auth_failures.
+  std::optional<crypto::SipHashKey> auth_key;
+};
+
+struct ReceiverStats {
+  std::uint64_t frames_received = 0;
+  std::uint64_t malformed_frames = 0;
+  std::uint64_t auth_failures = 0;          ///< bad/missing tag (keyed mode)
+  std::uint64_t duplicate_shares = 0;       ///< same (id, index) twice
+  std::uint64_t late_shares = 0;            ///< for an already-completed id
+  std::uint64_t conflicting_metadata = 0;   ///< k or length disagrees
+  std::uint64_t packets_delivered = 0;
+  std::uint64_t bytes_delivered = 0;
+  std::uint64_t packets_evicted_timeout = 0;
+  std::uint64_t packets_evicted_memory = 0;
+};
+
+class Receiver {
+ public:
+  /// Delivery callback: (packet id, reconstructed payload).
+  using DeliverFn = std::function<void(std::uint64_t, std::vector<std::uint8_t>)>;
+
+  explicit Receiver(net::Simulator& sim, ReceiverConfig config = {},
+                    net::CpuModel* cpu = nullptr);
+
+  Receiver(const Receiver&) = delete;
+  Receiver& operator=(const Receiver&) = delete;
+
+  /// Install this receiver as the delivery target of a channel.
+  void attach(net::SimChannel& channel);
+
+  void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
+
+  /// Feed one raw frame (also the attach() path; public for tests).
+  void on_frame(std::vector<std::uint8_t> frame);
+
+  [[nodiscard]] const ReceiverStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t pending_packets() const noexcept { return partials_.size(); }
+  [[nodiscard]] std::size_t buffered_bytes() const noexcept { return buffered_bytes_; }
+
+ private:
+  struct Partial {
+    std::uint8_t k = 1;
+    std::size_t share_size = 0;
+    std::vector<sss::Share> shares;
+    net::SimTime first_seen = 0;
+  };
+
+  void complete(std::uint64_t id, Partial& partial);
+  void evict(std::uint64_t id, std::uint64_t* counter);
+  void evict_oldest_for_memory(std::size_t incoming_bytes);
+  void remember_completed(std::uint64_t id);
+
+  net::Simulator& sim_;
+  ReceiverConfig config_;
+  net::CpuModel* cpu_;
+  DeliverFn deliver_;
+
+  std::unordered_map<std::uint64_t, Partial> partials_;
+  std::deque<std::uint64_t> creation_order_;  // for oldest-first eviction
+  std::size_t buffered_bytes_ = 0;
+  std::unordered_set<std::uint64_t> completed_;
+  std::deque<std::uint64_t> completed_order_;
+  ReceiverStats stats_;
+};
+
+}  // namespace mcss::proto

@@ -1,0 +1,98 @@
+#include "protocol/scheduler.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/ensure.hpp"
+#include "util/subset.hpp"
+
+namespace mcss::proto {
+
+// ---------------------------------------------------------------- Dynamic
+
+DynamicScheduler::DynamicScheduler(double kappa, double mu, int num_channels)
+    : dither_(kappa, mu, num_channels) {}
+
+std::optional<ShareDecision> DynamicScheduler::next(
+    std::span<const ChannelView> channels) {
+  if (!pending_) pending_ = dither_.next();
+  const int m = pending_->m;
+
+  // Ready channels sorted by least backlog (ties by index for determinism).
+  std::vector<int> ready;
+  for (int i = 0; i < static_cast<int>(channels.size()); ++i) {
+    if (channels[static_cast<std::size_t>(i)].ready) ready.push_back(i);
+  }
+  if (static_cast<int>(ready.size()) < m) return std::nullopt;
+  std::stable_sort(ready.begin(), ready.end(), [&](int a, int b) {
+    return channels[static_cast<std::size_t>(a)].backlog <
+           channels[static_cast<std::size_t>(b)].backlog;
+  });
+  ready.resize(static_cast<std::size_t>(m));
+
+  ShareDecision d{pending_->k, std::move(ready)};
+  pending_.reset();
+  return d;
+}
+
+// ---------------------------------------------------------------- Static
+
+StaticScheduler::StaticScheduler(ShareSchedule schedule, Rng rng,
+                                 std::size_t pool_limit)
+    : schedule_(std::move(schedule)), rng_(rng), pool_limit_(pool_limit) {
+  MCSS_ENSURE(pool_limit_ >= 1, "pool limit must be at least 1");
+}
+
+std::optional<ShareDecision> StaticScheduler::next(
+    std::span<const ChannelView> channels) {
+  const auto dispatchable = [&](const ScheduleEntry& e) {
+    bool all_ready = true;
+    for_each_member(e.channels, [&](int i) {
+      if (!channels[static_cast<std::size_t>(i)].ready) all_ready = false;
+    });
+    return all_ready;
+  };
+
+  // Oldest parked decision whose subset has become writable goes first.
+  for (std::size_t i = 0; i < parked_.size(); ++i) {
+    if (dispatchable(parked_[i])) {
+      ShareDecision d{parked_[i].k, mask_members(parked_[i].channels)};
+      parked_.erase(parked_.begin() + static_cast<std::ptrdiff_t>(i));
+      return d;
+    }
+  }
+
+  // Draw fresh samples, parking blocked ones, until one is dispatchable
+  // or the pool is full.
+  while (parked_.size() < pool_limit_) {
+    const ScheduleEntry e = schedule_.sample(rng_);
+    if (dispatchable(e)) {
+      return ShareDecision{e.k, mask_members(e.channels)};
+    }
+    parked_.push_back(e);
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------- Fixed
+
+FixedScheduler::FixedScheduler(int k, int num_channels)
+    : k_(k), num_channels_(num_channels) {
+  MCSS_ENSURE(k >= 1 && k <= num_channels, "need 1 <= k <= n");
+}
+
+std::optional<ShareDecision> FixedScheduler::next(
+    std::span<const ChannelView> channels) {
+  MCSS_ENSURE(static_cast<int>(channels.size()) == num_channels_,
+              "channel count changed");
+  for (const ChannelView& c : channels) {
+    if (!c.ready) return std::nullopt;
+  }
+  ShareDecision d;
+  d.k = k_;
+  d.channels.resize(static_cast<std::size_t>(num_channels_));
+  std::iota(d.channels.begin(), d.channels.end(), 0);
+  return d;
+}
+
+}  // namespace mcss::proto

@@ -1,0 +1,102 @@
+// Share schedulers: who decides (k, M) for each outgoing packet.
+//
+// The paper evaluates ReMICSS's *dynamic share schedule* — "instead of
+// deciding M ahead of time, the sender chooses the first m channels which
+// are ready for writing" (Section V) — against the explicit schedules the
+// model's linear programs produce. Both are implementations of the same
+// interface, so the sender is policy-agnostic and the ablation benches
+// can swap them freely:
+//
+//   DynamicScheduler       epoll-style: dithered (k, m), first m ready
+//                          channels by least backlog (ReMICSS default)
+//   StaticScheduler        samples an explicit ShareSchedule (e.g. the
+//                          IV-D LP solution); waits until its chosen M is
+//                          writable
+//   FixedScheduler         constant (k, m = n): MICSS semantics (k = n)
+//                          or courier-mode threshold schemes (k < n)
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "net/sim_time.hpp"
+#include "protocol/dither.hpp"
+#include "util/rng.hpp"
+
+namespace mcss::proto {
+
+/// Sender-visible state of one channel at decision time.
+struct ChannelView {
+  bool ready = false;          ///< epoll-style writability
+  net::SimTime backlog = 0;    ///< time to drain what is already queued
+};
+
+/// The decision for one packet: threshold and the channel indices that
+/// will each carry exactly one share (|channels| = m).
+struct ShareDecision {
+  int k = 1;
+  std::vector<int> channels;
+};
+
+/// Strategy interface. next() may return nullopt, meaning "no acceptable
+/// channel subset is writable — call again after a writability event".
+/// Implementations must re-offer the SAME logical decision until it is
+/// accepted, so that deferrals do not skew the (kappa, mu) averages.
+class ShareScheduler {
+ public:
+  virtual ~ShareScheduler() = default;
+  [[nodiscard]] virtual std::optional<ShareDecision> next(
+      std::span<const ChannelView> channels) = 0;
+};
+
+/// ReMICSS dynamic schedule: (k, m) from error-diffusion dithering of
+/// (kappa, mu); M = the m ready channels with the least backlog.
+class DynamicScheduler final : public ShareScheduler {
+ public:
+  DynamicScheduler(double kappa, double mu, int num_channels);
+  [[nodiscard]] std::optional<ShareDecision> next(
+      std::span<const ChannelView> channels) override;
+
+ private:
+  KappaMuDither dither_;
+  std::optional<KmPair> pending_;
+};
+
+/// Explicit schedule: samples (k, M) from a ShareSchedule. A sampled
+/// decision whose M is not fully writable is parked in a small reorder
+/// pool while later samples proceed (packets are independent symbols, so
+/// reordering is harmless) — without this, one busy slow channel
+/// head-of-line-blocks every other channel. The pool preserves the
+/// schedule's long-run proportions exactly: every sample is eventually
+/// dispatched.
+class StaticScheduler final : public ShareScheduler {
+ public:
+  /// `pool_limit` bounds how many sampled-but-blocked decisions may be
+  /// parked before the scheduler reports "wait".
+  StaticScheduler(ShareSchedule schedule, Rng rng, std::size_t pool_limit = 32);
+  [[nodiscard]] std::optional<ShareDecision> next(
+      std::span<const ChannelView> channels) override;
+
+ private:
+  ShareSchedule schedule_;
+  Rng rng_;
+  std::vector<ScheduleEntry> parked_;
+  std::size_t pool_limit_;
+};
+
+/// Constant (k, m = n) over all channels; k = n gives MICSS semantics.
+class FixedScheduler final : public ShareScheduler {
+ public:
+  FixedScheduler(int k, int num_channels);
+  [[nodiscard]] std::optional<ShareDecision> next(
+      std::span<const ChannelView> channels) override;
+
+ private:
+  int k_;
+  int num_channels_;
+};
+
+}  // namespace mcss::proto

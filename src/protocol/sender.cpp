@@ -1,0 +1,113 @@
+#include "protocol/sender.hpp"
+
+#include <utility>
+
+#include "protocol/wire.hpp"
+#include "sss/shamir.hpp"
+#include "util/ensure.hpp"
+
+namespace mcss::proto {
+
+Sender::Sender(net::Simulator& sim, std::vector<net::SimChannel*> channels,
+               std::unique_ptr<ShareScheduler> scheduler, Rng rng,
+               net::CpuModel* cpu, SenderConfig config)
+    : sim_(sim),
+      channels_(std::move(channels)),
+      scheduler_(std::move(scheduler)),
+      rng_(rng),
+      cpu_(cpu),
+      config_(config) {
+  MCSS_ENSURE(!channels_.empty(), "sender needs at least one channel");
+  MCSS_ENSURE(channels_.size() <= 32, "at most 32 channels");
+  MCSS_ENSURE(scheduler_ != nullptr, "sender needs a scheduler");
+  for (net::SimChannel* ch : channels_) {
+    MCSS_ENSURE(ch != nullptr, "null channel");
+    ch->set_writable_callback([this] { pump(); });
+  }
+}
+
+void Sender::set_scheduler(std::unique_ptr<ShareScheduler> scheduler) {
+  MCSS_ENSURE(scheduler != nullptr, "scheduler must not be null");
+  scheduler_ = std::move(scheduler);
+  pump();  // the new policy may accept what the old one deferred
+}
+
+bool Sender::send(std::vector<std::uint8_t> payload) {
+  ++stats_.packets_offered;
+  MCSS_ENSURE(payload.size() <= kMaxPayload, "packet exceeds maximum payload");
+  if (queue_.size() >= config_.max_queue_packets) {
+    ++stats_.packets_rejected;
+    return false;
+  }
+  queue_.push_back(std::move(payload));
+  pump();
+  return true;
+}
+
+void Sender::pump() {
+  while (!queue_.empty()) {
+    // CPU pacing: never run ahead of the host's splitting capacity.
+    if (cpu_ != nullptr && !cpu_->config().unlimited &&
+        cpu_->busy_until() > sim_.now()) {
+      if (!pump_scheduled_) {
+        pump_scheduled_ = true;
+        sim_.schedule_at(cpu_->busy_until(), [this] {
+          pump_scheduled_ = false;
+          pump();
+        });
+      }
+      return;
+    }
+
+    std::vector<ChannelView> view(channels_.size());
+    for (std::size_t i = 0; i < channels_.size(); ++i) {
+      view[i] = {channels_[i]->ready(), channels_[i]->backlog_time()};
+    }
+    const auto decision = scheduler_->next(view);
+    if (!decision) return;  // wait for a writability event
+
+    std::vector<std::uint8_t> payload = std::move(queue_.front());
+    queue_.pop_front();
+    dispatch(std::move(payload), *decision);
+  }
+}
+
+void Sender::dispatch(std::vector<std::uint8_t> payload,
+                      const ShareDecision& decision) {
+  const int m = static_cast<int>(decision.channels.size());
+  const int k = decision.k;
+  MCSS_INVARIANT(k >= 1 && k <= m, "scheduler produced invalid (k, m)");
+
+  const std::uint64_t id = next_packet_id_++;
+  ++stats_.packets_sent;
+  stats_.sum_k += k;
+  stats_.sum_m += m;
+
+  // Charge the host for the split before the shares can leave.
+  net::SimTime ready_at = sim_.now();
+  if (cpu_ != nullptr) {
+    ready_at = cpu_->submit(cpu_->split_ops(k, m));
+  }
+
+  const auto shares = sss::split(payload, k, m, rng_);
+  for (int j = 0; j < m; ++j) {
+    ShareFrame frame;
+    frame.packet_id = id;
+    frame.k = static_cast<std::uint8_t>(k);
+    frame.share_index = shares[static_cast<std::size_t>(j)].index;
+    frame.payload = shares[static_cast<std::size_t>(j)].data;
+    auto bytes =
+        encode(frame, config_.auth_key ? &*config_.auth_key : nullptr);
+    net::SimChannel* ch = channels_[static_cast<std::size_t>(decision.channels[static_cast<std::size_t>(j)])];
+    ++stats_.shares_sent;
+    if (ready_at <= sim_.now()) {
+      if (!ch->try_send(std::move(bytes))) ++stats_.shares_dropped_at_channel;
+    } else {
+      sim_.schedule_at(ready_at, [this, ch, b = std::move(bytes)]() mutable {
+        if (!ch->try_send(std::move(b))) ++stats_.shares_dropped_at_channel;
+      });
+    }
+  }
+}
+
+}  // namespace mcss::proto

@@ -1,0 +1,162 @@
+#include "protocol/tunnel.hpp"
+
+#include <algorithm>
+
+#include "util/ensure.hpp"
+
+namespace mcss::proto {
+
+namespace {
+constexpr std::uint8_t kTunnelVersion = 1;
+constexpr std::size_t kTunnelHeader = 1 + 1 + 4 + 4 + 4 + 2;
+}  // namespace
+
+std::vector<std::uint8_t> encode_datagram(const IpDatagram& dg,
+                                          std::uint32_t seq) {
+  MCSS_ENSURE(dg.payload.size() <= 0xFFFF, "datagram payload too large");
+  std::vector<std::uint8_t> out;
+  out.reserve(kTunnelHeader + dg.payload.size());
+  out.push_back(kTunnelVersion);
+  out.push_back(dg.protocol);
+  out.insert(out.end(), dg.src.begin(), dg.src.end());
+  out.insert(out.end(), dg.dst.begin(), dg.dst.end());
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(seq >> (8 * i)));
+  }
+  out.push_back(static_cast<std::uint8_t>(dg.payload.size() & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(dg.payload.size() >> 8));
+  out.insert(out.end(), dg.payload.begin(), dg.payload.end());
+  return out;
+}
+
+std::optional<DecodedDatagram> decode_datagram(
+    std::span<const std::uint8_t> buf) {
+  if (buf.size() < kTunnelHeader) return std::nullopt;
+  if (buf[0] != kTunnelVersion) return std::nullopt;
+  DecodedDatagram out;
+  out.datagram.protocol = buf[1];
+  std::copy_n(buf.begin() + 2, 4, out.datagram.src.begin());
+  std::copy_n(buf.begin() + 6, 4, out.datagram.dst.begin());
+  out.seq = 0;
+  for (int i = 3; i >= 0; --i) {
+    out.seq = (out.seq << 8) | buf[10 + static_cast<std::size_t>(i)];
+  }
+  const std::size_t len = static_cast<std::size_t>(buf[14]) |
+                          (static_cast<std::size_t>(buf[15]) << 8);
+  if (buf.size() != kTunnelHeader + len) return std::nullopt;
+  out.datagram.payload.assign(buf.begin() + kTunnelHeader, buf.end());
+  return out;
+}
+
+// ---------------------------------------------------------------- ingress
+
+bool TunnelIngress::send(const IpDatagram& datagram) {
+  const FlowKey key{datagram.src, datagram.dst, datagram.protocol};
+  std::uint32_t& seq = next_seq_[key];
+  if (!sender_.send(encode_datagram(datagram, seq))) {
+    ++dropped_;
+    return false;  // the sequence number is NOT consumed on drop
+  }
+  ++seq;
+  ++sent_;
+  return true;
+}
+
+// ---------------------------------------------------------------- egress
+
+TunnelEgress::TunnelEgress(net::Simulator& sim, EgressConfig config,
+                           DeliverFn deliver)
+    : sim_(sim), config_(std::move(config)), deliver_(std::move(deliver)) {
+  MCSS_ENSURE(deliver_ != nullptr, "egress needs a delivery callback");
+  MCSS_ENSURE(config_.gap_timeout > 0, "gap timeout must be positive");
+  MCSS_ENSURE(config_.max_buffered > 0, "reorder buffer must be positive");
+}
+
+std::function<void(std::uint64_t, std::vector<std::uint8_t>)>
+TunnelEgress::receiver_hook() {
+  return [this](std::uint64_t, std::vector<std::uint8_t> packet) {
+    on_packet(packet);
+  };
+}
+
+bool TunnelEgress::is_ordered(std::uint8_t protocol) const noexcept {
+  return std::find(config_.ordered_protocols.begin(),
+                   config_.ordered_protocols.end(),
+                   protocol) != config_.ordered_protocols.end();
+}
+
+std::size_t TunnelEgress::buffered() const noexcept {
+  std::size_t total = 0;
+  for (const auto& [key, flow] : flows_) total += flow.pending.size();
+  return total;
+}
+
+void TunnelEgress::on_packet(std::span<const std::uint8_t> packet) {
+  auto decoded = decode_datagram(packet);
+  if (!decoded) {
+    ++stats_.malformed;
+    return;
+  }
+  IpDatagram& dg = decoded->datagram;
+  if (!is_ordered(dg.protocol)) {
+    ++stats_.datagrams_delivered;
+    deliver_(dg);
+    return;
+  }
+
+  const FlowKey key{dg.src, dg.dst, dg.protocol};
+  FlowState& flow = flows_[key];
+
+  if (decoded->seq < flow.next_seq) {
+    ++stats_.duplicates_dropped;  // late duplicate of something released
+    return;
+  }
+  if (flow.pending.contains(decoded->seq)) {
+    ++stats_.duplicates_dropped;
+    return;
+  }
+  if (decoded->seq != flow.next_seq) ++stats_.reordered_held;
+  flow.pending.emplace(decoded->seq, std::move(dg));
+
+  release_in_order(key, flow);
+
+  if (!flow.pending.empty()) {
+    // Overflow policy: skip the gap rather than buffer unboundedly.
+    if (flow.pending.size() > config_.max_buffered) {
+      ++stats_.gaps_skipped;
+      flow.next_seq = flow.pending.begin()->first;
+      release_in_order(key, flow);
+    }
+    if (!flow.pending.empty()) arm_gap_timer(key, flow);
+  }
+}
+
+void TunnelEgress::release_in_order(const FlowKey& key, FlowState& flow) {
+  (void)key;
+  while (!flow.pending.empty() &&
+         flow.pending.begin()->first == flow.next_seq) {
+    ++stats_.datagrams_delivered;
+    deliver_(flow.pending.begin()->second);
+    flow.pending.erase(flow.pending.begin());
+    ++flow.next_seq;
+  }
+  // Any progress (or new arrival) invalidates outstanding gap timers.
+  ++flow.generation;
+}
+
+void TunnelEgress::arm_gap_timer(const FlowKey& key, FlowState& flow) {
+  const std::uint64_t generation = flow.generation;
+  sim_.schedule_in(config_.gap_timeout, [this, key, generation] {
+    const auto it = flows_.find(key);
+    if (it == flows_.end()) return;
+    FlowState& f = it->second;
+    if (f.generation != generation || f.pending.empty()) return;
+    // The gap did not fill in time: give up on the missing datagrams.
+    ++stats_.gaps_skipped;
+    f.next_seq = f.pending.begin()->first;
+    release_in_order(key, f);
+    if (!f.pending.empty()) arm_gap_timer(key, f);
+  });
+}
+
+}  // namespace mcss::proto

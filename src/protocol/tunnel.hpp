@@ -1,0 +1,136 @@
+// IP interception shim (the DIBS role).
+//
+// The real ReMICSS uses the DIBS bump-in-the-stack to transparently
+// intercept IP traffic, making the protocol transport-agnostic: "able to
+// carry any IP-based communication and not only TCP" (Section V). This
+// module is that boundary, network-layer semantics included:
+//
+//   IpDatagram       a minimal IP-like datagram (addresses, protocol,
+//                    payload) with a strict codec
+//   TunnelIngress    wraps datagrams and feeds them to a ReMICSS Sender
+//   TunnelEgress     unwraps delivered packets, demultiplexes by flow
+//                    (src, dst, protocol), and — for flows that want it —
+//                    restores ordering with a bounded reorder buffer and
+//                    gap timeout, so a TCP-like flow sees an in-order
+//                    byte stream while UDP-like flows get datagrams as
+//                    they arrive. Flows are isolated: one flow's loss
+//                    never stalls another.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/sim_time.hpp"
+#include "net/simulator.hpp"
+#include "protocol/sender.hpp"
+
+namespace mcss::proto {
+
+/// A minimal IP-like datagram.
+struct IpDatagram {
+  std::array<std::uint8_t, 4> src{};
+  std::array<std::uint8_t, 4> dst{};
+  std::uint8_t protocol = 17;  ///< 6 = TCP-like, 17 = UDP-like
+  std::vector<std::uint8_t> payload;
+
+  friend bool operator==(const IpDatagram&, const IpDatagram&) = default;
+};
+
+/// Flow identity used for demultiplexing and sequencing.
+struct FlowKey {
+  std::array<std::uint8_t, 4> src{};
+  std::array<std::uint8_t, 4> dst{};
+  std::uint8_t protocol = 0;
+
+  friend auto operator<=>(const FlowKey&, const FlowKey&) = default;
+};
+
+/// Serialize a datagram with a per-flow sequence number (assigned by the
+/// ingress). Layout: ver(1) proto(1) src(4) dst(4) seq(4) len(2) payload.
+[[nodiscard]] std::vector<std::uint8_t> encode_datagram(const IpDatagram& dg,
+                                                        std::uint32_t seq);
+struct DecodedDatagram {
+  IpDatagram datagram;
+  std::uint32_t seq = 0;
+};
+[[nodiscard]] std::optional<DecodedDatagram> decode_datagram(
+    std::span<const std::uint8_t> buf);
+
+/// Ingress: assigns per-flow sequence numbers and submits to the Sender.
+class TunnelIngress {
+ public:
+  explicit TunnelIngress(Sender& sender) : sender_(sender) {}
+
+  /// Returns false on sender backpressure (datagram dropped, like a full
+  /// NIC ring).
+  bool send(const IpDatagram& datagram);
+
+  [[nodiscard]] std::uint64_t datagrams_sent() const noexcept { return sent_; }
+  [[nodiscard]] std::uint64_t datagrams_dropped() const noexcept { return dropped_; }
+
+ private:
+  Sender& sender_;
+  std::map<FlowKey, std::uint32_t> next_seq_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+struct EgressConfig {
+  /// Restore per-flow ordering for these protocol numbers (default: 6,
+  /// the TCP-like protocol). Others are delivered as they arrive.
+  std::vector<std::uint8_t> ordered_protocols{6};
+  /// Out-of-order datagrams wait at most this long for the gap to fill.
+  net::SimTime gap_timeout = net::from_millis(200);
+  /// Per-flow reorder buffer bound; overflow skips the gap immediately.
+  std::size_t max_buffered = 256;
+};
+
+struct EgressStats {
+  std::uint64_t datagrams_delivered = 0;
+  std::uint64_t malformed = 0;
+  std::uint64_t reordered_held = 0;   ///< arrived early, buffered
+  std::uint64_t gaps_skipped = 0;     ///< sequence holes given up on
+  std::uint64_t duplicates_dropped = 0;
+};
+
+/// Egress: feed with the Receiver's delivered payloads (see attach()).
+class TunnelEgress {
+ public:
+  using DeliverFn = std::function<void(const IpDatagram&)>;
+
+  TunnelEgress(net::Simulator& sim, EgressConfig config, DeliverFn deliver);
+
+  /// Wire into a Receiver: receiver.set_deliver(egress.receiver_hook()).
+  [[nodiscard]] std::function<void(std::uint64_t, std::vector<std::uint8_t>)>
+  receiver_hook();
+
+  /// Feed one reconstructed tunnel payload directly (test entry point).
+  void on_packet(std::span<const std::uint8_t> packet);
+
+  [[nodiscard]] const EgressStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t buffered() const noexcept;
+
+ private:
+  struct FlowState {
+    std::uint32_t next_seq = 0;
+    std::map<std::uint32_t, IpDatagram> pending;
+    std::uint64_t generation = 0;  ///< bumps cancel stale gap timers
+  };
+
+  [[nodiscard]] bool is_ordered(std::uint8_t protocol) const noexcept;
+  void release_in_order(const FlowKey& key, FlowState& flow);
+  void arm_gap_timer(const FlowKey& key, FlowState& flow);
+
+  net::Simulator& sim_;
+  EgressConfig config_;
+  DeliverFn deliver_;
+  std::map<FlowKey, FlowState> flows_;
+  EgressStats stats_;
+};
+
+}  // namespace mcss::proto

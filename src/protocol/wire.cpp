@@ -1,0 +1,107 @@
+#include "protocol/wire.hpp"
+
+#include "util/ensure.hpp"
+
+namespace mcss::proto {
+
+namespace {
+
+void put16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+[[nodiscard]] std::uint16_t get16(std::span<const std::uint8_t> in, std::size_t at) {
+  return static_cast<std::uint16_t>(in[at] | (in[at + 1] << 8));
+}
+
+[[nodiscard]] std::uint64_t get64(std::span<const std::uint8_t> in, std::size_t at) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | in[at + static_cast<std::size_t>(i)];
+  }
+  return v;
+}
+
+std::optional<ShareFrame> fail(DecodeStatus* status, DecodeStatus why) {
+  if (status != nullptr) *status = why;
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode(const ShareFrame& frame,
+                                 const crypto::SipHashKey* key) {
+  MCSS_ENSURE(frame.payload.size() <= kMaxPayload, "share payload too large");
+  MCSS_ENSURE(frame.k >= 1, "threshold must be at least 1");
+  MCSS_ENSURE(frame.share_index >= 1, "share index 0 is reserved");
+
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderSize + frame.payload.size() + (key ? kTagSize : 0));
+  put16(out, kMagic);
+  out.push_back(kVersion);
+  out.push_back(frame.k);
+  put64(out, frame.packet_id);
+  out.push_back(frame.share_index);
+  out.push_back(key != nullptr ? kFlagAuthenticated : 0);
+  put16(out, static_cast<std::uint16_t>(frame.payload.size()));
+  out.insert(out.end(), frame.payload.begin(), frame.payload.end());
+  if (key != nullptr) {
+    const auto tag = crypto::siphash24_tag(out, *key);
+    out.insert(out.end(), tag.begin(), tag.end());
+  }
+  return out;
+}
+
+std::optional<ShareFrame> decode(std::span<const std::uint8_t> buf,
+                                 const crypto::SipHashKey* key,
+                                 DecodeStatus* status) {
+  if (status != nullptr) *status = DecodeStatus::Ok;
+  if (buf.size() < kHeaderSize) return fail(status, DecodeStatus::Malformed);
+  if (get16(buf, 0) != kMagic) return fail(status, DecodeStatus::Malformed);
+  if (buf[2] != kVersion) return fail(status, DecodeStatus::Malformed);
+
+  ShareFrame frame;
+  frame.k = buf[3];
+  frame.packet_id = get64(buf, 4);
+  frame.share_index = buf[12];
+  if (frame.k == 0 || frame.share_index == 0) {
+    return fail(status, DecodeStatus::Malformed);
+  }
+  const std::uint8_t flags = buf[13];
+  if ((flags & ~kFlagAuthenticated) != 0) {
+    return fail(status, DecodeStatus::Malformed);  // unknown flag bits
+  }
+  const bool authenticated = (flags & kFlagAuthenticated) != 0;
+
+  const std::size_t len = get16(buf, 14);
+  const std::size_t expected =
+      kHeaderSize + len + (authenticated ? kTagSize : 0);
+  if (buf.size() != expected) return fail(status, DecodeStatus::Malformed);
+
+  if (key != nullptr) {
+    // A keyed receiver refuses unauthenticated frames outright.
+    if (!authenticated) return fail(status, DecodeStatus::AuthFailed);
+    const auto computed =
+        crypto::siphash24_tag(buf.first(kHeaderSize + len), *key);
+    if (!crypto::tag_equal(computed, buf.last(kTagSize))) {
+      return fail(status, DecodeStatus::AuthFailed);
+    }
+  } else if (authenticated) {
+    // Tag present but no key to check it: parse the frame, ignore the tag.
+    // (Useful for passive observation tooling; the keyed path is what the
+    // protocol itself uses.)
+  }
+
+  frame.payload.assign(buf.begin() + kHeaderSize,
+                       buf.begin() + static_cast<std::ptrdiff_t>(kHeaderSize + len));
+  return frame;
+}
+
+}  // namespace mcss::proto

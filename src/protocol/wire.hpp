@@ -1,0 +1,74 @@
+// ReMICSS share wire format.
+//
+// Each share travels as one frame:
+//
+//   offset  size  field
+//        0     2  magic 0x524D ("RM")
+//        2     1  version (1)
+//        3     1  threshold k required to reconstruct the packet
+//        4     8  packet id (little endian) — sender-assigned, increasing
+//       12     1  share index (the GF(256) abscissa, 1..255)
+//       13     1  flags (bit 0: authenticated)
+//       14     2  payload length (little endian)
+//       16     -  payload (the share bytes; same length as the packet)
+//       16+len  8  SipHash-2-4 tag over bytes [0, 16+len)  [flag bit 0 only]
+//
+// The header carries k and the packet id because a best-effort receiver
+// sees shares of many packets interleaved, reordered, and duplicated
+// (Section V: "the receiver will typically be waiting for shares of many
+// packets at once"). Decoding is strict: any malformed frame is rejected
+// as a whole.
+//
+// The authenticated mode extends the paper's passive threat model to
+// active (Byzantine) channels: without it, a single flipped bit in any
+// share silently corrupts the whole reconstructed packet.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "crypto/siphash.hpp"
+
+namespace mcss::proto {
+
+inline constexpr std::uint16_t kMagic = 0x524D;
+inline constexpr std::uint8_t kVersion = 1;
+inline constexpr std::size_t kHeaderSize = 16;
+inline constexpr std::size_t kTagSize = 8;
+inline constexpr std::size_t kMaxPayload = 0xFFFF;
+inline constexpr std::uint8_t kFlagAuthenticated = 0x01;
+
+/// Parsed header + payload of one share frame.
+struct ShareFrame {
+  std::uint64_t packet_id = 0;
+  std::uint8_t k = 1;
+  std::uint8_t share_index = 1;
+  std::vector<std::uint8_t> payload;
+
+  friend bool operator==(const ShareFrame&, const ShareFrame&) = default;
+};
+
+/// Serialize a share frame. Throws PreconditionError when the payload
+/// exceeds kMaxPayload, k is 0, or the share index is 0. With a key, the
+/// frame is tagged (authenticated mode).
+[[nodiscard]] std::vector<std::uint8_t> encode(
+    const ShareFrame& frame, const crypto::SipHashKey* key = nullptr);
+
+enum class DecodeStatus {
+  Ok,
+  Malformed,   ///< bad magic/version/lengths/reserved fields
+  AuthFailed,  ///< tag missing, tag invalid, or unauthenticated frame
+               ///< received while a key is required
+};
+
+/// Parse a frame. Returns nullopt on any malformation (and on
+/// authentication failure when a key is given); the reason is reported
+/// through `status` when non-null. A receiver configured with a key
+/// REJECTS unauthenticated frames — downgrade attempts are failures.
+[[nodiscard]] std::optional<ShareFrame> decode(
+    std::span<const std::uint8_t> buf, const crypto::SipHashKey* key = nullptr,
+    DecodeStatus* status = nullptr);
+
+}  // namespace mcss::proto

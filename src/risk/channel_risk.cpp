@@ -1,0 +1,83 @@
+#include "risk/channel_risk.hpp"
+
+#include "util/ensure.hpp"
+
+namespace mcss::risk {
+
+ChannelRiskModel::ChannelRiskModel(Hmm hmm) : hmm_(std::move(hmm)) {
+  hmm_.validate();
+  MCSS_ENSURE(hmm_.num_states() > kCompromised,
+              "model needs a compromised state (index 2)");
+}
+
+ChannelRiskModel ChannelRiskModel::standard() {
+  Hmm hmm;
+  // Safe / Probed / Compromised. Attackers probe before compromising;
+  // compromise is sticky (cleanup is slow); probing often subsides.
+  hmm.transition = {
+      {0.95, 0.045, 0.005},  // Safe
+      {0.30, 0.60, 0.10},    // Probed
+      {0.02, 0.08, 0.90},    // Compromised
+  };
+  // Alerts: none / suspicious / intrusion. Sensors are noisy: safe
+  // channels occasionally alert, compromised channels often stay quiet.
+  hmm.emission = {
+      {0.90, 0.09, 0.01},  // Safe
+      {0.55, 0.40, 0.05},  // Probed
+      {0.30, 0.45, 0.25},  // Compromised
+  };
+  hmm.initial = {0.98, 0.015, 0.005};
+  return ChannelRiskModel(std::move(hmm));
+}
+
+double ChannelRiskModel::assess(std::span<const int> alerts) const {
+  const auto posterior = forward_filter(hmm_, alerts);
+  return posterior[kCompromised];
+}
+
+double ChannelRiskModel::prior() const {
+  return stationary(hmm_)[kCompromised];
+}
+
+std::vector<int> ChannelRiskModel::sample_alerts(int length, Rng& rng,
+                                                 std::vector<int>* states) const {
+  MCSS_ENSURE(length >= 0, "negative trace length");
+  std::vector<int> alerts;
+  alerts.reserve(static_cast<std::size_t>(length));
+  if (states != nullptr) {
+    states->clear();
+    states->reserve(static_cast<std::size_t>(length));
+  }
+
+  const auto sample_from = [&rng](std::span<const double> dist) {
+    double u = rng.uniform();
+    for (std::size_t i = 0; i < dist.size(); ++i) {
+      if (u < dist[i]) return static_cast<int>(i);
+      u -= dist[i];
+    }
+    return static_cast<int>(dist.size()) - 1;
+  };
+
+  int state = sample_from(hmm_.initial);
+  for (int t = 0; t < length; ++t) {
+    if (t > 0) {
+      state = sample_from(hmm_.transition[static_cast<std::size_t>(state)]);
+    }
+    if (states != nullptr) states->push_back(state);
+    alerts.push_back(sample_from(hmm_.emission[static_cast<std::size_t>(state)]));
+  }
+  return alerts;
+}
+
+std::vector<double> assess_risks(
+    const ChannelRiskModel& model,
+    std::span<const std::vector<int>> per_channel_alerts) {
+  std::vector<double> risks;
+  risks.reserve(per_channel_alerts.size());
+  for (const auto& alerts : per_channel_alerts) {
+    risks.push_back(model.assess(alerts));
+  }
+  return risks;
+}
+
+}  // namespace mcss::risk

@@ -1,0 +1,60 @@
+// Per-channel eavesdropping risk estimation (the z vector).
+//
+// Following the architecture of Arnes et al. (the paper's reference [28]),
+// each channel is modeled as a small HMM over security states, driven by
+// an observable alert stream (e.g. IDS events seen along that path). The
+// estimated risk z_i — the probability that an adversary observes a share
+// on channel i — is the filtered posterior probability mass on the
+// compromised state(s), smoothly blending toward the model prior as
+// evidence ages.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "risk/hmm.hpp"
+#include "util/rng.hpp"
+
+namespace mcss::risk {
+
+/// Channel security states of the default model.
+enum ChannelState : int { kSafe = 0, kProbed = 1, kCompromised = 2 };
+/// Alert symbols of the default model.
+enum Alert : int { kNoAlert = 0, kSuspicious = 1, kIntrusion = 2 };
+
+/// One channel's risk estimator.
+class ChannelRiskModel {
+ public:
+  /// `hmm` must have state kCompromised; by convention risk is the
+  /// posterior mass on that state.
+  explicit ChannelRiskModel(Hmm hmm);
+
+  /// The three-state Safe/Probed/Compromised model with conservative
+  /// default dynamics (rare compromise, slow recovery, noisy alerts).
+  [[nodiscard]] static ChannelRiskModel standard();
+
+  /// Posterior P(compromised) after observing the alert stream.
+  [[nodiscard]] double assess(std::span<const int> alerts) const;
+
+  /// Long-run prior P(compromised) with no evidence at all.
+  [[nodiscard]] double prior() const;
+
+  /// Generate a synthetic alert trace of the given length by sampling the
+  /// model itself (ground-truth state path returned via out-param when
+  /// non-null) — used by tests and the risk-estimation example.
+  [[nodiscard]] std::vector<int> sample_alerts(int length, Rng& rng,
+                                               std::vector<int>* states = nullptr) const;
+
+  [[nodiscard]] const Hmm& hmm() const noexcept { return hmm_; }
+
+ private:
+  Hmm hmm_;
+};
+
+/// Assess every channel's risk from per-channel alert traces; the result
+/// is the model's z vector, ready to drop into mcss::Channel::risk.
+[[nodiscard]] std::vector<double> assess_risks(
+    const ChannelRiskModel& model,
+    std::span<const std::vector<int>> per_channel_alerts);
+
+}  // namespace mcss::risk

@@ -1,0 +1,319 @@
+#include "risk/hmm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/ensure.hpp"
+
+namespace mcss::risk {
+
+namespace {
+
+void check_distribution(std::span<const double> row, const char* what) {
+  double sum = 0.0;
+  for (const double p : row) {
+    MCSS_ENSURE(p >= 0.0, what);
+    sum += p;
+  }
+  MCSS_ENSURE(std::abs(sum - 1.0) < 1e-9, what);
+}
+
+void check_obs(const Hmm& hmm, std::span<const int> obs) {
+  for (const int o : obs) {
+    MCSS_ENSURE(o >= 0 && o < hmm.num_symbols(), "observation symbol out of range");
+  }
+}
+
+}  // namespace
+
+void Hmm::validate() const {
+  const auto n = static_cast<std::size_t>(num_states());
+  MCSS_ENSURE(n >= 1, "HMM needs at least one state");
+  MCSS_ENSURE(initial.size() == n, "initial distribution size mismatch");
+  MCSS_ENSURE(emission.size() == n, "emission matrix row count mismatch");
+  const std::size_t m = emission.front().size();
+  MCSS_ENSURE(m >= 1, "HMM needs at least one observation symbol");
+  check_distribution(initial, "initial distribution must be a distribution");
+  for (const auto& row : transition) {
+    MCSS_ENSURE(row.size() == n, "transition matrix must be square");
+    check_distribution(row, "transition rows must be distributions");
+  }
+  for (const auto& row : emission) {
+    MCSS_ENSURE(row.size() == m, "emission rows must have equal length");
+    check_distribution(row, "emission rows must be distributions");
+  }
+}
+
+std::vector<double> forward_filter(const Hmm& hmm, std::span<const int> obs) {
+  hmm.validate();
+  check_obs(hmm, obs);
+  const auto n = static_cast<std::size_t>(hmm.num_states());
+
+  std::vector<double> alpha = hmm.initial;
+  std::vector<double> next(n);
+  bool first = true;
+  for (const int o : obs) {
+    // The initial distribution IS the state distribution at the first
+    // observation (standard convention); transitions apply between
+    // observations. Condition on each observation and renormalize.
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      if (first) {
+        acc = alpha[j];
+      } else {
+        for (std::size_t i = 0; i < n; ++i) {
+          acc += alpha[i] * hmm.transition[i][j];
+        }
+      }
+      next[j] = acc * hmm.emission[j][static_cast<std::size_t>(o)];
+    }
+    first = false;
+    double total = 0.0;
+    for (const double v : next) total += v;
+    MCSS_ENSURE(total > 0.0, "observation sequence has zero probability");
+    for (std::size_t j = 0; j < n; ++j) alpha[j] = next[j] / total;
+  }
+  return alpha;
+}
+
+double log_likelihood(const Hmm& hmm, std::span<const int> obs) {
+  hmm.validate();
+  check_obs(hmm, obs);
+  const auto n = static_cast<std::size_t>(hmm.num_states());
+
+  std::vector<double> alpha = hmm.initial;
+  std::vector<double> next(n);
+  double log_prob = 0.0;
+  bool first = true;
+  for (const int o : obs) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      if (first) {
+        acc = alpha[j];
+      } else {
+        for (std::size_t i = 0; i < n; ++i) {
+          acc += alpha[i] * hmm.transition[i][j];
+        }
+      }
+      next[j] = acc * hmm.emission[j][static_cast<std::size_t>(o)];
+    }
+    first = false;
+    double total = 0.0;
+    for (const double v : next) total += v;
+    MCSS_ENSURE(total > 0.0, "observation sequence has zero probability");
+    log_prob += std::log(total);
+    for (std::size_t j = 0; j < n; ++j) alpha[j] = next[j] / total;
+  }
+  return log_prob;
+}
+
+std::vector<int> viterbi(const Hmm& hmm, std::span<const int> obs) {
+  hmm.validate();
+  check_obs(hmm, obs);
+  if (obs.empty()) return {};
+  const auto n = static_cast<std::size_t>(hmm.num_states());
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  const auto safe_log = [](double p) { return p > 0.0 ? std::log(p) : kNegInf; };
+
+  std::vector<std::vector<double>> score(obs.size(), std::vector<double>(n, kNegInf));
+  std::vector<std::vector<int>> back(obs.size(), std::vector<int>(n, -1));
+
+  for (std::size_t j = 0; j < n; ++j) {
+    score[0][j] = safe_log(hmm.initial[j]) +
+                  safe_log(hmm.emission[j][static_cast<std::size_t>(obs[0])]);
+  }
+  for (std::size_t t = 1; t < obs.size(); ++t) {
+    for (std::size_t j = 0; j < n; ++j) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const double candidate = score[t - 1][i] + safe_log(hmm.transition[i][j]);
+        if (candidate > score[t][j]) {
+          score[t][j] = candidate;
+          back[t][j] = static_cast<int>(i);
+        }
+      }
+      score[t][j] += safe_log(hmm.emission[j][static_cast<std::size_t>(obs[t])]);
+    }
+  }
+
+  std::vector<int> path(obs.size());
+  const auto last = std::max_element(score.back().begin(), score.back().end());
+  path.back() = static_cast<int>(last - score.back().begin());
+  for (std::size_t t = obs.size() - 1; t > 0; --t) {
+    path[t - 1] = back[t][static_cast<std::size_t>(path[t])];
+  }
+  return path;
+}
+
+namespace {
+
+/// Scaled forward-backward pass for one sequence. Returns the sequence
+/// log-likelihood; fills alpha/beta (scaled) and the scale factors.
+double forward_backward(const Hmm& hmm, std::span<const int> obs,
+                        std::vector<std::vector<double>>& alpha,
+                        std::vector<std::vector<double>>& beta,
+                        std::vector<double>& scale) {
+  const auto n = static_cast<std::size_t>(hmm.num_states());
+  const std::size_t len = obs.size();
+  alpha.assign(len, std::vector<double>(n, 0.0));
+  beta.assign(len, std::vector<double>(n, 0.0));
+  scale.assign(len, 0.0);
+
+  // Forward (scaled).
+  for (std::size_t j = 0; j < n; ++j) {
+    alpha[0][j] =
+        hmm.initial[j] * hmm.emission[j][static_cast<std::size_t>(obs[0])];
+    scale[0] += alpha[0][j];
+  }
+  MCSS_ENSURE(scale[0] > 0.0, "observation sequence has zero probability");
+  for (std::size_t j = 0; j < n; ++j) alpha[0][j] /= scale[0];
+  for (std::size_t t = 1; t < len; ++t) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        acc += alpha[t - 1][i] * hmm.transition[i][j];
+      }
+      alpha[t][j] = acc * hmm.emission[j][static_cast<std::size_t>(obs[t])];
+      scale[t] += alpha[t][j];
+    }
+    MCSS_ENSURE(scale[t] > 0.0, "observation sequence has zero probability");
+    for (std::size_t j = 0; j < n; ++j) alpha[t][j] /= scale[t];
+  }
+
+  // Backward (same scaling).
+  for (std::size_t j = 0; j < n; ++j) beta[len - 1][j] = 1.0;
+  for (std::size_t t = len - 1; t > 0; --t) {
+    for (std::size_t i = 0; i < n; ++i) {
+      double acc = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        acc += hmm.transition[i][j] *
+               hmm.emission[j][static_cast<std::size_t>(obs[t])] * beta[t][j];
+      }
+      beta[t - 1][i] = acc / scale[t];
+    }
+  }
+
+  double log_prob = 0.0;
+  for (const double s : scale) log_prob += std::log(s);
+  return log_prob;
+}
+
+}  // namespace
+
+TrainResult baum_welch(Hmm initial, std::span<const std::vector<int>> sequences,
+                       int max_iterations, double tolerance) {
+  initial.validate();
+  MCSS_ENSURE(!sequences.empty(), "need at least one training sequence");
+  for (const auto& seq : sequences) {
+    MCSS_ENSURE(!seq.empty(), "training sequences must be nonempty");
+    for (const int o : seq) {
+      MCSS_ENSURE(o >= 0 && o < initial.num_symbols(),
+                  "observation symbol out of range");
+    }
+  }
+  MCSS_ENSURE(max_iterations >= 1, "need at least one iteration");
+
+  const auto n = static_cast<std::size_t>(initial.num_states());
+  const auto m = static_cast<std::size_t>(initial.num_symbols());
+
+  TrainResult result;
+  result.model = std::move(initial);
+  double prev_ll = -std::numeric_limits<double>::infinity();
+
+  std::vector<std::vector<double>> alpha, beta;
+  std::vector<double> scale;
+
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    // Accumulators for the M step.
+    std::vector<double> init_acc(n, 0.0);
+    std::vector<std::vector<double>> trans_acc(n, std::vector<double>(n, 0.0));
+    std::vector<double> trans_den(n, 0.0);
+    std::vector<std::vector<double>> emit_acc(n, std::vector<double>(m, 0.0));
+    std::vector<double> emit_den(n, 0.0);
+    double total_ll = 0.0;
+
+    for (const auto& obs : sequences) {
+      total_ll += forward_backward(result.model, obs, alpha, beta, scale);
+      const std::size_t len = obs.size();
+
+      // gamma_t(i) = alpha_t(i) * beta_t(i)  (already normalized per t).
+      for (std::size_t t = 0; t < len; ++t) {
+        for (std::size_t i = 0; i < n; ++i) {
+          const double gamma = alpha[t][i] * beta[t][i];
+          if (t == 0) init_acc[i] += gamma;
+          emit_acc[i][static_cast<std::size_t>(obs[t])] += gamma;
+          emit_den[i] += gamma;
+          if (t + 1 < len) trans_den[i] += gamma;
+        }
+      }
+      // xi_t(i, j) accumulation.
+      for (std::size_t t = 0; t + 1 < len; ++t) {
+        for (std::size_t i = 0; i < n; ++i) {
+          for (std::size_t j = 0; j < n; ++j) {
+            trans_acc[i][j] +=
+                alpha[t][i] * result.model.transition[i][j] *
+                result.model
+                    .emission[j][static_cast<std::size_t>(obs[t + 1])] *
+                beta[t + 1][j] / scale[t + 1];
+          }
+        }
+      }
+    }
+
+    result.iterations = iter + 1;
+    result.log_likelihood = total_ll;
+    if (total_ll - prev_ll < tolerance && iter > 0) break;
+    prev_ll = total_ll;
+
+    // M step (guard divisions; a starved state keeps its old rows).
+    const auto seq_count = static_cast<double>(sequences.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      result.model.initial[i] = init_acc[i] / seq_count;
+      if (trans_den[i] > 0.0) {
+        for (std::size_t j = 0; j < n; ++j) {
+          result.model.transition[i][j] = trans_acc[i][j] / trans_den[i];
+        }
+      }
+      if (emit_den[i] > 0.0) {
+        for (std::size_t o = 0; o < m; ++o) {
+          result.model.emission[i][o] = emit_acc[i][o] / emit_den[i];
+        }
+      }
+    }
+    // Renormalize against floating drift so validate() stays happy.
+    for (std::size_t i = 0; i < n; ++i) {
+      double ts = 0.0, es = 0.0;
+      for (std::size_t j = 0; j < n; ++j) ts += result.model.transition[i][j];
+      for (std::size_t o = 0; o < m; ++o) es += result.model.emission[i][o];
+      for (std::size_t j = 0; j < n; ++j) result.model.transition[i][j] /= ts;
+      for (std::size_t o = 0; o < m; ++o) result.model.emission[i][o] /= es;
+    }
+    double is = 0.0;
+    for (const double v : result.model.initial) is += v;
+    for (double& v : result.model.initial) v /= is;
+  }
+  return result;
+}
+
+std::vector<double> stationary(const Hmm& hmm) {
+  hmm.validate();
+  const auto n = static_cast<std::size_t>(hmm.num_states());
+  std::vector<double> pi(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n);
+  for (int iter = 0; iter < 100000; ++iter) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t i = 0; i < n; ++i) acc += pi[i] * hmm.transition[i][j];
+      next[j] = acc;
+    }
+    double delta = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      delta += std::abs(next[j] - pi[j]);
+      pi[j] = next[j];
+    }
+    if (delta < 1e-14) break;
+  }
+  return pi;
+}
+
+}  // namespace mcss::risk

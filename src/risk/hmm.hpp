@@ -1,0 +1,72 @@
+// Discrete hidden Markov models.
+//
+// The paper's threat model takes the per-channel risk vector z as an
+// input "estimated using network risk assessment techniques", citing
+// Arnes et al.'s HMM-based intrusion risk assessment. This module is that
+// substrate: a small, exact discrete-HMM library — forward filtering,
+// sequence likelihood, Viterbi decoding, and stationary analysis — on
+// which channel_risk.hpp builds the actual estimator.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace mcss::risk {
+
+/// A discrete HMM with N hidden states and M observation symbols.
+/// Rows are probability distributions (validated by `validate`).
+struct Hmm {
+  std::vector<std::vector<double>> transition;  ///< N x N, row i = P(next | i)
+  std::vector<std::vector<double>> emission;    ///< N x M, row i = P(obs | i)
+  std::vector<double> initial;                  ///< N, P(state at t = 0)
+
+  [[nodiscard]] int num_states() const noexcept {
+    return static_cast<int>(transition.size());
+  }
+  [[nodiscard]] int num_symbols() const noexcept {
+    return emission.empty() ? 0 : static_cast<int>(emission.front().size());
+  }
+
+  /// Throws PreconditionError on shape mismatches, negative entries, or
+  /// rows that do not sum to 1 (within 1e-9).
+  void validate() const;
+};
+
+/// Filtered posterior P(state | obs[0..t]) after consuming the whole
+/// sequence, with per-step normalization for numerical stability. An
+/// empty sequence returns the (normalized) initial distribution.
+[[nodiscard]] std::vector<double> forward_filter(const Hmm& hmm,
+                                                 std::span<const int> obs);
+
+/// log P(observations) under the model (natural log; 0 observations give
+/// log 1 = 0). Throws on out-of-range observation symbols.
+[[nodiscard]] double log_likelihood(const Hmm& hmm, std::span<const int> obs);
+
+/// Most likely hidden state sequence (Viterbi, log-space).
+[[nodiscard]] std::vector<int> viterbi(const Hmm& hmm, std::span<const int> obs);
+
+/// Stationary distribution of the transition matrix (power iteration;
+/// assumes an ergodic chain, which every model in this library is).
+[[nodiscard]] std::vector<double> stationary(const Hmm& hmm);
+
+struct TrainResult {
+  Hmm model;
+  double log_likelihood = 0.0;  ///< total over all sequences, final model
+  int iterations = 0;
+};
+
+/// Baum-Welch (EM) parameter estimation from unlabeled observation
+/// sequences, starting from `initial` (which fixes the state/symbol
+/// counts and the interpretation of the states). Multi-sequence, scaled
+/// forward-backward; stops when the total log-likelihood improves by
+/// less than `tolerance` or after `max_iterations`. Likelihood is
+/// guaranteed non-decreasing per EM iteration.
+///
+/// This is how a deployment fits the channel-risk model to its own
+/// sensor data rather than trusting the library defaults.
+[[nodiscard]] TrainResult baum_welch(Hmm initial,
+                                     std::span<const std::vector<int>> sequences,
+                                     int max_iterations = 100,
+                                     double tolerance = 1e-6);
+
+}  // namespace mcss::risk

@@ -1,0 +1,112 @@
+#include "sss/blakley.hpp"
+
+#include "field/gf_linalg.hpp"
+#include "util/ensure.hpp"
+#include "util/subset.hpp"
+
+namespace mcss::sss {
+
+namespace {
+
+/// True when every k-subset of the m normal vectors has rank k.
+bool all_subsets_invertible(const std::vector<std::vector<gf::Elem>>& normals,
+                            int k) {
+  const int m = static_cast<int>(normals.size());
+  bool ok = true;
+  for_each_nonempty_subset(m, [&](Mask subset) {
+    if (!ok || mask_size(subset) != k) return;
+    gf::Matrix mat(static_cast<std::size_t>(k), static_cast<std::size_t>(k));
+    std::size_t row = 0;
+    for_each_member(subset, [&](int i) {
+      for (int c = 0; c < k; ++c) {
+        mat.at(row, static_cast<std::size_t>(c)) =
+            normals[static_cast<std::size_t>(i)][static_cast<std::size_t>(c)];
+      }
+      ++row;
+    });
+    if (gf::rank(std::move(mat)) != static_cast<std::size_t>(k)) ok = false;
+  });
+  return ok;
+}
+
+}  // namespace
+
+std::vector<BlakleyShare> blakley_split(std::span<const std::uint8_t> secret,
+                                        int k, int m, Rng& rng) {
+  MCSS_ENSURE(k >= 1, "threshold k must be at least 1");
+  MCSS_ENSURE(k <= m, "threshold k cannot exceed multiplicity m");
+  MCSS_ENSURE(m <= kBlakleyMaxShares,
+              "Blakley sharing capped at 16 shares (subset rank check)");
+
+  // Sample normals until every k-subset is invertible. Random matrices
+  // over GF(256) are full-rank with overwhelming probability, so this
+  // loop all but never repeats.
+  std::vector<std::vector<gf::Elem>> normals;
+  do {
+    normals.assign(static_cast<std::size_t>(m),
+                   std::vector<gf::Elem>(static_cast<std::size_t>(k)));
+    for (auto& normal : normals) {
+      for (auto& coefficient : normal) coefficient = rng.byte();
+    }
+  } while (!all_subsets_invertible(normals, k));
+
+  std::vector<BlakleyShare> shares(static_cast<std::size_t>(m));
+  for (int j = 0; j < m; ++j) {
+    shares[static_cast<std::size_t>(j)].index = static_cast<std::uint8_t>(j + 1);
+    shares[static_cast<std::size_t>(j)].normal = normals[static_cast<std::size_t>(j)];
+    shares[static_cast<std::size_t>(j)].offsets.resize(secret.size());
+  }
+
+  // Per byte position: point P = (secret byte, r_2, ..., r_k); share j
+  // records b_j = a_j . P.
+  std::vector<gf::Elem> point(static_cast<std::size_t>(k));
+  for (std::size_t pos = 0; pos < secret.size(); ++pos) {
+    point[0] = secret[pos];
+    for (int c = 1; c < k; ++c) point[static_cast<std::size_t>(c)] = rng.byte();
+    for (int j = 0; j < m; ++j) {
+      gf::Elem b = 0;
+      for (int c = 0; c < k; ++c) {
+        b = gf::add(b, gf::mul(normals[static_cast<std::size_t>(j)][static_cast<std::size_t>(c)],
+                               point[static_cast<std::size_t>(c)]));
+      }
+      shares[static_cast<std::size_t>(j)].offsets[pos] = b;
+    }
+  }
+  return shares;
+}
+
+std::vector<std::uint8_t> blakley_reconstruct(
+    std::span<const BlakleyShare> shares) {
+  MCSS_ENSURE(!shares.empty(), "need at least one share");
+  const auto k = shares.size();
+  const std::size_t len = shares.front().offsets.size();
+  bool seen[256] = {};
+  for (const BlakleyShare& s : shares) {
+    MCSS_ENSURE(s.index != 0 && !seen[s.index], "invalid or duplicate index");
+    MCSS_ENSURE(s.normal.size() == k,
+                "share count must equal the threshold k (normal length)");
+    MCSS_ENSURE(s.offsets.size() == len, "share length mismatch");
+    seen[s.index] = true;
+  }
+
+  // One matrix for the whole secret: invert it once, then apply per byte.
+  gf::Matrix a(k, k);
+  for (std::size_t r = 0; r < k; ++r) {
+    for (std::size_t c = 0; c < k; ++c) a.at(r, c) = shares[r].normal[c];
+  }
+  const auto inverse = gf::invert(a);
+  MCSS_ENSURE(inverse.has_value(), "shares form a singular system");
+
+  std::vector<std::uint8_t> secret(len);
+  for (std::size_t pos = 0; pos < len; ++pos) {
+    // First coordinate of P = first row of A^{-1} times b.
+    gf::Elem s = 0;
+    for (std::size_t c = 0; c < k; ++c) {
+      s = gf::add(s, gf::mul(inverse->at(0, c), shares[c].offsets[pos]));
+    }
+    secret[pos] = s;
+  }
+  return secret;
+}
+
+}  // namespace mcss::sss

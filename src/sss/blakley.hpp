@@ -1,0 +1,55 @@
+// Blakley's hyperplane threshold scheme (1979).
+//
+// The other original threshold scheme named by the paper ("the original
+// threshold schemes as created by Shamir and Blakley", Section III-C).
+// Geometry: the secret is the first coordinate of a point P in GF(256)^k;
+// each share is one hyperplane a.x = b passing through P. Any k shares
+// intersect in exactly P (their normals are chosen so every k-subset of
+// them has full rank); fewer than k leave a positive-dimensional flat.
+//
+// Construction detail: each of the m hyperplanes gets an independently
+// random normal vector, resampled until EVERY k-subset of normals is
+// invertible (checked exhaustively; m is capped to keep C(m, k) small).
+// Shares carry one b byte per secret byte — same share size as Shamir —
+// plus the normal vector (k bytes, amortized across the whole secret).
+// Reconstruction is a k x k Gaussian solve per byte position.
+//
+// Compared with Shamir: identical (k, m) semantics and share sizes, a
+// different algebraic path (linear solve vs Lagrange), which the tests
+// exploit for cross-validation of both schemes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "field/gf256.hpp"
+#include "util/rng.hpp"
+
+namespace mcss::sss {
+
+/// One Blakley share: the hyperplane normal and one offset byte per
+/// secret byte.
+struct BlakleyShare {
+  std::uint8_t index = 0;              ///< 1-based share id
+  std::vector<gf::Elem> normal;        ///< k coefficients a_1..a_k
+  std::vector<std::uint8_t> offsets;   ///< b value per secret byte
+
+  friend bool operator==(const BlakleyShare&, const BlakleyShare&) = default;
+};
+
+/// Maximum multiplicity (keeps the exhaustive k-subset rank check cheap).
+inline constexpr int kBlakleyMaxShares = 16;
+
+/// Split `secret` into m hyperplane shares with threshold k.
+/// Throws PreconditionError unless 1 <= k <= m <= kBlakleyMaxShares.
+[[nodiscard]] std::vector<BlakleyShare> blakley_split(
+    std::span<const std::uint8_t> secret, int k, int m, Rng& rng);
+
+/// Reconstruct from exactly k distinct shares (order irrelevant). Throws
+/// PreconditionError on malformed/mismatched shares or a singular system
+/// (which cannot happen for shares produced by blakley_split).
+[[nodiscard]] std::vector<std::uint8_t> blakley_reconstruct(
+    std::span<const BlakleyShare> shares);
+
+}  // namespace mcss::sss

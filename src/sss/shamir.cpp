@@ -1,0 +1,77 @@
+#include "sss/shamir.hpp"
+
+#include "field/gf256.hpp"
+#include "util/ensure.hpp"
+
+namespace mcss::sss {
+
+std::vector<Share> split(std::span<const std::uint8_t> secret, int k, int m,
+                         Rng& rng) {
+  MCSS_ENSURE(k >= 1, "threshold k must be at least 1");
+  MCSS_ENSURE(k <= m, "threshold k cannot exceed multiplicity m");
+  MCSS_ENSURE(m <= kMaxShares, "GF(256) sharing admits at most 255 shares");
+
+  std::vector<Share> shares(static_cast<std::size_t>(m));
+  for (int j = 0; j < m; ++j) {
+    shares[static_cast<std::size_t>(j)].index = static_cast<std::uint8_t>(j + 1);
+    shares[static_cast<std::size_t>(j)].data.resize(secret.size());
+  }
+
+  // One random polynomial per byte position: coeffs[0] is the secret byte,
+  // coeffs[1..k-1] uniform. k == 1 means plain replication.
+  std::vector<gf::Elem> coeffs(static_cast<std::size_t>(k));
+  for (std::size_t pos = 0; pos < secret.size(); ++pos) {
+    coeffs[0] = secret[pos];
+    for (int c = 1; c < k; ++c) {
+      coeffs[static_cast<std::size_t>(c)] = rng.byte();
+    }
+    for (int j = 0; j < m; ++j) {
+      shares[static_cast<std::size_t>(j)].data[pos] =
+          gf::poly_eval(coeffs, static_cast<gf::Elem>(j + 1));
+    }
+  }
+  return shares;
+}
+
+namespace {
+
+void check_shares(std::span<const Share> shares) {
+  MCSS_ENSURE(!shares.empty(), "need at least one share");
+  const std::size_t len = shares.front().data.size();
+  bool seen[256] = {};
+  for (const Share& s : shares) {
+    MCSS_ENSURE(s.index != 0, "share index 0 is invalid");
+    MCSS_ENSURE(!seen[s.index], "duplicate share index");
+    MCSS_ENSURE(s.data.size() == len, "share length mismatch");
+    seen[s.index] = true;
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> reconstruct(std::span<const Share> shares) {
+  check_shares(shares);
+  std::vector<gf::Elem> xs(shares.size());
+  for (std::size_t i = 0; i < shares.size(); ++i) xs[i] = shares[i].index;
+  const auto weights = gf::lagrange_weights_at_zero(xs);
+
+  const std::size_t len = shares.front().data.size();
+  std::vector<std::uint8_t> secret(len);
+  for (std::size_t pos = 0; pos < len; ++pos) {
+    gf::Elem acc = 0;
+    for (std::size_t i = 0; i < shares.size(); ++i) {
+      acc = gf::add(acc, gf::mul(weights[i], shares[i].data[pos]));
+    }
+    secret[pos] = acc;
+  }
+  return secret;
+}
+
+std::vector<std::uint8_t> reconstruct_first_k(std::span<const Share> shares,
+                                              int k) {
+  MCSS_ENSURE(k >= 1 && static_cast<std::size_t>(k) <= shares.size(),
+              "k out of range for available shares");
+  return reconstruct(shares.subspan(0, static_cast<std::size_t>(k)));
+}
+
+}  // namespace mcss::sss

@@ -1,0 +1,49 @@
+// Shamir threshold secret sharing over GF(2^8).
+//
+// split() turns a secret byte string into m shares such that any k of them
+// reconstruct it and any k-1 reveal nothing (information-theoretically):
+// for each byte position, a uniformly random polynomial of degree k-1 with
+// the secret byte as constant term is sampled, and share j holds its value
+// at abscissa x_j. reconstruct() interpolates at 0.
+//
+// This is the paper's threshold scheme with multiplicity m and threshold k,
+// 1 <= k <= m <= 255. The k = 1 case degenerates to replication and k = m
+// to a one-time-pad-like perfect scheme, both exercised by the protocol.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sss/share.hpp"
+#include "util/rng.hpp"
+
+namespace mcss::sss {
+
+/// Maximum multiplicity supported by the byte-wise GF(256) construction.
+inline constexpr int kMaxShares = 255;
+
+/// Split `secret` into m shares with threshold k.
+///
+/// Shares receive abscissae 1..m. Randomness is drawn from `rng`, so a
+/// fixed seed yields reproducible shares (useful for tests; real
+/// deployments seed from entropy). Throws PreconditionError unless
+/// 1 <= k <= m <= 255.
+[[nodiscard]] std::vector<Share> split(std::span<const std::uint8_t> secret,
+                                       int k, int m, Rng& rng);
+
+/// Reconstruct a secret from exactly k distinct shares.
+///
+/// The caller passes any k of the m shares (order irrelevant). Throws
+/// PreconditionError when shares are empty, have mismatched lengths, or
+/// contain duplicate/zero indices. Passing shares from different secrets
+/// or fewer than the original k yields garbage, not an error — the scheme
+/// cannot detect that, which is why the protocol tags shares with the
+/// packet id and threshold on the wire.
+[[nodiscard]] std::vector<std::uint8_t> reconstruct(std::span<const Share> shares);
+
+/// Reconstruct using only the first k of the given shares.
+[[nodiscard]] std::vector<std::uint8_t> reconstruct_first_k(
+    std::span<const Share> shares, int k);
+
+}  // namespace mcss::sss

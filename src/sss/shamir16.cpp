@@ -1,0 +1,56 @@
+#include "sss/shamir16.hpp"
+
+#include "field/gf65536.hpp"
+#include "util/ensure.hpp"
+
+namespace mcss::sss {
+
+std::vector<Share16> split16(std::span<const std::uint16_t> secret, int k,
+                             int m, Rng& rng) {
+  MCSS_ENSURE(k >= 1, "threshold k must be at least 1");
+  MCSS_ENSURE(k <= m, "threshold k cannot exceed multiplicity m");
+  MCSS_ENSURE(m <= kMaxShares16, "GF(65536) sharing admits at most 65535 shares");
+
+  std::vector<Share16> shares(static_cast<std::size_t>(m));
+  for (int j = 0; j < m; ++j) {
+    shares[static_cast<std::size_t>(j)].index = static_cast<std::uint16_t>(j + 1);
+    shares[static_cast<std::size_t>(j)].data.resize(secret.size());
+  }
+
+  std::vector<gf16::Elem16> coeffs(static_cast<std::size_t>(k));
+  for (std::size_t pos = 0; pos < secret.size(); ++pos) {
+    coeffs[0] = secret[pos];
+    for (int c = 1; c < k; ++c) {
+      coeffs[static_cast<std::size_t>(c)] =
+          static_cast<gf16::Elem16>(rng() & 0xFFFF);
+    }
+    for (int j = 0; j < m; ++j) {
+      shares[static_cast<std::size_t>(j)].data[pos] =
+          gf16::poly_eval(coeffs, static_cast<gf16::Elem16>(j + 1));
+    }
+  }
+  return shares;
+}
+
+std::vector<std::uint16_t> reconstruct16(std::span<const Share16> shares) {
+  MCSS_ENSURE(!shares.empty(), "need at least one share");
+  const std::size_t len = shares.front().data.size();
+  std::vector<gf16::Elem16> xs(shares.size());
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    MCSS_ENSURE(shares[i].data.size() == len, "share length mismatch");
+    xs[i] = shares[i].index;
+  }
+  const auto weights = gf16::lagrange_weights_at_zero(xs);  // validates xs
+
+  std::vector<std::uint16_t> secret(len);
+  for (std::size_t pos = 0; pos < len; ++pos) {
+    gf16::Elem16 acc = 0;
+    for (std::size_t i = 0; i < shares.size(); ++i) {
+      acc = gf16::add(acc, gf16::mul(weights[i], shares[i].data[pos]));
+    }
+    secret[pos] = acc;
+  }
+  return secret;
+}
+
+}  // namespace mcss::sss

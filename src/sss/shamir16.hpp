@@ -1,0 +1,33 @@
+// Wide Shamir sharing over GF(2^16): up to 65535 shares.
+//
+// Identical construction to sss::split but over 16-bit symbols, for
+// deployments whose multiplicity exceeds the byte field's 255-share cap.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace mcss::sss {
+
+struct Share16 {
+  std::uint16_t index = 0;          ///< nonzero GF(2^16) abscissa
+  std::vector<std::uint16_t> data;  ///< one ordinate per secret symbol
+
+  friend bool operator==(const Share16&, const Share16&) = default;
+};
+
+inline constexpr int kMaxShares16 = 65535;
+
+/// Split a sequence of 16-bit symbols into m shares with threshold k,
+/// abscissae 1..m. Throws unless 1 <= k <= m <= 65535.
+[[nodiscard]] std::vector<Share16> split16(
+    std::span<const std::uint16_t> secret, int k, int m, Rng& rng);
+
+/// Reconstruct from exactly k distinct shares.
+[[nodiscard]] std::vector<std::uint16_t> reconstruct16(
+    std::span<const Share16> shares);
+
+}  // namespace mcss::sss

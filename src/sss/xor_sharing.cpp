@@ -1,0 +1,45 @@
+#include "sss/xor_sharing.hpp"
+
+#include "util/ensure.hpp"
+
+namespace mcss::sss {
+
+std::vector<Share> xor_split(std::span<const std::uint8_t> secret, int m,
+                             Rng& rng) {
+  MCSS_ENSURE(m >= 1 && m <= 255, "multiplicity must be in [1, 255]");
+  std::vector<Share> shares(static_cast<std::size_t>(m));
+  for (int j = 0; j < m; ++j) {
+    shares[static_cast<std::size_t>(j)].index = static_cast<std::uint8_t>(j + 1);
+    shares[static_cast<std::size_t>(j)].data.resize(secret.size());
+  }
+  for (std::size_t pos = 0; pos < secret.size(); ++pos) {
+    std::uint8_t acc = secret[pos];
+    for (int j = 0; j + 1 < m; ++j) {
+      const std::uint8_t pad = rng.byte();
+      shares[static_cast<std::size_t>(j)].data[pos] = pad;
+      acc = static_cast<std::uint8_t>(acc ^ pad);
+    }
+    shares[static_cast<std::size_t>(m - 1)].data[pos] = acc;
+  }
+  return shares;
+}
+
+std::vector<std::uint8_t> xor_reconstruct(std::span<const Share> shares) {
+  MCSS_ENSURE(!shares.empty(), "need at least one share");
+  const std::size_t len = shares.front().data.size();
+  bool seen[256] = {};
+  for (const Share& s : shares) {
+    MCSS_ENSURE(s.data.size() == len, "share length mismatch");
+    MCSS_ENSURE(s.index != 0 && !seen[s.index], "invalid or duplicate index");
+    seen[s.index] = true;
+  }
+  std::vector<std::uint8_t> secret(len, 0);
+  for (const Share& s : shares) {
+    for (std::size_t pos = 0; pos < len; ++pos) {
+      secret[pos] = static_cast<std::uint8_t>(secret[pos] ^ s.data[pos]);
+    }
+  }
+  return secret;
+}
+
+}  // namespace mcss::sss

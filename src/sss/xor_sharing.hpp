@@ -1,0 +1,29 @@
+// Additive (XOR) n-of-n secret sharing.
+//
+// The "perfect scheme" used by the original MICSS protocol: n-1 shares are
+// uniform pads and the last is the secret XOR all pads. All n shares are
+// required to reconstruct; any n-1 are uniformly random and reveal nothing
+// (this is a one-time pad split across channels, Blakley's courier mode
+// with k = m). Provided as the baseline scheme; ReMICSS uses Shamir.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sss/share.hpp"
+#include "util/rng.hpp"
+
+namespace mcss::sss {
+
+/// Split `secret` into m XOR shares, all of which are needed to recover it.
+[[nodiscard]] std::vector<Share> xor_split(std::span<const std::uint8_t> secret,
+                                           int m, Rng& rng);
+
+/// Recombine all m XOR shares. Throws PreconditionError on empty input,
+/// length mismatch, or duplicate indices. Missing shares are undetectable
+/// (the result is uniform garbage), as with any perfect scheme.
+[[nodiscard]] std::vector<std::uint8_t> xor_reconstruct(
+    std::span<const Share> shares);
+
+}  // namespace mcss::sss

@@ -1,0 +1,53 @@
+// Precondition and invariant checking helpers.
+//
+// Library entry points validate their arguments with `ensure`, which throws
+// std::invalid_argument on violation; internal invariants use `ensure_state`,
+// which throws std::logic_error. Both include the offending expression text
+// so failures are diagnosable from the what() string alone.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mcss {
+
+/// Thrown when a caller violates a documented precondition.
+class PreconditionError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when an internal invariant is violated (a bug in this library).
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void throw_precondition(const char* expr, const std::string& msg) {
+  throw PreconditionError("precondition failed: " + std::string(expr) +
+                          (msg.empty() ? "" : " (" + msg + ")"));
+}
+[[noreturn]] inline void throw_invariant(const char* expr, const std::string& msg) {
+  throw InvariantError("invariant violated: " + std::string(expr) +
+                       (msg.empty() ? "" : " (" + msg + ")"));
+}
+}  // namespace detail
+
+}  // namespace mcss
+
+/// Validate a caller-supplied precondition; throws mcss::PreconditionError.
+#define MCSS_ENSURE(expr, msg)                         \
+  do {                                                 \
+    if (!(expr)) {                                     \
+      ::mcss::detail::throw_precondition(#expr, msg);  \
+    }                                                  \
+  } while (false)
+
+/// Validate an internal invariant; throws mcss::InvariantError.
+#define MCSS_INVARIANT(expr, msg)                   \
+  do {                                              \
+    if (!(expr)) {                                  \
+      ::mcss::detail::throw_invariant(#expr, msg);  \
+    }                                               \
+  } while (false)

@@ -1,0 +1,59 @@
+// Poisson binomial distribution (sum of independent non-identical
+// Bernoulli trials).
+//
+// The paper's subset risk z(k,M) is the upper tail of this distribution
+// with success probabilities z_i, and subset loss l(k,M) is the lower tail
+// with probabilities 1-l_i. The O(m^2) dynamic program here scales far
+// beyond the exact 2^m subset enumeration, and the two are cross-checked
+// in tests.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace mcss {
+
+/// PMF of the Poisson binomial: result[j] = P(exactly j successes),
+/// j in [0, probs.size()]. O(m^2) time, O(m) extra space.
+[[nodiscard]] inline std::vector<double> poisson_binomial_pmf(
+    std::span<const double> probs) {
+  std::vector<double> pmf(probs.size() + 1, 0.0);
+  pmf[0] = 1.0;
+  std::size_t used = 0;
+  for (const double p : probs) {
+    ++used;
+    // Walk backwards so each trial is applied exactly once.
+    for (std::size_t j = used; j > 0; --j) {
+      pmf[j] = pmf[j] * (1.0 - p) + pmf[j - 1] * p;
+    }
+    pmf[0] *= (1.0 - p);
+  }
+  return pmf;
+}
+
+/// P(at least k successes). k <= 0 gives 1; k > m gives 0.
+[[nodiscard]] inline double poisson_binomial_tail_geq(
+    std::span<const double> probs, int k) {
+  if (k <= 0) return 1.0;
+  if (static_cast<std::size_t>(k) > probs.size()) return 0.0;
+  const auto pmf = poisson_binomial_pmf(probs);
+  double tail = 0.0;
+  for (std::size_t j = static_cast<std::size_t>(k); j < pmf.size(); ++j) {
+    tail += pmf[j];
+  }
+  return tail;
+}
+
+/// P(fewer than k successes). Complement of the upper tail, computed
+/// directly to avoid cancellation for tiny probabilities.
+[[nodiscard]] inline double poisson_binomial_tail_lt(
+    std::span<const double> probs, int k) {
+  if (k <= 0) return 0.0;
+  const auto pmf = poisson_binomial_pmf(probs);
+  double tail = 0.0;
+  const auto stop = std::min(pmf.size(), static_cast<std::size_t>(k));
+  for (std::size_t j = 0; j < stop; ++j) tail += pmf[j];
+  return tail;
+}
+
+}  // namespace mcss

@@ -1,0 +1,108 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// Everything random in this library flows from a seeded Xoshiro256** stream,
+// so every experiment is reproducible from its seed. The generator satisfies
+// std::uniform_random_bit_generator and adds the distributions the protocol
+// and simulator actually need (uniform, Bernoulli, exponential).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace mcss {
+
+/// SplitMix64 step; used to expand a single seed into generator state.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Xoshiro256** — fast, high-quality, 256-bit state PRNG (Blackman/Vigna).
+///
+/// Deterministic given a seed; never produces an all-zero state.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words via SplitMix64 so similar seeds diverge.
+  explicit constexpr Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) {
+      word = splitmix64(sm);
+    }
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  [[nodiscard]] double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, bound). bound == 0 returns 0.
+  [[nodiscard]] std::uint64_t uniform_int(std::uint64_t bound) noexcept {
+    if (bound == 0) return 0;
+    // Lemire's nearly-divisionless bounded sampling with rejection.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Bernoulli trial with success probability p (clamped to [0, 1]).
+  [[nodiscard]] bool bernoulli(double p) noexcept {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform() < p;
+  }
+
+  /// Exponentially distributed value with the given mean (>0).
+  [[nodiscard]] double exponential(double mean) noexcept;
+
+  /// Random byte, convenient for filling secret/share payloads.
+  [[nodiscard]] std::uint8_t byte() noexcept {
+    return static_cast<std::uint8_t>((*this)() >> 56);
+  }
+
+  /// Derive an independent child stream (for per-component RNGs).
+  [[nodiscard]] Rng fork() noexcept { return Rng((*this)()); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace mcss

@@ -1,0 +1,54 @@
+// Streaming statistics used by the measurement harness.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace mcss {
+
+/// Welford online mean/variance plus min/max, in O(1) space.
+class OnlineStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return count_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 with fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return count_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+  /// Merge another accumulator into this one (parallel Welford).
+  void merge(const OnlineStats& other) noexcept;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Stores samples and answers percentile queries; sorts lazily on demand.
+class PercentileTracker {
+ public:
+  explicit PercentileTracker(std::size_t reserve = 0) { samples_.reserve(reserve); }
+
+  void add(double x) { samples_.push_back(x); sorted_ = false; }
+  [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+
+  /// Linear-interpolated percentile, q in [0, 100]. Returns 0 when empty.
+  [[nodiscard]] double percentile(double q);
+  [[nodiscard]] double median() { return percentile(50.0); }
+
+ private:
+  std::vector<double> samples_;
+  bool sorted_ = true;
+};
+
+}  // namespace mcss

@@ -1,0 +1,75 @@
+// Bitmask subset utilities.
+//
+// Channel subsets M ⊆ C are represented as 32-bit masks over channel
+// indices; the model code enumerates subsets, iterates members, and walks
+// sub-subsets with these helpers. All functions are constexpr and
+// allocation-free except `mask_members`.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+namespace mcss {
+
+/// A subset of channel indices, bit i set <=> channel i is a member.
+using Mask = std::uint32_t;
+
+/// Number of channels in the subset.
+[[nodiscard]] constexpr int mask_size(Mask m) noexcept { return std::popcount(m); }
+
+/// Mask containing channels [0, n).
+[[nodiscard]] constexpr Mask full_mask(int n) noexcept {
+  return n >= 32 ? ~Mask{0} : (Mask{1} << n) - 1;
+}
+
+/// True if channel i is in the subset.
+[[nodiscard]] constexpr bool mask_contains(Mask m, int i) noexcept {
+  return (m >> i) & 1u;
+}
+
+/// Index of the lowest set bit; undefined for m == 0.
+[[nodiscard]] constexpr int mask_first(Mask m) noexcept { return std::countr_zero(m); }
+
+/// Member indices of the subset, ascending.
+[[nodiscard]] inline std::vector<int> mask_members(Mask m) {
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(mask_size(m)));
+  while (m != 0) {
+    out.push_back(mask_first(m));
+    m &= m - 1;
+  }
+  return out;
+}
+
+/// Invoke f(i) for each member index i of the subset, ascending.
+template <typename F>
+constexpr void for_each_member(Mask m, F&& f) {
+  while (m != 0) {
+    f(mask_first(m));
+    m &= m - 1;
+  }
+}
+
+/// Invoke f(K) for every subset K of the given mask, including the empty
+/// set and the mask itself. Enumeration is the standard subset-walk; the
+/// number of calls is 2^|mask|, so callers guard |mask| (the model caps
+/// exact enumeration at 20 channels).
+template <typename F>
+constexpr void for_each_subset(Mask mask, F&& f) {
+  Mask sub = mask;
+  for (;;) {
+    f(static_cast<Mask>(mask & ~sub));  // visits subsets in increasing order
+    if (sub == 0) break;
+    sub = (sub - 1) & mask;
+  }
+}
+
+/// Invoke f(M) for every nonempty subset M of channels [0, n).
+template <typename F>
+constexpr void for_each_nonempty_subset(int n, F&& f) {
+  const Mask all = full_mask(n);
+  for (Mask m = 1; m <= all && m != 0; ++m) f(m);
+}
+
+}  // namespace mcss

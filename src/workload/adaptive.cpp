@@ -1,0 +1,86 @@
+#include "workload/adaptive.hpp"
+
+#include <cmath>
+
+#include "util/ensure.hpp"
+
+namespace mcss::workload {
+
+AdaptiveController::AdaptiveController(net::Simulator& sim,
+                                       proto::Sender& sender,
+                                       std::vector<net::SimChannel*> channels,
+                                       AdaptiveConfig config, Rng rng)
+    : sim_(sim),
+      sender_(sender),
+      channels_(std::move(channels)),
+      config_(std::move(config)),
+      rng_(rng) {
+  MCSS_ENSURE(!channels_.empty(), "need at least one channel");
+  MCSS_ENSURE(config_.interval > 0, "control interval must be positive");
+  MCSS_ENSURE(config_.smoothing > 0.0 && config_.smoothing <= 1.0,
+              "smoothing must be in (0, 1]");
+  baselines_.resize(channels_.size());
+  loss_estimate_.assign(channels_.size(), 0.0);
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    baselines_[i] = {channels_[i]->stats().frames_queued,
+                     channels_[i]->stats().frames_dropped_loss};
+    // Seed the estimate with the configured loss (the initial site survey).
+    loss_estimate_[i] = channels_[i]->config().loss;
+  }
+  sim_.schedule_in(config_.interval, [this] { tick(); });
+}
+
+ChannelSet AdaptiveController::current_model() const {
+  std::vector<Channel> model;
+  model.reserve(channels_.size());
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    Channel ch;
+    ch.risk = i < config_.risks.size() ? config_.risks[i] : 0.2;
+    ch.loss = std::min(loss_estimate_[i], 0.999);
+    ch.delay = net::to_seconds(channels_[i]->config().delay);
+    // Rate in packets/s for the sender's typical frame size; the exact
+    // divisor cancels out of the LP's usage fractions.
+    ch.rate = channels_[i]->config().rate_bps / (8.0 * 1486.0);
+    model.push_back(ch);
+  }
+  return ChannelSet(std::move(model));
+}
+
+void AdaptiveController::tick() {
+  // 1. Sense: per-channel loss over the last window, smoothed.
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    const auto& stats = channels_[i]->stats();
+    const std::uint64_t queued = stats.frames_queued - baselines_[i].queued;
+    const std::uint64_t lost =
+        stats.frames_dropped_loss - baselines_[i].lost;
+    baselines_[i] = {stats.frames_queued, stats.frames_dropped_loss};
+    if (queued >= 20) {  // need a minimally informative window
+      const double window_loss =
+          static_cast<double>(lost) / static_cast<double>(queued);
+      loss_estimate_[i] = (1.0 - config_.smoothing) * loss_estimate_[i] +
+                          config_.smoothing * window_loss;
+    }
+  }
+
+  // 2. Plan against the refreshed model.
+  const Plan plan = plan_parameters(current_model(), config_.goal);
+  if (plan.feasible) {
+    history_.push_back({sim_.now(), plan.kappa, plan.mu, loss_estimate_});
+    // 3. Act: install the freshly solved schedule (its usage fractions
+    // track the new loss estimates even at an unchanged operating point).
+    sender_.set_scheduler(std::make_unique<proto::StaticScheduler>(
+        *plan.schedule, rng_.fork()));
+    if (std::abs(plan.kappa - last_kappa_) > 1e-9 ||
+        std::abs(plan.mu - last_mu_) > 1e-9) {
+      ++replans_;
+    }
+    last_kappa_ = plan.kappa;
+    last_mu_ = plan.mu;
+  }
+
+  if (config_.stop_after == 0 || sim_.now() < config_.stop_after) {
+    sim_.schedule_in(config_.interval, [this] { tick(); });
+  }
+}
+
+}  // namespace mcss::workload

@@ -1,0 +1,51 @@
+// Online channel property estimation.
+//
+// The paper's methodology measures each channel before predicting: "We
+// begin by using this method to obtain an accurate rate for each
+// individual channel, which gives us the vector r" (Section VI-A), and
+// likewise l before the loss experiment. This module automates that step
+// against the simulator: each channel is probed in two phases —
+//
+//   1. saturation: a greedy burst measures the achievable frame rate,
+//   2. pacing: timestamped probes at a fraction of that rate measure
+//      loss and propagation delay free of self-induced queueing,
+//
+// yielding a measured (l, d, r) per channel that can be combined with a
+// risk vector (see risk/channel_risk.hpp) into the model's ChannelSet.
+#pragma once
+
+#include <cstdint>
+
+#include "core/channel.hpp"
+#include "net/sim_channel.hpp"
+#include "workload/setups.hpp"
+
+namespace mcss::workload {
+
+struct ChannelEstimate {
+  double loss = 0.0;      ///< measured frame loss probability
+  double delay_s = 0.0;   ///< measured mean one-way delay, seconds
+  double rate_pps = 0.0;  ///< measured capacity, frames per second
+  std::uint64_t probes_sent = 0;
+  std::uint64_t probes_received = 0;
+};
+
+struct ProbeConfig {
+  std::size_t frame_bytes = 1470;
+  double saturate_seconds = 0.5;  ///< phase 1 duration
+  double pace_seconds = 2.0;      ///< phase 2 duration
+  double pace_fraction = 0.3;     ///< phase 2 rate as a fraction of measured
+  std::uint64_t seed = 1;
+};
+
+/// Probe a single channel configuration.
+[[nodiscard]] ChannelEstimate measure_channel(const net::ChannelConfig& config,
+                                              const ProbeConfig& probe = {});
+
+/// Probe every channel of a setup and assemble the model ChannelSet,
+/// using the setup's risk vector for z. This is the measured counterpart
+/// of Setup::to_model (which reads the configured truth).
+[[nodiscard]] ChannelSet measure_setup(const Setup& setup,
+                                       const ProbeConfig& probe = {});
+
+}  // namespace mcss::workload

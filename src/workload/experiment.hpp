@@ -1,0 +1,81 @@
+// The microbenchmark harness (Section VI methodology).
+//
+// One experiment = two hosts joined by a Setup's channels, a protocol
+// instance (scheduler of choice), an iperf-style CBR load, and meters.
+// Counters are snapshotted at the warmup boundary and again at the end of
+// the measurement window, so reported numbers exclude startup transients
+// — the same effect as the paper's 30-60 s steady-state runs.
+//
+// With `echo = true` the far host echoes every reconstructed datagram
+// back through a mirror protocol instance on reverse channels, and the
+// near host halves the measured round-trip time — reproducing the paper's
+// delay methodology ("we divide this result by 2 to find the one-way
+// delay").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/lp_schedule.hpp"
+#include "net/cpu_model.hpp"
+#include "protocol/receiver.hpp"
+#include "protocol/sender.hpp"
+#include "workload/setups.hpp"
+
+namespace mcss::workload {
+
+enum class SchedulerKind {
+  Dynamic,       ///< ReMICSS dynamic share schedule (first m ready)
+  StaticLp,      ///< IV-D LP schedule, sampled explicitly
+  Proportional,  ///< kappa = mu = 1 rate-proportional striping (MPTCP-like)
+  Fixed,         ///< constant k = round(kappa), m = n
+  Custom,        ///< sample the caller-provided `custom_schedule`
+};
+
+struct ExperimentConfig {
+  Setup setup;
+  double kappa = 1.0;
+  double mu = 1.0;
+  SchedulerKind scheduler = SchedulerKind::Dynamic;
+  /// Objective for the StaticLp scheduler.
+  Objective lp_objective = Objective::Loss;
+  /// Explicit schedule for SchedulerKind::Custom (e.g. a planner output).
+  std::optional<ShareSchedule> custom_schedule;
+
+  double offered_bps = 1e9;          ///< iperf -b (payload bits/second)
+  std::size_t packet_bytes = 1470;   ///< iperf default-ish UDP datagram
+  double warmup_s = 0.05;
+  double duration_s = 0.5;           ///< measurement window
+  std::uint64_t seed = 1;
+
+  net::CpuConfig cpu;                ///< endpoint capacity (default: unlimited)
+  bool echo = false;                 ///< RTT measurement mode
+  proto::ReceiverConfig receiver;
+  proto::SenderConfig sender;
+};
+
+struct ExperimentResult {
+  double offered_mbps = 0.0;
+  /// Receiver-side goodput over the measurement window (what iperf's
+  /// server reports).
+  double achieved_mbps = 0.0;
+  /// Datagram loss fraction over the window: 1 - delivered / sent.
+  double loss_fraction = 0.0;
+  /// Mean one-way delay in seconds (echo RTT / 2 when echoing, direct
+  /// timestamps otherwise); 0 when nothing was delivered.
+  double mean_delay_s = 0.0;
+  double p99_delay_s = 0.0;
+
+  double achieved_kappa = 0.0;
+  double achieved_mu = 0.0;
+
+  std::uint64_t packets_sent_window = 0;
+  std::uint64_t packets_delivered_window = 0;
+  proto::SenderStats sender_stats;      ///< whole-run
+  proto::ReceiverStats receiver_stats;  ///< whole-run
+};
+
+/// Run one experiment to completion (deterministic given config.seed).
+[[nodiscard]] ExperimentResult run_experiment(const ExperimentConfig& config);
+
+}  // namespace mcss::workload

@@ -1,0 +1,251 @@
+#include "workload/scenario.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <string>
+#include <vector>
+
+#include "core/rate.hpp"
+#include "util/ensure.hpp"
+
+namespace mcss::workload {
+
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& message) {
+  throw PreconditionError("line " + std::to_string(line) + ": " + message);
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::vector<std::string_view> split_ws(std::string_view s) {
+  std::vector<std::string_view> out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    std::size_t start = i;
+    while (i < s.size() && !std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    if (i > start) out.push_back(s.substr(start, i - start));
+  }
+  return out;
+}
+
+double parse_number(std::string_view token, std::string_view& suffix, int line) {
+  double value = 0.0;
+  const auto* begin = token.data();
+  const auto* end = token.data() + token.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr == begin) {
+    fail(line, "expected a number in '" + std::string(token) + "'");
+  }
+  suffix = std::string_view(ptr, static_cast<std::size_t>(end - ptr));
+  return value;
+}
+
+/// "100Mbps" / "3.5kbps" / "1e6bps" -> bits per second.
+double parse_bps(std::string_view token, int line) {
+  std::string_view suffix;
+  const double value = parse_number(token, suffix, line);
+  if (suffix == "bps") return value;
+  if (suffix == "kbps") return value * 1e3;
+  if (suffix == "Mbps") return value * 1e6;
+  if (suffix == "Gbps") return value * 1e9;
+  fail(line, "expected a rate unit (bps/kbps/Mbps/Gbps) in '" +
+                 std::string(token) + "'");
+}
+
+/// "2.5ms" / "250us" / "0.5s" -> seconds.
+double parse_seconds(std::string_view token, int line) {
+  std::string_view suffix;
+  const double value = parse_number(token, suffix, line);
+  if (suffix == "s" || suffix.empty()) return value;
+  if (suffix == "ms") return value * 1e-3;
+  if (suffix == "us") return value * 1e-6;
+  fail(line, "expected a time unit (s/ms/us) in '" + std::string(token) + "'");
+}
+
+/// "1%" or "0.01" -> probability.
+double parse_probability(std::string_view token, int line) {
+  std::string_view suffix;
+  const double value = parse_number(token, suffix, line);
+  if (suffix == "%") return value / 100.0;
+  if (suffix.empty()) return value;
+  fail(line, "expected a probability ('1%' or '0.01') in '" +
+                 std::string(token) + "'");
+}
+
+double parse_plain(std::string_view token, int line) {
+  std::string_view suffix;
+  const double value = parse_number(token, suffix, line);
+  if (!suffix.empty()) {
+    fail(line, "unexpected unit in '" + std::string(token) + "'");
+  }
+  return value;
+}
+
+void parse_channel_line(std::string_view rest, int line, Setup& setup) {
+  net::ChannelConfig cfg;
+  cfg.queue_capacity_bytes = 64 * 1024;
+  cfg.ready_watermark_bytes = 8 * 1024;
+  double risk = 0.2;
+  bool have_rate = false;
+  for (const auto token : split_ws(rest)) {
+    const auto eq = token.find('=');
+    if (eq == std::string_view::npos) {
+      fail(line, "expected key=value, got '" + std::string(token) + "'");
+    }
+    const auto key = token.substr(0, eq);
+    const auto value = token.substr(eq + 1);
+    if (key == "rate") {
+      cfg.rate_bps = parse_bps(value, line);
+      have_rate = true;
+    } else if (key == "loss") {
+      cfg.loss = parse_probability(value, line);
+    } else if (key == "delay") {
+      cfg.delay = net::from_seconds(parse_seconds(value, line));
+    } else if (key == "risk") {
+      risk = parse_probability(value, line);
+    } else if (key == "jitter") {
+      cfg.jitter = net::from_seconds(parse_seconds(value, line));
+    } else if (key == "corrupt") {
+      cfg.corrupt = parse_probability(value, line);
+    } else {
+      fail(line, "unknown channel attribute '" + std::string(key) + "'");
+    }
+  }
+  if (!have_rate) fail(line, "channel requires rate=");
+  setup.channels.push_back(cfg);
+  setup.risks.push_back(risk);
+}
+
+}  // namespace
+
+Scenario parse_scenario(std::string_view text) {
+  Scenario scenario;
+  scenario.config.setup.name = "scenario";
+  scenario.config.setup.channels.clear();
+  scenario.config.setup.risks.clear();
+  scenario.auto_offered = false;
+
+  int line_number = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const auto nl = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, nl == std::string_view::npos ? text.size() - pos : nl - pos);
+    pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+    ++line_number;
+
+    const auto hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) continue;
+
+    const auto space = line.find_first_of(" \t");
+    const auto key = line.substr(0, space);
+    const auto rest =
+        space == std::string_view::npos ? std::string_view{} : trim(line.substr(space));
+
+    if (key == "channel") {
+      parse_channel_line(rest, line_number, scenario.config.setup);
+    } else if (key == "kappa") {
+      scenario.config.kappa = parse_plain(rest, line_number);
+    } else if (key == "mu") {
+      scenario.config.mu = parse_plain(rest, line_number);
+    } else if (key == "scheduler") {
+      if (rest == "dynamic") {
+        scenario.config.scheduler = SchedulerKind::Dynamic;
+      } else if (rest == "lp-loss") {
+        scenario.config.scheduler = SchedulerKind::StaticLp;
+        scenario.config.lp_objective = Objective::Loss;
+      } else if (rest == "lp-delay") {
+        scenario.config.scheduler = SchedulerKind::StaticLp;
+        scenario.config.lp_objective = Objective::Delay;
+      } else if (rest == "lp-risk") {
+        scenario.config.scheduler = SchedulerKind::StaticLp;
+        scenario.config.lp_objective = Objective::Risk;
+      } else if (rest == "proportional") {
+        scenario.config.scheduler = SchedulerKind::Proportional;
+      } else if (rest == "fixed") {
+        scenario.config.scheduler = SchedulerKind::Fixed;
+      } else {
+        fail(line_number, "unknown scheduler '" + std::string(rest) + "'");
+      }
+    } else if (key == "offered") {
+      if (rest == "auto") {
+        scenario.auto_offered = true;
+      } else {
+        scenario.config.offered_bps = parse_bps(rest, line_number);
+      }
+    } else if (key == "packet") {
+      const double bytes = parse_plain(rest, line_number);
+      if (bytes < 8 || bytes > 60000) fail(line_number, "packet size out of range");
+      scenario.config.packet_bytes = static_cast<std::size_t>(bytes);
+    } else if (key == "duration") {
+      scenario.config.duration_s = parse_seconds(rest, line_number);
+    } else if (key == "warmup") {
+      scenario.config.warmup_s = parse_seconds(rest, line_number);
+    } else if (key == "seed") {
+      scenario.config.seed = static_cast<std::uint64_t>(parse_plain(rest, line_number));
+    } else if (key == "echo") {
+      if (rest == "on") {
+        scenario.config.echo = true;
+      } else if (rest == "off") {
+        scenario.config.echo = false;
+      } else {
+        fail(line_number, "echo takes on|off");
+      }
+    } else {
+      fail(line_number, "unknown directive '" + std::string(key) + "'");
+    }
+  }
+
+  if (scenario.config.setup.channels.empty()) {
+    throw PreconditionError("scenario declares no channels");
+  }
+  const auto n = static_cast<double>(scenario.config.setup.num_channels());
+  if (!(scenario.config.kappa >= 1.0 && scenario.config.kappa <= scenario.config.mu &&
+        scenario.config.mu <= n)) {
+    throw PreconditionError("scenario requires 1 <= kappa <= mu <= #channels");
+  }
+  return scenario;
+}
+
+ExperimentResult run_scenario(const Scenario& scenario) {
+  ExperimentConfig config = scenario.config;
+  if (scenario.auto_offered) {
+    const ChannelSet model = config.setup.to_model(config.packet_bytes);
+    config.offered_bps = 0.97 * optimal_rate(model, config.mu) *
+                         static_cast<double>(config.packet_bytes) * 8.0;
+  }
+  return run_experiment(config);
+}
+
+std::string demo_scenario_text() {
+  return R"(# The paper's Lossy testbed at a balanced operating point.
+channel rate=5Mbps   loss=1%   risk=0.10
+channel rate=20Mbps  loss=0.5% risk=0.25
+channel rate=60Mbps  loss=1%   risk=0.15
+channel rate=65Mbps  loss=2%   risk=0.30
+channel rate=100Mbps loss=3%   risk=0.20
+
+kappa 2.0
+mu 3.0
+scheduler dynamic
+offered auto
+duration 0.5s
+warmup 50ms
+seed 42
+)";
+}
+
+}  // namespace mcss::workload

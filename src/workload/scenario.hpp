@@ -1,0 +1,50 @@
+// Scenario descriptions: experiments as small text files.
+//
+// A downstream user should not need to write C++ to ask "what happens on
+// MY channels at kappa = 2.5?". A scenario is a line-oriented text
+// document:
+//
+//     # channels, one per line: rate is required, the rest default to 0
+//     channel rate=100Mbps loss=1% delay=2.5ms risk=0.2
+//     channel rate=20Mbps
+//
+//     kappa 2.0
+//     mu 3.5
+//     scheduler dynamic        # dynamic | lp-loss | lp-delay | lp-risk |
+//                              # proportional | fixed
+//     offered auto             # bits/s ("800Mbps") or auto = 97% optimal
+//     packet 1470              # bytes
+//     duration 0.5s
+//     warmup 50ms
+//     seed 42
+//     echo off                 # on = RTT/2 delay measurement
+//
+// Unknown keys, malformed values, and out-of-range numbers are hard
+// errors with the line number in the message. Units: bps/kbps/Mbps/Gbps;
+// s/ms/us; percentages ("1%") or fractions ("0.01").
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "workload/experiment.hpp"
+
+namespace mcss::workload {
+
+struct Scenario {
+  ExperimentConfig config;
+  /// offered = "auto": compute 97% of the Theorem 4 optimum at run time.
+  bool auto_offered = false;
+};
+
+/// Parse a scenario document. Throws PreconditionError with a
+/// "line N: ..." message on any malformation.
+[[nodiscard]] Scenario parse_scenario(std::string_view text);
+
+/// Resolve `auto` offered load and run the experiment.
+[[nodiscard]] ExperimentResult run_scenario(const Scenario& scenario);
+
+/// A ready-made demo document (the Lossy testbed at kappa 2, mu 3).
+[[nodiscard]] std::string demo_scenario_text();
+
+}  // namespace mcss::workload

@@ -1,0 +1,73 @@
+#include "workload/setups.hpp"
+
+#include "util/ensure.hpp"
+
+namespace mcss::workload {
+
+namespace {
+
+/// Queue capacity ~ a few dozen full datagrams, like a NIC ring. The
+/// ready watermark leaves room for one more frame when "writable", which
+/// is what epoll on a socket buffer reports.
+net::ChannelConfig make_channel(double mbps, double loss, double delay_ms) {
+  net::ChannelConfig cfg;
+  cfg.rate_bps = mbps * 1e6;
+  cfg.loss = loss;
+  cfg.delay = net::from_millis(delay_ms);
+  cfg.queue_capacity_bytes = 64 * 1024;
+  cfg.ready_watermark_bytes = 8 * 1024;
+  return cfg;
+}
+
+Setup five_channel(std::string name, std::vector<double> mbps,
+                   std::vector<double> loss, std::vector<double> delay_ms) {
+  Setup s;
+  s.name = std::move(name);
+  for (std::size_t i = 0; i < mbps.size(); ++i) {
+    s.channels.push_back(make_channel(mbps[i], loss[i], delay_ms[i]));
+  }
+  // Nominal per-channel observation risks; any risk vector works for the
+  // model, these just give the privacy benches something heterogeneous.
+  s.risks = {0.10, 0.25, 0.15, 0.30, 0.20};
+  s.risks.resize(s.channels.size(), 0.2);
+  return s;
+}
+
+}  // namespace
+
+ChannelSet Setup::to_model(std::size_t payload_bytes) const {
+  MCSS_ENSURE(payload_bytes > 0, "payload size must be positive");
+  std::vector<Channel> model;
+  model.reserve(channels.size());
+  for (std::size_t i = 0; i < channels.size(); ++i) {
+    Channel ch;
+    ch.risk = i < risks.size() ? risks[i] : 0.2;
+    ch.loss = channels[i].loss;
+    ch.delay = net::to_seconds(channels[i].delay);
+    ch.rate = channels[i].rate_bps / (8.0 * static_cast<double>(payload_bytes));
+    model.push_back(ch);
+  }
+  return ChannelSet(std::move(model));
+}
+
+Setup identical_setup(double mbps) {
+  return five_channel("Identical", {mbps, mbps, mbps, mbps, mbps},
+                      {0, 0, 0, 0, 0}, {0, 0, 0, 0, 0});
+}
+
+Setup diverse_setup() {
+  return five_channel("Diverse", {5, 20, 60, 65, 100}, {0, 0, 0, 0, 0},
+                      {0, 0, 0, 0, 0});
+}
+
+Setup lossy_setup() {
+  return five_channel("Lossy", {5, 20, 60, 65, 100},
+                      {0.01, 0.005, 0.01, 0.02, 0.03}, {0, 0, 0, 0, 0});
+}
+
+Setup delayed_setup() {
+  return five_channel("Delayed", {5, 20, 60, 65, 100}, {0, 0, 0, 0, 0},
+                      {2.5, 0.25, 12.5, 5.0, 0.5});
+}
+
+}  // namespace mcss::workload

@@ -1,0 +1,57 @@
+// The paper's experimental network setups (Section VI).
+//
+// Two hosts joined by five controlled channels; htb caps the rate, netem
+// injects loss and delay, each "in each direction". The four named
+// configurations:
+//
+//   Identical  five channels at a common rate (100-800 Mbps), negligible
+//              loss and delay
+//   Diverse    5, 20, 60, 65, 100 Mbps
+//   Lossy      Diverse rates + loss 1, 0.5, 1, 2, 3 % per direction
+//   Delayed    Diverse rates + delay 2.5, 0.25, 12.5, 5, 0.5 ms per
+//              direction
+//
+// A Setup carries per-direction net::ChannelConfig lists for the
+// simulator and converts itself to the model's ChannelSet (symbols per
+// second for a given datagram size) for computing optimal predictions —
+// the same two-step methodology as the paper (measure per-channel rates
+// first, then predict).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/channel.hpp"
+#include "net/sim_channel.hpp"
+
+namespace mcss::workload {
+
+struct Setup {
+  std::string name;
+  std::vector<net::ChannelConfig> channels;  ///< per direction (symmetric)
+  /// Eavesdropping risk per channel for the model's privacy terms. The
+  /// testbed cannot measure risk; these play the role of the paper's
+  /// externally estimated risk vector z.
+  std::vector<double> risks;
+
+  [[nodiscard]] int num_channels() const noexcept {
+    return static_cast<int>(channels.size());
+  }
+
+  /// Model view of this setup for datagrams of `payload_bytes`: channel
+  /// rate r_i in packets/second = rate_bps / (8 * payload_bytes), loss and
+  /// delay straight from the configs. This mirrors the paper's practice of
+  /// measuring each channel's datagram rate with iperf before predicting.
+  [[nodiscard]] ChannelSet to_model(std::size_t payload_bytes) const;
+};
+
+/// Five identical channels at `mbps`, negligible loss/delay.
+[[nodiscard]] Setup identical_setup(double mbps);
+/// 5 / 20 / 60 / 65 / 100 Mbps, negligible loss/delay.
+[[nodiscard]] Setup diverse_setup();
+/// Diverse + loss of 1 / 0.5 / 1 / 2 / 3 percent.
+[[nodiscard]] Setup lossy_setup();
+/// Diverse + delay of 2.5 / 0.25 / 12.5 / 5 / 0.5 ms.
+[[nodiscard]] Setup delayed_setup();
+
+}  // namespace mcss::workload

@@ -1,0 +1,96 @@
+#include "workload/traffic.hpp"
+
+#include <cmath>
+
+#include "util/ensure.hpp"
+
+namespace mcss::workload {
+
+net::SimTime payload_timestamp(std::span<const std::uint8_t> payload) {
+  MCSS_ENSURE(payload.size() >= 8, "payload too small for a timestamp");
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | payload[static_cast<std::size_t>(i)];
+  }
+  return static_cast<net::SimTime>(v);
+}
+
+void stamp_payload(std::span<std::uint8_t> payload, net::SimTime t) {
+  MCSS_ENSURE(payload.size() >= 8, "payload too small for a timestamp");
+  auto v = static_cast<std::uint64_t>(t);
+  for (int i = 0; i < 8; ++i) {
+    payload[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+
+namespace {
+
+std::vector<std::uint8_t> make_payload(std::size_t bytes, Rng& rng,
+                                       net::SimTime now) {
+  std::vector<std::uint8_t> p(bytes);
+  for (std::size_t i = 8; i < bytes; ++i) p[i] = rng.byte();
+  stamp_payload(p, now);
+  return p;
+}
+
+}  // namespace
+
+CbrSource::CbrSource(net::Simulator& sim, double offered_bps,
+                     std::size_t packet_bytes, net::SimTime start,
+                     net::SimTime stop, Sink sink, std::uint64_t payload_seed)
+    : sim_(sim),
+      packet_bytes_(packet_bytes),
+      stop_(stop),
+      sink_(std::move(sink)),
+      rng_(payload_seed) {
+  MCSS_ENSURE(offered_bps > 0.0, "offered rate must be positive");
+  MCSS_ENSURE(packet_bytes_ >= 8, "packets must fit a timestamp");
+  MCSS_ENSURE(stop_ >= start, "stop before start");
+  interval_exact_ =
+      static_cast<double>(packet_bytes_) * 8.0 / offered_bps * 1e9;  // ns
+  interval_ = static_cast<net::SimTime>(interval_exact_);
+  sim_.schedule_at(start, [this] { emit(); });
+}
+
+void CbrSource::emit() {
+  if (sim_.now() >= stop_) return;
+  ++stats_.packets_offered;
+  if (sink_(make_payload(packet_bytes_, rng_, sim_.now()))) {
+    ++stats_.packets_accepted;
+  }
+  // Exact long-run pacing: carry the fractional nanoseconds forward.
+  residue_ += interval_exact_ - static_cast<double>(interval_);
+  net::SimTime gap = interval_;
+  if (residue_ >= 1.0) {
+    const auto carry = static_cast<net::SimTime>(residue_);
+    gap += carry;
+    residue_ -= static_cast<double>(carry);
+  }
+  sim_.schedule_in(gap, [this] { emit(); });
+}
+
+PoissonSource::PoissonSource(net::Simulator& sim, double offered_bps,
+                             std::size_t packet_bytes, net::SimTime start,
+                             net::SimTime stop, Sink sink, std::uint64_t seed)
+    : sim_(sim),
+      packet_bytes_(packet_bytes),
+      stop_(stop),
+      sink_(std::move(sink)),
+      rng_(seed) {
+  MCSS_ENSURE(offered_bps > 0.0, "offered rate must be positive");
+  MCSS_ENSURE(packet_bytes_ >= 8, "packets must fit a timestamp");
+  mean_gap_s_ = static_cast<double>(packet_bytes_) * 8.0 / offered_bps;
+  sim_.schedule_at(start, [this] { emit(); });
+}
+
+void PoissonSource::emit() {
+  if (sim_.now() >= stop_) return;
+  ++stats_.packets_offered;
+  if (sink_(make_payload(packet_bytes_, rng_, sim_.now()))) {
+    ++stats_.packets_accepted;
+  }
+  sim_.schedule_in(net::from_seconds(rng_.exponential(mean_gap_s_)),
+                   [this] { emit(); });
+}
+
+}  // namespace mcss::workload

@@ -1,0 +1,93 @@
+// Traffic generators — the iperf-equivalent load side.
+//
+// CbrSource offers fixed-size datagrams at a constant bit rate to a sink
+// (the protocol sender), exactly like `iperf -u -b <rate>`: the paper's
+// rate experiments offer 1000 Mbps of UDP for a fixed duration and read
+// the receiver-side rate. Each payload begins with an 8-byte send
+// timestamp (like the paper's RTT utility), so delay can be measured at
+// any downstream point without side tables.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "net/sim_time.hpp"
+#include "net/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace mcss::workload {
+
+/// Read the embedded send timestamp from a payload (first 8 bytes).
+[[nodiscard]] net::SimTime payload_timestamp(std::span<const std::uint8_t> payload);
+/// Overwrite the embedded timestamp (used when echoing).
+void stamp_payload(std::span<std::uint8_t> payload, net::SimTime t);
+
+struct SourceStats {
+  std::uint64_t packets_offered = 0;
+  std::uint64_t packets_accepted = 0;  ///< sink returned true
+};
+
+/// Constant-bit-rate datagram source.
+class CbrSource {
+ public:
+  /// Sink returns false when it cannot accept (backpressure); the source
+  /// keeps pacing regardless, like iperf's unconditional UDP clocking.
+  using Sink = std::function<bool(std::vector<std::uint8_t>)>;
+
+  /// Offers `packet_bytes`-sized payloads at `offered_bps` (payload bits
+  /// per second) from `start` until `stop`. Requires packet_bytes >= 8
+  /// (for the timestamp).
+  CbrSource(net::Simulator& sim, double offered_bps, std::size_t packet_bytes,
+            net::SimTime start, net::SimTime stop, Sink sink,
+            std::uint64_t payload_seed = 1);
+
+  CbrSource(const CbrSource&) = delete;
+  CbrSource& operator=(const CbrSource&) = delete;
+
+  [[nodiscard]] const SourceStats& stats() const noexcept { return stats_; }
+
+ private:
+  void emit();
+
+  net::Simulator& sim_;
+  std::size_t packet_bytes_;
+  net::SimTime interval_;
+  net::SimTime stop_;
+  Sink sink_;
+  Rng rng_;
+  SourceStats stats_;
+  // Fractional-nanosecond pacing residue so the long-run rate is exact.
+  double interval_exact_ = 0.0;
+  double residue_ = 0.0;
+};
+
+/// Poisson arrivals with the same mean rate (used by examples/tests that
+/// want burstier traffic than CBR).
+class PoissonSource {
+ public:
+  using Sink = std::function<bool(std::vector<std::uint8_t>)>;
+
+  PoissonSource(net::Simulator& sim, double offered_bps,
+                std::size_t packet_bytes, net::SimTime start, net::SimTime stop,
+                Sink sink, std::uint64_t seed = 1);
+
+  PoissonSource(const PoissonSource&) = delete;
+  PoissonSource& operator=(const PoissonSource&) = delete;
+
+  [[nodiscard]] const SourceStats& stats() const noexcept { return stats_; }
+
+ private:
+  void emit();
+
+  net::Simulator& sim_;
+  std::size_t packet_bytes_;
+  double mean_gap_s_;
+  net::SimTime stop_;
+  Sink sink_;
+  Rng rng_;
+  SourceStats stats_;
+};
+
+}  // namespace mcss::workload

@@ -1,0 +1,212 @@
+// Tests for the adaptive controller: sensing drifting loss, re-planning,
+// and live schedule swaps.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "net/sim_channel.hpp"
+#include "net/simulator.hpp"
+#include "protocol/receiver.hpp"
+#include "protocol/scheduler.hpp"
+#include "protocol/sender.hpp"
+#include "util/ensure.hpp"
+#include "workload/adaptive.hpp"
+#include "workload/setups.hpp"
+#include "workload/traffic.hpp"
+
+namespace mcss::workload {
+namespace {
+
+/// Five identical 20 Mbps channels; channel 0's loss jumps from 0 to 30%
+/// at t = 1 s. Returns delivery fraction in the post-drift window
+/// [2 s, 4 s] (giving the controller one second to react), plus the
+/// controller itself via out-params for assertions.
+struct DriftRun {
+  double post_drift_delivery = 0.0;
+  std::uint64_t replans = 0;
+  std::vector<AdaptationEvent> history;
+};
+
+DriftRun run_drift(bool adaptive, std::uint64_t seed) {
+  net::Simulator sim;
+  Rng root(seed);
+  const auto setup = identical_setup(20);
+
+  std::vector<std::unique_ptr<net::SimChannel>> storage;
+  std::vector<net::SimChannel*> wires;
+  for (const auto& cfg : setup.channels) {
+    storage.push_back(std::make_unique<net::SimChannel>(sim, cfg, root.fork()));
+    wires.push_back(storage.back().get());
+  }
+
+  proto::Receiver rx(sim);
+  for (auto* w : wires) rx.attach(*w);
+  std::uint64_t delivered_window = 0;
+  const net::SimTime window_start = net::from_seconds(2.0);
+  const net::SimTime window_end = net::from_seconds(4.0);
+  rx.set_deliver([&](std::uint64_t, std::vector<std::uint8_t>) {
+    if (sim.now() >= window_start && sim.now() <= window_end) {
+      ++delivered_window;
+    }
+  });
+
+  // kappa = mu = 2: no redundancy; avoiding the lossy channel is the only
+  // defense, which is exactly what the re-solved schedule should do.
+  proto::Sender tx(sim, wires,
+                   std::make_unique<proto::DynamicScheduler>(2.0, 2.0, 5),
+                   root.fork());
+
+  std::unique_ptr<AdaptiveController> controller;
+  if (adaptive) {
+    AdaptiveConfig cfg;
+    cfg.goal.objective = PlannerGoal::Objective::MaxRate;
+    cfg.goal.max_loss = 0.02;
+    cfg.goal.step = 0.5;
+    cfg.interval = net::from_millis(200);
+    cfg.smoothing = 0.6;
+    cfg.stop_after = window_end;
+    cfg.risks = setup.risks;
+    controller = std::make_unique<AdaptiveController>(sim, tx, wires, cfg,
+                                                      root.fork());
+  }
+
+  // Loss drift on channel 0.
+  sim.schedule_at(net::from_seconds(1.0), [&] { wires[0]->set_loss(0.30); });
+
+  // Offer ~60% of nominal capacity so the schedule has freedom to move.
+  std::uint64_t sent_window = 0;
+  CbrSource source(
+      sim, 30e6, 1470, 0, window_end,
+      [&](std::vector<std::uint8_t> p) {
+        const bool ok = tx.send(std::move(p));
+        return ok;
+      },
+      root.fork()());
+  // Track packets sent in the window via a snapshot pair.
+  std::uint64_t sent_at_start = 0;
+  sim.schedule_at(window_start, [&] { sent_at_start = tx.stats().packets_sent; });
+  sim.schedule_at(window_end, [&] {
+    sent_window = tx.stats().packets_sent - sent_at_start;
+  });
+
+  sim.run();
+
+  DriftRun result;
+  result.post_drift_delivery =
+      sent_window ? static_cast<double>(delivered_window) /
+                        static_cast<double>(sent_window)
+                  : 0.0;
+  if (controller) {
+    result.replans = controller->replans();
+    result.history = controller->history();
+  }
+  return result;
+}
+
+TEST(Adaptive, RoutesAroundDriftingLoss) {
+  const auto fixed = run_drift(false, 101);
+  const auto adaptive = run_drift(true, 101);
+
+  // Without adaptation, kappa = mu = 2 on 5 channels keeps ~2/5 of shares
+  // on the lossy channel's rotation: measurable packet loss.
+  EXPECT_LT(fixed.post_drift_delivery, 0.93);
+  // With adaptation the planner shifts usage off channel 0 (and/or adds
+  // redundancy) to honor max_loss = 2%.
+  EXPECT_GT(adaptive.post_drift_delivery, 0.97);
+  EXPECT_GT(adaptive.post_drift_delivery, fixed.post_drift_delivery + 0.03);
+}
+
+TEST(Adaptive, SensesTheLossEstimate) {
+  const auto adaptive = run_drift(true, 202);
+  ASSERT_FALSE(adaptive.history.empty());
+  // Early ticks: channel 0 estimate near 0. Late ticks: near 0.30.
+  const auto& first = adaptive.history.front();
+  const auto& last = adaptive.history.back();
+  EXPECT_LT(first.estimated_loss[0], 0.05);
+  EXPECT_GT(last.estimated_loss[0], 0.15);
+  // Untouched channels stay clean.
+  EXPECT_LT(last.estimated_loss[1], 0.05);
+}
+
+TEST(Adaptive, StableConditionsNeedNoReplan) {
+  // No drift: after the initial plan the operating point should not move.
+  net::Simulator sim;
+  Rng root(7);
+  const auto setup = identical_setup(20);
+  std::vector<std::unique_ptr<net::SimChannel>> storage;
+  std::vector<net::SimChannel*> wires;
+  for (const auto& cfg : setup.channels) {
+    storage.push_back(std::make_unique<net::SimChannel>(sim, cfg, root.fork()));
+    wires.push_back(storage.back().get());
+  }
+  proto::Receiver rx(sim);
+  for (auto* w : wires) rx.attach(*w);
+  proto::Sender tx(sim, wires,
+                   std::make_unique<proto::DynamicScheduler>(1.0, 1.0, 5),
+                   root.fork());
+  AdaptiveConfig cfg;
+  cfg.goal.step = 0.5;
+  cfg.interval = net::from_millis(100);
+  cfg.stop_after = net::from_seconds(1.0);
+  AdaptiveController controller(sim, tx, wires, cfg, root.fork());
+  CbrSource source(sim, 20e6, 1470, 0, net::from_seconds(1.0),
+                   [&](std::vector<std::uint8_t> p) { return tx.send(std::move(p)); });
+  sim.run();
+  EXPECT_EQ(controller.replans(), 1u);  // the initial plan only
+  EXPECT_GE(controller.history().size(), 8u);
+}
+
+TEST(Adaptive, RejectsBadConfig) {
+  net::Simulator sim;
+  Rng root(9);
+  net::ChannelConfig cc;
+  net::SimChannel wire(sim, cc, root.fork());
+  std::vector<net::SimChannel*> wires{&wire};
+  proto::Sender tx(sim, wires,
+                   std::make_unique<proto::DynamicScheduler>(1.0, 1.0, 1),
+                   root.fork());
+  AdaptiveConfig bad;
+  bad.interval = 0;
+  EXPECT_THROW(AdaptiveController(sim, tx, wires, bad, root.fork()),
+               PreconditionError);
+  bad = AdaptiveConfig{};
+  bad.smoothing = 0.0;
+  EXPECT_THROW(AdaptiveController(sim, tx, wires, bad, root.fork()),
+               PreconditionError);
+}
+
+TEST(SenderSchedulerSwap, MidStreamSwapKeepsDelivering) {
+  net::Simulator sim;
+  Rng root(11);
+  const auto setup = identical_setup(20);
+  std::vector<std::unique_ptr<net::SimChannel>> storage;
+  std::vector<net::SimChannel*> wires;
+  for (const auto& cfg : setup.channels) {
+    storage.push_back(std::make_unique<net::SimChannel>(sim, cfg, root.fork()));
+    wires.push_back(storage.back().get());
+  }
+  proto::Receiver rx(sim);
+  for (auto* w : wires) rx.attach(*w);
+  int delivered = 0;
+  rx.set_deliver([&](std::uint64_t, std::vector<std::uint8_t>) { ++delivered; });
+  proto::Sender tx(sim, wires,
+                   std::make_unique<proto::DynamicScheduler>(1.0, 1.0, 5),
+                   root.fork());
+  // Swap to a very different policy mid-stream.
+  sim.schedule_at(net::from_millis(50), [&] {
+    tx.set_scheduler(std::make_unique<proto::DynamicScheduler>(3.0, 5.0, 5));
+  });
+  for (int i = 0; i < 200; ++i) {
+    sim.schedule_at(net::from_micros(static_cast<double>(i) * 500),
+                    [&] { (void)tx.send(std::vector<std::uint8_t>(500, 1)); });
+  }
+  sim.run();
+  EXPECT_EQ(delivered, 200);
+  // The aggregate kappa sits between the two policies' targets.
+  EXPECT_GT(tx.stats().achieved_kappa(), 1.0);
+  EXPECT_LT(tx.stats().achieved_kappa(), 3.0);
+}
+
+}  // namespace
+}  // namespace mcss::workload

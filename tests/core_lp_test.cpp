@@ -1,0 +1,285 @@
+// Tests for the share-schedule linear programs (Sections IV-B, IV-D, IV-E),
+// including the paper's own counterexample for limited schedules.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/channel.hpp"
+#include "core/lp_schedule.hpp"
+#include "core/optimal.hpp"
+#include "core/rate.hpp"
+#include "core/schedule.hpp"
+#include "util/ensure.hpp"
+#include "util/rng.hpp"
+
+namespace mcss {
+namespace {
+
+ChannelSet five() {
+  return ChannelSet{{0.1, 0.010, 2.5, 5},
+                    {0.2, 0.005, 0.25, 20},
+                    {0.3, 0.010, 12.5, 60},
+                    {0.1, 0.020, 5.0, 65},
+                    {0.2, 0.030, 0.5, 100}};
+}
+
+// ---------------------------------------------------------------- IV-B LP
+
+TEST(ScheduleLp, MaxPrivacyCornerRecoversClosedForm) {
+  // kappa = mu = n forces p(n, C) = 1 with Z = prod z_i.
+  const auto c = five();
+  const auto r = solve_schedule_lp(
+      c, {.objective = Objective::Risk, .kappa = 5.0, .mu = 5.0});
+  ASSERT_EQ(r.status, lp::Status::Optimal);
+  EXPECT_NEAR(r.objective_value, optimal_risk(c), 1e-9);
+  EXPECT_NEAR(r.schedule->kappa(), 5.0, 1e-9);
+  EXPECT_NEAR(r.schedule->mu(), 5.0, 1e-9);
+}
+
+TEST(ScheduleLp, MinLossCornerRecoversClosedForm) {
+  const auto c = five();
+  const auto r = solve_schedule_lp(
+      c, {.objective = Objective::Loss, .kappa = 1.0, .mu = 5.0});
+  ASSERT_EQ(r.status, lp::Status::Optimal);
+  EXPECT_NEAR(r.objective_value, optimal_loss(c), 1e-9);
+}
+
+TEST(ScheduleLp, MinDelayCornerRecoversClosedForm) {
+  const auto c = five();
+  const auto r = solve_schedule_lp(
+      c, {.objective = Objective::Delay, .kappa = 1.0, .mu = 5.0});
+  ASSERT_EQ(r.status, lp::Status::Optimal);
+  EXPECT_NEAR(r.objective_value, optimal_delay(c), 1e-9);
+}
+
+TEST(ScheduleLp, SolutionRespectsMarginals) {
+  const auto c = five();
+  for (const double kappa : {1.0, 1.7, 2.5, 3.3}) {
+    for (const double mu : {3.5, 4.2, 5.0}) {
+      if (kappa > mu) continue;
+      const auto r = solve_schedule_lp(
+          c, {.objective = Objective::Risk, .kappa = kappa, .mu = mu});
+      ASSERT_EQ(r.status, lp::Status::Optimal) << kappa << "," << mu;
+      EXPECT_NEAR(r.schedule->kappa(), kappa, 1e-7);
+      EXPECT_NEAR(r.schedule->mu(), mu, 1e-7);
+      // Objective equals the schedule metric recomputed independently.
+      EXPECT_NEAR(schedule_risk(c, *r.schedule), r.objective_value, 1e-7);
+    }
+  }
+}
+
+TEST(ScheduleLp, BeatsHandcraftedSchedulesWithSameMarginals) {
+  const auto c = five();
+  const double kappa = 2.3, mu = 3.6;
+  const auto lp_result = solve_schedule_lp(
+      c, {.objective = Objective::Risk, .kappa = kappa, .mu = mu});
+  ASSERT_EQ(lp_result.status, lp::Status::Optimal);
+  // The Theorem 5 construction has the same marginals; LP must not lose.
+  const auto handcrafted = limited_schedule_for(c, kappa, mu);
+  EXPECT_LE(lp_result.objective_value, schedule_risk(c, handcrafted) + 1e-9);
+}
+
+TEST(ScheduleLp, RiskDecreasesWithKappa) {
+  // Raising the average threshold (same mu) can only improve privacy.
+  const auto c = five();
+  double prev = 1.0;
+  for (const double kappa : {1.0, 2.0, 3.0, 4.0, 5.0}) {
+    const auto r = solve_schedule_lp(
+        c, {.objective = Objective::Risk, .kappa = kappa, .mu = 5.0});
+    ASSERT_EQ(r.status, lp::Status::Optimal);
+    EXPECT_LE(r.objective_value, prev + 1e-9);
+    prev = r.objective_value;
+  }
+}
+
+TEST(ScheduleLp, LossIncreasesWithKappaAtFixedMu) {
+  const auto c = five();
+  double prev = 0.0;
+  for (const double kappa : {1.0, 2.0, 3.0, 4.0, 5.0}) {
+    const auto r = solve_schedule_lp(
+        c, {.objective = Objective::Loss, .kappa = kappa, .mu = 5.0});
+    ASSERT_EQ(r.status, lp::Status::Optimal);
+    EXPECT_GE(r.objective_value, prev - 1e-9);
+    prev = r.objective_value;
+  }
+}
+
+TEST(ScheduleLp, RejectsBadParameters) {
+  const auto c = five();
+  EXPECT_THROW((void)solve_schedule_lp(c, {.kappa = 0.5, .mu = 2.0}),
+               PreconditionError);
+  EXPECT_THROW((void)solve_schedule_lp(c, {.kappa = 3.0, .mu = 2.0}),
+               PreconditionError);
+  EXPECT_THROW((void)solve_schedule_lp(c, {.kappa = 2.0, .mu = 6.0}),
+               PreconditionError);
+}
+
+// ---------------------------------------------------------------- IV-D LP
+
+TEST(ScheduleLpMaxRate, UsageMatchesUtilizationFractions) {
+  const auto c = five();
+  const double kappa = 2.0, mu = 3.0;
+  const auto r = solve_schedule_lp(c, {.objective = Objective::Loss,
+                                       .kappa = kappa,
+                                       .mu = mu,
+                                       .rate = RateConstraint::MaxRate});
+  ASSERT_EQ(r.status, lp::Status::Optimal);
+  const auto u = utilization(c, mu);
+  EXPECT_NEAR(r.max_rate, u.rate, 1e-9);
+  for (int i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(r.schedule->channel_usage(i),
+                u.fraction[static_cast<std::size_t>(i)], 1e-7)
+        << "channel " << i;
+  }
+  // mu constraint implied by the usage equalities.
+  EXPECT_NEAR(r.schedule->mu(), mu, 1e-7);
+  EXPECT_NEAR(r.schedule->kappa(), kappa, 1e-7);
+}
+
+TEST(ScheduleLpMaxRate, NeverBeatsUnconstrainedOptimum) {
+  const auto c = five();
+  for (const double kappa : {1.0, 1.5, 2.5}) {
+    for (const double mu : {3.0, 4.0, 5.0}) {
+      const ScheduleLpSpec base{.objective = Objective::Loss, .kappa = kappa, .mu = mu};
+      auto spec_rate = base;
+      spec_rate.rate = RateConstraint::MaxRate;
+      const auto unconstrained = solve_schedule_lp(c, base);
+      const auto constrained = solve_schedule_lp(c, spec_rate);
+      ASSERT_EQ(unconstrained.status, lp::Status::Optimal);
+      ASSERT_EQ(constrained.status, lp::Status::Optimal);
+      EXPECT_GE(constrained.objective_value,
+                unconstrained.objective_value - 1e-9);
+    }
+  }
+}
+
+TEST(ScheduleLpMaxRate, IdenticalChannelsAlwaysFeasible) {
+  // Corollary 1: with identical rates, maximum rate is achievable for any
+  // valid (kappa, mu) pair.
+  const ChannelSet c{{0.1, 0.01, 1, 100},
+                     {0.1, 0.01, 1, 100},
+                     {0.1, 0.01, 1, 100},
+                     {0.1, 0.01, 1, 100},
+                     {0.1, 0.01, 1, 100}};
+  for (double mu = 1.0; mu <= 5.0; mu += 0.5) {
+    for (double kappa = 1.0; kappa <= mu; kappa += 0.5) {
+      const auto r = solve_schedule_lp(c, {.objective = Objective::Risk,
+                                           .kappa = kappa,
+                                           .mu = mu,
+                                           .rate = RateConstraint::MaxRate});
+      EXPECT_EQ(r.status, lp::Status::Optimal) << kappa << "," << mu;
+      EXPECT_NEAR(r.max_rate, 500.0 / mu, 1e-9);
+    }
+  }
+}
+
+TEST(ScheduleLpMaxRate, SpreadsLoadUnlikePureOptimum) {
+  // Section IV-D motivation: the IV-B optimum often parks everything on a
+  // single best (k, M); the max-rate program must use every channel at its
+  // quota instead.
+  const auto c = five();
+  const auto pure = solve_schedule_lp(
+      c, {.objective = Objective::Risk, .kappa = 2.0, .mu = 2.0});
+  ASSERT_EQ(pure.status, lp::Status::Optimal);
+  const auto spread = solve_schedule_lp(c, {.objective = Objective::Risk,
+                                            .kappa = 2.0,
+                                            .mu = 2.0,
+                                            .rate = RateConstraint::MaxRate});
+  ASSERT_EQ(spread.status, lp::Status::Optimal);
+  // The pure optimum leaves at least one channel unused here.
+  int pure_unused = 0, spread_unused = 0;
+  for (int i = 0; i < c.size(); ++i) {
+    if (pure.schedule->channel_usage(i) < 1e-9) ++pure_unused;
+    if (spread.schedule->channel_usage(i) < 1e-9) ++spread_unused;
+  }
+  EXPECT_GT(pure_unused, 0);
+  EXPECT_EQ(spread_unused, 0);
+}
+
+// ---------------------------------------------------------------- IV-E
+
+TEST(ScheduleLpLimited, PaperDelayCounterexample) {
+  // Three channels, negligible loss, d = (2, 9, 10), kappa = 2, mu = 3.
+  // Limited schedules admit only p(2, C) = 1 with delay 9; unrestricted
+  // mixing of (1, C) and (3, C) achieves 6.
+  const ChannelSet c{{0.1, 0, 2, 10}, {0.1, 0, 9, 10}, {0.1, 0, 10, 10}};
+  const auto unrestricted = solve_schedule_lp(
+      c, {.objective = Objective::Delay, .kappa = 2.0, .mu = 3.0});
+  ASSERT_EQ(unrestricted.status, lp::Status::Optimal);
+  EXPECT_NEAR(unrestricted.objective_value, 6.0, 1e-9);
+
+  const auto limited = solve_schedule_lp(c, {.objective = Objective::Delay,
+                                             .kappa = 2.0,
+                                             .mu = 3.0,
+                                             .restriction = Restriction::Limited});
+  ASSERT_EQ(limited.status, lp::Status::Optimal);
+  EXPECT_NEAR(limited.objective_value, 9.0, 1e-9);
+  EXPECT_TRUE(limited.schedule->is_limited());
+}
+
+TEST(ScheduleLpLimited, RatePreservedUnderRestriction) {
+  // Section IV-E: "the optimal rate does remain the same" — the limited
+  // LP with the max-rate constraint stays feasible at R_C.
+  const auto c = five();
+  const auto r = solve_schedule_lp(c, {.objective = Objective::Risk,
+                                       .kappa = 2.0,
+                                       .mu = 3.0,
+                                       .rate = RateConstraint::MaxRate,
+                                       .restriction = Restriction::Limited});
+  ASSERT_EQ(r.status, lp::Status::Optimal);
+  EXPECT_NEAR(r.max_rate, optimal_rate(c, 3.0), 1e-9);
+  EXPECT_TRUE(r.schedule->is_limited());
+}
+
+TEST(ScheduleLpLimited, NeverBeatsUnrestricted) {
+  const auto c = five();
+  for (const auto obj : {Objective::Risk, Objective::Loss, Objective::Delay}) {
+    for (const double kappa : {1.5, 2.5}) {
+      for (const double mu : {3.0, 4.5}) {
+        ScheduleLpSpec spec{.objective = obj, .kappa = kappa, .mu = mu};
+        const auto full = solve_schedule_lp(c, spec);
+        spec.restriction = Restriction::Limited;
+        const auto lim = solve_schedule_lp(c, spec);
+        ASSERT_EQ(full.status, lp::Status::Optimal);
+        ASSERT_EQ(lim.status, lp::Status::Optimal);
+        EXPECT_GE(lim.objective_value, full.objective_value - 1e-9);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------- Monte Carlo
+
+TEST(ScheduleLp, OptimalScheduleMetricsMatchSimulation) {
+  // Sample (k, M) from an LP-produced schedule, simulate the single-symbol
+  // protocol, and verify the predicted Z(p)/L(p) appear empirically.
+  const auto c = five();
+  const auto r = solve_schedule_lp(c, {.objective = Objective::Risk,
+                                       .kappa = 2.0,
+                                       .mu = 3.0,
+                                       .rate = RateConstraint::MaxRate});
+  ASSERT_EQ(r.status, lp::Status::Optimal);
+  const auto& schedule = *r.schedule;
+
+  Rng rng(99);
+  const int trials = 300000;
+  int observed = 0, lost = 0;
+  for (int t = 0; t < trials; ++t) {
+    const auto& e = schedule.sample(rng);
+    int eaves = 0, arrived = 0;
+    for_each_member(e.channels, [&](int i) {
+      if (rng.bernoulli(c[i].risk)) ++eaves;
+      if (!rng.bernoulli(c[i].loss)) ++arrived;
+    });
+    if (eaves >= e.k) ++observed;
+    if (arrived < e.k) ++lost;
+  }
+  EXPECT_NEAR(static_cast<double>(observed) / trials, schedule_risk(c, schedule),
+              0.005);
+  EXPECT_NEAR(static_cast<double>(lost) / trials, schedule_loss(c, schedule),
+              0.005);
+}
+
+}  // namespace
+}  // namespace mcss

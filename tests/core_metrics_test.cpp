@@ -1,0 +1,319 @@
+// Tests for channels and subset metrics z/l/d(k, M) — paper Section IV-A —
+// including Monte Carlo validation against a direct simulation of the
+// single-symbol protocol.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/channel.hpp"
+#include "core/optimal.hpp"
+#include "core/subset_metrics.hpp"
+#include "util/ensure.hpp"
+#include "util/rng.hpp"
+
+namespace mcss {
+namespace {
+
+ChannelSet random_channels(Rng& rng, int n) {
+  std::vector<Channel> cs;
+  for (int i = 0; i < n; ++i) {
+    cs.push_back({rng.uniform(), rng.uniform(0.0, 0.9), rng.uniform(0.0, 20.0),
+                  rng.uniform(1.0, 100.0)});
+  }
+  return ChannelSet(std::move(cs));
+}
+
+// ---------------------------------------------------------------- ChannelSet
+
+TEST(ChannelSet, ValidatesRanges) {
+  EXPECT_THROW(ChannelSet({}), PreconditionError);
+  EXPECT_THROW(ChannelSet({{-0.1, 0, 0, 1}}), PreconditionError);
+  EXPECT_THROW(ChannelSet({{1.1, 0, 0, 1}}), PreconditionError);
+  EXPECT_THROW(ChannelSet({{0, 1.0, 0, 1}}), PreconditionError);  // loss == 1 excluded
+  EXPECT_THROW(ChannelSet({{0, -0.1, 0, 1}}), PreconditionError);
+  EXPECT_THROW(ChannelSet({{0, 0, -1, 1}}), PreconditionError);
+  EXPECT_THROW(ChannelSet({{0, 0, 0, 0}}), PreconditionError);  // rate == 0 excluded
+  EXPECT_NO_THROW(ChannelSet({{0, 0, 0, 1}, {1, 0.99, 100, 0.001}}));
+}
+
+TEST(ChannelSet, AccessorsAndViews) {
+  const ChannelSet c{{0.1, 0.01, 2.0, 5.0}, {0.2, 0.02, 9.0, 20.0}};
+  EXPECT_EQ(c.size(), 2);
+  EXPECT_EQ(c.all(), 0b11u);
+  EXPECT_EQ(c.risks(), (std::vector<double>{0.1, 0.2}));
+  EXPECT_EQ(c.losses(), (std::vector<double>{0.01, 0.02}));
+  EXPECT_EQ(c.delays(), (std::vector<double>{2.0, 9.0}));
+  EXPECT_EQ(c.rates(), (std::vector<double>{5.0, 20.0}));
+  EXPECT_DOUBLE_EQ(c.total_rate(), 25.0);
+  EXPECT_DOUBLE_EQ(c.max_rate(), 20.0);
+}
+
+// ---------------------------------------------------------------- subset risk
+
+TEST(SubsetRisk, SingleChannelIsItsRisk) {
+  const ChannelSet c{{0.37, 0, 0, 1}};
+  EXPECT_NEAR(subset_risk(c, 1, 0b1), 0.37, 1e-12);
+}
+
+TEST(SubsetRisk, ThresholdOneIsUnionBound) {
+  // z(1, M) = 1 - prod(1 - z_i): adversary needs any one share.
+  const ChannelSet c{{0.1, 0, 0, 1}, {0.2, 0, 0, 1}, {0.3, 0, 0, 1}};
+  EXPECT_NEAR(subset_risk(c, 1, 0b111), 1.0 - 0.9 * 0.8 * 0.7, 1e-12);
+}
+
+TEST(SubsetRisk, FullThresholdIsProduct) {
+  // z(|M|, M) = prod z_i: adversary needs every share.
+  const ChannelSet c{{0.1, 0, 0, 1}, {0.2, 0, 0, 1}, {0.3, 0, 0, 1}};
+  EXPECT_NEAR(subset_risk(c, 3, 0b111), 0.1 * 0.2 * 0.3, 1e-12);
+}
+
+TEST(SubsetRisk, MonotoneDecreasingInK) {
+  Rng rng(1);
+  const auto c = random_channels(rng, 6);
+  const Mask m = c.all();
+  for (int k = 1; k < 6; ++k) {
+    EXPECT_GE(subset_risk(c, k, m), subset_risk(c, k + 1, m) - 1e-12);
+  }
+}
+
+TEST(SubsetRisk, AddingRiskyChannelWithHigherKImprovesPrivacy) {
+  // The k = m diagonal: every extra required share multiplies the risk down.
+  const ChannelSet c{{0.5, 0, 0, 1}, {0.5, 0, 0, 1}, {0.5, 0, 0, 1}};
+  EXPECT_NEAR(subset_risk(c, 1, 0b001), 0.5, 1e-12);
+  EXPECT_NEAR(subset_risk(c, 2, 0b011), 0.25, 1e-12);
+  EXPECT_NEAR(subset_risk(c, 3, 0b111), 0.125, 1e-12);
+}
+
+TEST(SubsetRisk, DpMatchesBruteforce) {
+  Rng rng(2);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int n = 2 + static_cast<int>(rng.uniform_int(6));
+    const auto c = random_channels(rng, n);
+    for_each_nonempty_subset(n, [&](Mask m) {
+      for (int k = 1; k <= mask_size(m); ++k) {
+        EXPECT_NEAR(subset_risk(c, k, m), subset_risk_bruteforce(c, k, m), 1e-10);
+      }
+    });
+  }
+}
+
+TEST(SubsetRisk, RejectsInvalidArguments) {
+  const ChannelSet c{{0.1, 0, 0, 1}, {0.2, 0, 0, 1}};
+  EXPECT_THROW((void)subset_risk(c, 1, 0), PreconditionError);       // empty M
+  EXPECT_THROW((void)subset_risk(c, 0, 0b11), PreconditionError);    // k < 1
+  EXPECT_THROW((void)subset_risk(c, 3, 0b11), PreconditionError);    // k > |M|
+  EXPECT_THROW((void)subset_risk(c, 1, 0b100), PreconditionError);   // outside C
+}
+
+// ---------------------------------------------------------------- subset loss
+
+TEST(SubsetLoss, SingleChannelIsItsLoss) {
+  const ChannelSet c{{0, 0.25, 0, 1}};
+  EXPECT_NEAR(subset_loss(c, 1, 0b1), 0.25, 1e-12);
+}
+
+TEST(SubsetLoss, ThresholdOneIsAllLost) {
+  // l(1, M) = prod l_i: the symbol survives if any share does.
+  const ChannelSet c{{0, 0.1, 0, 1}, {0, 0.2, 0, 1}, {0, 0.3, 0, 1}};
+  EXPECT_NEAR(subset_loss(c, 1, 0b111), 0.1 * 0.2 * 0.3, 1e-12);
+}
+
+TEST(SubsetLoss, FullThresholdIsAnyLost) {
+  // l(|M|, M) = 1 - prod(1 - l_i): losing any share loses the symbol.
+  const ChannelSet c{{0, 0.1, 0, 1}, {0, 0.2, 0, 1}, {0, 0.3, 0, 1}};
+  EXPECT_NEAR(subset_loss(c, 3, 0b111), 1.0 - 0.9 * 0.8 * 0.7, 1e-12);
+}
+
+TEST(SubsetLoss, MonotoneIncreasingInK) {
+  Rng rng(3);
+  const auto c = random_channels(rng, 6);
+  for (int k = 1; k < 6; ++k) {
+    EXPECT_LE(subset_loss(c, k, c.all()), subset_loss(c, k + 1, c.all()) + 1e-12);
+  }
+}
+
+TEST(SubsetLoss, RedundancyHelps) {
+  // Same k, growing M: adding channels can only reduce loss.
+  const ChannelSet c{{0, 0.3, 0, 1}, {0, 0.3, 0, 1}, {0, 0.3, 0, 1}};
+  EXPECT_GT(subset_loss(c, 1, 0b001), subset_loss(c, 1, 0b011));
+  EXPECT_GT(subset_loss(c, 1, 0b011), subset_loss(c, 1, 0b111));
+}
+
+TEST(SubsetLoss, DpMatchesBruteforce) {
+  Rng rng(4);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int n = 2 + static_cast<int>(rng.uniform_int(6));
+    const auto c = random_channels(rng, n);
+    for_each_nonempty_subset(n, [&](Mask m) {
+      for (int k = 1; k <= mask_size(m); ++k) {
+        EXPECT_NEAR(subset_loss(c, k, m), subset_loss_bruteforce(c, k, m), 1e-10);
+      }
+    });
+  }
+}
+
+TEST(SubsetLoss, LosslessChannelsNeverLose) {
+  const ChannelSet c{{0, 0, 0, 1}, {0, 0, 0, 1}};
+  EXPECT_EQ(subset_loss(c, 2, 0b11), 0.0);
+}
+
+// ---------------------------------------------------------------- subset delay
+
+TEST(SubsetDelay, LosslessCollapsesToOrderStatistic) {
+  // Paper: with all l_i = 0, d(k, M) = delta_M(k), the k-th smallest delay.
+  const ChannelSet c{{0, 0, 7.0, 1}, {0, 0, 2.0, 1}, {0, 0, 5.0, 1}};
+  EXPECT_DOUBLE_EQ(subset_delay(c, 1, 0b111), 2.0);
+  EXPECT_DOUBLE_EQ(subset_delay(c, 2, 0b111), 5.0);
+  EXPECT_DOUBLE_EQ(subset_delay(c, 3, 0b111), 7.0);
+}
+
+TEST(SubsetDelay, SingleChannel) {
+  const ChannelSet c{{0, 0.5, 11.0, 1}};
+  // Conditioned on arrival, the delay is just d_i regardless of loss.
+  EXPECT_DOUBLE_EQ(subset_delay(c, 1, 0b1), 11.0);
+}
+
+TEST(SubsetDelay, TwoChannelHandComputation) {
+  // Channels (d=1, l=0.5) and (d=10, l=0). k=1:
+  //   K={1,2} w=0.5 -> delay 1; K={2} w=0.5 -> delay 10.
+  //   d = (0.5*1 + 0.5*10) / 1.0 = 5.5.
+  const ChannelSet c{{0, 0.5, 1.0, 1}, {0, 0.0, 10.0, 1}};
+  EXPECT_NEAR(subset_delay(c, 1, 0b11), 5.5, 1e-12);
+}
+
+TEST(SubsetDelay, LossShiftsDelayTowardSlowerChannels) {
+  const ChannelSet lossless{{0, 0.0, 1.0, 1}, {0, 0.0, 10.0, 1}};
+  const ChannelSet lossy{{0, 0.4, 1.0, 1}, {0, 0.0, 10.0, 1}};
+  EXPECT_GT(subset_delay(lossy, 1, 0b11), subset_delay(lossless, 1, 0b11));
+}
+
+TEST(SubsetDelay, MonotoneIncreasingInK) {
+  Rng rng(5);
+  const auto c = random_channels(rng, 6);
+  for (int k = 1; k < 6; ++k) {
+    EXPECT_LE(subset_delay(c, k, c.all()), subset_delay(c, k + 1, c.all()) + 1e-12);
+  }
+}
+
+// -------------------------------------------------- Monte Carlo ground truth
+
+// Simulate the single-symbol protocol directly: one share per channel of M,
+// each observed with probability z_i, lost with probability l_i, arriving
+// after d_i. Estimate z/l/d(k, M) empirically and compare with the formulas.
+struct MonteCarloResult {
+  double risk;
+  double loss;
+  double delay;
+};
+
+MonteCarloResult simulate(const ChannelSet& c, int k, Mask m, Rng& rng,
+                          int trials) {
+  int observed = 0;
+  int lost = 0;
+  double delay_sum = 0.0;
+  int delivered = 0;
+  std::vector<double> arrivals;
+  for (int t = 0; t < trials; ++t) {
+    int eavesdropped = 0;
+    arrivals.clear();
+    for_each_member(m, [&](int i) {
+      if (rng.bernoulli(c[i].risk)) ++eavesdropped;
+      if (!rng.bernoulli(c[i].loss)) arrivals.push_back(c[i].delay);
+    });
+    if (eavesdropped >= k) ++observed;
+    if (arrivals.size() < static_cast<std::size_t>(k)) {
+      ++lost;
+    } else {
+      std::nth_element(arrivals.begin(), arrivals.begin() + (k - 1), arrivals.end());
+      delay_sum += arrivals[static_cast<std::size_t>(k - 1)];
+      ++delivered;
+    }
+  }
+  return {static_cast<double>(observed) / trials,
+          static_cast<double>(lost) / trials,
+          delivered ? delay_sum / delivered : 0.0};
+}
+
+class SubsetMetricsMonteCarloTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SubsetMetricsMonteCarloTest, FormulasMatchSimulation) {
+  Rng rng(static_cast<std::uint64_t>(1000 + GetParam()));
+  const int n = 3 + static_cast<int>(rng.uniform_int(3));
+  const auto c = random_channels(rng, n);
+  const Mask m = c.all();
+  const int k = 1 + static_cast<int>(rng.uniform_int(static_cast<std::uint64_t>(n)));
+  const auto mc = simulate(c, k, m, rng, 200000);
+  EXPECT_NEAR(mc.risk, subset_risk(c, k, m), 0.01);
+  EXPECT_NEAR(mc.loss, subset_loss(c, k, m), 0.01);
+  if (subset_loss(c, k, m) < 0.98) {
+    EXPECT_NEAR(mc.delay, subset_delay(c, k, m), 0.25);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SubsetMetricsMonteCarloTest,
+                         ::testing::Range(0, 12));
+
+// ---------------------------------------------------------------- optima
+
+TEST(OptimalClosedForms, RiskIsProductOfAllRisks) {
+  const ChannelSet c{{0.5, 0, 0, 1}, {0.25, 0, 0, 1}, {0.5, 0, 0, 1}};
+  EXPECT_NEAR(optimal_risk(c), 0.0625, 1e-12);
+  // Achieved by the p(n, C) = 1 schedule.
+  EXPECT_NEAR(schedule_risk(c, max_privacy_schedule(c)), optimal_risk(c), 1e-12);
+}
+
+TEST(OptimalClosedForms, LossIsProductOfAllLosses) {
+  const ChannelSet c{{0, 0.1, 0, 1}, {0, 0.2, 0, 1}};
+  EXPECT_NEAR(optimal_loss(c), 0.02, 1e-12);
+  EXPECT_NEAR(schedule_loss(c, min_loss_schedule(c)), optimal_loss(c), 1e-12);
+}
+
+TEST(OptimalClosedForms, DelayLosslessIsMinimum) {
+  const ChannelSet c{{0, 0, 3.0, 1}, {0, 0, 1.5, 1}, {0, 0, 9.0, 1}};
+  EXPECT_DOUBLE_EQ(optimal_delay(c), 1.5);
+}
+
+TEST(OptimalClosedForms, DelayClosedFormMatchesSubsetDelay) {
+  // D_C must equal d(1, C): two independent implementations of the same
+  // quantity (ordered-weighting closed form vs subset enumeration).
+  Rng rng(6);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int n = 2 + static_cast<int>(rng.uniform_int(5));
+    const auto c = random_channels(rng, n);
+    EXPECT_NEAR(optimal_delay(c), subset_delay(c, 1, c.all()), 1e-9);
+  }
+}
+
+TEST(OptimalClosedForms, DelayHandComputedWithLoss) {
+  // Channels sorted by delay: (d=1, l=0.5), (d=4, l=0.25).
+  // D = [0.5*1 + 0.5*0.75*4] / (1 - 0.125) = 2/0.875.
+  const ChannelSet c{{0, 0.5, 1.0, 1}, {0, 0.25, 4.0, 1}};
+  EXPECT_NEAR(optimal_delay(c), (0.5 * 1.0 + 0.5 * 0.75 * 4.0) / (1 - 0.5 * 0.25),
+              1e-12);
+}
+
+TEST(OptimalClosedForms, ScheduleRiskNeverBeatsOptimal) {
+  Rng rng(7);
+  const auto c = random_channels(rng, 5);
+  // Any schedule's risk is >= Z_C (it is the best achievable).
+  for (int trial = 0; trial < 20; ++trial) {
+    const int k = 1 + static_cast<int>(rng.uniform_int(5));
+    const int msize = k + static_cast<int>(rng.uniform_int(static_cast<std::uint64_t>(6 - k)));
+    Mask m = 0;
+    while (mask_size(m) < msize) {
+      m |= Mask{1} << rng.uniform_int(5);
+    }
+    const ShareSchedule p(c, {{k, m, 1.0}});
+    EXPECT_GE(schedule_risk(c, p), optimal_risk(c) - 1e-12);
+    EXPECT_GE(schedule_loss(c, p), optimal_loss(c) - 1e-12);
+    // Conditional delay can undercut D_C on subsets that exclude lossy
+    // slow channels; the unconditional floor is the fastest delay.
+    std::vector<double> delays = c.delays();
+    EXPECT_GE(schedule_delay(c, p),
+              *std::min_element(delays.begin(), delays.end()) - 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace mcss

@@ -1,0 +1,218 @@
+// Randomized property suite for the model: invariants that must hold for
+// ANY channel set, not just the paper's testbeds. Complements the
+// example-based tests in core_*_test.cpp.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/channel.hpp"
+#include "core/lp_schedule.hpp"
+#include "core/optimal.hpp"
+#include "core/rate.hpp"
+#include "core/schedule.hpp"
+#include "core/subset_metrics.hpp"
+#include "util/rng.hpp"
+
+namespace mcss {
+namespace {
+
+ChannelSet random_channels(Rng& rng, int n) {
+  std::vector<Channel> cs;
+  for (int i = 0; i < n; ++i) {
+    cs.push_back({rng.uniform(), rng.uniform(0.0, 0.8), rng.uniform(0.0, 30.0),
+                  rng.uniform(0.5, 200.0)});
+  }
+  return ChannelSet(std::move(cs));
+}
+
+/// A random valid schedule with EXACT marginals (kappa, mu): mix two
+/// Theorem 5 constructions taken over different channel orderings. The
+/// mixture of schedules with equal marginals keeps them.
+ShareSchedule random_schedule(const ChannelSet& c, double kappa, double mu,
+                              Rng& rng) {
+  const auto base = limited_schedule_for(c, kappa, mu);
+  // Second component: the same (k, m) atoms over REVERSED channel subsets.
+  std::vector<ScheduleEntry> mixed;
+  const double alpha = rng.uniform(0.2, 0.8);
+  for (const auto& e : base.entries()) {
+    mixed.push_back({e.k, e.channels, e.probability * alpha});
+    // Mirror the subset: channels (n-1-i) for each member i.
+    Mask mirrored = 0;
+    for_each_member(e.channels, [&](int i) {
+      mirrored |= Mask{1} << (c.size() - 1 - i);
+    });
+    mixed.push_back({e.k, mirrored, e.probability * (1.0 - alpha)});
+  }
+  return ShareSchedule(c, std::move(mixed));
+}
+
+class RandomModelTest : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override {
+    rng_ = Rng(static_cast<std::uint64_t>(5000 + GetParam()));
+    n_ = 3 + static_cast<int>(rng_.uniform_int(5));  // 3..7 channels
+    channels_.emplace(random_channels(rng_, n_));
+  }
+  Rng rng_{0};
+  int n_ = 0;
+  std::optional<ChannelSet> channels_;
+};
+
+TEST_P(RandomModelTest, MetricsAreProbabilitiesAndOrdered) {
+  const auto& c = *channels_;
+  for (int k = 1; k <= n_; ++k) {
+    const double z = subset_risk(c, k, c.all());
+    const double l = subset_loss(c, k, c.all());
+    EXPECT_GE(z, 0.0);
+    EXPECT_LE(z, 1.0);
+    EXPECT_GE(l, 0.0);
+    EXPECT_LE(l, 1.0);
+    EXPECT_GE(subset_delay(c, k, c.all()), 0.0);
+  }
+}
+
+TEST_P(RandomModelTest, GrowingMWithFixedKNeverHurtsLossOrRisk) {
+  // Adding a channel to M at fixed k: loss can only fall (more chances to
+  // deliver k shares) and risk can only rise (more chances to observe k).
+  const auto& c = *channels_;
+  Mask m = 0b111;  // start from three channels
+  for (int extra = 3; extra < n_; ++extra) {
+    const Mask grown = m | (Mask{1} << extra);
+    for (int k = 1; k <= 3; ++k) {
+      EXPECT_LE(subset_loss(c, k, grown), subset_loss(c, k, m) + 1e-12);
+      EXPECT_GE(subset_risk(c, k, grown), subset_risk(c, k, m) - 1e-12);
+    }
+    m = grown;
+  }
+}
+
+TEST_P(RandomModelTest, ScheduleMetricsAreLinearInTheMixture) {
+  // Z/L/D of a mixture equal the mixture of Z/L/D — the property that
+  // makes the paper's optimization a LINEAR program.
+  const auto& c = *channels_;
+  const auto span = static_cast<double>(n_ - 1);
+  const auto p = random_schedule(c, 1.0 + 0.2 * span, 1.0 + 0.5 * span, rng_);
+  const auto q = random_schedule(c, 1.0 + 0.6 * span, 1.0 + 0.9 * span, rng_);
+  const double alpha = rng_.uniform(0.1, 0.9);
+  std::vector<ScheduleEntry> blended;
+  for (const auto& e : p.entries()) {
+    blended.push_back({e.k, e.channels, e.probability * alpha});
+  }
+  for (const auto& e : q.entries()) {
+    blended.push_back({e.k, e.channels, e.probability * (1.0 - alpha)});
+  }
+  const ShareSchedule mix(c, std::move(blended));
+  EXPECT_NEAR(schedule_risk(c, mix),
+              alpha * schedule_risk(c, p) + (1 - alpha) * schedule_risk(c, q),
+              1e-9);
+  EXPECT_NEAR(schedule_loss(c, mix),
+              alpha * schedule_loss(c, p) + (1 - alpha) * schedule_loss(c, q),
+              1e-9);
+  EXPECT_NEAR(schedule_delay(c, mix),
+              alpha * schedule_delay(c, p) + (1 - alpha) * schedule_delay(c, q),
+              1e-9);
+  EXPECT_NEAR(mix.kappa(), alpha * p.kappa() + (1 - alpha) * q.kappa(), 1e-9);
+  EXPECT_NEAR(mix.mu(), alpha * p.mu() + (1 - alpha) * q.mu(), 1e-9);
+}
+
+TEST_P(RandomModelTest, LpNeverLosesToARandomScheduleWithSameMarginals) {
+  const auto& c = *channels_;
+  const double kappa = 1.0 + rng_.uniform() * (n_ - 1);
+  const double mu = kappa + rng_.uniform() * (n_ - kappa);
+  const auto contender = random_schedule(c, kappa, mu, rng_);
+  for (const auto objective : {Objective::Risk, Objective::Loss, Objective::Delay}) {
+    const auto lp = solve_schedule_lp(
+        c, {.objective = objective, .kappa = kappa, .mu = mu});
+    ASSERT_EQ(lp.status, lp::Status::Optimal);
+    double contender_value = 0.0;
+    switch (objective) {
+      case Objective::Risk:
+        contender_value = schedule_risk(c, contender);
+        break;
+      case Objective::Loss:
+        contender_value = schedule_loss(c, contender);
+        break;
+      case Objective::Delay:
+        contender_value = schedule_delay(c, contender);
+        break;
+    }
+    EXPECT_LE(lp.objective_value, contender_value + 1e-7)
+        << "objective " << static_cast<int>(objective) << " kappa " << kappa
+        << " mu " << mu;
+  }
+}
+
+TEST_P(RandomModelTest, GlobalOptimaBoundTheLpEverywhere) {
+  // Z_C, L_C, D_C are the best over ALL schedules; any constrained LP
+  // solution respects them.
+  const auto& c = *channels_;
+  const double kappa = 1.0 + rng_.uniform() * (n_ - 1);
+  const double mu = kappa + rng_.uniform() * (n_ - kappa);
+  const auto risk_lp = solve_schedule_lp(
+      c, {.objective = Objective::Risk, .kappa = kappa, .mu = mu});
+  const auto loss_lp = solve_schedule_lp(
+      c, {.objective = Objective::Loss, .kappa = kappa, .mu = mu});
+  const auto delay_lp = solve_schedule_lp(
+      c, {.objective = Objective::Delay, .kappa = kappa, .mu = mu});
+  ASSERT_EQ(risk_lp.status, lp::Status::Optimal);
+  EXPECT_GE(risk_lp.objective_value, optimal_risk(c) - 1e-9);
+  EXPECT_GE(loss_lp.objective_value, optimal_loss(c) - 1e-9);
+  // Delay's unconditional floor is min_i d_i, NOT D_C: conditional delay
+  // of a fastest-channel singleton undercuts D_C (see optimal.hpp note).
+  std::vector<double> delays = c.delays();
+  EXPECT_GE(delay_lp.objective_value,
+            *std::min_element(delays.begin(), delays.end()) - 1e-7);
+}
+
+TEST_P(RandomModelTest, RateIsMonotoneWithCorrectEndpoints) {
+  // On each Theorem 4 segment R = prefix / (mu - n + |S|), so dR/dmu =
+  // -R / (mu - n + |S|): steep (the denominator can approach 0) but
+  // always NEGATIVE, and bounded below by Theorem 1 everywhere.
+  const auto& c = *channels_;
+  double prev = optimal_rate(c, 1.0);
+  EXPECT_NEAR(prev, c.total_rate(), 1e-9);  // mu = 1: everything in parallel
+  for (double mu = 1.0; mu < n_ - 0.011; mu += 0.01) {
+    const double next = optimal_rate(c, mu + 0.01);
+    EXPECT_LE(next, prev + 1e-9);  // monotone nonincreasing
+    EXPECT_GE(next, rate_lower_bound(c, mu + 0.01) - 1e-9);  // Theorem 1
+    prev = next;
+  }
+  // Lower endpoint at mu = n: the slowest channel paces every symbol.
+  std::vector<double> rates = c.rates();
+  EXPECT_NEAR(optimal_rate(c, static_cast<double>(n_)),
+              *std::min_element(rates.begin(), rates.end()), 1e-9);
+}
+
+TEST_P(RandomModelTest, MaxRateLpIsExactlyFeasibleAtTheorem4Rate) {
+  const auto& c = *channels_;
+  const double mu = 1.0 + rng_.uniform() * (n_ - 1);
+  const double kappa = 1.0 + rng_.uniform() * (mu - 1.0);
+  const auto lp = solve_schedule_lp(c, {.objective = Objective::Risk,
+                                        .kappa = kappa,
+                                        .mu = mu,
+                                        .rate = RateConstraint::MaxRate});
+  ASSERT_EQ(lp.status, lp::Status::Optimal)
+      << "IV-D must be feasible for every valid (kappa, mu): Theorem 5";
+  const auto u = utilization(c, mu);
+  for (int i = 0; i < n_; ++i) {
+    EXPECT_NEAR(lp.schedule->channel_usage(i),
+                u.fraction[static_cast<std::size_t>(i)], 1e-6);
+  }
+}
+
+TEST_P(RandomModelTest, DitheredIntegerPairsAverageToAnyValidPoint) {
+  // The protocol-side counterpart of Theorem 5 over random channel sets.
+  const double kappa = 1.0 + rng_.uniform() * (n_ - 1);
+  const double mu = kappa + rng_.uniform() * (n_ - kappa);
+  const auto schedule = limited_schedule_for(*channels_, kappa, mu);
+  EXPECT_NEAR(schedule.kappa(), kappa, 1e-9);
+  EXPECT_NEAR(schedule.mu(), mu, 1e-9);
+  EXPECT_TRUE(schedule.is_limited());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomModelTest, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace mcss

@@ -1,0 +1,247 @@
+// Tests for Theorems 1-4 (Section IV-C): optimal multichannel rate,
+// full-utilization limits, and utilization quotas. Uses the paper's own
+// channel configurations where it gives them.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/channel.hpp"
+#include "core/rate.hpp"
+#include "util/ensure.hpp"
+#include "util/rng.hpp"
+
+namespace mcss {
+namespace {
+
+ChannelSet rates_only(std::vector<double> rates) {
+  std::vector<Channel> cs;
+  cs.reserve(rates.size());
+  for (const double r : rates) cs.push_back({0, 0, 0, r});
+  return ChannelSet(std::move(cs));
+}
+
+/// The paper's Diverse testbed rates (Mbps).
+ChannelSet diverse() { return rates_only({5, 20, 60, 65, 100}); }
+/// The Figure 2 example.
+ChannelSet fig2() { return rates_only({3, 4, 8}); }
+
+// ---------------------------------------------------------------- Theorem 4
+
+TEST(OptimalRate, MuOneIsTotalRate) {
+  EXPECT_NEAR(optimal_rate(diverse(), 1.0), 250.0, 1e-9);
+  EXPECT_NEAR(optimal_rate(fig2(), 1.0), 15.0, 1e-9);
+}
+
+TEST(OptimalRate, MuEqualsNIsSlowestChannel) {
+  // Every symbol uses every channel: the slowest channel paces everyone.
+  EXPECT_NEAR(optimal_rate(diverse(), 5.0), 5.0, 1e-9);
+  EXPECT_NEAR(optimal_rate(fig2(), 3.0), 3.0, 1e-9);
+}
+
+TEST(OptimalRate, IdenticalChannelsScaleAsTotalOverMu) {
+  // Corollary 1: identical rates are always fully utilized, R = n*r/mu.
+  const auto c = rates_only({100, 100, 100, 100, 100});
+  for (double mu = 1.0; mu <= 5.0; mu += 0.1) {
+    EXPECT_NEAR(optimal_rate(c, mu), 500.0 / mu, 1e-9) << "mu=" << mu;
+  }
+}
+
+TEST(OptimalRate, Figure2Example) {
+  // r = (3, 4, 8): full utilization holds up to mu = 15/8.
+  const auto c = fig2();
+  EXPECT_NEAR(optimal_rate(c, 1.5), 10.0, 1e-9);          // 15 / 1.5
+  EXPECT_NEAR(optimal_rate(c, 15.0 / 8.0), 8.0, 1e-9);    // knee
+  // Beyond the knee the fastest channel is capped at R_C: with S={3,4},
+  // R = 7 / (mu - 1).
+  EXPECT_NEAR(optimal_rate(c, 2.0), 7.0, 1e-9);
+  EXPECT_NEAR(optimal_rate(c, 2.5), 7.0 / 1.5, 1e-9);
+}
+
+TEST(OptimalRate, DiverseKneesMatchTheorem2Boundaries) {
+  // Below the Theorem 2 limit, R = total/mu exactly.
+  const auto c = diverse();
+  const double limit = full_utilization_mu_limit(c);  // 250/100 = 2.5
+  EXPECT_NEAR(limit, 2.5, 1e-12);
+  for (double mu = 1.0; mu <= limit + 1e-9; mu += 0.05) {
+    EXPECT_NEAR(optimal_rate(c, mu), 250.0 / mu, 1e-9) << "mu=" << mu;
+  }
+  // Above the limit, strictly less than total/mu.
+  for (double mu = limit + 0.1; mu <= 5.0; mu += 0.1) {
+    EXPECT_LT(optimal_rate(c, mu), 250.0 / mu - 1e-9) << "mu=" << mu;
+  }
+}
+
+TEST(OptimalRate, PrefixFormMatchesBruteForce) {
+  Rng rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int n = 1 + static_cast<int>(rng.uniform_int(7));
+    std::vector<double> rates(static_cast<std::size_t>(n));
+    for (double& r : rates) r = rng.uniform(0.5, 100.0);
+    const auto c = rates_only(rates);
+    const double mu = rng.uniform(1.0, static_cast<double>(n));
+    EXPECT_NEAR(optimal_rate(c, mu), optimal_rate_bruteforce(c, mu), 1e-9)
+        << "n=" << n << " mu=" << mu;
+  }
+}
+
+TEST(OptimalRate, MonotoneDecreasingInMu) {
+  Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = 2 + static_cast<int>(rng.uniform_int(6));
+    std::vector<double> rates(static_cast<std::size_t>(n));
+    for (double& r : rates) r = rng.uniform(1.0, 50.0);
+    const auto c = rates_only(rates);
+    double prev = optimal_rate(c, 1.0);
+    for (double mu = 1.1; mu <= n; mu += 0.1) {
+      const double cur = optimal_rate(c, mu);
+      EXPECT_LE(cur, prev + 1e-9);
+      prev = cur;
+    }
+  }
+}
+
+TEST(OptimalRate, RejectsOutOfRangeMu) {
+  const auto c = fig2();
+  EXPECT_THROW((void)optimal_rate(c, 0.99), PreconditionError);
+  EXPECT_THROW((void)optimal_rate(c, 3.01), PreconditionError);
+}
+
+// ---------------------------------------------------------------- Theorem 3
+
+TEST(MuForRate, InvertsOptimalRate) {
+  // Theorem 3 and Theorem 4 are two directions of the same relation.
+  Rng rng(3);
+  for (int trial = 0; trial < 100; ++trial) {
+    const int n = 2 + static_cast<int>(rng.uniform_int(6));
+    std::vector<double> rates(static_cast<std::size_t>(n));
+    for (double& r : rates) r = rng.uniform(1.0, 50.0);
+    const auto c = rates_only(rates);
+    const double mu = rng.uniform(1.0, static_cast<double>(n));
+    EXPECT_NEAR(mu_for_rate(c, optimal_rate(c, mu)), mu, 1e-9);
+  }
+}
+
+TEST(MuForRate, KnownValues) {
+  const auto c = diverse();
+  EXPECT_NEAR(mu_for_rate(c, 250.0), 1.0, 1e-12);  // everything at full tilt
+  EXPECT_NEAR(mu_for_rate(c, 5.0), 5.0, 1e-12);    // paced by the slowest
+  // R = 100: only the 100 Mbps channel is capped.
+  EXPECT_NEAR(mu_for_rate(c, 100.0), 5.0 / 100 + 20.0 / 100 + 60.0 / 100 +
+                                         65.0 / 100 + 1.0,
+              1e-12);
+}
+
+TEST(MuForRate, MonotoneDecreasingInRate) {
+  const auto c = diverse();
+  double prev = mu_for_rate(c, 1.0);
+  for (double rate = 2.0; rate < 300.0; rate += 1.0) {
+    const double cur = mu_for_rate(c, rate);
+    EXPECT_LE(cur, prev + 1e-12);
+    prev = cur;
+  }
+}
+
+TEST(MuForRate, RejectsNonPositiveRate) {
+  EXPECT_THROW((void)mu_for_rate(diverse(), 0.0), PreconditionError);
+  EXPECT_THROW((void)mu_for_rate(diverse(), -5.0), PreconditionError);
+}
+
+// ---------------------------------------------------------------- Theorem 1
+
+TEST(RateLowerBound, IsTheCeilMuThFastest) {
+  const auto c = diverse();  // sorted desc: 100, 65, 60, 20, 5
+  EXPECT_DOUBLE_EQ(rate_lower_bound(c, 1.0), 100.0);
+  EXPECT_DOUBLE_EQ(rate_lower_bound(c, 1.5), 65.0);
+  EXPECT_DOUBLE_EQ(rate_lower_bound(c, 2.0), 65.0);
+  EXPECT_DOUBLE_EQ(rate_lower_bound(c, 2.5), 60.0);
+  EXPECT_DOUBLE_EQ(rate_lower_bound(c, 5.0), 5.0);
+}
+
+TEST(RateLowerBound, TheoremHolds) {
+  Rng rng(4);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int n = 1 + static_cast<int>(rng.uniform_int(7));
+    std::vector<double> rates(static_cast<std::size_t>(n));
+    for (double& r : rates) r = rng.uniform(0.5, 100.0);
+    const auto c = rates_only(rates);
+    const double mu = rng.uniform(1.0, static_cast<double>(n));
+    EXPECT_GE(optimal_rate(c, mu), rate_lower_bound(c, mu) - 1e-9);
+  }
+}
+
+// ---------------------------------------------------------------- Theorem 2
+
+TEST(FullUtilization, LimitMatchesDefinition) {
+  EXPECT_NEAR(full_utilization_mu_limit(diverse()), 2.5, 1e-12);
+  EXPECT_NEAR(full_utilization_mu_limit(fig2()), 15.0 / 8.0, 1e-12);
+}
+
+TEST(FullUtilization, Corollary1IdenticalRates) {
+  const auto c = rates_only({42, 42, 42, 42});
+  EXPECT_NEAR(full_utilization_mu_limit(c), 4.0, 1e-12);  // == n
+}
+
+TEST(FullUtilization, AtTheLimitEveryChannelIsFull) {
+  const auto c = diverse();
+  const double limit = full_utilization_mu_limit(c);
+  const auto u = utilization(c, limit);
+  for (int i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(u.r_prime[static_cast<std::size_t>(i)], c[i].rate, 1e-9);
+  }
+  EXPECT_EQ(u.fully_utilized, c.all());
+}
+
+// ---------------------------------------------------------------- utilization
+
+TEST(Utilization, QuotasAndFractionsAreConsistent) {
+  Rng rng(5);
+  for (int trial = 0; trial < 100; ++trial) {
+    const int n = 2 + static_cast<int>(rng.uniform_int(6));
+    std::vector<double> rates(static_cast<std::size_t>(n));
+    for (double& r : rates) r = rng.uniform(1.0, 80.0);
+    const auto c = rates_only(rates);
+    const double mu = rng.uniform(1.0, static_cast<double>(n));
+    const auto u = utilization(c, mu);
+
+    EXPECT_NEAR(u.rate, optimal_rate(c, mu), 1e-12);
+    double fraction_sum = 0.0;
+    double share_sum = 0.0;
+    for (int i = 0; i < n; ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      EXPECT_LE(u.r_prime[idx], c[i].rate + 1e-12);   // Equation 2
+      EXPECT_LE(u.r_prime[idx], u.rate + 1e-12);      // Equation 3
+      EXPECT_LE(u.fraction[idx], 1.0 + 1e-12);
+      fraction_sum += u.fraction[idx];
+      share_sum += u.r_prime[idx];
+    }
+    EXPECT_NEAR(fraction_sum, mu, 1e-9);              // Theorem 3
+    EXPECT_NEAR(share_sum / mu, u.rate, 1e-9);        // Equation 1
+  }
+}
+
+TEST(Utilization, Corollary2FullyUtilizedSetSize) {
+  Rng rng(6);
+  for (int trial = 0; trial < 100; ++trial) {
+    const int n = 2 + static_cast<int>(rng.uniform_int(6));
+    std::vector<double> rates(static_cast<std::size_t>(n));
+    for (double& r : rates) r = rng.uniform(1.0, 80.0);
+    const auto c = rates_only(rates);
+    const double mu = rng.uniform(1.0, static_cast<double>(n));
+    const auto u = utilization(c, mu);
+    EXPECT_GT(mask_size(u.fully_utilized), static_cast<double>(n) - mu - 1e-9);
+  }
+}
+
+TEST(Utilization, DiverseExampleAtMu4) {
+  // mu=4 on (5,20,60,65,100): knees passed for 100 and 65.
+  const auto c = diverse();
+  const auto u = utilization(c, 4.0);
+  // R solves Theorem 4; verify against brute force and check A membership.
+  EXPECT_NEAR(u.rate, optimal_rate_bruteforce(c, 4.0), 1e-9);
+  EXPECT_TRUE(mask_contains(u.fully_utilized, 0));  // 5 Mbps definitely full
+  EXPECT_FALSE(mask_contains(u.fully_utilized, 4)); // 100 Mbps capped
+}
+
+}  // namespace
+}  // namespace mcss

@@ -1,0 +1,200 @@
+// Tests for share schedules: validation, kappa/mu marginals, sampling,
+// channel usage, limited schedules, and the Theorem 5 construction.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "core/channel.hpp"
+#include "core/optimal.hpp"
+#include "core/schedule.hpp"
+#include "util/ensure.hpp"
+#include "util/rng.hpp"
+
+namespace mcss {
+namespace {
+
+ChannelSet five() {
+  return ChannelSet{{0.1, 0.01, 2.5, 5},
+                    {0.2, 0.005, 0.25, 20},
+                    {0.3, 0.01, 12.5, 60},
+                    {0.1, 0.02, 5.0, 65},
+                    {0.2, 0.03, 0.5, 100}};
+}
+
+TEST(ShareSchedule, ValidatesEntries) {
+  const auto c = five();
+  // Probabilities must sum to 1.
+  EXPECT_THROW(ShareSchedule(c, {{1, 0b1, 0.5}}), PreconditionError);
+  // k > |M| invalid.
+  EXPECT_THROW(ShareSchedule(c, {{2, 0b1, 1.0}}), PreconditionError);
+  // Empty subset invalid.
+  EXPECT_THROW(ShareSchedule(c, {{1, 0, 1.0}}), PreconditionError);
+  // Channels outside the set invalid.
+  EXPECT_THROW(ShareSchedule(c, {{1, 0b100000, 1.0}}), PreconditionError);
+  // Negative probability invalid.
+  EXPECT_THROW(ShareSchedule(c, {{1, 0b1, -0.2}, {1, 0b10, 1.2}}), PreconditionError);
+  // Valid case.
+  EXPECT_NO_THROW(ShareSchedule(c, {{1, 0b1, 0.5}, {2, 0b11, 0.5}}));
+}
+
+TEST(ShareSchedule, DropsZeroProbabilityAtoms) {
+  const auto c = five();
+  const ShareSchedule p(c, {{1, 0b1, 1.0}, {2, 0b11, 0.0}});
+  EXPECT_EQ(p.entries().size(), 1u);
+}
+
+TEST(ShareSchedule, RenormalizesWithinTolerance) {
+  const auto c = five();
+  // Sum is 1 + 4e-7: accepted and renormalized exactly.
+  const ShareSchedule p(c, {{1, 0b1, 0.5 + 2e-7}, {1, 0b10, 0.5 + 2e-7}});
+  double total = 0.0;
+  for (const auto& e : p.entries()) total += e.probability;
+  EXPECT_DOUBLE_EQ(total, 1.0);
+}
+
+TEST(ShareSchedule, KappaMuMarginals) {
+  const auto c = five();
+  const ShareSchedule p(c, {{1, 0b00001, 0.25},    // k=1, m=1
+                            {2, 0b00111, 0.50},    // k=2, m=3
+                            {5, 0b11111, 0.25}});  // k=5, m=5
+  EXPECT_NEAR(p.kappa(), 0.25 * 1 + 0.5 * 2 + 0.25 * 5, 1e-12);
+  EXPECT_NEAR(p.mu(), 0.25 * 1 + 0.5 * 3 + 0.25 * 5, 1e-12);
+}
+
+TEST(ShareSchedule, ChannelUsage) {
+  const auto c = five();
+  const ShareSchedule p(c, {{1, 0b00011, 0.5}, {1, 0b00010, 0.5}});
+  EXPECT_NEAR(p.channel_usage(0), 0.5, 1e-12);
+  EXPECT_NEAR(p.channel_usage(1), 1.0, 1e-12);
+  EXPECT_NEAR(p.channel_usage(2), 0.0, 1e-12);
+}
+
+TEST(ShareSchedule, UsageSumsToMu) {
+  Rng rng(1);
+  const auto c = five();
+  const ShareSchedule p(c, {{1, 0b10101, 0.3}, {2, 0b01111, 0.45}, {3, 0b11100, 0.25}});
+  double usage = 0.0;
+  for (int i = 0; i < c.size(); ++i) usage += p.channel_usage(i);
+  EXPECT_NEAR(usage, p.mu(), 1e-12);
+}
+
+TEST(ShareSchedule, SamplingMatchesDistribution) {
+  const auto c = five();
+  const ShareSchedule p(c, {{1, 0b00001, 0.2}, {2, 0b00011, 0.3}, {3, 0b00111, 0.5}});
+  Rng rng(2);
+  std::map<int, int> counts;
+  const int trials = 100000;
+  for (int t = 0; t < trials; ++t) counts[p.sample(rng).k]++;
+  EXPECT_NEAR(counts[1] / static_cast<double>(trials), 0.2, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(trials), 0.3, 0.01);
+  EXPECT_NEAR(counts[3] / static_cast<double>(trials), 0.5, 0.01);
+}
+
+TEST(ShareSchedule, SampledKappaMuConverge) {
+  const auto c = five();
+  const ShareSchedule p(c, {{1, 0b00111, 0.4}, {3, 0b11111, 0.6}});
+  Rng rng(3);
+  double ksum = 0.0, msum = 0.0;
+  const int trials = 200000;
+  for (int t = 0; t < trials; ++t) {
+    const auto& e = p.sample(rng);
+    ksum += e.k;
+    msum += mask_size(e.channels);
+  }
+  EXPECT_NEAR(ksum / trials, p.kappa(), 0.01);
+  EXPECT_NEAR(msum / trials, p.mu(), 0.01);
+}
+
+TEST(ShareSchedule, IsLimitedDetection) {
+  const auto c = five();
+  // kappa = 2, mu = 3, all entries have k >= 2 and |M| >= 3: limited.
+  const ShareSchedule limited(c, {{2, 0b00111, 1.0}});
+  EXPECT_TRUE(limited.is_limited());
+  // kappa = 2, mu = 3 via mix of (1, C) and (3, C): NOT limited.
+  const ShareSchedule mixed(c, {{1, 0b00111, 0.5}, {3, 0b00111, 0.5}});
+  EXPECT_NEAR(mixed.kappa(), 2.0, 1e-12);
+  EXPECT_FALSE(mixed.is_limited());
+}
+
+// ---------------------------------------------------------------- named schedules
+
+TEST(NamedSchedules, MaxPrivacyUsesEverythingEverywhere) {
+  const auto c = five();
+  const auto p = max_privacy_schedule(c);
+  EXPECT_NEAR(p.kappa(), 5.0, 1e-12);
+  EXPECT_NEAR(p.mu(), 5.0, 1e-12);
+}
+
+TEST(NamedSchedules, MinLossIsOneOfN) {
+  const auto c = five();
+  const auto p = min_loss_schedule(c);
+  EXPECT_NEAR(p.kappa(), 1.0, 1e-12);
+  EXPECT_NEAR(p.mu(), 5.0, 1e-12);
+}
+
+TEST(NamedSchedules, MaxRateIsProportionalStriping) {
+  const auto c = five();
+  const auto p = max_rate_schedule(c);
+  EXPECT_NEAR(p.kappa(), 1.0, 1e-12);
+  EXPECT_NEAR(p.mu(), 1.0, 1e-12);
+  // Usage proportional to rate: channel 4 (100 of 250) -> 0.4.
+  EXPECT_NEAR(p.channel_usage(4), 0.4, 1e-12);
+  EXPECT_NEAR(p.channel_usage(0), 0.02, 1e-12);
+}
+
+// ---------------------------------------------------------------- Theorem 5
+
+class Theorem5Test : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(Theorem5Test, ConstructionHitsExactMarginalsAndStaysLimited) {
+  const auto [kappa, mu] = GetParam();
+  const auto c = five();
+  const auto p = limited_schedule_for(c, kappa, mu);
+  EXPECT_NEAR(p.kappa(), kappa, 1e-9);
+  EXPECT_NEAR(p.mu(), mu, 1e-9);
+  EXPECT_TRUE(p.is_limited());
+  // Every entry individually satisfies the courier-mode guarantee.
+  const auto k_floor = static_cast<int>(std::floor(kappa + 1e-9));
+  for (const auto& e : p.entries()) {
+    EXPECT_GE(e.k, k_floor);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KappaMuGrid, Theorem5Test,
+    ::testing::ValuesIn([] {
+      std::vector<std::pair<double, double>> grid;
+      for (double kappa = 1.0; kappa <= 5.0; kappa += 0.3) {
+        for (double mu = kappa; mu <= 5.0; mu += 0.3) {
+          grid.emplace_back(kappa, mu);
+        }
+      }
+      // The tricky regions: frac(kappa) > frac(mu) and integer corners.
+      grid.emplace_back(2.9, 3.2);
+      grid.emplace_back(2.5, 2.7);
+      grid.emplace_back(1.0, 1.0);
+      grid.emplace_back(5.0, 5.0);
+      grid.emplace_back(1.0, 5.0);
+      grid.emplace_back(2.0, 4.0);
+      return grid;
+    }()));
+
+TEST(Theorem5, RejectsInvalidParameters) {
+  const auto c = five();
+  EXPECT_THROW((void)limited_schedule_for(c, 0.5, 2.0), PreconditionError);
+  EXPECT_THROW((void)limited_schedule_for(c, 3.0, 2.0), PreconditionError);  // kappa > mu
+  EXPECT_THROW((void)limited_schedule_for(c, 2.0, 5.5), PreconditionError);  // mu > n
+}
+
+TEST(Theorem5, SubsetsAreFastestChannels) {
+  const auto c = five();  // fastest = channel 4 (100), then 3 (65), 2 (60)...
+  const auto p = limited_schedule_for(c, 2.0, 3.0);
+  for (const auto& e : p.entries()) {
+    EXPECT_EQ(e.channels, 0b11100u);  // channels 2, 3, 4
+  }
+}
+
+}  // namespace
+}  // namespace mcss

@@ -1,0 +1,90 @@
+// Tests for the channel prober: measured (l, d, r) must recover the
+// configured truth within tight tolerances.
+#include <gtest/gtest.h>
+
+#include "util/ensure.hpp"
+#include "workload/estimator.hpp"
+#include "workload/setups.hpp"
+
+namespace mcss::workload {
+namespace {
+
+net::ChannelConfig channel(double mbps, double loss, double delay_ms) {
+  net::ChannelConfig cfg;
+  cfg.rate_bps = mbps * 1e6;
+  cfg.loss = loss;
+  cfg.delay = net::from_millis(delay_ms);
+  cfg.queue_capacity_bytes = 64 * 1024;
+  cfg.ready_watermark_bytes = 8 * 1024;
+  return cfg;
+}
+
+TEST(Estimator, RecoversRate) {
+  const auto est = measure_channel(channel(60, 0.0, 0.0));
+  // 60 Mbps of 1470-byte frames = 5102 frames/s.
+  EXPECT_NEAR(est.rate_pps, 60e6 / (1470 * 8), 60e6 / (1470 * 8) * 0.03);
+}
+
+TEST(Estimator, RecoversLoss) {
+  ProbeConfig probe;
+  probe.pace_seconds = 5.0;  // more probes for tighter loss statistics
+  const auto est = measure_channel(channel(60, 0.02, 0.0), probe);
+  EXPECT_NEAR(est.loss, 0.02, 0.006);
+  EXPECT_GT(est.probes_sent, 1000u);
+}
+
+TEST(Estimator, RecoversDelay) {
+  const auto est = measure_channel(channel(60, 0.0, 7.5));
+  EXPECT_NEAR(est.delay_s, 0.0075, 0.0002);
+}
+
+TEST(Estimator, LossCorrectedRateStaysAccurate) {
+  // Loss consumes serializer slots; the estimator must still report the
+  // configured capacity, not capacity * (1 - loss).
+  const auto est = measure_channel(channel(40, 0.10, 1.0));
+  EXPECT_NEAR(est.rate_pps, 40e6 / (1470 * 8), 40e6 / (1470 * 8) * 0.05);
+  EXPECT_NEAR(est.loss, 0.10, 0.02);
+}
+
+TEST(Estimator, DeterministicGivenSeed) {
+  const auto a = measure_channel(channel(30, 0.05, 2.0));
+  const auto b = measure_channel(channel(30, 0.05, 2.0));
+  EXPECT_EQ(a.loss, b.loss);
+  EXPECT_EQ(a.rate_pps, b.rate_pps);
+  ProbeConfig other;
+  other.seed = 99;
+  const auto c = measure_channel(channel(30, 0.05, 2.0), other);
+  EXPECT_NE(a.probes_received, c.probes_received);
+}
+
+TEST(Estimator, MeasuredSetupMatchesConfiguredModel) {
+  // End-to-end: probe the whole Lossy setup and compare against the
+  // configured ground truth used by Setup::to_model.
+  const auto setup = lossy_setup();
+  ProbeConfig probe;
+  probe.pace_seconds = 3.0;
+  const auto measured = measure_setup(setup, probe);
+  const auto truth = setup.to_model(probe.frame_bytes);
+  ASSERT_EQ(measured.size(), truth.size());
+  for (int i = 0; i < truth.size(); ++i) {
+    EXPECT_NEAR(measured[i].rate, truth[i].rate, truth[i].rate * 0.05) << i;
+    EXPECT_NEAR(measured[i].loss, truth[i].loss, 0.01) << i;
+    EXPECT_NEAR(measured[i].delay, truth[i].delay, 0.0005) << i;
+    EXPECT_EQ(measured[i].risk, truth[i].risk) << i;  // risks pass through
+  }
+}
+
+TEST(Estimator, RejectsBadProbeConfig) {
+  ProbeConfig bad;
+  bad.frame_bytes = 4;
+  EXPECT_THROW((void)measure_channel(channel(10, 0, 0), bad), PreconditionError);
+  bad = ProbeConfig{};
+  bad.pace_fraction = 1.5;
+  EXPECT_THROW((void)measure_channel(channel(10, 0, 0), bad), PreconditionError);
+  bad = ProbeConfig{};
+  bad.saturate_seconds = 0;
+  EXPECT_THROW((void)measure_channel(channel(10, 0, 0), bad), PreconditionError);
+}
+
+}  // namespace
+}  // namespace mcss::workload

@@ -1,0 +1,226 @@
+// Tests for GF(2^8) arithmetic: field axioms, table consistency, and the
+// Lagrange interpolation used by Shamir reconstruction.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "field/gf256.hpp"
+#include "util/ensure.hpp"
+#include "util/rng.hpp"
+
+namespace mcss::gf {
+namespace {
+
+TEST(Gf256, AdditionIsXor) {
+  EXPECT_EQ(add(0x53, 0xCA), 0x99);
+  EXPECT_EQ(add(0xFF, 0xFF), 0x00);
+  EXPECT_EQ(add(0x00, 0xAB), 0xAB);
+}
+
+TEST(Gf256, AdditionIsItsOwnInverse) {
+  for (int a = 0; a < 256; ++a) {
+    for (int b : {0, 1, 77, 128, 255}) {
+      const auto ea = static_cast<Elem>(a);
+      const auto eb = static_cast<Elem>(b);
+      EXPECT_EQ(add(add(ea, eb), eb), ea);
+    }
+  }
+}
+
+TEST(Gf256, KnownAesProducts) {
+  // Standard AES-field test vectors.
+  EXPECT_EQ(mul(0x53, 0xCA), 0x01);  // 0x53 and 0xCA are inverses
+  EXPECT_EQ(mul(0x02, 0x80), 0x1B);  // xtime overflow reduces by 0x11B
+  EXPECT_EQ(mul(0x57, 0x83), 0xC1);
+  EXPECT_EQ(mul(0x57, 0x13), 0xFE);
+}
+
+TEST(Gf256, MultiplicationByZeroAndOne) {
+  for (int a = 0; a < 256; ++a) {
+    const auto ea = static_cast<Elem>(a);
+    EXPECT_EQ(mul(ea, 0), 0);
+    EXPECT_EQ(mul(0, ea), 0);
+    EXPECT_EQ(mul(ea, 1), ea);
+    EXPECT_EQ(mul(1, ea), ea);
+  }
+}
+
+TEST(Gf256, MultiplicationCommutes) {
+  Rng r(1);
+  for (int t = 0; t < 5000; ++t) {
+    const Elem a = r.byte();
+    const Elem b = r.byte();
+    EXPECT_EQ(mul(a, b), mul(b, a));
+  }
+}
+
+TEST(Gf256, MultiplicationAssociates) {
+  Rng r(2);
+  for (int t = 0; t < 5000; ++t) {
+    const Elem a = r.byte();
+    const Elem b = r.byte();
+    const Elem c = r.byte();
+    EXPECT_EQ(mul(mul(a, b), c), mul(a, mul(b, c)));
+  }
+}
+
+TEST(Gf256, MultiplicationDistributesOverAddition) {
+  Rng r(3);
+  for (int t = 0; t < 5000; ++t) {
+    const Elem a = r.byte();
+    const Elem b = r.byte();
+    const Elem c = r.byte();
+    EXPECT_EQ(mul(a, add(b, c)), add(mul(a, b), mul(a, c)));
+  }
+}
+
+TEST(Gf256, MulAgainstBitwiseReference) {
+  // Carry-less multiply + reduction by 0x11B, entirely independent of the
+  // log/exp tables.
+  const auto slow_mul = [](Elem a, Elem b) {
+    unsigned acc = 0;
+    unsigned aa = a;
+    for (int bit = 0; bit < 8; ++bit) {
+      if (b & (1 << bit)) acc ^= aa << bit;
+    }
+    for (int bit = 15; bit >= 8; --bit) {
+      if (acc & (1u << bit)) acc ^= 0x11Bu << (bit - 8);
+    }
+    return static_cast<Elem>(acc);
+  };
+  for (int a = 0; a < 256; ++a) {
+    for (int b = 0; b < 256; b += 7) {  // sampled full-range sweep
+      EXPECT_EQ(mul(static_cast<Elem>(a), static_cast<Elem>(b)),
+                slow_mul(static_cast<Elem>(a), static_cast<Elem>(b)));
+    }
+  }
+}
+
+TEST(Gf256, EveryNonzeroElementHasInverse) {
+  for (int a = 1; a < 256; ++a) {
+    const auto ea = static_cast<Elem>(a);
+    EXPECT_EQ(mul(ea, inv(ea)), 1) << "a=" << a;
+  }
+}
+
+TEST(Gf256, InverseOfZeroThrows) {
+  EXPECT_THROW((void)inv(0), PreconditionError);
+}
+
+TEST(Gf256, DivisionConsistentWithMultiplication) {
+  Rng r(4);
+  for (int t = 0; t < 5000; ++t) {
+    const Elem a = r.byte();
+    Elem b = r.byte();
+    if (b == 0) b = 1;
+    EXPECT_EQ(mul(div(a, b), b), a);
+  }
+  EXPECT_THROW((void)div(1, 0), PreconditionError);
+  EXPECT_EQ(div(0, 17), 0);
+}
+
+TEST(Gf256, PowMatchesRepeatedMultiplication) {
+  for (int a : {0, 1, 2, 3, 77, 255}) {
+    Elem acc = 1;
+    for (unsigned e = 0; e < 40; ++e) {
+      EXPECT_EQ(pow(static_cast<Elem>(a), e), acc) << "a=" << a << " e=" << e;
+      acc = mul(acc, static_cast<Elem>(a));
+    }
+  }
+}
+
+TEST(Gf256, PowZeroExponentIsOne) {
+  EXPECT_EQ(pow(0, 0), 1);
+  EXPECT_EQ(pow(123, 0), 1);
+}
+
+TEST(Gf256, FermatLittleTheorem) {
+  // a^255 == 1 for all nonzero a in GF(256).
+  for (int a = 1; a < 256; ++a) {
+    EXPECT_EQ(pow(static_cast<Elem>(a), 255), 1) << "a=" << a;
+  }
+}
+
+TEST(Gf256, PolyEvalAgainstNaive) {
+  Rng r(5);
+  for (int t = 0; t < 1000; ++t) {
+    std::vector<Elem> coeffs(1 + r.uniform_int(8));
+    for (Elem& c : coeffs) c = r.byte();
+    const Elem x = r.byte();
+    Elem expect = 0;
+    for (std::size_t i = 0; i < coeffs.size(); ++i) {
+      expect = add(expect, mul(coeffs[i], pow(x, static_cast<unsigned>(i))));
+    }
+    EXPECT_EQ(poly_eval(coeffs, x), expect);
+  }
+}
+
+TEST(Gf256, PolyEvalAtZeroGivesConstantTerm) {
+  const std::vector<Elem> coeffs{0xAB, 0x13, 0x77};
+  EXPECT_EQ(poly_eval(coeffs, 0), 0xAB);
+}
+
+TEST(Gf256, PolyEvalEmptyIsZero) {
+  EXPECT_EQ(poly_eval({}, 42), 0);
+}
+
+TEST(Gf256, LagrangeRecoversConstantTerm) {
+  Rng r(6);
+  for (int degree = 0; degree < 8; ++degree) {
+    for (int t = 0; t < 200; ++t) {
+      std::vector<Elem> coeffs(static_cast<std::size_t>(degree) + 1);
+      for (Elem& c : coeffs) c = r.byte();
+      // Evaluate at degree+1 distinct nonzero points.
+      std::vector<Elem> xs, ys;
+      for (int i = 0; i <= degree; ++i) {
+        const auto x = static_cast<Elem>(i + 1);
+        xs.push_back(x);
+        ys.push_back(poly_eval(coeffs, x));
+      }
+      EXPECT_EQ(lagrange_at_zero(xs, ys), coeffs[0]);
+    }
+  }
+}
+
+TEST(Gf256, LagrangeWithScatteredAbscissae) {
+  // Interpolation must not depend on the abscissae being 1..k.
+  Rng r(7);
+  const std::vector<Elem> coeffs{0x42, 0x99, 0x07};
+  const std::vector<Elem> xs{5, 200, 131};
+  std::vector<Elem> ys;
+  for (const Elem x : xs) ys.push_back(poly_eval(coeffs, x));
+  EXPECT_EQ(lagrange_at_zero(xs, ys), 0x42);
+}
+
+TEST(Gf256, LagrangeWeightsMatchDirectInterpolation) {
+  const std::vector<Elem> coeffs{0x11, 0x22, 0x33, 0x44};
+  const std::vector<Elem> xs{3, 17, 99, 254};
+  std::vector<Elem> ys;
+  for (const Elem x : xs) ys.push_back(poly_eval(coeffs, x));
+  const auto weights = lagrange_weights_at_zero(xs);
+  Elem acc = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    acc = add(acc, mul(weights[i], ys[i]));
+  }
+  EXPECT_EQ(acc, lagrange_at_zero(xs, ys));
+  EXPECT_EQ(acc, 0x11);
+}
+
+TEST(Gf256, LagrangeRejectsBadInput) {
+  const std::vector<Elem> ys{1, 2};
+  EXPECT_THROW((void)lagrange_at_zero({}, {}), PreconditionError);
+  EXPECT_THROW((void)lagrange_at_zero(std::vector<Elem>{1, 1}, ys),
+               PreconditionError);  // duplicate abscissa
+  EXPECT_THROW((void)lagrange_at_zero(std::vector<Elem>{0, 1}, ys),
+               PreconditionError);  // zero abscissa
+  EXPECT_THROW((void)lagrange_at_zero(std::vector<Elem>{1, 2, 3}, ys),
+               PreconditionError);  // size mismatch
+}
+
+TEST(Gf256, LagrangeSinglePoint) {
+  // A degree-0 polynomial: the value at any point IS the constant.
+  EXPECT_EQ(lagrange_at_zero(std::vector<Elem>{7}, std::vector<Elem>{0x5A}), 0x5A);
+}
+
+}  // namespace
+}  // namespace mcss::gf

@@ -1,0 +1,279 @@
+// Tests for the two-phase simplex solver.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "lp/simplex.hpp"
+#include "util/ensure.hpp"
+#include "util/rng.hpp"
+
+namespace mcss::lp {
+namespace {
+
+constexpr double kTol = 1e-7;
+
+// Verify that the reported x satisfies every constraint and nonnegativity.
+void expect_feasible(const Problem& p, const Solution& s) {
+  ASSERT_EQ(s.status, Status::Optimal);
+  ASSERT_EQ(s.x.size(), p.objective.size());
+  for (const double v : s.x) EXPECT_GE(v, -kTol);
+  for (const Constraint& c : p.constraints) {
+    double lhs = 0.0;
+    for (std::size_t j = 0; j < c.coeffs.size(); ++j) lhs += c.coeffs[j] * s.x[j];
+    switch (c.rel) {
+      case Relation::LessEqual:
+        EXPECT_LE(lhs, c.rhs + kTol);
+        break;
+      case Relation::GreaterEqual:
+        EXPECT_GE(lhs, c.rhs - kTol);
+        break;
+      case Relation::Equal:
+        EXPECT_NEAR(lhs, c.rhs, kTol);
+        break;
+    }
+  }
+}
+
+TEST(Simplex, TextbookMaximization) {
+  // max 3x + 2y st x + y <= 4, x + 3y <= 6; optimum (4, 0) value 12.
+  Problem p;
+  p.sense = Sense::Maximize;
+  p.objective = {3, 2};
+  p.add({1, 1}, Relation::LessEqual, 4);
+  p.add({1, 3}, Relation::LessEqual, 6);
+  const auto s = solve(p);
+  expect_feasible(p, s);
+  EXPECT_NEAR(s.objective, 12.0, kTol);
+  EXPECT_NEAR(s.x[0], 4.0, kTol);
+  EXPECT_NEAR(s.x[1], 0.0, kTol);
+}
+
+TEST(Simplex, MinimizationWithGreaterEqual) {
+  // min 2x + 3y st x + y >= 10, x >= 2; optimum (10, 0) value 20.
+  Problem p;
+  p.objective = {2, 3};
+  p.add({1, 1}, Relation::GreaterEqual, 10);
+  p.add({1, 0}, Relation::GreaterEqual, 2);
+  const auto s = solve(p);
+  expect_feasible(p, s);
+  EXPECT_NEAR(s.objective, 20.0, kTol);
+}
+
+TEST(Simplex, EqualityConstraints) {
+  // min x + 2y + 3z st x + y + z = 1, x - y = 0; optimum x=y=0.5, z=0.
+  Problem p;
+  p.objective = {1, 2, 3};
+  p.add({1, 1, 1}, Relation::Equal, 1);
+  p.add({1, -1, 0}, Relation::Equal, 0);
+  const auto s = solve(p);
+  expect_feasible(p, s);
+  EXPECT_NEAR(s.objective, 1.5, kTol);
+  EXPECT_NEAR(s.x[0], 0.5, kTol);
+  EXPECT_NEAR(s.x[1], 0.5, kTol);
+  EXPECT_NEAR(s.x[2], 0.0, kTol);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+  Problem p;
+  p.objective = {1, 1};
+  p.add({1, 1}, Relation::LessEqual, 1);
+  p.add({1, 1}, Relation::GreaterEqual, 3);
+  EXPECT_EQ(solve(p).status, Status::Infeasible);
+}
+
+TEST(Simplex, DetectsInfeasibleEqualitySystem) {
+  Problem p;
+  p.objective = {1, 1};
+  p.add({1, 1}, Relation::Equal, 1);
+  p.add({2, 2}, Relation::Equal, 3);
+  EXPECT_EQ(solve(p).status, Status::Infeasible);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  Problem p;
+  p.sense = Sense::Maximize;
+  p.objective = {1, 0};
+  p.add({0, 1}, Relation::LessEqual, 5);
+  EXPECT_EQ(solve(p).status, Status::Unbounded);
+}
+
+TEST(Simplex, MinimizationBoundedBelowByNonnegativity) {
+  // min x + y with only x + y <= 5: optimum is 0 at the origin.
+  Problem p;
+  p.objective = {1, 1};
+  p.add({1, 1}, Relation::LessEqual, 5);
+  const auto s = solve(p);
+  expect_feasible(p, s);
+  EXPECT_NEAR(s.objective, 0.0, kTol);
+}
+
+TEST(Simplex, NegativeRhsNormalization) {
+  // -x - y <= -2  is  x + y >= 2; min x + y should be 2.
+  Problem p;
+  p.objective = {1, 1};
+  p.add({-1, -1}, Relation::LessEqual, -2);
+  const auto s = solve(p);
+  expect_feasible(p, s);
+  EXPECT_NEAR(s.objective, 2.0, kTol);
+}
+
+TEST(Simplex, ShortConstraintRowsAreZeroPadded) {
+  Problem p;
+  p.sense = Sense::Maximize;
+  p.objective = {1, 1, 1};
+  p.add({1}, Relation::LessEqual, 2);        // x <= 2
+  p.add({0, 1, 1}, Relation::LessEqual, 3);  // y + z <= 3
+  const auto s = solve(p);
+  expect_feasible(p, s);
+  EXPECT_NEAR(s.objective, 5.0, kTol);
+}
+
+TEST(Simplex, RedundantConstraintsAreHarmless) {
+  Problem p;
+  p.objective = {1, 2};
+  p.add({1, 1}, Relation::Equal, 1);
+  p.add({2, 2}, Relation::Equal, 2);  // same hyperplane
+  p.add({1, 1}, Relation::LessEqual, 1);
+  const auto s = solve(p);
+  expect_feasible(p, s);
+  EXPECT_NEAR(s.objective, 1.0, kTol);  // all weight on x
+}
+
+TEST(Simplex, DegenerateVertexTerminates) {
+  // Classic degeneracy: multiple constraints meet at the optimum.
+  Problem p;
+  p.sense = Sense::Maximize;
+  p.objective = {1, 1};
+  p.add({1, 0}, Relation::LessEqual, 1);
+  p.add({0, 1}, Relation::LessEqual, 1);
+  p.add({1, 1}, Relation::LessEqual, 2);
+  const auto s = solve(p);
+  expect_feasible(p, s);
+  EXPECT_NEAR(s.objective, 2.0, kTol);
+}
+
+TEST(Simplex, BealeCyclingExample) {
+  // Beale's classic cycling LP; Bland's rule must terminate.
+  Problem p;
+  p.objective = {-0.75, 150, -0.02, 6};
+  p.add({0.25, -60, -0.04, 9}, Relation::LessEqual, 0);
+  p.add({0.5, -90, -0.02, 3}, Relation::LessEqual, 0);
+  p.add({0, 0, 1, 0}, Relation::LessEqual, 1);
+  const auto s = solve(p);
+  expect_feasible(p, s);
+  EXPECT_NEAR(s.objective, -0.05, kTol);
+}
+
+TEST(Simplex, TransportationProblem) {
+  // 2 sources (supply 20, 30) x 2 sinks (demand 25, 25), costs {{1,3},{4,2}}.
+  // Optimal: x11=20, x21=5, x22=25 -> 20 + 20 + 50 = 90.
+  Problem p;
+  p.objective = {1, 3, 4, 2};  // x11 x12 x21 x22
+  p.add({1, 1, 0, 0}, Relation::Equal, 20);
+  p.add({0, 0, 1, 1}, Relation::Equal, 30);
+  p.add({1, 0, 1, 0}, Relation::Equal, 25);
+  p.add({0, 1, 0, 1}, Relation::Equal, 25);
+  const auto s = solve(p);
+  expect_feasible(p, s);
+  EXPECT_NEAR(s.objective, 90.0, kTol);
+}
+
+TEST(Simplex, DistributionConstraintShape) {
+  // The shape of the paper's schedule LPs: probabilities summing to 1 with
+  // a fixed mean. min cost with mean exactly 2.5 over support {1,2,3,4}.
+  Problem p;
+  p.objective = {10, 1, 1, 10};
+  p.add({1, 1, 1, 1}, Relation::Equal, 1);
+  p.add({1, 2, 3, 4}, Relation::Equal, 2.5);
+  const auto s = solve(p);
+  expect_feasible(p, s);
+  EXPECT_NEAR(s.objective, 1.0, kTol);  // split between supports 2 and 3
+  EXPECT_NEAR(s.x[1], 0.5, kTol);
+  EXPECT_NEAR(s.x[2], 0.5, kTol);
+}
+
+TEST(Simplex, MaximizeReturnsObjectiveInCallerSense) {
+  Problem p;
+  p.sense = Sense::Maximize;
+  p.objective = {5};
+  p.add({1}, Relation::LessEqual, 3);
+  const auto s = solve(p);
+  EXPECT_NEAR(s.objective, 15.0, kTol);  // not -15
+}
+
+TEST(Simplex, RejectsNonFiniteInput) {
+  Problem p;
+  p.objective = {std::numeric_limits<double>::infinity()};
+  EXPECT_THROW((void)solve(p), PreconditionError);
+
+  Problem q;
+  q.objective = {1};
+  q.add({std::nan("")}, Relation::LessEqual, 1);
+  EXPECT_THROW((void)solve(q), PreconditionError);
+
+  Problem r;
+  r.objective = {1};
+  r.add({1}, Relation::LessEqual, std::nan(""));
+  EXPECT_THROW((void)solve(r), PreconditionError);
+}
+
+TEST(Simplex, RejectsOverlongConstraint) {
+  Problem p;
+  p.objective = {1};
+  p.add({1, 2}, Relation::LessEqual, 1);
+  EXPECT_THROW((void)solve(p), PreconditionError);
+}
+
+TEST(Simplex, EmptyProblemIsTriviallyOptimal) {
+  Problem p;  // no variables, no constraints
+  const auto s = solve(p);
+  EXPECT_EQ(s.status, Status::Optimal);
+  EXPECT_EQ(s.objective, 0.0);
+}
+
+// Property sweep: random bounded LPs must return feasible optima whose
+// objective is no worse than a reference feasible point we construct.
+class SimplexRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexRandomTest, OptimalBeatsKnownFeasiblePoint) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const int n = 2 + static_cast<int>(rng.uniform_int(5));
+  const int m = 1 + static_cast<int>(rng.uniform_int(4));
+
+  // Build constraints guaranteed feasible at a random point x0 >= 0.
+  std::vector<double> x0(static_cast<std::size_t>(n));
+  for (double& v : x0) v = rng.uniform(0.0, 3.0);
+
+  Problem p;
+  p.objective.resize(static_cast<std::size_t>(n));
+  for (double& c : p.objective) c = rng.uniform(-2.0, 2.0);
+  p.sense = Sense::Minimize;
+
+  for (int r = 0; r < m; ++r) {
+    Constraint c;
+    c.coeffs.resize(static_cast<std::size_t>(n));
+    double lhs = 0.0;
+    for (int j = 0; j < n; ++j) {
+      c.coeffs[static_cast<std::size_t>(j)] = rng.uniform(0.1, 2.0);
+      lhs += c.coeffs[static_cast<std::size_t>(j)] * x0[static_cast<std::size_t>(j)];
+    }
+    c.rel = Relation::LessEqual;  // all-positive rows keep the region bounded
+    c.rhs = lhs + rng.uniform(0.0, 1.0);
+    p.constraints.push_back(std::move(c));
+  }
+  // Bound the region so minimization with negative costs cannot be unbounded.
+  p.add(std::vector<double>(static_cast<std::size_t>(n), 1.0), Relation::LessEqual,
+        50.0);
+
+  const auto s = solve(p);
+  expect_feasible(p, s);
+  double ref = 0.0;
+  for (int j = 0; j < n; ++j) ref += p.objective[static_cast<std::size_t>(j)] * x0[static_cast<std::size_t>(j)];
+  EXPECT_LE(s.objective, ref + kTol);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexRandomTest, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace mcss::lp

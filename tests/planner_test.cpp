@@ -1,0 +1,182 @@
+// Tests for the parameter planner and the LP metric-ceiling rows.
+#include <gtest/gtest.h>
+
+#include "core/lp_schedule.hpp"
+#include "core/optimal.hpp"
+#include "core/planner.hpp"
+#include "core/rate.hpp"
+#include "util/ensure.hpp"
+#include "workload/setups.hpp"
+
+namespace mcss {
+namespace {
+
+ChannelSet testbed() {
+  // Lossy testbed rates/losses + Delayed testbed delays.
+  const auto lossy = workload::lossy_setup().to_model(1470);
+  const auto delayed = workload::delayed_setup().to_model(1470);
+  std::vector<Channel> merged;
+  for (int i = 0; i < lossy.size(); ++i) {
+    merged.push_back(
+        {lossy[i].risk, lossy[i].loss, delayed[i].delay, lossy[i].rate});
+  }
+  return ChannelSet(std::move(merged));
+}
+
+// ---------------------------------------------------------------- ceilings
+
+TEST(LpCeilings, BindingRiskCeilingChangesOptimum) {
+  const auto c = testbed();
+  // Minimize risk with a delay ceiling: compare against the unconstrained
+  // minimum-risk solution's delay.
+  ScheduleLpSpec unconstrained{.objective = Objective::Risk,
+                               .kappa = 2.0,
+                               .mu = 3.0,
+                               .rate = RateConstraint::MaxRate};
+  const auto base = solve_schedule_lp(c, unconstrained);
+  ASSERT_EQ(base.status, lp::Status::Optimal);
+  const double base_delay = schedule_delay(c, *base.schedule);
+
+  auto constrained = unconstrained;
+  constrained.max_delay = base_delay * 0.5;  // force a different tradeoff
+  const auto tight = solve_schedule_lp(c, constrained);
+  if (tight.status == lp::Status::Optimal) {
+    EXPECT_LE(schedule_delay(c, *tight.schedule), base_delay * 0.5 + 1e-9);
+    EXPECT_GE(tight.objective_value, base.objective_value - 1e-9);
+  } else {
+    EXPECT_EQ(tight.status, lp::Status::Infeasible);
+  }
+}
+
+TEST(LpCeilings, NonBindingCeilingIsFree) {
+  const auto c = testbed();
+  ScheduleLpSpec spec{.objective = Objective::Risk,
+                      .kappa = 2.0,
+                      .mu = 3.0,
+                      .rate = RateConstraint::MaxRate};
+  const auto base = solve_schedule_lp(c, spec);
+  spec.max_loss = 1.0;   // trivially satisfied
+  spec.max_delay = 1e9;  // trivially satisfied
+  const auto loose = solve_schedule_lp(c, spec);
+  ASSERT_EQ(base.status, lp::Status::Optimal);
+  ASSERT_EQ(loose.status, lp::Status::Optimal);
+  EXPECT_NEAR(base.objective_value, loose.objective_value, 1e-9);
+}
+
+TEST(LpCeilings, ImpossibleCeilingIsInfeasible) {
+  const auto c = testbed();
+  ScheduleLpSpec spec{.objective = Objective::Delay,
+                      .kappa = 2.0,
+                      .mu = 3.0,
+                      .rate = RateConstraint::MaxRate};
+  spec.max_risk = 1e-12;  // no schedule at kappa = 2 is this private
+  EXPECT_EQ(solve_schedule_lp(c, spec).status, lp::Status::Infeasible);
+}
+
+// ---------------------------------------------------------------- planner
+
+TEST(Planner, UnconstrainedMaxRatePicksMuOne) {
+  const auto c = testbed();
+  const auto plan = plan_parameters(c, {});
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_NEAR(plan.mu, 1.0, 1e-9);
+  EXPECT_NEAR(plan.rate, c.total_rate(), 1e-6);
+}
+
+TEST(Planner, RiskRequirementForcesHigherKappa) {
+  const auto c = testbed();
+  PlannerGoal goal;
+  goal.max_risk = 0.01;
+  const auto plan = plan_parameters(c, goal);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_LE(plan.risk, 0.01 + 1e-9);
+  EXPECT_GT(plan.kappa, 1.0);  // kappa = 1 cannot reach risk 0.01 here
+  // And the planner should still have maximized rate subject to that.
+  EXPECT_GT(plan.rate, 0.0);
+}
+
+TEST(Planner, RateFloorLimitsMu) {
+  const auto c = testbed();
+  PlannerGoal goal;
+  goal.objective = PlannerGoal::Objective::MinRisk;
+  goal.min_rate = c.total_rate() / 2.0;
+  const auto plan = plan_parameters(c, goal);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_GE(plan.rate, c.total_rate() / 2.0 - 1e-6);
+  // MinRisk with a rate floor: risk should beat the trivial kappa = 1 point.
+  const auto trivial = plan_parameters(c, {});
+  EXPECT_LT(plan.risk, trivial.risk + 1e-12);
+}
+
+TEST(Planner, ImpossibleGoalIsInfeasible) {
+  const auto c = testbed();
+  PlannerGoal goal;
+  goal.max_risk = 1e-9;               // essentially needs kappa = n...
+  goal.min_rate = c.total_rate();     // ...which needs mu = 1 < kappa
+  const auto plan = plan_parameters(c, goal);
+  EXPECT_FALSE(plan.feasible);
+  EXPECT_FALSE(plan.schedule.has_value());
+}
+
+TEST(Planner, MinRiskUnconstrainedApproachesGlobalOptimum) {
+  const auto c = testbed();
+  PlannerGoal goal;
+  goal.objective = PlannerGoal::Objective::MinRisk;
+  const auto plan = plan_parameters(c, goal);
+  ASSERT_TRUE(plan.feasible);
+  // Best privacy is kappa = mu = n with Z = prod z_i.
+  EXPECT_NEAR(plan.kappa, 5.0, 1e-9);
+  EXPECT_NEAR(plan.mu, 5.0, 1e-9);
+  EXPECT_NEAR(plan.risk, optimal_risk(c), 1e-9);
+}
+
+TEST(Planner, PlanScheduleSatisfiesTheGoal) {
+  const auto c = testbed();
+  PlannerGoal goal;
+  goal.max_risk = 0.08;
+  goal.max_loss = 0.01;
+  goal.max_delay = 0.010;  // 10 ms
+  const auto plan = plan_parameters(c, goal);
+  ASSERT_TRUE(plan.feasible);
+  ASSERT_TRUE(plan.schedule.has_value());
+  EXPECT_LE(schedule_risk(c, *plan.schedule), 0.08 + 1e-7);
+  EXPECT_LE(schedule_loss(c, *plan.schedule), 0.01 + 1e-7);
+  EXPECT_LE(schedule_delay(c, *plan.schedule), 0.010 + 1e-7);
+  // Reported metrics match the schedule.
+  EXPECT_NEAR(plan.risk, schedule_risk(c, *plan.schedule), 1e-9);
+  EXPECT_NEAR(plan.loss, schedule_loss(c, *plan.schedule), 1e-9);
+  EXPECT_NEAR(plan.delay, schedule_delay(c, *plan.schedule), 1e-9);
+  // The realized schedule hits the planned operating point exactly.
+  EXPECT_NEAR(plan.schedule->kappa(), plan.kappa, 1e-7);
+  EXPECT_NEAR(plan.schedule->mu(), plan.mu, 1e-7);
+}
+
+TEST(Planner, LimitedRestrictionIsRespected) {
+  const auto c = testbed();
+  PlannerGoal goal;
+  goal.max_risk = 0.05;
+  goal.restriction = Restriction::Limited;
+  const auto plan = plan_parameters(c, goal);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_TRUE(plan.schedule->is_limited());
+}
+
+TEST(Planner, LimitedNeverBeatsUnrestricted) {
+  const auto c = testbed();
+  PlannerGoal goal;
+  goal.objective = PlannerGoal::Objective::MinRisk;
+  goal.min_rate = c.total_rate() / 4.0;
+  const auto free = plan_parameters(c, goal);
+  goal.restriction = Restriction::Limited;
+  const auto limited = plan_parameters(c, goal);
+  ASSERT_TRUE(free.feasible);
+  ASSERT_TRUE(limited.feasible);
+  EXPECT_GE(limited.risk, free.risk - 1e-9);
+}
+
+TEST(Planner, RejectsBadStep) {
+  EXPECT_THROW((void)plan_parameters(testbed(), {.step = 0.0}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace mcss

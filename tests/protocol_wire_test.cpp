@@ -1,0 +1,204 @@
+// Tests for the share wire format and the (kappa, mu) dither.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "protocol/dither.hpp"
+#include "protocol/micss.hpp"
+#include "protocol/wire.hpp"
+#include "util/ensure.hpp"
+
+namespace mcss::proto {
+namespace {
+
+// ---------------------------------------------------------------- wire
+
+TEST(Wire, RoundtripBasic) {
+  ShareFrame f;
+  f.packet_id = 0x0123456789ABCDEFULL;
+  f.k = 3;
+  f.share_index = 7;
+  f.payload = {1, 2, 3, 4, 5};
+  const auto bytes = encode(f);
+  EXPECT_EQ(bytes.size(), kHeaderSize + 5);
+  const auto back = decode(bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, f);
+}
+
+TEST(Wire, RoundtripEmptyPayload) {
+  ShareFrame f;
+  f.packet_id = 1;
+  f.k = 1;
+  f.share_index = 1;
+  const auto back = decode(encode(f));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->payload.empty());
+}
+
+TEST(Wire, RoundtripMaxPayload) {
+  ShareFrame f;
+  f.packet_id = 42;
+  f.k = 255;
+  f.share_index = 255;
+  f.payload.assign(kMaxPayload, 0x5A);
+  const auto back = decode(encode(f));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->payload.size(), kMaxPayload);
+}
+
+TEST(Wire, EncodeRejectsInvalid) {
+  ShareFrame f;
+  f.k = 0;
+  f.share_index = 1;
+  EXPECT_THROW((void)encode(f), PreconditionError);
+  f.k = 1;
+  f.share_index = 0;
+  EXPECT_THROW((void)encode(f), PreconditionError);
+}
+
+TEST(Wire, DecodeRejectsMalformed) {
+  ShareFrame f;
+  f.packet_id = 7;
+  f.k = 2;
+  f.share_index = 3;
+  f.payload = {9, 9, 9};
+  auto good = encode(f);
+
+  // Too short.
+  EXPECT_FALSE(decode(std::vector<std::uint8_t>(kHeaderSize - 1, 0)).has_value());
+  // Bad magic.
+  auto bad = good;
+  bad[0] ^= 0xFF;
+  EXPECT_FALSE(decode(bad).has_value());
+  // Bad version.
+  bad = good;
+  bad[2] = 99;
+  EXPECT_FALSE(decode(bad).has_value());
+  // Zero threshold.
+  bad = good;
+  bad[3] = 0;
+  EXPECT_FALSE(decode(bad).has_value());
+  // Zero share index.
+  bad = good;
+  bad[12] = 0;
+  EXPECT_FALSE(decode(bad).has_value());
+  // Unknown flags.
+  bad = good;
+  bad[13] = 1;
+  EXPECT_FALSE(decode(bad).has_value());
+  // Length mismatch: truncated payload.
+  bad = good;
+  bad.pop_back();
+  EXPECT_FALSE(decode(bad).has_value());
+  // Length mismatch: trailing junk.
+  bad = good;
+  bad.push_back(0);
+  EXPECT_FALSE(decode(bad).has_value());
+  // The untouched frame still parses.
+  EXPECT_TRUE(decode(good).has_value());
+}
+
+TEST(Wire, AckRoundtrip) {
+  const AckFrame ack{0xDEADBEEFCAFEF00DULL, 5};
+  const auto back = decode_ack(encode_ack(ack));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->packet_id, ack.packet_id);
+  EXPECT_EQ(back->share_index, ack.share_index);
+}
+
+TEST(Wire, AckRejectsMalformed) {
+  const auto good = encode_ack({1, 1});
+  EXPECT_FALSE(decode_ack(std::vector<std::uint8_t>(5, 0)).has_value());
+  auto bad = good;
+  bad[0] ^= 0xFF;
+  EXPECT_FALSE(decode_ack(bad).has_value());
+  bad = good;
+  bad[10] = 0;  // zero index
+  EXPECT_FALSE(decode_ack(bad).has_value());
+  // A data frame is not an ack.
+  ShareFrame f;
+  f.packet_id = 1;
+  f.k = 1;
+  f.share_index = 1;
+  EXPECT_FALSE(decode_ack(encode(f)).has_value());
+}
+
+// ---------------------------------------------------------------- dither
+
+class DitherGridTest
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(DitherGridTest, AveragesConvergeAndInvariantsHold) {
+  const auto [kappa, mu] = GetParam();
+  KappaMuDither dither(kappa, mu, 5);
+  double sum_k = 0, sum_m = 0;
+  const int symbols = 100000;
+  for (int i = 0; i < symbols; ++i) {
+    const auto [k, m] = dither.next();
+    ASSERT_GE(k, 1);
+    ASSERT_LE(k, m);  // every individual symbol is a valid threshold scheme
+    ASSERT_LE(m, 5);
+    sum_k += k;
+    sum_m += m;
+  }
+  EXPECT_NEAR(sum_k / symbols, kappa, 1e-4);
+  EXPECT_NEAR(sum_m / symbols, mu, 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KappaMuGrid, DitherGridTest,
+    ::testing::ValuesIn([] {
+      std::vector<std::pair<double, double>> grid;
+      for (double kappa = 1.0; kappa <= 5.0; kappa += 0.7) {
+        for (double mu = kappa; mu <= 5.0; mu += 0.7) grid.emplace_back(kappa, mu);
+      }
+      grid.emplace_back(2.9, 3.2);  // frac(kappa) > frac(mu)
+      grid.emplace_back(2.5, 2.7);
+      grid.emplace_back(1.0, 5.0);
+      grid.emplace_back(5.0, 5.0);
+      grid.emplace_back(3.4, 3.4);  // the paper's anomalous neighborhood
+      return grid;
+    }()));
+
+TEST(Dither, IntegerParametersAreConstant) {
+  KappaMuDither dither(2.0, 4.0, 5);
+  for (int i = 0; i < 100; ++i) {
+    const auto [k, m] = dither.next();
+    EXPECT_EQ(k, 2);
+    EXPECT_EQ(m, 4);
+  }
+}
+
+TEST(Dither, ShortRunConvergence) {
+  // Largest-remainder dithering must be accurate even over tens of
+  // symbols, not just asymptotically.
+  KappaMuDither dither(1.5, 3.5, 5);
+  double sum_k = 0, sum_m = 0;
+  for (int i = 0; i < 40; ++i) {
+    const auto [k, m] = dither.next();
+    sum_k += k;
+    sum_m += m;
+  }
+  EXPECT_NEAR(sum_k / 40, 1.5, 0.05);
+  EXPECT_NEAR(sum_m / 40, 3.5, 0.05);
+}
+
+TEST(Dither, RejectsInvalidParameters) {
+  EXPECT_THROW(KappaMuDither(0.5, 2.0, 5), PreconditionError);
+  EXPECT_THROW(KappaMuDither(3.0, 2.0, 5), PreconditionError);
+  EXPECT_THROW(KappaMuDither(2.0, 5.5, 5), PreconditionError);
+}
+
+TEST(Dither, IsDeterministic) {
+  KappaMuDither a(2.3, 3.7, 5), b(2.3, 3.7, 5);
+  for (int i = 0; i < 1000; ++i) {
+    const auto pa = a.next();
+    const auto pb = b.next();
+    EXPECT_EQ(pa.k, pb.k);
+    EXPECT_EQ(pa.m, pb.m);
+  }
+}
+
+}  // namespace
+}  // namespace mcss::proto

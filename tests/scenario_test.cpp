@@ -1,0 +1,138 @@
+// Tests for the scenario text format: units, defaults, validation, and
+// end-to-end scenario execution.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/ensure.hpp"
+#include "workload/scenario.hpp"
+
+namespace mcss::workload {
+namespace {
+
+TEST(Scenario, ParsesDemoDocument) {
+  const auto s = parse_scenario(demo_scenario_text());
+  EXPECT_EQ(s.config.setup.num_channels(), 5);
+  EXPECT_DOUBLE_EQ(s.config.kappa, 2.0);
+  EXPECT_DOUBLE_EQ(s.config.mu, 3.0);
+  EXPECT_TRUE(s.auto_offered);
+  EXPECT_EQ(s.config.scheduler, SchedulerKind::Dynamic);
+  EXPECT_DOUBLE_EQ(s.config.duration_s, 0.5);
+  EXPECT_DOUBLE_EQ(s.config.warmup_s, 0.05);
+  EXPECT_EQ(s.config.seed, 42u);
+}
+
+TEST(Scenario, ChannelAttributeUnits) {
+  const auto s = parse_scenario(
+      "channel rate=2.5Gbps loss=1.5% delay=250us risk=0.33 jitter=2ms corrupt=0.5%\n"
+      "kappa 1\nmu 1\n");
+  ASSERT_EQ(s.config.setup.num_channels(), 1);
+  const auto& ch = s.config.setup.channels[0];
+  EXPECT_DOUBLE_EQ(ch.rate_bps, 2.5e9);
+  EXPECT_DOUBLE_EQ(ch.loss, 0.015);
+  EXPECT_EQ(ch.delay, net::from_micros(250));
+  EXPECT_EQ(ch.jitter, net::from_millis(2));
+  EXPECT_DOUBLE_EQ(ch.corrupt, 0.005);
+  EXPECT_DOUBLE_EQ(s.config.setup.risks[0], 0.33);
+}
+
+TEST(Scenario, LossAcceptsFractionOrPercent) {
+  const auto pct = parse_scenario("channel rate=1Mbps loss=2%\nkappa 1\nmu 1\n");
+  const auto frac = parse_scenario("channel rate=1Mbps loss=0.02\nkappa 1\nmu 1\n");
+  EXPECT_DOUBLE_EQ(pct.config.setup.channels[0].loss,
+                   frac.config.setup.channels[0].loss);
+}
+
+TEST(Scenario, DefaultsApply) {
+  const auto s = parse_scenario("channel rate=10Mbps\nkappa 1\nmu 1\n");
+  EXPECT_EQ(s.config.setup.channels[0].loss, 0.0);
+  EXPECT_EQ(s.config.setup.channels[0].delay, 0);
+  EXPECT_DOUBLE_EQ(s.config.setup.risks[0], 0.2);
+  EXPECT_FALSE(s.auto_offered);
+  EXPECT_FALSE(s.config.echo);
+}
+
+TEST(Scenario, SchedulerNames) {
+  const std::pair<const char*, SchedulerKind> cases[] = {
+      {"dynamic", SchedulerKind::Dynamic},
+      {"lp-loss", SchedulerKind::StaticLp},
+      {"lp-delay", SchedulerKind::StaticLp},
+      {"lp-risk", SchedulerKind::StaticLp},
+      {"proportional", SchedulerKind::Proportional},
+      {"fixed", SchedulerKind::Fixed},
+  };
+  for (const auto& [name, kind] : cases) {
+    const auto s = parse_scenario("channel rate=1Mbps\nkappa 1\nmu 1\nscheduler " +
+                                  std::string(name) + "\n");
+    EXPECT_EQ(s.config.scheduler, kind) << name;
+  }
+}
+
+TEST(Scenario, CommentsAndBlankLinesIgnored) {
+  const auto s = parse_scenario(
+      "# full-line comment\n"
+      "\n"
+      "channel rate=1Mbps  # trailing comment\n"
+      "kappa 1\n"
+      "mu 1\n");
+  EXPECT_EQ(s.config.setup.num_channels(), 1);
+}
+
+TEST(Scenario, ErrorsCarryLineNumbers) {
+  try {
+    (void)parse_scenario("channel rate=1Mbps\nkappa 1\nmu 1\nbogus directive\n");
+    FAIL() << "expected a parse error";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Scenario, RejectsMalformedInput) {
+  // No channels.
+  EXPECT_THROW((void)parse_scenario("kappa 1\nmu 1\n"), PreconditionError);
+  // Channel without a rate.
+  EXPECT_THROW((void)parse_scenario("channel loss=1%\nkappa 1\nmu 1\n"),
+               PreconditionError);
+  // Bad unit.
+  EXPECT_THROW((void)parse_scenario("channel rate=5parsecs\nkappa 1\nmu 1\n"),
+               PreconditionError);
+  // Missing '='.
+  EXPECT_THROW((void)parse_scenario("channel rate 5Mbps\nkappa 1\nmu 1\n"),
+               PreconditionError);
+  // kappa > mu.
+  EXPECT_THROW(
+      (void)parse_scenario("channel rate=1Mbps\nchannel rate=1Mbps\nkappa 2\nmu 1.5\n"),
+      PreconditionError);
+  // mu > n.
+  EXPECT_THROW((void)parse_scenario("channel rate=1Mbps\nkappa 1\nmu 2\n"),
+               PreconditionError);
+  // Bad echo value.
+  EXPECT_THROW(
+      (void)parse_scenario("channel rate=1Mbps\nkappa 1\nmu 1\necho maybe\n"),
+      PreconditionError);
+  // Packet size out of range.
+  EXPECT_THROW(
+      (void)parse_scenario("channel rate=1Mbps\nkappa 1\nmu 1\npacket 4\n"),
+      PreconditionError);
+}
+
+TEST(Scenario, RunScenarioEndToEnd) {
+  auto s = parse_scenario(demo_scenario_text());
+  s.config.duration_s = 0.2;  // keep the test fast
+  const auto result = run_scenario(s);
+  EXPECT_GT(result.achieved_mbps, 10.0);
+  EXPECT_NEAR(result.achieved_kappa, 2.0, 0.05);
+  EXPECT_NEAR(result.achieved_mu, 3.0, 0.05);
+}
+
+TEST(Scenario, AutoOfferedTracksOptimal) {
+  auto s = parse_scenario(
+      "channel rate=10Mbps\nchannel rate=10Mbps\n"
+      "kappa 1\nmu 1\noffered auto\nduration 0.2s\n");
+  const auto result = run_scenario(s);
+  // auto = 97% of 20 Mbps optimum; the measured rate should be near it.
+  EXPECT_NEAR(result.achieved_mbps, 0.97 * 20.0, 1.5);
+}
+
+}  // namespace
+}  // namespace mcss::workload

@@ -1,0 +1,319 @@
+// Tests for the extended sharing substrates: GF(256) linear algebra,
+// Blakley's hyperplane scheme, GF(2^16), and wide Shamir.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "field/gf65536.hpp"
+#include "field/gf_linalg.hpp"
+#include "sss/blakley.hpp"
+#include "sss/shamir.hpp"
+#include "sss/shamir16.hpp"
+#include "util/ensure.hpp"
+#include "util/rng.hpp"
+#include "util/subset.hpp"
+
+namespace mcss {
+namespace {
+
+std::vector<std::uint8_t> random_bytes(Rng& rng, std::size_t len) {
+  std::vector<std::uint8_t> v(len);
+  for (auto& b : v) b = rng.byte();
+  return v;
+}
+
+// ---------------------------------------------------------------- linalg
+
+TEST(GfLinalg, IdentityBehaviour) {
+  gf::Matrix eye(3, 3);
+  for (std::size_t i = 0; i < 3; ++i) eye.at(i, i) = 1;
+  EXPECT_EQ(gf::rank(eye), 3u);
+  const auto inv = gf::invert(eye);
+  ASSERT_TRUE(inv.has_value());
+  EXPECT_EQ(*inv, eye);
+}
+
+TEST(GfLinalg, SolveRoundtrip) {
+  // Build A (random invertible) and x; solve A x = b and compare.
+  Rng rng(1);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t n = 1 + rng.uniform_int(6);
+    gf::Matrix a(n, n);
+    do {
+      for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t c = 0; c < n; ++c) a.at(r, c) = rng.byte();
+      }
+    } while (gf::rank(a) != n);
+
+    std::vector<gf::Elem> x(n);
+    for (auto& v : x) v = rng.byte();
+    // b = A x.
+    std::vector<gf::Elem> b(n, 0);
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < n; ++c) {
+        b[r] = gf::add(b[r], gf::mul(a.at(r, c), x[c]));
+      }
+    }
+    const auto solved = gf::solve(a, b);
+    ASSERT_TRUE(solved.has_value());
+    EXPECT_EQ(*solved, x);
+  }
+}
+
+TEST(GfLinalg, SingularSystemsReported) {
+  gf::Matrix a(2, 2);
+  a.at(0, 0) = 3;
+  a.at(0, 1) = 5;
+  a.at(1, 0) = 3;
+  a.at(1, 1) = 5;  // duplicate row
+  EXPECT_EQ(gf::rank(a), 1u);
+  EXPECT_FALSE(gf::solve(a, {1, 2}).has_value());
+  EXPECT_FALSE(gf::invert(a).has_value());
+}
+
+TEST(GfLinalg, InverseTimesSelfIsIdentity) {
+  Rng rng(2);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 1 + rng.uniform_int(5);
+    gf::Matrix a(n, n);
+    do {
+      for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t c = 0; c < n; ++c) a.at(r, c) = rng.byte();
+      }
+    } while (gf::rank(a) != n);
+    const auto inv = gf::invert(a);
+    ASSERT_TRUE(inv.has_value());
+    const auto product = gf::multiply(a, *inv);
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < n; ++c) {
+        EXPECT_EQ(product.at(r, c), r == c ? 1 : 0);
+      }
+    }
+  }
+}
+
+TEST(GfLinalg, MultiplyDimensionChecks) {
+  gf::Matrix a(2, 3), b(2, 2);
+  EXPECT_THROW((void)gf::multiply(a, b), PreconditionError);
+  EXPECT_THROW((void)gf::solve(a, {1, 2}), PreconditionError);
+  EXPECT_THROW((void)gf::invert(a), PreconditionError);
+}
+
+// ---------------------------------------------------------------- Blakley
+
+struct KmParam {
+  int k;
+  int m;
+};
+
+class BlakleyKmTest : public ::testing::TestWithParam<KmParam> {};
+
+TEST_P(BlakleyKmTest, EveryKSubsetReconstructs) {
+  const auto [k, m] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(k * 37 + m));
+  const auto secret = random_bytes(rng, 24);
+  const auto shares = sss::blakley_split(secret, k, m, rng);
+  ASSERT_EQ(shares.size(), static_cast<std::size_t>(m));
+  for_each_subset(full_mask(m), [&, k = k](Mask subset) {
+    if (mask_size(subset) != k) return;
+    std::vector<sss::BlakleyShare> chosen;
+    for_each_member(subset, [&](int i) {
+      chosen.push_back(shares[static_cast<std::size_t>(i)]);
+    });
+    EXPECT_EQ(sss::blakley_reconstruct(chosen), secret);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllValidKm, BlakleyKmTest,
+    ::testing::ValuesIn([] {
+      std::vector<KmParam> params;
+      for (int m = 1; m <= 6; ++m) {
+        for (int k = 1; k <= m; ++k) params.push_back({k, m});
+      }
+      return params;
+    }()),
+    [](const ::testing::TestParamInfo<KmParam>& p) {
+      return "k" + std::to_string(p.param.k) + "m" + std::to_string(p.param.m);
+    });
+
+TEST(Blakley, AgreesWithShamirSemantics) {
+  // Same secret shared by both schemes: both reconstruct it from any
+  // threshold subset (cross-validation of two independent code paths).
+  Rng rng(5);
+  const auto secret = random_bytes(rng, 100);
+  const auto blakley = sss::blakley_split(secret, 3, 5, rng);
+  const auto shamir = sss::split(secret, 3, 5, rng);
+  const std::vector<sss::BlakleyShare> b_pick{blakley[4], blakley[1], blakley[2]};
+  const std::vector<sss::Share> s_pick{shamir[4], shamir[1], shamir[2]};
+  EXPECT_EQ(sss::blakley_reconstruct(b_pick), secret);
+  EXPECT_EQ(sss::reconstruct(s_pick), secret);
+}
+
+TEST(Blakley, ShareOffsetsAreSecretSized) {
+  Rng rng(6);
+  const auto secret = random_bytes(rng, 500);
+  const auto shares = sss::blakley_split(secret, 2, 4, rng);
+  for (const auto& s : shares) {
+    EXPECT_EQ(s.offsets.size(), secret.size());
+    EXPECT_EQ(s.normal.size(), 2u);  // k coefficients, amortized
+  }
+}
+
+TEST(Blakley, SingleShareDoesNotDetermineSecret) {
+  // With k = 2, one hyperplane constrains the point to a line; verify a
+  // single share's offsets do not equal the secret (no trivial leak).
+  Rng rng(7);
+  const auto secret = random_bytes(rng, 64);
+  const auto shares = sss::blakley_split(secret, 2, 3, rng);
+  EXPECT_NE(shares[0].offsets, secret);
+  EXPECT_NE(shares[1].offsets, secret);
+}
+
+TEST(Blakley, RejectsBadParameters) {
+  Rng rng(8);
+  const auto secret = random_bytes(rng, 8);
+  EXPECT_THROW((void)sss::blakley_split(secret, 0, 3, rng), PreconditionError);
+  EXPECT_THROW((void)sss::blakley_split(secret, 4, 3, rng), PreconditionError);
+  EXPECT_THROW((void)sss::blakley_split(secret, 2, 17, rng), PreconditionError);
+
+  auto shares = sss::blakley_split(secret, 2, 3, rng);
+  std::vector<sss::BlakleyShare> dup{shares[0], shares[0]};
+  EXPECT_THROW((void)sss::blakley_reconstruct(dup), PreconditionError);
+  std::vector<sss::BlakleyShare> short_len{shares[0], shares[1]};
+  short_len[1].offsets.pop_back();
+  EXPECT_THROW((void)sss::blakley_reconstruct(short_len), PreconditionError);
+  // Taking only 1 share of a k=2 split: normal length (2) != share count (1).
+  std::vector<sss::BlakleyShare> too_few{shares[0]};
+  EXPECT_THROW((void)sss::blakley_reconstruct(too_few), PreconditionError);
+}
+
+// ---------------------------------------------------------------- GF(2^16)
+
+TEST(Gf65536, FieldAxiomsOnRandomSamples) {
+  Rng rng(9);
+  for (int t = 0; t < 3000; ++t) {
+    const auto a = static_cast<gf16::Elem16>(rng() & 0xFFFF);
+    const auto b = static_cast<gf16::Elem16>(rng() & 0xFFFF);
+    const auto c = static_cast<gf16::Elem16>(rng() & 0xFFFF);
+    EXPECT_EQ(gf16::mul(a, b), gf16::mul(b, a));
+    EXPECT_EQ(gf16::mul(gf16::mul(a, b), c), gf16::mul(a, gf16::mul(b, c)));
+    EXPECT_EQ(gf16::mul(a, gf16::add(b, c)),
+              gf16::add(gf16::mul(a, b), gf16::mul(a, c)));
+    EXPECT_EQ(gf16::mul(a, 1), a);
+    EXPECT_EQ(gf16::mul(a, 0), 0);
+  }
+}
+
+TEST(Gf65536, InversesOnRandomSamples) {
+  Rng rng(10);
+  for (int t = 0; t < 3000; ++t) {
+    auto a = static_cast<gf16::Elem16>(rng() & 0xFFFF);
+    if (a == 0) a = 1;
+    EXPECT_EQ(gf16::mul(a, gf16::inv(a)), 1);
+    EXPECT_EQ(gf16::mul(gf16::div(7, a), a), 7);
+  }
+  EXPECT_THROW((void)gf16::inv(0), PreconditionError);
+  EXPECT_THROW((void)gf16::div(1, 0), PreconditionError);
+}
+
+TEST(Gf65536, MulAgainstBitwiseReference) {
+  const auto slow_mul = [](gf16::Elem16 a, gf16::Elem16 b) {
+    std::uint32_t acc = 0;
+    for (int bit = 0; bit < 16; ++bit) {
+      if (b & (1u << bit)) acc ^= static_cast<std::uint32_t>(a) << bit;
+    }
+    for (int bit = 31; bit >= 16; --bit) {
+      if (acc & (1u << bit)) acc ^= 0x1100Bu << (bit - 16);
+    }
+    return static_cast<gf16::Elem16>(acc);
+  };
+  Rng rng(11);
+  for (int t = 0; t < 5000; ++t) {
+    const auto a = static_cast<gf16::Elem16>(rng() & 0xFFFF);
+    const auto b = static_cast<gf16::Elem16>(rng() & 0xFFFF);
+    EXPECT_EQ(gf16::mul(a, b), slow_mul(a, b));
+  }
+}
+
+TEST(Gf65536, PowAndFermat) {
+  Rng rng(12);
+  for (int t = 0; t < 200; ++t) {
+    auto a = static_cast<gf16::Elem16>(rng() & 0xFFFF);
+    if (a == 0) a = 1;
+    EXPECT_EQ(gf16::pow(a, 65535), 1);  // a^(q-1) = 1
+    EXPECT_EQ(gf16::pow(a, 0), 1);
+  }
+  EXPECT_EQ(gf16::pow(0, 5), 0);
+}
+
+TEST(Gf65536, LagrangeRecoversConstant) {
+  Rng rng(13);
+  for (int t = 0; t < 100; ++t) {
+    const int degree = static_cast<int>(rng.uniform_int(6));
+    std::vector<gf16::Elem16> coeffs(static_cast<std::size_t>(degree) + 1);
+    for (auto& c : coeffs) c = static_cast<gf16::Elem16>(rng() & 0xFFFF);
+    std::vector<gf16::Elem16> xs, ys;
+    for (int i = 0; i <= degree; ++i) {
+      // Scattered large abscissae exercise the 16-bit range.
+      const auto x = static_cast<gf16::Elem16>(1 + i * 9973);
+      xs.push_back(x);
+      ys.push_back(gf16::poly_eval(coeffs, x));
+    }
+    EXPECT_EQ(gf16::lagrange_at_zero(xs, ys), coeffs[0]);
+  }
+}
+
+// ---------------------------------------------------------------- Shamir16
+
+TEST(Shamir16, RoundtripBasic) {
+  Rng rng(14);
+  std::vector<std::uint16_t> secret(100);
+  for (auto& s : secret) s = static_cast<std::uint16_t>(rng() & 0xFFFF);
+  const auto shares = sss::split16(secret, 3, 7, rng);
+  const std::vector<sss::Share16> pick{shares[6], shares[0], shares[3]};
+  EXPECT_EQ(sss::reconstruct16(pick), secret);
+}
+
+TEST(Shamir16, SupportsHundredsOfShares) {
+  // Beyond the GF(256) cap of 255: 1000 shares, threshold 4.
+  Rng rng(15);
+  std::vector<std::uint16_t> secret{0xBEEF, 0xCAFE, 0x1234};
+  const auto shares = sss::split16(secret, 4, 1000, rng);
+  EXPECT_EQ(shares.size(), 1000u);
+  const std::vector<sss::Share16> pick{shares[999], shares[500], shares[256],
+                                       shares[0]};
+  EXPECT_EQ(sss::reconstruct16(pick), secret);
+}
+
+TEST(Shamir16, K1IsReplication) {
+  Rng rng(16);
+  const std::vector<std::uint16_t> secret{1, 2, 3};
+  const auto shares = sss::split16(secret, 1, 5, rng);
+  for (const auto& s : shares) EXPECT_EQ(s.data, secret);
+}
+
+TEST(Shamir16, RejectsBadInput) {
+  Rng rng(17);
+  const std::vector<std::uint16_t> secret{42};
+  EXPECT_THROW((void)sss::split16(secret, 0, 1, rng), PreconditionError);
+  EXPECT_THROW((void)sss::split16(secret, 3, 2, rng), PreconditionError);
+  auto shares = sss::split16(secret, 2, 3, rng);
+  std::vector<sss::Share16> dup{shares[0], shares[0]};
+  EXPECT_THROW((void)sss::reconstruct16(dup), PreconditionError);
+  EXPECT_THROW((void)sss::reconstruct16(std::vector<sss::Share16>{}),
+               PreconditionError);
+}
+
+TEST(Shamir16, FewerThanKSharesYieldGarbage) {
+  Rng rng(18);
+  std::vector<std::uint16_t> secret(16);
+  for (auto& s : secret) s = static_cast<std::uint16_t>(rng() & 0xFFFF);
+  const auto shares = sss::split16(secret, 3, 5, rng);
+  const std::vector<sss::Share16> too_few{shares[0], shares[1]};
+  EXPECT_NE(sss::reconstruct16(too_few), secret);
+}
+
+}  // namespace
+}  // namespace mcss

@@ -1,0 +1,360 @@
+// Tests for src/util: rng, stats, subset helpers, Poisson binomial.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "util/poisson_binomial.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/subset.hpp"
+
+namespace mcss {
+namespace {
+
+// ---------------------------------------------------------------- Rng
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ZeroSeedIsUsable) {
+  Rng r(0);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(r());
+  EXPECT_GT(seen.size(), 95u);  // not stuck, not repeating
+}
+
+TEST(Rng, UniformInHalfOpenUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 100000; ++i) {
+    const double u = r.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  Rng r(11);
+  OnlineStats s;
+  for (int i = 0; i < 200000; ++i) s.add(r.uniform());
+  EXPECT_NEAR(s.mean(), 0.5, 0.005);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng r(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform(-2.5, 7.25);
+    ASSERT_GE(u, -2.5);
+    ASSERT_LT(u, 7.25);
+  }
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng r(5);
+  std::array<int, 10> counts{};
+  for (int i = 0; i < 100000; ++i) {
+    const auto v = r.uniform_int(10);
+    ASSERT_LT(v, 10u);
+    counts[v]++;
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(c, 10000, 600);  // ~6 sigma for a fair die
+  }
+}
+
+TEST(Rng, UniformIntZeroBound) {
+  Rng r(5);
+  EXPECT_EQ(r.uniform_int(0), 0u);
+}
+
+TEST(Rng, UniformIntBoundOne) {
+  Rng r(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r.uniform_int(1), 0u);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(r.bernoulli(0.0));
+    EXPECT_TRUE(r.bernoulli(1.0));
+    EXPECT_FALSE(r.bernoulli(-0.5));
+    EXPECT_TRUE(r.bernoulli(1.5));
+  }
+}
+
+TEST(Rng, BernoulliFrequencyMatchesP) {
+  Rng r(13);
+  int hits = 0;
+  const int trials = 200000;
+  for (int i = 0; i < trials; ++i) hits += r.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.005);
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng r(17);
+  OnlineStats s;
+  for (int i = 0; i < 200000; ++i) s.add(r.exponential(2.5));
+  EXPECT_NEAR(s.mean(), 2.5, 0.05);
+  EXPECT_GE(s.min(), 0.0);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(23);
+  Rng child = parent.fork();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += (parent() == child());
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  SUCCEED();
+}
+
+// ---------------------------------------------------------------- OnlineStats
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, KnownValues) {
+  OnlineStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStats, SingleValueHasZeroVariance) {
+  OnlineStats s;
+  s.add(3.14);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.mean(), 3.14);
+}
+
+TEST(OnlineStats, MergeMatchesSequential) {
+  Rng r(31);
+  OnlineStats whole, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.uniform(-5, 5);
+    whole.add(x);
+    (i < 400 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_EQ(left.min(), whole.min());
+  EXPECT_EQ(left.max(), whole.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.mean(), mean);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_EQ(empty.mean(), mean);
+}
+
+// ---------------------------------------------------------------- PercentileTracker
+
+TEST(PercentileTracker, MedianOfOddCount) {
+  PercentileTracker t;
+  for (const double x : {5.0, 1.0, 3.0}) t.add(x);
+  EXPECT_DOUBLE_EQ(t.median(), 3.0);
+}
+
+TEST(PercentileTracker, InterpolatesBetweenSamples) {
+  PercentileTracker t;
+  for (const double x : {0.0, 10.0}) t.add(x);
+  EXPECT_DOUBLE_EQ(t.percentile(50.0), 5.0);
+  EXPECT_DOUBLE_EQ(t.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(t.percentile(100.0), 10.0);
+}
+
+TEST(PercentileTracker, EmptyReturnsZero) {
+  PercentileTracker t;
+  EXPECT_EQ(t.percentile(50.0), 0.0);
+}
+
+TEST(PercentileTracker, AddAfterQueryResorts) {
+  PercentileTracker t;
+  t.add(10.0);
+  EXPECT_DOUBLE_EQ(t.median(), 10.0);
+  t.add(0.0);
+  t.add(2.0);
+  EXPECT_DOUBLE_EQ(t.median(), 2.0);
+}
+
+TEST(PercentileTracker, ClampsQueryRange) {
+  PercentileTracker t;
+  t.add(1.0);
+  t.add(2.0);
+  EXPECT_DOUBLE_EQ(t.percentile(-10.0), 1.0);
+  EXPECT_DOUBLE_EQ(t.percentile(200.0), 2.0);
+}
+
+// ---------------------------------------------------------------- subset helpers
+
+TEST(Subset, FullMask) {
+  EXPECT_EQ(full_mask(0), 0u);
+  EXPECT_EQ(full_mask(1), 0b1u);
+  EXPECT_EQ(full_mask(5), 0b11111u);
+  EXPECT_EQ(full_mask(32), ~Mask{0});
+}
+
+TEST(Subset, SizeAndContains) {
+  const Mask m = 0b10110;
+  EXPECT_EQ(mask_size(m), 3);
+  EXPECT_FALSE(mask_contains(m, 0));
+  EXPECT_TRUE(mask_contains(m, 1));
+  EXPECT_TRUE(mask_contains(m, 2));
+  EXPECT_FALSE(mask_contains(m, 3));
+  EXPECT_TRUE(mask_contains(m, 4));
+}
+
+TEST(Subset, Members) {
+  EXPECT_EQ(mask_members(0b10110), (std::vector<int>{1, 2, 4}));
+  EXPECT_TRUE(mask_members(0).empty());
+}
+
+TEST(Subset, ForEachMemberVisitsAscending) {
+  std::vector<int> seen;
+  for_each_member(0b1011001, [&](int i) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<int>{0, 3, 4, 6}));
+}
+
+TEST(Subset, ForEachSubsetCountsPowerSet) {
+  int count = 0;
+  std::set<Mask> unique;
+  for_each_subset(0b1101, [&](Mask k) {
+    ++count;
+    unique.insert(k);
+    EXPECT_EQ(k & ~Mask{0b1101}, 0u);  // subset relation
+  });
+  EXPECT_EQ(count, 8);
+  EXPECT_EQ(unique.size(), 8u);
+}
+
+TEST(Subset, ForEachSubsetOfEmptyVisitsEmptyOnly) {
+  int count = 0;
+  for_each_subset(0, [&](Mask k) {
+    ++count;
+    EXPECT_EQ(k, 0u);
+  });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Subset, ForEachNonemptySubsetCount) {
+  int count = 0;
+  for_each_nonempty_subset(5, [&](Mask m) {
+    ++count;
+    EXPECT_NE(m, 0u);
+    EXPECT_EQ(m & ~full_mask(5), 0u);
+  });
+  EXPECT_EQ(count, 31);
+}
+
+// ---------------------------------------------------------------- Poisson binomial
+
+TEST(PoissonBinomial, MatchesBinomialClosedForm) {
+  // Identical p: pmf[j] = C(5, j) p^j (1-p)^(5-j).
+  const double p = 0.3;
+  const std::vector<double> probs(5, p);
+  const auto pmf = poisson_binomial_pmf(probs);
+  ASSERT_EQ(pmf.size(), 6u);
+  const double choose[6] = {1, 5, 10, 10, 5, 1};
+  for (int j = 0; j <= 5; ++j) {
+    EXPECT_NEAR(pmf[static_cast<std::size_t>(j)],
+                choose[j] * std::pow(p, j) * std::pow(1 - p, 5 - j), 1e-12);
+  }
+}
+
+TEST(PoissonBinomial, PmfSumsToOne) {
+  Rng r(37);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> probs(static_cast<std::size_t>(1 + r.uniform_int(10)));
+    for (double& p : probs) p = r.uniform();
+    const auto pmf = poisson_binomial_pmf(probs);
+    double sum = 0.0;
+    for (const double v : pmf) sum += v;
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(PoissonBinomial, TailsAreComplementary) {
+  Rng r(41);
+  std::vector<double> probs(7);
+  for (double& p : probs) p = r.uniform();
+  for (int k = 0; k <= 8; ++k) {
+    EXPECT_NEAR(poisson_binomial_tail_geq(probs, k) +
+                    poisson_binomial_tail_lt(probs, k),
+                1.0, 1e-12);
+  }
+}
+
+TEST(PoissonBinomial, EdgeCases) {
+  const std::vector<double> probs{0.2, 0.8};
+  EXPECT_EQ(poisson_binomial_tail_geq(probs, 0), 1.0);
+  EXPECT_EQ(poisson_binomial_tail_geq(probs, 3), 0.0);
+  EXPECT_EQ(poisson_binomial_tail_lt(probs, 0), 0.0);
+  EXPECT_NEAR(poisson_binomial_tail_lt(probs, 3), 1.0, 1e-12);
+}
+
+TEST(PoissonBinomial, DegenerateProbabilities) {
+  const std::vector<double> certain{1.0, 1.0, 1.0};
+  EXPECT_NEAR(poisson_binomial_tail_geq(certain, 3), 1.0, 1e-12);
+  const std::vector<double> never{0.0, 0.0};
+  EXPECT_NEAR(poisson_binomial_tail_geq(never, 1), 0.0, 1e-12);
+  EXPECT_NEAR(poisson_binomial_tail_lt(never, 1), 1.0, 1e-12);
+}
+
+TEST(PoissonBinomial, MatchesMonteCarlo) {
+  const std::vector<double> probs{0.1, 0.5, 0.9, 0.3};
+  Rng r(43);
+  const int trials = 300000;
+  std::array<int, 5> counts{};
+  for (int t = 0; t < trials; ++t) {
+    int successes = 0;
+    for (const double p : probs) successes += r.bernoulli(p);
+    counts[static_cast<std::size_t>(successes)]++;
+  }
+  const auto pmf = poisson_binomial_pmf(probs);
+  for (std::size_t j = 0; j < counts.size(); ++j) {
+    EXPECT_NEAR(static_cast<double>(counts[j]) / trials, pmf[j], 0.005);
+  }
+}
+
+TEST(PoissonBinomial, EmptyTrialSet) {
+  const std::vector<double> none;
+  const auto pmf = poisson_binomial_pmf(none);
+  ASSERT_EQ(pmf.size(), 1u);
+  EXPECT_EQ(pmf[0], 1.0);
+  EXPECT_EQ(poisson_binomial_tail_geq(none, 1), 0.0);
+  EXPECT_EQ(poisson_binomial_tail_geq(none, 0), 1.0);
+}
+
+}  // namespace
+}  // namespace mcss
