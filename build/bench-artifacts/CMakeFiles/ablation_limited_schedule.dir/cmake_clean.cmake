@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_limited_schedule"
+  "../bench/ablation_limited_schedule.pdb"
+  "CMakeFiles/ablation_limited_schedule.dir/ablation_limited_schedule.cpp.o"
+  "CMakeFiles/ablation_limited_schedule.dir/ablation_limited_schedule.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_limited_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

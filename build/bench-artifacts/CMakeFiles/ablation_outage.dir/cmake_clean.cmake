@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_outage"
+  "../bench/ablation_outage.pdb"
+  "CMakeFiles/ablation_outage.dir/ablation_outage.cpp.o"
+  "CMakeFiles/ablation_outage.dir/ablation_outage.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_outage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_schedule_packing"
+  "../bench/fig2_schedule_packing.pdb"
+  "CMakeFiles/fig2_schedule_packing.dir/fig2_schedule_packing.cpp.o"
+  "CMakeFiles/fig2_schedule_packing.dir/fig2_schedule_packing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_schedule_packing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_rate_diverse"
+  "../bench/fig3_rate_diverse.pdb"
+  "CMakeFiles/fig3_rate_diverse.dir/fig3_rate_diverse.cpp.o"
+  "CMakeFiles/fig3_rate_diverse.dir/fig3_rate_diverse.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_rate_diverse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

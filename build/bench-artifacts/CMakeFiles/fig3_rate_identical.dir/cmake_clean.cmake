@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_rate_identical"
+  "../bench/fig3_rate_identical.pdb"
+  "CMakeFiles/fig3_rate_identical.dir/fig3_rate_identical.cpp.o"
+  "CMakeFiles/fig3_rate_identical.dir/fig3_rate_identical.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_rate_identical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig4_delay.cpp" "bench-artifacts/CMakeFiles/fig4_delay.dir/fig4_delay.cpp.o" "gcc" "bench-artifacts/CMakeFiles/fig4_delay.dir/fig4_delay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/risk/CMakeFiles/mcss_risk.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mcss_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocol/CMakeFiles/mcss_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/sss/CMakeFiles/mcss_sss.dir/DependInfo.cmake"
+  "/root/repo/build/src/field/CMakeFiles/mcss_field.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/mcss_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mcss_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/mcss_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mcss_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mcss_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_loss"
+  "../bench/fig5_loss.pdb"
+  "CMakeFiles/fig5_loss.dir/fig5_loss.cpp.o"
+  "CMakeFiles/fig5_loss.dir/fig5_loss.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_highbw_mu1.
+# This may be replaced when dependencies are built.

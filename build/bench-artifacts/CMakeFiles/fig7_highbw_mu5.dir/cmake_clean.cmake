@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_highbw_mu5"
+  "../bench/fig7_highbw_mu5.pdb"
+  "CMakeFiles/fig7_highbw_mu5.dir/fig7_highbw_mu5.cpp.o"
+  "CMakeFiles/fig7_highbw_mu5.dir/fig7_highbw_mu5.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_highbw_mu5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/risk_adaptive"
+  "../examples/risk_adaptive.pdb"
+  "CMakeFiles/risk_adaptive.dir/risk_adaptive.cpp.o"
+  "CMakeFiles/risk_adaptive.dir/risk_adaptive.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/risk_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/scenario_sim"
+  "../examples/scenario_sim.pdb"
+  "CMakeFiles/scenario_sim.dir/scenario_sim.cpp.o"
+  "CMakeFiles/scenario_sim.dir/scenario_sim.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenario_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

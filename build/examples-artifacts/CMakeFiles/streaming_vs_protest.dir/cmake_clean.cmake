@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/streaming_vs_protest"
+  "../examples/streaming_vs_protest.pdb"
+  "CMakeFiles/streaming_vs_protest.dir/streaming_vs_protest.cpp.o"
+  "CMakeFiles/streaming_vs_protest.dir/streaming_vs_protest.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_vs_protest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

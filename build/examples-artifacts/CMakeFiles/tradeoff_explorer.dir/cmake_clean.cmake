@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/tradeoff_explorer"
+  "../examples/tradeoff_explorer.pdb"
+  "CMakeFiles/tradeoff_explorer.dir/tradeoff_explorer.cpp.o"
+  "CMakeFiles/tradeoff_explorer.dir/tradeoff_explorer.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tradeoff_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/channel.cpp" "src/core/CMakeFiles/mcss_core.dir/channel.cpp.o" "gcc" "src/core/CMakeFiles/mcss_core.dir/channel.cpp.o.d"
+  "/root/repo/src/core/lp_schedule.cpp" "src/core/CMakeFiles/mcss_core.dir/lp_schedule.cpp.o" "gcc" "src/core/CMakeFiles/mcss_core.dir/lp_schedule.cpp.o.d"
+  "/root/repo/src/core/optimal.cpp" "src/core/CMakeFiles/mcss_core.dir/optimal.cpp.o" "gcc" "src/core/CMakeFiles/mcss_core.dir/optimal.cpp.o.d"
+  "/root/repo/src/core/planner.cpp" "src/core/CMakeFiles/mcss_core.dir/planner.cpp.o" "gcc" "src/core/CMakeFiles/mcss_core.dir/planner.cpp.o.d"
+  "/root/repo/src/core/rate.cpp" "src/core/CMakeFiles/mcss_core.dir/rate.cpp.o" "gcc" "src/core/CMakeFiles/mcss_core.dir/rate.cpp.o.d"
+  "/root/repo/src/core/schedule.cpp" "src/core/CMakeFiles/mcss_core.dir/schedule.cpp.o" "gcc" "src/core/CMakeFiles/mcss_core.dir/schedule.cpp.o.d"
+  "/root/repo/src/core/subset_metrics.cpp" "src/core/CMakeFiles/mcss_core.dir/subset_metrics.cpp.o" "gcc" "src/core/CMakeFiles/mcss_core.dir/subset_metrics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mcss_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/mcss_lp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

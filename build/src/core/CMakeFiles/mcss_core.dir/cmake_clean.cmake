@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcss_core.dir/channel.cpp.o"
+  "CMakeFiles/mcss_core.dir/channel.cpp.o.d"
+  "CMakeFiles/mcss_core.dir/lp_schedule.cpp.o"
+  "CMakeFiles/mcss_core.dir/lp_schedule.cpp.o.d"
+  "CMakeFiles/mcss_core.dir/optimal.cpp.o"
+  "CMakeFiles/mcss_core.dir/optimal.cpp.o.d"
+  "CMakeFiles/mcss_core.dir/planner.cpp.o"
+  "CMakeFiles/mcss_core.dir/planner.cpp.o.d"
+  "CMakeFiles/mcss_core.dir/rate.cpp.o"
+  "CMakeFiles/mcss_core.dir/rate.cpp.o.d"
+  "CMakeFiles/mcss_core.dir/schedule.cpp.o"
+  "CMakeFiles/mcss_core.dir/schedule.cpp.o.d"
+  "CMakeFiles/mcss_core.dir/subset_metrics.cpp.o"
+  "CMakeFiles/mcss_core.dir/subset_metrics.cpp.o.d"
+  "libmcss_core.a"
+  "libmcss_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcss_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcss_crypto.dir/siphash.cpp.o"
+  "CMakeFiles/mcss_crypto.dir/siphash.cpp.o.d"
+  "libmcss_crypto.a"
+  "libmcss_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcss_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/field/gf256.cpp" "src/field/CMakeFiles/mcss_field.dir/gf256.cpp.o" "gcc" "src/field/CMakeFiles/mcss_field.dir/gf256.cpp.o.d"
+  "/root/repo/src/field/gf65536.cpp" "src/field/CMakeFiles/mcss_field.dir/gf65536.cpp.o" "gcc" "src/field/CMakeFiles/mcss_field.dir/gf65536.cpp.o.d"
+  "/root/repo/src/field/gf_linalg.cpp" "src/field/CMakeFiles/mcss_field.dir/gf_linalg.cpp.o" "gcc" "src/field/CMakeFiles/mcss_field.dir/gf_linalg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mcss_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

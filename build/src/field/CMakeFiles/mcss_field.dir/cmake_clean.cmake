@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcss_field.dir/gf256.cpp.o"
+  "CMakeFiles/mcss_field.dir/gf256.cpp.o.d"
+  "CMakeFiles/mcss_field.dir/gf65536.cpp.o"
+  "CMakeFiles/mcss_field.dir/gf65536.cpp.o.d"
+  "CMakeFiles/mcss_field.dir/gf_linalg.cpp.o"
+  "CMakeFiles/mcss_field.dir/gf_linalg.cpp.o.d"
+  "libmcss_field.a"
+  "libmcss_field.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcss_field.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcss_lp.dir/simplex.cpp.o"
+  "CMakeFiles/mcss_lp.dir/simplex.cpp.o.d"
+  "libmcss_lp.a"
+  "libmcss_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcss_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/cpu_model.cpp" "src/net/CMakeFiles/mcss_net.dir/cpu_model.cpp.o" "gcc" "src/net/CMakeFiles/mcss_net.dir/cpu_model.cpp.o.d"
+  "/root/repo/src/net/outage.cpp" "src/net/CMakeFiles/mcss_net.dir/outage.cpp.o" "gcc" "src/net/CMakeFiles/mcss_net.dir/outage.cpp.o.d"
+  "/root/repo/src/net/sim_channel.cpp" "src/net/CMakeFiles/mcss_net.dir/sim_channel.cpp.o" "gcc" "src/net/CMakeFiles/mcss_net.dir/sim_channel.cpp.o.d"
+  "/root/repo/src/net/simulator.cpp" "src/net/CMakeFiles/mcss_net.dir/simulator.cpp.o" "gcc" "src/net/CMakeFiles/mcss_net.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mcss_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

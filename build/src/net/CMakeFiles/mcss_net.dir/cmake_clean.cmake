@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcss_net.dir/cpu_model.cpp.o"
+  "CMakeFiles/mcss_net.dir/cpu_model.cpp.o.d"
+  "CMakeFiles/mcss_net.dir/outage.cpp.o"
+  "CMakeFiles/mcss_net.dir/outage.cpp.o.d"
+  "CMakeFiles/mcss_net.dir/sim_channel.cpp.o"
+  "CMakeFiles/mcss_net.dir/sim_channel.cpp.o.d"
+  "CMakeFiles/mcss_net.dir/simulator.cpp.o"
+  "CMakeFiles/mcss_net.dir/simulator.cpp.o.d"
+  "libmcss_net.a"
+  "libmcss_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcss_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

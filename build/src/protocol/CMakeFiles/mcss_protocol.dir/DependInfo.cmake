@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocol/dither.cpp" "src/protocol/CMakeFiles/mcss_protocol.dir/dither.cpp.o" "gcc" "src/protocol/CMakeFiles/mcss_protocol.dir/dither.cpp.o.d"
+  "/root/repo/src/protocol/micss.cpp" "src/protocol/CMakeFiles/mcss_protocol.dir/micss.cpp.o" "gcc" "src/protocol/CMakeFiles/mcss_protocol.dir/micss.cpp.o.d"
+  "/root/repo/src/protocol/receiver.cpp" "src/protocol/CMakeFiles/mcss_protocol.dir/receiver.cpp.o" "gcc" "src/protocol/CMakeFiles/mcss_protocol.dir/receiver.cpp.o.d"
+  "/root/repo/src/protocol/scheduler.cpp" "src/protocol/CMakeFiles/mcss_protocol.dir/scheduler.cpp.o" "gcc" "src/protocol/CMakeFiles/mcss_protocol.dir/scheduler.cpp.o.d"
+  "/root/repo/src/protocol/sender.cpp" "src/protocol/CMakeFiles/mcss_protocol.dir/sender.cpp.o" "gcc" "src/protocol/CMakeFiles/mcss_protocol.dir/sender.cpp.o.d"
+  "/root/repo/src/protocol/tunnel.cpp" "src/protocol/CMakeFiles/mcss_protocol.dir/tunnel.cpp.o" "gcc" "src/protocol/CMakeFiles/mcss_protocol.dir/tunnel.cpp.o.d"
+  "/root/repo/src/protocol/wire.cpp" "src/protocol/CMakeFiles/mcss_protocol.dir/wire.cpp.o" "gcc" "src/protocol/CMakeFiles/mcss_protocol.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mcss_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sss/CMakeFiles/mcss_sss.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/mcss_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mcss_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mcss_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/mcss_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/field/CMakeFiles/mcss_field.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcss_protocol.dir/dither.cpp.o"
+  "CMakeFiles/mcss_protocol.dir/dither.cpp.o.d"
+  "CMakeFiles/mcss_protocol.dir/micss.cpp.o"
+  "CMakeFiles/mcss_protocol.dir/micss.cpp.o.d"
+  "CMakeFiles/mcss_protocol.dir/receiver.cpp.o"
+  "CMakeFiles/mcss_protocol.dir/receiver.cpp.o.d"
+  "CMakeFiles/mcss_protocol.dir/scheduler.cpp.o"
+  "CMakeFiles/mcss_protocol.dir/scheduler.cpp.o.d"
+  "CMakeFiles/mcss_protocol.dir/sender.cpp.o"
+  "CMakeFiles/mcss_protocol.dir/sender.cpp.o.d"
+  "CMakeFiles/mcss_protocol.dir/tunnel.cpp.o"
+  "CMakeFiles/mcss_protocol.dir/tunnel.cpp.o.d"
+  "CMakeFiles/mcss_protocol.dir/wire.cpp.o"
+  "CMakeFiles/mcss_protocol.dir/wire.cpp.o.d"
+  "libmcss_protocol.a"
+  "libmcss_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcss_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

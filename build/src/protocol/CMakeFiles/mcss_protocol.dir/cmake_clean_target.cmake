@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmcss_protocol.a"
+)

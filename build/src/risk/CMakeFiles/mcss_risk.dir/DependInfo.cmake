@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/risk/channel_risk.cpp" "src/risk/CMakeFiles/mcss_risk.dir/channel_risk.cpp.o" "gcc" "src/risk/CMakeFiles/mcss_risk.dir/channel_risk.cpp.o.d"
+  "/root/repo/src/risk/hmm.cpp" "src/risk/CMakeFiles/mcss_risk.dir/hmm.cpp.o" "gcc" "src/risk/CMakeFiles/mcss_risk.dir/hmm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mcss_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

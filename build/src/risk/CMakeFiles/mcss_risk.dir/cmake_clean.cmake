@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcss_risk.dir/channel_risk.cpp.o"
+  "CMakeFiles/mcss_risk.dir/channel_risk.cpp.o.d"
+  "CMakeFiles/mcss_risk.dir/hmm.cpp.o"
+  "CMakeFiles/mcss_risk.dir/hmm.cpp.o.d"
+  "libmcss_risk.a"
+  "libmcss_risk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcss_risk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

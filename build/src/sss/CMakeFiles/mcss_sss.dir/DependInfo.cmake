@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sss/blakley.cpp" "src/sss/CMakeFiles/mcss_sss.dir/blakley.cpp.o" "gcc" "src/sss/CMakeFiles/mcss_sss.dir/blakley.cpp.o.d"
+  "/root/repo/src/sss/shamir.cpp" "src/sss/CMakeFiles/mcss_sss.dir/shamir.cpp.o" "gcc" "src/sss/CMakeFiles/mcss_sss.dir/shamir.cpp.o.d"
+  "/root/repo/src/sss/shamir16.cpp" "src/sss/CMakeFiles/mcss_sss.dir/shamir16.cpp.o" "gcc" "src/sss/CMakeFiles/mcss_sss.dir/shamir16.cpp.o.d"
+  "/root/repo/src/sss/xor_sharing.cpp" "src/sss/CMakeFiles/mcss_sss.dir/xor_sharing.cpp.o" "gcc" "src/sss/CMakeFiles/mcss_sss.dir/xor_sharing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/field/CMakeFiles/mcss_field.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mcss_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcss_sss.dir/blakley.cpp.o"
+  "CMakeFiles/mcss_sss.dir/blakley.cpp.o.d"
+  "CMakeFiles/mcss_sss.dir/shamir.cpp.o"
+  "CMakeFiles/mcss_sss.dir/shamir.cpp.o.d"
+  "CMakeFiles/mcss_sss.dir/shamir16.cpp.o"
+  "CMakeFiles/mcss_sss.dir/shamir16.cpp.o.d"
+  "CMakeFiles/mcss_sss.dir/xor_sharing.cpp.o"
+  "CMakeFiles/mcss_sss.dir/xor_sharing.cpp.o.d"
+  "libmcss_sss.a"
+  "libmcss_sss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcss_sss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcss_util.dir/rng.cpp.o"
+  "CMakeFiles/mcss_util.dir/rng.cpp.o.d"
+  "CMakeFiles/mcss_util.dir/stats.cpp.o"
+  "CMakeFiles/mcss_util.dir/stats.cpp.o.d"
+  "libmcss_util.a"
+  "libmcss_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcss_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcss_workload.dir/adaptive.cpp.o"
+  "CMakeFiles/mcss_workload.dir/adaptive.cpp.o.d"
+  "CMakeFiles/mcss_workload.dir/estimator.cpp.o"
+  "CMakeFiles/mcss_workload.dir/estimator.cpp.o.d"
+  "CMakeFiles/mcss_workload.dir/experiment.cpp.o"
+  "CMakeFiles/mcss_workload.dir/experiment.cpp.o.d"
+  "CMakeFiles/mcss_workload.dir/scenario.cpp.o"
+  "CMakeFiles/mcss_workload.dir/scenario.cpp.o.d"
+  "CMakeFiles/mcss_workload.dir/setups.cpp.o"
+  "CMakeFiles/mcss_workload.dir/setups.cpp.o.d"
+  "CMakeFiles/mcss_workload.dir/traffic.cpp.o"
+  "CMakeFiles/mcss_workload.dir/traffic.cpp.o.d"
+  "libmcss_workload.a"
+  "libmcss_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcss_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_lp.dir/core_lp_test.cpp.o"
+  "CMakeFiles/test_core_lp.dir/core_lp_test.cpp.o.d"
+  "test_core_lp"
+  "test_core_lp.pdb"
+  "test_core_lp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_rate.dir/core_rate_test.cpp.o"
+  "CMakeFiles/test_core_rate.dir/core_rate_test.cpp.o.d"
+  "test_core_rate"
+  "test_core_rate.pdb"
+  "test_core_rate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

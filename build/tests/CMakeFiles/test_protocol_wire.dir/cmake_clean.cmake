@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_protocol_wire.dir/protocol_wire_test.cpp.o"
+  "CMakeFiles/test_protocol_wire.dir/protocol_wire_test.cpp.o.d"
+  "test_protocol_wire"
+  "test_protocol_wire.pdb"
+  "test_protocol_wire[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_protocol_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

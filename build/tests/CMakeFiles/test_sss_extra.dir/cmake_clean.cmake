@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sss_extra.dir/sss_extra_test.cpp.o"
+  "CMakeFiles/test_sss_extra.dir/sss_extra_test.cpp.o.d"
+  "test_sss_extra"
+  "test_sss_extra.pdb"
+  "test_sss_extra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sss_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

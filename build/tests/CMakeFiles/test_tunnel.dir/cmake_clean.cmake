@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tunnel.dir/tunnel_test.cpp.o"
+  "CMakeFiles/test_tunnel.dir/tunnel_test.cpp.o.d"
+  "test_tunnel"
+  "test_tunnel.pdb"
+  "test_tunnel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tunnel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
