@@ -11,6 +11,7 @@
 #include "core/lp_schedule.hpp"
 #include "core/subset_metrics.hpp"
 #include "field/gf256.hpp"
+#include "field/gf256_bulk.hpp"
 #include "lp/simplex.hpp"
 #include "net/simulator.hpp"
 #include "crypto/siphash.hpp"
@@ -64,6 +65,90 @@ void BM_PolyEval(benchmark::State& state) {
 }
 BENCHMARK(BM_PolyEval)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
 
+// Raw region-kernel throughput: dst ^= s * src over a buffer, the inner
+// primitive of the slice-major sharer. The auto-dispatched path is
+// labeled with the kernel it resolved to; the forced-portable runs
+// document the cost of the fallback on the same host.
+
+void BM_GfMulAccBuf(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(40);
+  std::vector<gf::Elem> src(n), dst(n);
+  rng.fill(src);
+  rng.fill(dst);
+  for (auto _ : state) {
+    gf::bulk::mul_acc_buf(dst.data(), src.data(), 0x53, n);
+    benchmark::DoNotOptimize(dst.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+  state.SetLabel(gf::bulk::kernel_name(gf::bulk::active_kernel()));
+}
+BENCHMARK(BM_GfMulAccBuf)->Arg(64)->Arg(1470)->Arg(65536);
+
+void BM_GfMulAccBufPortable(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(41);
+  std::vector<gf::Elem> src(n), dst(n);
+  rng.fill(src);
+  rng.fill(dst);
+  for (auto _ : state) {
+    gf::bulk::mul_acc_buf(gf::bulk::Kernel::Portable, dst.data(), src.data(),
+                          0x53, n);
+    benchmark::DoNotOptimize(dst.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_GfMulAccBufPortable)->Arg(64)->Arg(1470)->Arg(65536);
+
+void BM_GfMulBuf(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(42);
+  std::vector<gf::Elem> src(n), dst(n);
+  rng.fill(src);
+  for (auto _ : state) {
+    gf::bulk::mul_buf(dst.data(), src.data(), 0x53, n);
+    benchmark::DoNotOptimize(dst.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+  state.SetLabel(gf::bulk::kernel_name(gf::bulk::active_kernel()));
+}
+BENCHMARK(BM_GfMulBuf)->Arg(64)->Arg(1470)->Arg(65536);
+
+void BM_GfXorBuf(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(43);
+  std::vector<gf::Elem> src(n), dst(n);
+  rng.fill(src);
+  rng.fill(dst);
+  for (auto _ : state) {
+    gf::bulk::xor_buf(dst.data(), src.data(), n);
+    benchmark::DoNotOptimize(dst.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_GfXorBuf)->Arg(1470)->Arg(65536);
+
+void BM_RngFill(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(44);
+  std::vector<std::uint8_t> buf(n);
+  for (auto _ : state) {
+    rng.fill(buf);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_RngFill)->Arg(1470)->Arg(65536);
+
 // ---------------------------------------------------------------- sss
 
 void BM_ShamirSplit(benchmark::State& state) {
@@ -84,6 +169,26 @@ BENCHMARK(BM_ShamirSplit)
     ->Args({5, 5})
     ->Args({8, 16});
 
+// The per-byte scalar reference path, kept in the library so the region
+// kernels are measured against it rather than asserted faster.
+void BM_ShamirSplitScalar(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const int m = static_cast<int>(state.range(1));
+  Rng rng(3);
+  std::vector<std::uint8_t> secret(1470);
+  for (auto& b : secret) b = rng.byte();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sss::split_scalar(secret, k, m, rng));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 1470);
+}
+BENCHMARK(BM_ShamirSplitScalar)
+    ->Args({1, 1})
+    ->Args({1, 5})
+    ->Args({3, 5})
+    ->Args({5, 5})
+    ->Args({8, 16});
+
 void BM_ShamirReconstruct(benchmark::State& state) {
   const int k = static_cast<int>(state.range(0));
   Rng rng(4);
@@ -96,6 +201,19 @@ void BM_ShamirReconstruct(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 1470);
 }
 BENCHMARK(BM_ShamirReconstruct)->Arg(1)->Arg(2)->Arg(3)->Arg(5)->Arg(8);
+
+void BM_ShamirReconstructScalar(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  Rng rng(4);
+  std::vector<std::uint8_t> secret(1470);
+  for (auto& b : secret) b = rng.byte();
+  const auto shares = sss::split(secret, k, k, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sss::reconstruct_scalar(shares));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 1470);
+}
+BENCHMARK(BM_ShamirReconstructScalar)->Arg(1)->Arg(3)->Arg(5)->Arg(8);
 
 void BM_XorSplit(benchmark::State& state) {
   Rng rng(5);

@@ -21,7 +21,10 @@ int main() {
 
   net::CpuConfig cpu;
   cpu.unlimited = false;
-  cpu.ops_per_sec = 828e3;  // calibrated: level-off ~ 750 Mbps at k=m=1
+  // Default cost constants, real-time budget (1 op = 1 µs): the host-path
+  // base of 15.6 ops makes split(1,1) = 15.67 µs, i.e. ~63.8k pkt/s
+  // ~ 750 Mbps of 1470-byte datagrams — the paper's level-off.
+  cpu.ops_per_sec = 1e6;
 
   double plateau = 0.0;
   double low_rate_overhead = 1.0;

@@ -25,9 +25,9 @@ void check_abscissae(std::span<const Elem> xs) {
 
 }  // namespace
 
-std::array<Elem, 255> lagrange_weights_at_zero(std::span<const Elem> xs) {
+void lagrange_weights_at_zero(std::span<const Elem> xs, std::span<Elem> out) {
   check_abscissae(xs);
-  std::array<Elem, 255> weights{};
+  MCSS_ENSURE(out.size() >= xs.size(), "weight output span too small");
   for (std::size_t i = 0; i < xs.size(); ++i) {
     // weight_i = prod_{j != i} x_j / (x_j - x_i); subtraction is XOR.
     Elem num = 1;
@@ -37,14 +37,14 @@ std::array<Elem, 255> lagrange_weights_at_zero(std::span<const Elem> xs) {
       num = mul(num, xs[j]);
       den = mul(den, add(xs[j], xs[i]));
     }
-    weights[i] = div(num, den);
+    out[i] = div(num, den);
   }
-  return weights;
 }
 
 Elem lagrange_at_zero(std::span<const Elem> xs, std::span<const Elem> ys) {
   MCSS_ENSURE(xs.size() == ys.size(), "point count mismatch");
-  const auto weights = lagrange_weights_at_zero(xs);
+  std::array<Elem, 255> weights{};
+  lagrange_weights_at_zero(xs, weights);
   Elem acc = 0;
   for (std::size_t i = 0; i < xs.size(); ++i) {
     acc = add(acc, mul(weights[i], ys[i]));

@@ -95,10 +95,12 @@ inline constexpr Tables tables = build_tables();
 [[nodiscard]] Elem lagrange_at_zero(std::span<const Elem> xs,
                                     std::span<const Elem> ys);
 
-/// Lagrange basis weights at x = 0: weight[i] such that
-/// secret = sum_i weight[i] * y_i for any ordinates on the same abscissae.
+/// Lagrange basis weights at x = 0: out[i] such that
+/// secret = sum_i out[i] * y_i for any ordinates on the same abscissae.
 /// Lets callers reconstruct many byte positions with one weight setup.
-[[nodiscard]] std::array<Elem, 255> lagrange_weights_at_zero(
-    std::span<const Elem> xs);
+/// Writes exactly xs.size() weights into `out` (which must be at least
+/// that large); taking an output span avoids the fixed 255-byte
+/// by-value array the old interface copied on every reconstruct.
+void lagrange_weights_at_zero(std::span<const Elem> xs, std::span<Elem> out);
 
 }  // namespace mcss::gf

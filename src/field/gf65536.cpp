@@ -75,6 +75,20 @@ Elem16 poly_eval(std::span<const Elem16> coeffs, Elem16 x) noexcept {
   return acc;
 }
 
+void mul_acc_buf(Elem16* dst, const Elem16* src, Elem16 scalar,
+                 std::size_t n) noexcept {
+  if (scalar == 0) return;
+  const Tables& t = tables();
+  const std::uint32_t ls = t.log_[scalar];
+  for (std::size_t i = 0; i < n; ++i) {
+    const Elem16 v = src[i];
+    // log_[0] == 0 makes exp_[ls] a valid (wrong) read for v == 0; the
+    // mask zeroes the contribution without a branch in the loop body.
+    const auto mask = static_cast<Elem16>(-static_cast<Elem16>(v != 0));
+    dst[i] ^= static_cast<Elem16>(t.exp_[ls + t.log_[v]] & mask);
+  }
+}
+
 std::vector<Elem16> lagrange_weights_at_zero(std::span<const Elem16> xs) {
   MCSS_ENSURE(!xs.empty(), "at least one point is required");
   // Duplicate detection via sorted copy: xs can be up to 65535 long.

@@ -10,6 +10,7 @@
 // initialization).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -31,6 +32,16 @@ using Elem16 = std::uint16_t;
 
 /// Horner evaluation, constant term first.
 [[nodiscard]] Elem16 poly_eval(std::span<const Elem16> coeffs, Elem16 x) noexcept;
+
+/// Region axpy: dst[i] ^= scalar * src[i] for i in [0, n).
+///
+/// The 2^16 field is too large for the 256x256-row tables the byte
+/// field uses (a full product table would be 8 GiB), so this hoists
+/// log(scalar) out of the loop and runs a branch-free masked
+/// exp[log(src)+log(scalar)] stream — still one pass per slice, which
+/// is what the slice-major sharer needs. dst == src allowed.
+void mul_acc_buf(Elem16* dst, const Elem16* src, Elem16 scalar,
+                 std::size_t n) noexcept;
 
 /// Lagrange basis weights at x = 0 for distinct nonzero abscissae.
 [[nodiscard]] std::vector<Elem16> lagrange_weights_at_zero(

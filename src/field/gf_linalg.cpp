@@ -1,5 +1,6 @@
 #include "field/gf_linalg.hpp"
 
+#include "field/gf256_bulk.hpp"
 #include "util/ensure.hpp"
 
 namespace mcss::gf {
@@ -33,22 +34,19 @@ std::size_t eliminate(Matrix& m, std::vector<Elem>* rhs,
       }
       if (rhs != nullptr) std::swap((*rhs)[found], (*rhs)[pivot_row]);
     }
-    // Normalize the pivot row.
+    // Normalize the pivot row (one region scale over the row suffix).
     const Elem inv_pivot = inv(m.at(pivot_row, col));
-    for (std::size_t c = col; c < cols; ++c) {
-      m.at(pivot_row, c) = mul(m.at(pivot_row, c), inv_pivot);
-    }
+    Elem* pivot = &m.at(pivot_row, col);
+    bulk::mul_buf(pivot, pivot, inv_pivot, cols - col);
     if (rhs != nullptr) {
       (*rhs)[pivot_row] = mul((*rhs)[pivot_row], inv_pivot);
     }
-    // Clear the column everywhere else.
+    // Clear the column everywhere else (one region axpy per row).
     for (std::size_t r = 0; r < rows; ++r) {
       if (r == pivot_row) continue;
       const Elem factor = m.at(r, col);
       if (factor == 0) continue;
-      for (std::size_t c = col; c < cols; ++c) {
-        m.at(r, c) = add(m.at(r, c), mul(factor, m.at(pivot_row, c)));
-      }
+      bulk::mul_acc_buf(&m.at(r, col), pivot, factor, cols - col);
       if (rhs != nullptr) {
         (*rhs)[r] = add((*rhs)[r], mul(factor, (*rhs)[pivot_row]));
       }
@@ -95,9 +93,8 @@ Matrix multiply(const Matrix& a, const Matrix& b) {
     for (std::size_t k = 0; k < a.cols(); ++k) {
       const Elem lhs = a.at(r, k);
       if (lhs == 0) continue;
-      for (std::size_t c = 0; c < b.cols(); ++c) {
-        out.at(r, c) = add(out.at(r, c), mul(lhs, b.at(k, c)));
-      }
+      // out_row ^= lhs * b_row: a region axpy over the whole row.
+      bulk::mul_acc_buf(out.row(r), b.row(k), lhs, b.cols());
     }
   }
   return out;

@@ -28,6 +28,15 @@ class Matrix {
     return data_[r * cols_ + c];
   }
 
+  /// Contiguous row storage — rows are the unit the bulk GF(256)
+  /// kernels stream over during elimination and multiply.
+  [[nodiscard]] Elem* row(std::size_t r) noexcept {
+    return data_.data() + r * cols_;
+  }
+  [[nodiscard]] const Elem* row(std::size_t r) const noexcept {
+    return data_.data() + r * cols_;
+  }
+
   friend bool operator==(const Matrix&, const Matrix&) = default;
 
  private:

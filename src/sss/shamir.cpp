@@ -1,29 +1,84 @@
 #include "sss/shamir.hpp"
 
+#include <cstring>
+
 #include "field/gf256.hpp"
+#include "field/gf256_bulk.hpp"
 #include "util/ensure.hpp"
 
 namespace mcss::sss {
 
-std::vector<Share> split(std::span<const std::uint8_t> secret, int k, int m,
-                         Rng& rng) {
+namespace {
+
+void check_split_params(std::span<const std::uint8_t> secret, int k, int m) {
+  (void)secret;
   MCSS_ENSURE(k >= 1, "threshold k must be at least 1");
   MCSS_ENSURE(k <= m, "threshold k cannot exceed multiplicity m");
   MCSS_ENSURE(m <= kMaxShares, "GF(256) sharing admits at most 255 shares");
+}
 
+std::vector<Share> make_shares(std::size_t len, int m) {
   std::vector<Share> shares(static_cast<std::size_t>(m));
   for (int j = 0; j < m; ++j) {
     shares[static_cast<std::size_t>(j)].index = static_cast<std::uint8_t>(j + 1);
-    shares[static_cast<std::size_t>(j)].data.resize(secret.size());
+    shares[static_cast<std::size_t>(j)].data.resize(len);
   }
+  return shares;
+}
 
-  // One random polynomial per byte position: coeffs[0] is the secret byte,
-  // coeffs[1..k-1] uniform. k == 1 means plain replication.
+// Both split paths draw the (k-1) random coefficient slices — slice c
+// holds coefficient c of every byte position's polynomial, contiguously
+// — with ONE bulk Rng fill per packet, so they consume the stream
+// identically and produce byte-identical shares for equal seeds.
+std::vector<gf::Elem> draw_coefficient_slices(std::size_t len, int k,
+                                              Rng& rng) {
+  std::vector<gf::Elem> slices(static_cast<std::size_t>(k - 1) * len);
+  rng.fill(slices);
+  return slices;
+}
+
+}  // namespace
+
+std::vector<Share> split(std::span<const std::uint8_t> secret, int k, int m,
+                         Rng& rng) {
+  check_split_params(secret, k, m);
+  const std::size_t len = secret.size();
+  std::vector<Share> shares = make_shares(len, m);
+  const std::vector<gf::Elem> slices = draw_coefficient_slices(len, k, rng);
+
+  // Slice-major evaluation: share_j = secret ^ sum_c x_j^c * slice_c.
+  // Each term is one region axpy with a constant scalar; the whole split
+  // is m * (k-1) kernel passes over the packet, zero per-byte branching.
+  for (int j = 0; j < m; ++j) {
+    auto& data = shares[static_cast<std::size_t>(j)].data;
+    if (len != 0) std::memcpy(data.data(), secret.data(), len);
+    const auto x = static_cast<gf::Elem>(j + 1);
+    gf::Elem xp = 1;
+    for (int c = 1; c < k; ++c) {
+      xp = gf::mul(xp, x);
+      gf::bulk::mul_acc_buf(data.data(),
+                            slices.data() + static_cast<std::size_t>(c - 1) * len,
+                            xp, len);
+    }
+  }
+  return shares;
+}
+
+std::vector<Share> split_scalar(std::span<const std::uint8_t> secret, int k,
+                                int m, Rng& rng) {
+  check_split_params(secret, k, m);
+  const std::size_t len = secret.size();
+  std::vector<Share> shares = make_shares(len, m);
+  const std::vector<gf::Elem> slices = draw_coefficient_slices(len, k, rng);
+
+  // One polynomial per byte position, Horner-evaluated with scalar
+  // gf::mul — the seed structure this library shipped with.
   std::vector<gf::Elem> coeffs(static_cast<std::size_t>(k));
-  for (std::size_t pos = 0; pos < secret.size(); ++pos) {
+  for (std::size_t pos = 0; pos < len; ++pos) {
     coeffs[0] = secret[pos];
     for (int c = 1; c < k; ++c) {
-      coeffs[static_cast<std::size_t>(c)] = rng.byte();
+      coeffs[static_cast<std::size_t>(c)] =
+          slices[static_cast<std::size_t>(c - 1) * len + pos];
     }
     for (int j = 0; j < m; ++j) {
       shares[static_cast<std::size_t>(j)].data[pos] =
@@ -47,13 +102,33 @@ void check_shares(std::span<const Share> shares) {
   }
 }
 
+std::vector<gf::Elem> reconstruction_weights(std::span<const Share> shares) {
+  std::vector<gf::Elem> xs(shares.size());
+  for (std::size_t i = 0; i < shares.size(); ++i) xs[i] = shares[i].index;
+  std::vector<gf::Elem> weights(shares.size());
+  gf::lagrange_weights_at_zero(xs, weights);
+  return weights;
+}
+
 }  // namespace
 
 std::vector<std::uint8_t> reconstruct(std::span<const Share> shares) {
   check_shares(shares);
-  std::vector<gf::Elem> xs(shares.size());
-  for (std::size_t i = 0; i < shares.size(); ++i) xs[i] = shares[i].index;
-  const auto weights = gf::lagrange_weights_at_zero(xs);
+  const std::vector<gf::Elem> weights = reconstruction_weights(shares);
+
+  // secret = sum_i weight_i * share_i: one region axpy per share.
+  const std::size_t len = shares.front().data.size();
+  std::vector<std::uint8_t> secret(len, 0);
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    gf::bulk::mul_acc_buf(secret.data(), shares[i].data.data(), weights[i],
+                          len);
+  }
+  return secret;
+}
+
+std::vector<std::uint8_t> reconstruct_scalar(std::span<const Share> shares) {
+  check_shares(shares);
+  const std::vector<gf::Elem> weights = reconstruction_weights(shares);
 
   const std::size_t len = shares.front().data.size();
   std::vector<std::uint8_t> secret(len);

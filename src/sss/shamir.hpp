@@ -25,12 +25,23 @@ inline constexpr int kMaxShares = 255;
 
 /// Split `secret` into m shares with threshold k.
 ///
-/// Shares receive abscissae 1..m. Randomness is drawn from `rng`, so a
-/// fixed seed yields reproducible shares (useful for tests; real
-/// deployments seed from entropy). Throws PreconditionError unless
-/// 1 <= k <= m <= 255.
+/// Shares receive abscissae 1..m. Randomness is drawn from `rng` as one
+/// bulk fill of the (k-1) coefficient slices per packet, so a fixed seed
+/// yields reproducible shares (useful for tests; real deployments seed
+/// from entropy). Evaluation is slice-major: share_j = secret ^
+/// sum_{c=1}^{k-1} x_j^c * slice_c, computed with the gf::bulk region
+/// kernels — no per-byte branches or table walks. Throws
+/// PreconditionError unless 1 <= k <= m <= 255.
 [[nodiscard]] std::vector<Share> split(std::span<const std::uint8_t> secret,
                                        int k, int m, Rng& rng);
+
+/// Reference split: the seed per-byte Horner evaluation with scalar
+/// gf::mul lookups. Consumes `rng` identically to split() (same single
+/// bulk coefficient fill), so for equal seeds the two are byte-identical
+/// — the property the kernel tests pin down. Kept as the baseline the
+/// micro-benchmarks measure the region kernels against.
+[[nodiscard]] std::vector<Share> split_scalar(
+    std::span<const std::uint8_t> secret, int k, int m, Rng& rng);
 
 /// Reconstruct a secret from exactly k distinct shares.
 ///
@@ -41,6 +52,11 @@ inline constexpr int kMaxShares = 255;
 /// cannot detect that, which is why the protocol tags shares with the
 /// packet id and threshold on the wire.
 [[nodiscard]] std::vector<std::uint8_t> reconstruct(std::span<const Share> shares);
+
+/// Reference reconstruct: per-byte scalar accumulation (the seed path).
+/// Byte-identical to reconstruct(); kept for tests and benchmarks.
+[[nodiscard]] std::vector<std::uint8_t> reconstruct_scalar(
+    std::span<const Share> shares);
 
 /// Reconstruct using only the first k of the given shares.
 [[nodiscard]] std::vector<std::uint8_t> reconstruct_first_k(

@@ -1,5 +1,7 @@
 #include "sss/shamir16.hpp"
 
+#include <cstring>
+
 #include "field/gf65536.hpp"
 #include "util/ensure.hpp"
 
@@ -11,22 +13,30 @@ std::vector<Share16> split16(std::span<const std::uint16_t> secret, int k,
   MCSS_ENSURE(k <= m, "threshold k cannot exceed multiplicity m");
   MCSS_ENSURE(m <= kMaxShares16, "GF(65536) sharing admits at most 65535 shares");
 
+  const std::size_t len = secret.size();
   std::vector<Share16> shares(static_cast<std::size_t>(m));
   for (int j = 0; j < m; ++j) {
     shares[static_cast<std::size_t>(j)].index = static_cast<std::uint16_t>(j + 1);
-    shares[static_cast<std::size_t>(j)].data.resize(secret.size());
+    shares[static_cast<std::size_t>(j)].data.resize(len);
   }
 
-  std::vector<gf16::Elem16> coeffs(static_cast<std::size_t>(k));
-  for (std::size_t pos = 0; pos < secret.size(); ++pos) {
-    coeffs[0] = secret[pos];
+  // Slice-major, mirroring the byte-field sharer: (k-1) coefficient
+  // slices drawn with one bulk fill (uniform bytes give uniform 16-bit
+  // symbols), then share_j = secret ^ sum_c x_j^c * slice_c as region
+  // axpy passes with the scalar's log hoisted.
+  std::vector<gf16::Elem16> slices(static_cast<std::size_t>(k - 1) * len);
+  rng.fill(std::span(reinterpret_cast<std::uint8_t*>(slices.data()),
+                     slices.size() * sizeof(gf16::Elem16)));
+  for (int j = 0; j < m; ++j) {
+    auto& data = shares[static_cast<std::size_t>(j)].data;
+    if (len != 0) std::memcpy(data.data(), secret.data(), len * sizeof(std::uint16_t));
+    const auto x = static_cast<gf16::Elem16>(j + 1);
+    gf16::Elem16 xp = 1;
     for (int c = 1; c < k; ++c) {
-      coeffs[static_cast<std::size_t>(c)] =
-          static_cast<gf16::Elem16>(rng() & 0xFFFF);
-    }
-    for (int j = 0; j < m; ++j) {
-      shares[static_cast<std::size_t>(j)].data[pos] =
-          gf16::poly_eval(coeffs, static_cast<gf16::Elem16>(j + 1));
+      xp = gf16::mul(xp, x);
+      gf16::mul_acc_buf(data.data(),
+                        slices.data() + static_cast<std::size_t>(c - 1) * len,
+                        xp, len);
     }
   }
   return shares;
@@ -42,13 +52,10 @@ std::vector<std::uint16_t> reconstruct16(std::span<const Share16> shares) {
   }
   const auto weights = gf16::lagrange_weights_at_zero(xs);  // validates xs
 
-  std::vector<std::uint16_t> secret(len);
-  for (std::size_t pos = 0; pos < len; ++pos) {
-    gf16::Elem16 acc = 0;
-    for (std::size_t i = 0; i < shares.size(); ++i) {
-      acc = gf16::add(acc, gf16::mul(weights[i], shares[i].data[pos]));
-    }
-    secret[pos] = acc;
+  // secret = sum_i weight_i * share_i: one region axpy per share.
+  std::vector<std::uint16_t> secret(len, 0);
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    gf16::mul_acc_buf(secret.data(), shares[i].data.data(), weights[i], len);
   }
   return secret;
 }

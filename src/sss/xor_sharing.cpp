@@ -1,5 +1,8 @@
 #include "sss/xor_sharing.hpp"
 
+#include <cstring>
+
+#include "field/gf256_bulk.hpp"
 #include "util/ensure.hpp"
 
 namespace mcss::sss {
@@ -7,19 +10,20 @@ namespace mcss::sss {
 std::vector<Share> xor_split(std::span<const std::uint8_t> secret, int m,
                              Rng& rng) {
   MCSS_ENSURE(m >= 1 && m <= 255, "multiplicity must be in [1, 255]");
+  const std::size_t len = secret.size();
   std::vector<Share> shares(static_cast<std::size_t>(m));
   for (int j = 0; j < m; ++j) {
     shares[static_cast<std::size_t>(j)].index = static_cast<std::uint8_t>(j + 1);
-    shares[static_cast<std::size_t>(j)].data.resize(secret.size());
+    shares[static_cast<std::size_t>(j)].data.resize(len);
   }
-  for (std::size_t pos = 0; pos < secret.size(); ++pos) {
-    std::uint8_t acc = secret[pos];
-    for (int j = 0; j + 1 < m; ++j) {
-      const std::uint8_t pad = rng.byte();
-      shares[static_cast<std::size_t>(j)].data[pos] = pad;
-      acc = static_cast<std::uint8_t>(acc ^ pad);
-    }
-    shares[static_cast<std::size_t>(m - 1)].data[pos] = acc;
+  // First m-1 shares are one-time pads (one bulk fill each); the last is
+  // the secret XOR-folded with every pad, via the region kernel.
+  auto& last = shares[static_cast<std::size_t>(m - 1)].data;
+  if (len != 0) std::memcpy(last.data(), secret.data(), len);
+  for (int j = 0; j + 1 < m; ++j) {
+    auto& pad = shares[static_cast<std::size_t>(j)].data;
+    rng.fill(pad);
+    gf::bulk::xor_buf(last.data(), pad.data(), len);
   }
   return shares;
 }
@@ -35,9 +39,7 @@ std::vector<std::uint8_t> xor_reconstruct(std::span<const Share> shares) {
   }
   std::vector<std::uint8_t> secret(len, 0);
   for (const Share& s : shares) {
-    for (std::size_t pos = 0; pos < len; ++pos) {
-      secret[pos] = static_cast<std::uint8_t>(secret[pos] ^ s.data[pos]);
-    }
+    gf::bulk::xor_buf(secret.data(), s.data.data(), len);
   }
   return secret;
 }

@@ -7,7 +7,9 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <limits>
+#include <span>
 
 namespace mcss {
 
@@ -92,6 +94,25 @@ class Rng {
   /// Random byte, convenient for filling secret/share payloads.
   [[nodiscard]] std::uint8_t byte() noexcept {
     return static_cast<std::uint8_t>((*this)() >> 56);
+  }
+
+  /// Fill `out` with uniform bytes, eight per generator step — the bulk
+  /// counterpart of byte() (which burns a whole 64-bit draw per byte).
+  /// One call per packet keeps coefficient generation off the split hot
+  /// path.
+  void fill(std::span<std::uint8_t> out) noexcept {
+    std::size_t i = 0;
+    for (; i + 8 <= out.size(); i += 8) {
+      const std::uint64_t v = (*this)();
+      std::memcpy(out.data() + i, &v, 8);
+    }
+    if (i < out.size()) {
+      std::uint64_t v = (*this)();
+      for (; i < out.size(); ++i) {
+        out[i] = static_cast<std::uint8_t>(v);
+        v >>= 8;
+      }
+    }
   }
 
   /// Derive an independent child stream (for per-component RNGs).

@@ -197,7 +197,8 @@ TEST(Gf256, LagrangeWeightsMatchDirectInterpolation) {
   const std::vector<Elem> xs{3, 17, 99, 254};
   std::vector<Elem> ys;
   for (const Elem x : xs) ys.push_back(poly_eval(coeffs, x));
-  const auto weights = lagrange_weights_at_zero(xs);
+  std::vector<Elem> weights(xs.size());
+  lagrange_weights_at_zero(xs, weights);
   Elem acc = 0;
   for (std::size_t i = 0; i < xs.size(); ++i) {
     acc = add(acc, mul(weights[i], ys[i]));
