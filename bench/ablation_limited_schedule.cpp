@@ -49,31 +49,67 @@ int main() {
   std::printf(
       "kappa   mu   risk_full  risk_ltd   loss_full  loss_ltd   "
       "delay_full  delay_ltd\n");
-  bool theorem5_ok = true;
+  // Each grid point solves six independent LPs; the grid fans out over
+  // MCSS_THREADS workers with rows committed (and checked) in order.
+  std::vector<mcss::bench::KappaMu> grid;
   for (double kappa = 1.5; kappa <= 4.5; kappa += 1.0) {
     for (double mu = kappa + 0.5; mu <= 5.0; mu += 1.0) {
-      double vals[6] = {};
-      int idx = 0;
-      for (const auto obj : {Objective::Risk, Objective::Loss, Objective::Delay}) {
-        for (const auto restriction : {Restriction::None, Restriction::Limited}) {
-          const auto r = solve_schedule_lp(model, {.objective = obj,
-                                                   .kappa = kappa,
-                                                   .mu = mu,
-                                                   .rate = RateConstraint::MaxRate,
-                                                   .restriction = restriction});
-          vals[idx++] = r.status == lp::Status::Optimal ? r.objective_value : -1;
-        }
-      }
-      // Theorem 5 + IV-E: the limited program must stay feasible (rate is
-      // preserved), and can never beat the unrestricted one.
-      for (int i = 0; i < 6; i += 2) {
-        if (vals[i + 1] < 0 || vals[i + 1] < vals[i] - 1e-9) theorem5_ok = false;
-      }
-      std::printf("%5.1f  %3.1f  %9.5f  %9.5f  %9.5f  %9.5f  %10.5f  %9.5f\n",
-                  kappa, mu, vals[0], vals[1], vals[2], vals[3], vals[4] * 1e3,
-                  vals[5] * 1e3);
+      grid.push_back({kappa, mu});
     }
   }
+
+  auto series = workload::JsonlWriter::from_env("ablation_limited_schedule");
+
+  struct PointVals {
+    double vals[6] = {};
+  };
+  bool theorem5_ok = true;
+  mcss::bench::sweep_points(
+      grid,
+      [&](const mcss::bench::KappaMu& p) {
+        PointVals out;
+        int idx = 0;
+        for (const auto obj :
+             {Objective::Risk, Objective::Loss, Objective::Delay}) {
+          for (const auto restriction :
+               {Restriction::None, Restriction::Limited}) {
+            const auto r =
+                solve_schedule_lp(model, {.objective = obj,
+                                          .kappa = p.kappa,
+                                          .mu = p.mu,
+                                          .rate = RateConstraint::MaxRate,
+                                          .restriction = restriction});
+            out.vals[idx++] =
+                r.status == lp::Status::Optimal ? r.objective_value : -1;
+          }
+        }
+        return out;
+      },
+      [&](const mcss::bench::KappaMu& p, PointVals&& out) {
+        const double* vals = out.vals;
+        // Theorem 5 + IV-E: the limited program must stay feasible (rate is
+        // preserved), and can never beat the unrestricted one.
+        for (int i = 0; i < 6; i += 2) {
+          if (vals[i + 1] < 0 || vals[i + 1] < vals[i] - 1e-9) {
+            theorem5_ok = false;
+          }
+        }
+        std::printf("%5.1f  %3.1f  %9.5f  %9.5f  %9.5f  %9.5f  %10.5f  %9.5f\n",
+                    p.kappa, p.mu, vals[0], vals[1], vals[2], vals[3],
+                    vals[4] * 1e3, vals[5] * 1e3);
+        if (series) {
+          workload::JsonRow row;
+          row.field("kappa", p.kappa)
+              .field("mu", p.mu)
+              .field("risk_full", vals[0])
+              .field("risk_limited", vals[1])
+              .field("loss_full", vals[2])
+              .field("loss_limited", vals[3])
+              .field("delay_full_s", vals[4])
+              .field("delay_limited_s", vals[5]);
+          series.write(row);
+        }
+      });
 
   const bool example_ok = std::abs(full.objective_value - 6.0) < 1e-6 &&
                           std::abs(limited.objective_value - 9.0) < 1e-6;

@@ -77,24 +77,57 @@ int main() {
       "Resilience under silent outages (5 x 20 Mbps, ~4.8% downtime/channel)",
       "kappa  mu=k     mu=k+1   mu=k+2   mu=min(k+3,5)");
 
-  // Downtime fraction per channel: 0.1 / 2.1 ~ 4.76%.
-  bool redundancy_helps = true;
+  // Enumerate the grid exactly as the sequential loops did (including
+  // the early break once m is clamped at 5) so the parallel sweep's
+  // committed rows print the identical table.
+  struct GridCell {
+    int kappa, extra, m;
+    bool last_in_row;
+  };
+  std::vector<GridCell> cells;
   for (int kappa = 1; kappa <= 5; ++kappa) {
-    std::printf("%5d", kappa);
-    double prev = -1.0;
     for (int extra = 0; extra <= 3; ++extra) {
       const int m = std::min(kappa + extra, 5);
-      const double delivery =
-          run_outage_point(kappa, m, 11000 + static_cast<std::uint64_t>(kappa * 10 + extra));
-      std::printf("  %7.4f", delivery);
-      if (extra > 0 && m > kappa && prev >= 0.0 && delivery < prev - 0.02) {
-        redundancy_helps = false;  // more redundancy must not hurt much
+      cells.push_back({kappa, extra, m, extra == 3});
+      if (m == 5 && kappa + extra > 5) {
+        cells.back().last_in_row = true;
+        break;
       }
-      prev = delivery;
-      if (m == 5 && kappa + extra > 5) break;
     }
-    std::printf("\n");
   }
+
+  auto series = mcss::workload::JsonlWriter::from_env("ablation_outage");
+
+  // Downtime fraction per channel: 0.1 / 2.1 ~ 4.76%.
+  bool redundancy_helps = true;
+  double prev = -1.0;
+  sweep_points(
+      cells,
+      [&](const GridCell& c) {
+        return run_outage_point(
+            c.kappa, c.m,
+            11000 + static_cast<std::uint64_t>(c.kappa * 10 + c.extra));
+      },
+      [&](const GridCell& c, double delivery) {
+        if (c.extra == 0) {
+          std::printf("%5d", c.kappa);
+          prev = -1.0;
+        }
+        std::printf("  %7.4f", delivery);
+        if (c.extra > 0 && c.m > c.kappa && prev >= 0.0 &&
+            delivery < prev - 0.02) {
+          redundancy_helps = false;  // more redundancy must not hurt much
+        }
+        prev = delivery;
+        if (c.last_in_row) std::printf("\n");
+        if (series) {
+          mcss::workload::JsonRow row;
+          row.field("kappa", c.kappa)
+              .field("mu", c.m)
+              .field("delivery_fraction", delivery);
+          series.write(row);
+        }
+      });
 
   // Spot checks: kappa = mu = 1 loses ~ downtime fraction; kappa = 1,
   // mu = 3 should lose almost nothing (needs 3 simultaneous outages).

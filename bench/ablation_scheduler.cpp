@@ -9,20 +9,13 @@
 //   lp-delay    StaticScheduler sampling the IV-D LP (objective D)
 //   micss       fixed k = m = n (the MICSS configuration, best-effort)
 // and reports rate, loss, and delay for each against the LP optimum.
+// The (point, scheduler) cells are independent simulations and run
+// concurrently on MCSS_THREADS workers; rows print in the fixed order.
 #include <cstdio>
-#include <string>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "core/lp_schedule.hpp"
-
-namespace {
-
-struct Row {
-  std::string label;
-  mcss::workload::ExperimentResult result;
-};
-
-}  // namespace
 
 int main() {
   using namespace mcss;
@@ -33,6 +26,21 @@ int main() {
   };
   const Point points[] = {{1.0, 2.0}, {2.0, 3.0}, {2.0, 4.0}, {3.0, 4.5}};
 
+  struct Variant {
+    const char* label;
+    workload::SchedulerKind kind;
+    Objective objective;
+    bool micss;  // kappa forced to n = 5
+  };
+  const Variant variants[] = {
+      {"dynamic", workload::SchedulerKind::Dynamic, Objective::Loss, false},
+      {"lp-loss", workload::SchedulerKind::StaticLp, Objective::Loss, false},
+      {"lp-delay", workload::SchedulerKind::StaticLp, Objective::Delay, false},
+      {"micss", workload::SchedulerKind::Fixed, Objective::Loss, true},
+  };
+
+  auto series = workload::JsonlWriter::from_env("ablation_scheduler");
+
   for (const bool delayed : {false, true}) {
     const auto setup =
         delayed ? workload::delayed_setup() : workload::lossy_setup();
@@ -42,53 +50,69 @@ int main() {
         "kappa   mu  scheduler   rate_mbps  loss_pct  delay_ms   (lp-optimal "
         "loss_pct / delay_ms)\n");
 
-    for (const auto& p : points) {
-      const auto lp_loss =
-          solve_schedule_lp(model, {.objective = Objective::Loss,
-                                    .kappa = p.kappa,
-                                    .mu = p.mu,
-                                    .rate = RateConstraint::MaxRate});
-      const auto lp_delay =
-          solve_schedule_lp(model, {.objective = Objective::Delay,
-                                    .kappa = p.kappa,
-                                    .mu = p.mu,
-                                    .rate = RateConstraint::MaxRate});
+    // The LP optima column is per point, not per scheduler: solve once.
+    double lp_loss[4], lp_delay[4];
+    for (std::size_t i = 0; i < std::size(points); ++i) {
+      lp_loss[i] = solve_schedule_lp(model, {.objective = Objective::Loss,
+                                             .kappa = points[i].kappa,
+                                             .mu = points[i].mu,
+                                             .rate = RateConstraint::MaxRate})
+                       .objective_value;
+      lp_delay[i] = solve_schedule_lp(model, {.objective = Objective::Delay,
+                                              .kappa = points[i].kappa,
+                                              .mu = points[i].mu,
+                                              .rate = RateConstraint::MaxRate})
+                        .objective_value;
+    }
 
-      const auto run = [&](workload::SchedulerKind kind, Objective obj,
-                           double kappa) {
-        workload::ExperimentConfig cfg;
-        cfg.setup = setup;
-        cfg.kappa = kappa;
-        cfg.mu = p.mu;
-        cfg.scheduler = kind;
-        cfg.lp_objective = obj;
-        cfg.packet_bytes = kPacketBytes;
-        cfg.offered_bps = 0.97 * optimal_mbps(setup, p.mu) * 1e6;
-        cfg.echo = delayed;  // measure delay properly on the Delayed setup
-        cfg.warmup_s = 0.05;
-        cfg.duration_s = 0.8;
-        cfg.seed = 9000 + static_cast<std::uint64_t>(p.kappa * 10 + p.mu);
-        return workload::run_experiment(cfg);
-      };
-
-      const Row rows[] = {
-          {"dynamic", run(workload::SchedulerKind::Dynamic, Objective::Loss,
-                          p.kappa)},
-          {"lp-loss", run(workload::SchedulerKind::StaticLp, Objective::Loss,
-                          p.kappa)},
-          {"lp-delay", run(workload::SchedulerKind::StaticLp, Objective::Delay,
-                           p.kappa)},
-          {"micss", run(workload::SchedulerKind::Fixed, Objective::Loss, 5.0)},
-      };
-      for (const Row& row : rows) {
-        std::printf("%5.1f  %3.1f  %-10s  %9.2f  %8.3f  %8.3f   (%.3f / %.3f)\n",
-                    p.kappa, p.mu, row.label.c_str(),
-                    row.result.achieved_mbps, row.result.loss_fraction * 100,
-                    row.result.mean_delay_s * 1e3,
-                    lp_loss.objective_value * 100,
-                    lp_delay.objective_value * 1e3);
+    struct Cell {
+      std::size_t point, variant;
+    };
+    std::vector<Cell> cells;
+    for (std::size_t p = 0; p < std::size(points); ++p) {
+      for (std::size_t v = 0; v < std::size(variants); ++v) {
+        cells.push_back({p, v});
       }
     }
+
+    sweep_points(
+        cells,
+        [&](const Cell& c) {
+          const Point& p = points[c.point];
+          const Variant& v = variants[c.variant];
+          workload::ExperimentConfig cfg;
+          cfg.setup = setup;
+          cfg.kappa = v.micss ? 5.0 : p.kappa;
+          cfg.mu = p.mu;
+          cfg.scheduler = v.kind;
+          cfg.lp_objective = v.objective;
+          cfg.packet_bytes = kPacketBytes;
+          cfg.offered_bps = 0.97 * optimal_mbps(setup, p.mu) * 1e6;
+          cfg.echo = delayed;  // measure delay properly on the Delayed setup
+          cfg.warmup_s = 0.05;
+          cfg.duration_s = 0.8;
+          cfg.seed = 9000 + static_cast<std::uint64_t>(p.kappa * 10 + p.mu);
+          return workload::run_experiment(cfg);
+        },
+        [&](const Cell& c, workload::ExperimentResult&& r) {
+          const Point& p = points[c.point];
+          const Variant& v = variants[c.variant];
+          std::printf(
+              "%5.1f  %3.1f  %-10s  %9.2f  %8.3f  %8.3f   (%.3f / %.3f)\n",
+              p.kappa, p.mu, v.label, r.achieved_mbps, r.loss_fraction * 100,
+              r.mean_delay_s * 1e3, lp_loss[c.point] * 100,
+              lp_delay[c.point] * 1e3);
+          if (series) {
+            workload::JsonRow row;
+            row.field("setup", setup.name)
+                .field("kappa", p.kappa)
+                .field("mu", p.mu)
+                .field("scheduler", v.label)
+                .field("lp_optimal_loss", lp_loss[c.point])
+                .field("lp_optimal_delay_s", lp_delay[c.point]);
+            series.write(workload::add_experiment_fields(row, r));
+          }
+        });
     std::printf("\n");
   }
   std::printf("# Reading guide: lp-loss should approach the LP loss optimum;\n");

@@ -1,11 +1,23 @@
 // Shared helpers for the figure-reproduction harnesses.
+//
+// Every sweep point is an independent deterministic simulation (own
+// Simulator, own seeded Rng), so the sweeps fan points out over the
+// runtime thread pool. compute() runs concurrently; row() is called on
+// the main thread strictly in grid order, so stdout tables (and the
+// JSON-lines series) are bitwise identical for any MCSS_THREADS value —
+// MCSS_THREADS=1 runs the exact legacy sequential loop.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/rate.hpp"
+#include "runtime/parallel.hpp"
 #include "workload/experiment.hpp"
+#include "workload/experiment_log.hpp"
 #include "workload/setups.hpp"
 
 namespace mcss::bench {
@@ -34,15 +46,47 @@ inline workload::ExperimentResult run_rate_point(const workload::Setup& setup,
   return workload::run_experiment(cfg);
 }
 
-/// The paper's (kappa, mu) sweep for one figure panel: kappa in 1..n,
-/// mu from kappa to n in steps of `step`. Calls row(kappa, mu).
-template <typename RowFn>
-void sweep_kappa_mu(int n, double step, RowFn&& row) {
+/// Parallel sweep over an explicit point list: compute(point) runs
+/// concurrently (MCSS_THREADS workers), row(point, result) runs on the
+/// calling thread in list order. All printing belongs in row().
+template <typename Point, typename ComputeFn, typename RowFn>
+void sweep_points(const std::vector<Point>& points, ComputeFn&& compute,
+                  RowFn&& row) {
+  runtime::for_each_ordered(
+      points.size(), [&](std::size_t i) { return compute(points[i]); },
+      [&](std::size_t i, auto&& result) {
+        row(points[i], std::forward<decltype(result)>(result));
+      });
+}
+
+struct KappaMu {
+  double kappa = 0.0;
+  double mu = 0.0;
+};
+
+/// The paper's (kappa, mu) grid for one figure panel: kappa in 1..n,
+/// mu from kappa to n in steps of `step`.
+inline std::vector<KappaMu> kappa_mu_grid(int n, double step) {
+  std::vector<KappaMu> grid;
   for (int kappa = 1; kappa <= n; ++kappa) {
     for (double mu = kappa; mu <= static_cast<double>(n) + 1e-9; mu += step) {
-      row(static_cast<double>(kappa), std::min(mu, static_cast<double>(n)));
+      grid.push_back({static_cast<double>(kappa),
+                      std::min(mu, static_cast<double>(n))});
     }
   }
+  return grid;
+}
+
+/// The paper's (kappa, mu) sweep for one figure panel, parallelized:
+/// compute(kappa, mu) concurrently, row(kappa, mu, result) in grid order.
+template <typename ComputeFn, typename RowFn>
+void sweep_kappa_mu(int n, double step, ComputeFn&& compute, RowFn&& row) {
+  sweep_points(
+      kappa_mu_grid(n, step),
+      [&](const KappaMu& p) { return compute(p.kappa, p.mu); },
+      [&](const KappaMu& p, auto&& result) {
+        row(p.kappa, p.mu, std::forward<decltype(result)>(result));
+      });
 }
 
 inline void print_header(const std::string& title, const std::string& columns) {

@@ -17,15 +17,30 @@ int main() {
   print_header("Figure 3 (left): rate over (kappa, mu), Identical 100 Mbps x5",
                "kappa   mu    optimal_mbps  achieved_mbps  overhead_pct");
 
+  auto series = workload::JsonlWriter::from_env("fig3_rate_identical");
+  struct Point {
+    double optimal = 0.0;
+    workload::ExperimentResult result;
+  };
   double worst_overhead = 0.0;
-  sweep_kappa_mu(5, 0.1, [&](double kappa, double mu) {
-    const double optimal = optimal_mbps(setup, mu);
-    const auto r = run_rate_point(setup, kappa, mu, 1000);
-    const double overhead = (1.0 - r.achieved_mbps / optimal) * 100.0;
-    worst_overhead = std::max(worst_overhead, overhead);
-    std::printf("%5.1f  %4.1f  %12.2f  %13.2f  %11.2f\n", kappa, mu, optimal,
-                r.achieved_mbps, overhead);
-  });
+  sweep_kappa_mu(
+      5, 0.1,
+      [&](double kappa, double mu) {
+        return Point{optimal_mbps(setup, mu),
+                     run_rate_point(setup, kappa, mu, 1000)};
+      },
+      [&](double kappa, double mu, Point&& p) {
+        const double overhead = (1.0 - p.result.achieved_mbps / p.optimal) * 100.0;
+        worst_overhead = std::max(worst_overhead, overhead);
+        std::printf("%5.1f  %4.1f  %12.2f  %13.2f  %11.2f\n", kappa, mu,
+                    p.optimal, p.result.achieved_mbps, overhead);
+        if (series) {
+          workload::JsonRow row;
+          row.field("kappa", kappa).field("mu", mu).field("optimal_mbps",
+                                                          p.optimal);
+          series.write(workload::add_experiment_fields(row, p.result));
+        }
+      });
 
   std::printf("\n# max overhead vs optimal: %.2f%%  (paper: <= 3%%)\n",
               worst_overhead);

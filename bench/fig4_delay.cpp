@@ -25,39 +25,60 @@ int main() {
 
   // Track the paper's qualitative claim: for each kappa, the actual curve
   // settles once > kappa channels are no longer fully utilized.
+  auto series = workload::JsonlWriter::from_env("fig4_delay");
+  struct Point {
+    double optimal_ms = 0.0;
+    int underutilized = 0;
+    workload::ExperimentResult result;
+  };
   int settled_points = 0, settled_close = 0;
-  sweep_kappa_mu(5, 0.2, [&](double kappa, double mu) {
-    const auto lp = solve_schedule_lp(model, {.objective = Objective::Delay,
-                                              .kappa = kappa,
-                                              .mu = mu,
-                                              .rate = RateConstraint::MaxRate});
-    const double optimal_ms =
-        lp.status == lp::Status::Optimal ? lp.objective_value * 1e3 : -1.0;
+  sweep_kappa_mu(
+      5, 0.2,
+      [&](double kappa, double mu) {
+        const auto lp =
+            solve_schedule_lp(model, {.objective = Objective::Delay,
+                                      .kappa = kappa,
+                                      .mu = mu,
+                                      .rate = RateConstraint::MaxRate});
+        Point p;
+        p.optimal_ms =
+            lp.status == lp::Status::Optimal ? lp.objective_value * 1e3 : -1.0;
 
-    workload::ExperimentConfig cfg;
-    cfg.setup = setup;
-    cfg.kappa = kappa;
-    cfg.mu = mu;
-    cfg.packet_bytes = kPacketBytes;
-    cfg.offered_bps = 0.97 * optimal_mbps(setup, mu) * 1e6;
-    cfg.echo = true;
-    cfg.warmup_s = 0.1;
-    cfg.duration_s = 0.6;
-    cfg.seed = 4000 + static_cast<std::uint64_t>(kappa * 100 + mu * 10);
-    const auto r = workload::run_experiment(cfg);
+        workload::ExperimentConfig cfg;
+        cfg.setup = setup;
+        cfg.kappa = kappa;
+        cfg.mu = mu;
+        cfg.packet_bytes = kPacketBytes;
+        cfg.offered_bps = 0.97 * optimal_mbps(setup, mu) * 1e6;
+        cfg.echo = true;
+        cfg.warmup_s = 0.1;
+        cfg.duration_s = 0.6;
+        cfg.seed = 4000 + static_cast<std::uint64_t>(kappa * 100 + mu * 10);
+        p.result = workload::run_experiment(cfg);
 
-    const auto u = utilization(model, mu);
-    const int underutilized = model.size() - mask_size(u.fully_utilized);
-    std::printf("%5.1f  %4.1f  %10.3f  %10.3f  %18d\n", kappa, mu, optimal_ms,
-                r.mean_delay_s * 1e3, underutilized);
+        const auto u = utilization(model, mu);
+        p.underutilized = model.size() - mask_size(u.fully_utilized);
+        return p;
+      },
+      [&](double kappa, double mu, Point&& p) {
+        std::printf("%5.1f  %4.1f  %10.3f  %10.3f  %18d\n", kappa, mu,
+                    p.optimal_ms, p.result.mean_delay_s * 1e3, p.underutilized);
 
-    // "well-behaved beyond a certain point": with >= kappa underutilized
-    // channels, the actual delay should be within a few ms of optimal.
-    if (underutilized >= static_cast<int>(kappa) && optimal_ms >= 0.0) {
-      ++settled_points;
-      if (r.mean_delay_s * 1e3 < optimal_ms + 6.0) ++settled_close;
-    }
-  });
+        // "well-behaved beyond a certain point": with >= kappa underutilized
+        // channels, the actual delay should be within a few ms of optimal.
+        if (p.underutilized >= static_cast<int>(kappa) && p.optimal_ms >= 0.0) {
+          ++settled_points;
+          if (p.result.mean_delay_s * 1e3 < p.optimal_ms + 6.0) ++settled_close;
+        }
+        if (series) {
+          workload::JsonRow row;
+          row.field("kappa", kappa)
+              .field("mu", mu)
+              .field("optimal_ms", p.optimal_ms)
+              .field("underutilized", p.underutilized);
+          series.write(workload::add_experiment_fields(row, p.result));
+        }
+      });
 
   std::printf("\n# settled region (>= kappa underutilized channels): %d / %d "
               "points within 6 ms of optimal\n",

@@ -22,37 +22,57 @@ int main() {
   print_header("Figure 5: loss at maximum rate, Lossy setup",
                "kappa   mu    optimal_loss_pct  actual_loss_pct");
 
+  auto series = workload::JsonlWriter::from_env("fig5_loss");
+  struct Point {
+    double optimal_loss = 0.0;
+    workload::ExperimentResult result;
+  };
   double sum_abs_gap = 0.0;
   int points = 0;
   int close_points = 0;
-  sweep_kappa_mu(5, 0.1, [&](double kappa, double mu) {
-    const auto lp = solve_schedule_lp(model, {.objective = Objective::Loss,
-                                              .kappa = kappa,
-                                              .mu = mu,
-                                              .rate = RateConstraint::MaxRate});
-    const double optimal_loss =
-        lp.status == lp::Status::Optimal ? lp.objective_value : -1.0;
+  sweep_kappa_mu(
+      5, 0.1,
+      [&](double kappa, double mu) {
+        const auto lp =
+            solve_schedule_lp(model, {.objective = Objective::Loss,
+                                      .kappa = kappa,
+                                      .mu = mu,
+                                      .rate = RateConstraint::MaxRate});
+        Point p;
+        p.optimal_loss =
+            lp.status == lp::Status::Optimal ? lp.objective_value : -1.0;
 
-    workload::ExperimentConfig cfg;
-    cfg.setup = setup;
-    cfg.kappa = kappa;
-    cfg.mu = mu;
-    cfg.packet_bytes = kPacketBytes;
-    // "at the rate measured in the previous experiment": just under optimal.
-    cfg.offered_bps = 0.97 * optimal_mbps(setup, mu) * 1e6;
-    cfg.warmup_s = 0.05;
-    cfg.duration_s = 1.5;
-    cfg.seed = 5000 + static_cast<std::uint64_t>(kappa * 100 + mu * 10);
-    const auto r = workload::run_experiment(cfg);
-
-    std::printf("%5.1f  %4.1f  %16.4f  %15.4f\n", kappa, mu,
-                optimal_loss * 100.0, r.loss_fraction * 100.0);
-    if (optimal_loss >= 0.0) {
-      sum_abs_gap += std::abs(r.loss_fraction - optimal_loss);
-      ++points;
-      if (std::abs(r.loss_fraction - optimal_loss) < 0.02) ++close_points;
-    }
-  });
+        workload::ExperimentConfig cfg;
+        cfg.setup = setup;
+        cfg.kappa = kappa;
+        cfg.mu = mu;
+        cfg.packet_bytes = kPacketBytes;
+        // "at the rate measured in the previous experiment": just under
+        // optimal.
+        cfg.offered_bps = 0.97 * optimal_mbps(setup, mu) * 1e6;
+        cfg.warmup_s = 0.05;
+        cfg.duration_s = 1.5;
+        cfg.seed = 5000 + static_cast<std::uint64_t>(kappa * 100 + mu * 10);
+        p.result = workload::run_experiment(cfg);
+        return p;
+      },
+      [&](double kappa, double mu, Point&& p) {
+        std::printf("%5.1f  %4.1f  %16.4f  %15.4f\n", kappa, mu,
+                    p.optimal_loss * 100.0, p.result.loss_fraction * 100.0);
+        if (p.optimal_loss >= 0.0) {
+          sum_abs_gap += std::abs(p.result.loss_fraction - p.optimal_loss);
+          ++points;
+          if (std::abs(p.result.loss_fraction - p.optimal_loss) < 0.02) {
+            ++close_points;
+          }
+        }
+        if (series) {
+          workload::JsonRow row;
+          row.field("kappa", kappa).field("mu", mu).field("optimal_loss",
+                                                          p.optimal_loss);
+          series.write(workload::add_experiment_fields(row, p.result));
+        }
+      });
 
   const double mean_gap = points ? sum_abs_gap / points : 1.0;
   std::printf("\n# mean |actual - optimal| loss gap: %.4f%% absolute\n",

@@ -9,6 +9,7 @@
 // packets/s ~ 749 Mbps of 1470-byte datagrams.
 #include <algorithm>
 #include <cstdio>
+#include <vector>
 
 #include "bench_common.hpp"
 
@@ -26,29 +27,41 @@ int main() {
   // ~ 750 Mbps of 1470-byte datagrams — the paper's level-off.
   cpu.ops_per_sec = 1e6;
 
+  auto series = workload::JsonlWriter::from_env("fig6_highbw_mu1");
+  std::vector<double> rates;
+  for (double mbps = 100; mbps <= 800 + 1e-9; mbps += 25) rates.push_back(mbps);
+
   double plateau = 0.0;
   double low_rate_overhead = 1.0;
-  for (double mbps = 100; mbps <= 800 + 1e-9; mbps += 25) {
-    const auto setup = workload::identical_setup(mbps);
-    workload::ExperimentConfig cfg;
-    cfg.setup = setup;
-    cfg.kappa = 1.0;
-    cfg.mu = 1.0;
-    cfg.packet_bytes = kPacketBytes;
-    cfg.offered_bps = 1e9;  // iperf at 1000 Mbps, as in the paper
-    cfg.warmup_s = 0.05;
-    cfg.duration_s = 0.25;
-    cfg.cpu = cpu;
-    cfg.seed = 6000 + static_cast<std::uint64_t>(mbps);
-    const auto r = workload::run_experiment(cfg);
-    const double optimal = 5.0 * mbps;
-    std::printf("%12.0f  %12.1f  %13.1f\n", mbps, optimal, r.achieved_mbps);
-    plateau = std::max(plateau, r.achieved_mbps);
-    if (mbps <= 125) {
-      low_rate_overhead =
-          std::min(low_rate_overhead, r.achieved_mbps / optimal);
-    }
-  }
+  sweep_points(
+      rates,
+      [&](double mbps) {
+        workload::ExperimentConfig cfg;
+        cfg.setup = workload::identical_setup(mbps);
+        cfg.kappa = 1.0;
+        cfg.mu = 1.0;
+        cfg.packet_bytes = kPacketBytes;
+        cfg.offered_bps = 1e9;  // iperf at 1000 Mbps, as in the paper
+        cfg.warmup_s = 0.05;
+        cfg.duration_s = 0.25;
+        cfg.cpu = cpu;
+        cfg.seed = 6000 + static_cast<std::uint64_t>(mbps);
+        return workload::run_experiment(cfg);
+      },
+      [&](double mbps, workload::ExperimentResult&& r) {
+        const double optimal = 5.0 * mbps;
+        std::printf("%12.0f  %12.1f  %13.1f\n", mbps, optimal, r.achieved_mbps);
+        plateau = std::max(plateau, r.achieved_mbps);
+        if (mbps <= 125) {
+          low_rate_overhead =
+              std::min(low_rate_overhead, r.achieved_mbps / optimal);
+        }
+        if (series) {
+          workload::JsonRow row;
+          row.field("channel_mbps", mbps).field("optimal_mbps", optimal);
+          series.write(workload::add_experiment_fields(row, r));
+        }
+      });
 
   std::printf("\n# plateau: %.1f Mbps (paper: ~750 Mbps)\n", plateau);
   std::printf("# low-rate tracking: achieved/optimal at <= 125 Mbps: %.3f\n",

@@ -8,6 +8,7 @@
 // and reconstruction work grows with k.
 #include <algorithm>
 #include <cstdio>
+#include <vector>
 
 #include "bench_common.hpp"
 
@@ -22,31 +23,49 @@ int main() {
   cpu.unlimited = false;
   cpu.ops_per_sec = 1e6;  // same hosts as Figure 6 (see its comment)
 
-  double knee_mbps[6] = {};  // highest channel rate still within 5% of optimal
+  auto series = workload::JsonlWriter::from_env("fig7_highbw_mu5");
+  struct Cell {
+    double mbps = 0.0;
+    int kappa = 0;
+  };
+  std::vector<Cell> cells;  // row-major: one cell per (rate, kappa)
   for (double mbps = 100; mbps <= 800 + 1e-9; mbps += 25) {
-    const auto setup = workload::identical_setup(mbps);
-    const double optimal = mbps;  // sum r / mu = 5r / 5
-    std::printf("%12.0f  %12.1f", mbps, optimal);
-    for (int kappa = 1; kappa <= 5; ++kappa) {
-      workload::ExperimentConfig cfg;
-      cfg.setup = setup;
-      cfg.kappa = static_cast<double>(kappa);
-      cfg.mu = 5.0;
-      cfg.packet_bytes = kPacketBytes;
-      cfg.offered_bps = 1e9;
-      cfg.warmup_s = 0.05;
-      cfg.duration_s = 0.25;
-      cfg.cpu = cpu;
-      cfg.seed = 7000 + static_cast<std::uint64_t>(mbps) * 10 +
-                 static_cast<std::uint64_t>(kappa);
-      const auto r = workload::run_experiment(cfg);
-      std::printf("  %7.1f", r.achieved_mbps);
-      if (r.achieved_mbps >= optimal * 0.95) {
-        knee_mbps[kappa] = std::max(knee_mbps[kappa], mbps);
-      }
-    }
-    std::printf("\n");
+    for (int kappa = 1; kappa <= 5; ++kappa) cells.push_back({mbps, kappa});
   }
+
+  double knee_mbps[6] = {};  // highest channel rate still within 5% of optimal
+  sweep_points(
+      cells,
+      [&](const Cell& c) {
+        workload::ExperimentConfig cfg;
+        cfg.setup = workload::identical_setup(c.mbps);
+        cfg.kappa = static_cast<double>(c.kappa);
+        cfg.mu = 5.0;
+        cfg.packet_bytes = kPacketBytes;
+        cfg.offered_bps = 1e9;
+        cfg.warmup_s = 0.05;
+        cfg.duration_s = 0.25;
+        cfg.cpu = cpu;
+        cfg.seed = 7000 + static_cast<std::uint64_t>(c.mbps) * 10 +
+                   static_cast<std::uint64_t>(c.kappa);
+        return workload::run_experiment(cfg);
+      },
+      [&](const Cell& c, workload::ExperimentResult&& r) {
+        const double optimal = c.mbps;  // sum r / mu = 5r / 5
+        if (c.kappa == 1) std::printf("%12.0f  %12.1f", c.mbps, optimal);
+        std::printf("  %7.1f", r.achieved_mbps);
+        if (c.kappa == 5) std::printf("\n");
+        if (r.achieved_mbps >= optimal * 0.95) {
+          knee_mbps[c.kappa] = std::max(knee_mbps[c.kappa], c.mbps);
+        }
+        if (series) {
+          workload::JsonRow row;
+          row.field("channel_mbps", c.mbps)
+              .field("kappa", c.kappa)
+              .field("optimal_mbps", optimal);
+          series.write(workload::add_experiment_fields(row, r));
+        }
+      });
 
   std::printf("\n# highest channel rate still within 5%% of optimal, per kappa:\n");
   for (int kappa = 1; kappa <= 5; ++kappa) {

@@ -1,8 +1,11 @@
 #include "core/planner.hpp"
 
 #include <cmath>
+#include <utility>
+#include <vector>
 
 #include "core/rate.hpp"
+#include "runtime/parallel.hpp"
 #include "util/ensure.hpp"
 
 namespace mcss {
@@ -63,14 +66,27 @@ Plan plan_parameters(const ChannelSet& channels, const PlannerGoal& goal) {
   MCSS_ENSURE(goal.step > 0.0, "search step must be positive");
   const auto n = static_cast<double>(channels.size());
 
-  Plan best;
+  // Materialize the grid so the LP evaluations (independent, each with
+  // its own tableau) can run concurrently; the best-of reduction walks
+  // results in grid order, so the chosen plan — including which of
+  // several tied optima wins — is identical for any thread count.
+  std::vector<std::pair<double, double>> grid;
   for (double kappa = 1.0; kappa <= n + 1e-9; kappa += goal.step) {
     const double k = std::min(kappa, n);
     for (double mu = k; mu <= n + 1e-9; mu += goal.step) {
-      const Plan candidate = evaluate(channels, goal, k, std::min(mu, n));
-      if (better(goal, candidate, best)) best = candidate;
+      grid.emplace_back(k, std::min(mu, n));
     }
   }
+
+  Plan best;
+  runtime::for_each_ordered(
+      grid.size(),
+      [&](std::size_t i) {
+        return evaluate(channels, goal, grid[i].first, grid[i].second);
+      },
+      [&](std::size_t, Plan&& candidate) {
+        if (better(goal, candidate, best)) best = std::move(candidate);
+      });
   return best;
 }
 

@@ -29,6 +29,8 @@
 #include "protocol/tunnel.hpp"       // IWYU pragma: export
 #include "protocol/wire.hpp"         // IWYU pragma: export
 #include "risk/channel_risk.hpp"     // IWYU pragma: export
+#include "runtime/parallel.hpp"      // IWYU pragma: export
+#include "runtime/thread_pool.hpp"   // IWYU pragma: export
 #include "risk/hmm.hpp"              // IWYU pragma: export
 #include "sss/blakley.hpp"           // IWYU pragma: export
 #include "sss/shamir.hpp"            // IWYU pragma: export
@@ -42,6 +44,7 @@
 #include "workload/adaptive.hpp"     // IWYU pragma: export
 #include "workload/estimator.hpp"    // IWYU pragma: export
 #include "workload/experiment.hpp"   // IWYU pragma: export
+#include "workload/experiment_log.hpp" // IWYU pragma: export
 #include "workload/scenario.hpp"     // IWYU pragma: export
 #include "workload/setups.hpp"       // IWYU pragma: export
 #include "workload/traffic.hpp"      // IWYU pragma: export

@@ -43,13 +43,16 @@ void Receiver::on_frame(std::vector<std::uint8_t> raw) {
 
   auto it = partials_.find(id);
   if (it == partials_.end()) {
-    evict_oldest_for_memory(frame->payload.size());
+    if (!make_room(frame->payload.size(), std::nullopt)) {
+      ++stats_.shares_dropped_memory;
+      return;
+    }
     Partial partial;
     partial.k = frame->k;
     partial.share_size = frame->payload.size();
     partial.first_seen = sim_.now();
     it = partials_.emplace(id, std::move(partial)).first;
-    creation_order_.push_back(id);
+    it->second.order_it = creation_order_.insert(creation_order_.end(), id);
     // IP-reassembly-style timer: if the packet is still partial when it
     // fires, evict it. first_seen disambiguates id reuse (never happens
     // with 64-bit ids, but keeps the check airtight).
@@ -75,6 +78,14 @@ void Receiver::on_frame(std::vector<std::uint8_t> raw) {
     return;
   }
 
+  // The cap must hold for APPENDS too, not only for new partials — an
+  // existing packet accumulating shares grows buffered_bytes_ all the
+  // same. The partial being extended is never its own victim; if even
+  // evicting everything else cannot fit the share, drop the share.
+  if (!make_room(frame->payload.size(), id)) {
+    ++stats_.shares_dropped_memory;
+    return;
+  }
   buffered_bytes_ += frame->payload.size();
   partial.shares.push_back({frame->share_index, std::move(frame->payload)});
   if (partial.shares.size() >= partial.k) {
@@ -102,6 +113,7 @@ void Receiver::complete(std::uint64_t id, Partial& partial) {
   }
 
   buffered_bytes_ -= partial.share_size * partial.shares.size();
+  creation_order_.erase(partial.order_it);
   partials_.erase(id);
   remember_completed(id);
 }
@@ -110,20 +122,22 @@ void Receiver::evict(std::uint64_t id, std::uint64_t* counter) {
   const auto it = partials_.find(id);
   MCSS_INVARIANT(it != partials_.end(), "evicting a packet that is not pending");
   buffered_bytes_ -= it->second.share_size * it->second.shares.size();
+  creation_order_.erase(it->second.order_it);
   partials_.erase(it);
   ++*counter;
 }
 
-void Receiver::evict_oldest_for_memory(std::size_t incoming_bytes) {
+bool Receiver::make_room(std::size_t incoming_bytes,
+                         std::optional<std::uint64_t> exclude) {
+  auto it = creation_order_.begin();
   while (buffered_bytes_ + incoming_bytes > config_.memory_limit_bytes &&
-         !creation_order_.empty()) {
-    const std::uint64_t victim = creation_order_.front();
-    creation_order_.pop_front();
-    if (partials_.contains(victim)) {
-      evict(victim, &stats_.packets_evicted_memory);
-    }
-    // Stale entries (already completed or timed out) are skipped silently.
+         it != creation_order_.end()) {
+    const std::uint64_t victim = *it;
+    ++it;  // advance before evict() unlinks the node behind us
+    if (exclude && victim == *exclude) continue;
+    evict(victim, &stats_.packets_evicted_memory);
   }
+  return buffered_bytes_ + incoming_bytes <= config_.memory_limit_bytes;
 }
 
 void Receiver::remember_completed(std::uint64_t id) {

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <list>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
@@ -48,6 +49,10 @@ struct ReceiverStats {
   std::uint64_t bytes_delivered = 0;
   std::uint64_t packets_evicted_timeout = 0;
   std::uint64_t packets_evicted_memory = 0;
+  /// Shares dropped because the memory cap could not be met even after
+  /// evicting every other partial (the incoming share alone, or the
+  /// partial it extends, would exceed the limit).
+  std::uint64_t shares_dropped_memory = 0;
 };
 
 class Receiver {
@@ -72,6 +77,12 @@ class Receiver {
   [[nodiscard]] const ReceiverStats& stats() const noexcept { return stats_; }
   [[nodiscard]] std::size_t pending_packets() const noexcept { return partials_.size(); }
   [[nodiscard]] std::size_t buffered_bytes() const noexcept { return buffered_bytes_; }
+  /// Size of the oldest-first eviction bookkeeping; always equals
+  /// pending_packets() (ids are unlinked the moment a packet completes
+  /// or is evicted — exposed so tests can pin the invariant).
+  [[nodiscard]] std::size_t tracked_partials() const noexcept {
+    return creation_order_.size();
+  }
 
  private:
   struct Partial {
@@ -79,11 +90,16 @@ class Receiver {
     std::size_t share_size = 0;
     std::vector<sss::Share> shares;
     net::SimTime first_seen = 0;
+    /// This partial's node in creation_order_, for O(1) unlink.
+    std::list<std::uint64_t>::iterator order_it;
   };
 
   void complete(std::uint64_t id, Partial& partial);
   void evict(std::uint64_t id, std::uint64_t* counter);
-  void evict_oldest_for_memory(std::size_t incoming_bytes);
+  /// Evict oldest partials (never `exclude`) until `incoming_bytes` more
+  /// fit under the cap; false when they cannot be made to fit.
+  bool make_room(std::size_t incoming_bytes,
+                 std::optional<std::uint64_t> exclude);
   void remember_completed(std::uint64_t id);
 
   net::Simulator& sim_;
@@ -92,7 +108,7 @@ class Receiver {
   DeliverFn deliver_;
 
   std::unordered_map<std::uint64_t, Partial> partials_;
-  std::deque<std::uint64_t> creation_order_;  // for oldest-first eviction
+  std::list<std::uint64_t> creation_order_;  // for oldest-first eviction
   std::size_t buffered_bytes_ = 0;
   std::unordered_set<std::uint64_t> completed_;
   std::deque<std::uint64_t> completed_order_;

@@ -58,16 +58,24 @@ std::optional<ShareDecision> StaticScheduler::next(
     if (dispatchable(parked_[i])) {
       ShareDecision d{parked_[i].k, mask_members(parked_[i].channels)};
       parked_.erase(parked_.begin() + static_cast<std::ptrdiff_t>(i));
+      ++stats_.parked_dispatched;
       return d;
     }
   }
 
-  // Draw fresh samples, parking blocked ones, until one is dispatchable
-  // or the pool is full.
-  while (parked_.size() < pool_limit_) {
+  // Draw fresh samples, parking blocked ones. Bounded to pool_limit_
+  // draws per call; a full pool evicts its oldest entry rather than
+  // stopping the draw — otherwise pool_limit_ permanently-undispatchable
+  // entries would pin the scheduler at "wait" forever, deadlocking the
+  // sender even when subsets the schedule can still sample are writable.
+  for (std::size_t draw = 0; draw < pool_limit_; ++draw) {
     const ScheduleEntry e = schedule_.sample(rng_);
     if (dispatchable(e)) {
       return ShareDecision{e.k, mask_members(e.channels)};
+    }
+    if (parked_.size() >= pool_limit_) {
+      parked_.erase(parked_.begin());
+      ++stats_.parked_evicted;
     }
     parked_.push_back(e);
   }

@@ -65,26 +65,41 @@ class DynamicScheduler final : public ShareScheduler {
   std::optional<KmPair> pending_;
 };
 
+struct StaticSchedulerStats {
+  /// Parked decisions dropped to keep sampling when the pool was full of
+  /// undispatchable entries. Each eviction slightly skews the realized
+  /// schedule away from the target distribution, so it is surfaced.
+  std::uint64_t parked_evicted = 0;
+  /// Parked decisions that later became writable and were dispatched.
+  std::uint64_t parked_dispatched = 0;
+};
+
 /// Explicit schedule: samples (k, M) from a ShareSchedule. A sampled
 /// decision whose M is not fully writable is parked in a small reorder
 /// pool while later samples proceed (packets are independent symbols, so
 /// reordering is harmless) — without this, one busy slow channel
-/// head-of-line-blocks every other channel. The pool preserves the
-/// schedule's long-run proportions exactly: every sample is eventually
-/// dispatched.
+/// head-of-line-blocks every other channel. When the pool fills with
+/// decisions that never become dispatchable, the oldest is evicted
+/// (counted in stats()) so sampling keeps going — a full pool must not
+/// wedge the sender while other subsets are writable.
 class StaticScheduler final : public ShareScheduler {
  public:
   /// `pool_limit` bounds how many sampled-but-blocked decisions may be
-  /// parked before the scheduler reports "wait".
+  /// parked, and how many fresh samples one next() call may draw.
   StaticScheduler(ShareSchedule schedule, Rng rng, std::size_t pool_limit = 32);
   [[nodiscard]] std::optional<ShareDecision> next(
       std::span<const ChannelView> channels) override;
+
+  [[nodiscard]] const StaticSchedulerStats& stats() const noexcept {
+    return stats_;
+  }
 
  private:
   ShareSchedule schedule_;
   Rng rng_;
   std::vector<ScheduleEntry> parked_;
   std::size_t pool_limit_;
+  StaticSchedulerStats stats_;
 };
 
 /// Constant (k, m = n) over all channels; k = n gives MICSS semantics.

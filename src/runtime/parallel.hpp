@@ -1,0 +1,130 @@
+// Deterministic parallel-for with ordered result collection.
+//
+// for_each_ordered(count, compute, commit) evaluates compute(i) for
+// every i in [0, count) concurrently on the shared pool, while the
+// calling thread invokes commit(i, result) strictly in index order,
+// streaming: index i is committed as soon as BOTH compute(i) has
+// finished and every j < i has been committed. Because commits are
+// serialized on the caller in a fixed order, anything commit does
+// (printing a table row, folding into an accumulator, appending to a
+// JSON-lines file) produces output bitwise identical to the sequential
+// run, for any thread count.
+//
+// compute must be safe to call concurrently from several threads for
+// distinct indices (sweep points owning their own Simulator/Rng are);
+// commit is only ever called from the calling thread. Exceptions from
+// either cancel the remaining work and are rethrown to the caller.
+//
+// When configured_threads() == 1, when there is at most one index, or
+// when already running on a pool worker (nested parallelism), both
+// helpers degrade to a plain sequential loop on the calling thread —
+// the exact legacy path, no pool, no synchronization.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "runtime/thread_pool.hpp"
+
+namespace mcss::runtime {
+
+template <typename ComputeFn, typename CommitFn>
+void for_each_ordered(std::size_t count, ComputeFn&& compute,
+                      CommitFn&& commit) {
+  using T = std::decay_t<std::invoke_result_t<ComputeFn&, std::size_t>>;
+
+  const unsigned threads = configured_threads();
+  if (threads <= 1 || count <= 1 || ThreadPool::on_worker()) {
+    for (std::size_t i = 0; i < count; ++i) commit(i, compute(i));
+    return;
+  }
+
+  struct State {
+    std::mutex mutex;
+    std::condition_variable progress;
+    std::vector<std::optional<T>> results;
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> cancelled{false};
+    std::size_t pumps_running = 0;
+    std::exception_ptr error;
+  };
+  State state;
+  state.results.resize(count);
+
+  // Each pump task claims indices from the shared counter until they run
+  // out; index-claim order varies run to run but lands each result in
+  // its own slot, so ordering is restored at commit time.
+  const auto pump = [&state, &compute, count] {
+    for (;;) {
+      if (state.cancelled.load(std::memory_order_relaxed)) break;
+      const std::size_t i = state.next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) break;
+      try {
+        T result = compute(i);
+        std::lock_guard<std::mutex> lock(state.mutex);
+        state.results[i].emplace(std::move(result));
+        state.progress.notify_all();
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state.mutex);
+        if (!state.error) state.error = std::current_exception();
+        state.cancelled.store(true, std::memory_order_relaxed);
+        state.progress.notify_all();
+      }
+    }
+    std::lock_guard<std::mutex> lock(state.mutex);
+    --state.pumps_running;
+    state.progress.notify_all();
+  };
+
+  ThreadPool& pool = ThreadPool::shared();
+  const std::size_t pumps =
+      std::min<std::size_t>(std::min<std::size_t>(threads, pool.size()), count);
+  state.pumps_running = pumps;
+  for (std::size_t p = 0; p < pumps; ++p) pool.submit(pump);
+
+  std::unique_lock<std::mutex> lock(state.mutex);
+  for (std::size_t i = 0; i < count; ++i) {
+    state.progress.wait(
+        lock, [&] { return state.error || state.results[i].has_value(); });
+    if (state.error) break;
+    T result = std::move(*state.results[i]);
+    state.results[i].reset();
+    lock.unlock();
+    try {
+      commit(i, std::move(result));
+    } catch (...) {
+      lock.lock();
+      if (!state.error) state.error = std::current_exception();
+      state.cancelled.store(true, std::memory_order_relaxed);
+      break;
+    }
+    lock.lock();
+  }
+  // Drain the pumps before the stack frame (state, compute) goes away.
+  state.cancelled.store(true, std::memory_order_relaxed);
+  state.progress.wait(lock, [&] { return state.pumps_running == 0; });
+  if (state.error) std::rethrow_exception(state.error);
+}
+
+/// body(i) for every i in [0, count), concurrently; blocks until all
+/// have run. body must tolerate concurrent invocation for distinct i.
+template <typename Body>
+void parallel_for_indexed(std::size_t count, Body&& body) {
+  for_each_ordered(
+      count,
+      [&body](std::size_t i) {
+        body(i);
+        return 0;
+      },
+      [](std::size_t, int) {});
+}
+
+}  // namespace mcss::runtime

@@ -1,0 +1,93 @@
+#include "runtime/thread_pool.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+#include "util/ensure.hpp"
+
+namespace mcss::runtime {
+
+namespace {
+
+thread_local bool t_on_worker = false;
+
+std::atomic<unsigned> g_thread_override{0};  // 0 = not overridden
+
+unsigned threads_from_environment() noexcept {
+  const char* env = std::getenv("MCSS_THREADS");
+  if (env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const unsigned long parsed = std::strtoul(env, &end, 10);
+    if (end != nullptr && *end == '\0' && parsed >= 1 && parsed <= 4096) {
+      return static_cast<unsigned>(parsed);
+    }
+    // Malformed values fall through to the hardware default rather than
+    // silently serializing a sweep the user asked to parallelize.
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? hw : 1;
+}
+
+}  // namespace
+
+unsigned configured_threads() noexcept {
+  const unsigned override = g_thread_override.load(std::memory_order_relaxed);
+  if (override != 0) return override;
+  static const unsigned from_env = threads_from_environment();
+  return from_env;
+}
+
+void set_threads(unsigned n) noexcept {
+  g_thread_override.store(n == 0 ? 1 : n, std::memory_order_relaxed);
+}
+
+ThreadPool::ThreadPool(unsigned threads) {
+  MCSS_ENSURE(threads >= 1, "thread pool needs at least one worker");
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    MCSS_ENSURE(!stopping_, "submit on a stopping thread pool");
+    queue_.push_back(std::move(task));
+  }
+  wake_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  t_on_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+bool ThreadPool::on_worker() noexcept { return t_on_worker; }
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool(configured_threads());
+  return pool;
+}
+
+}  // namespace mcss::runtime

@@ -1,0 +1,75 @@
+// Deterministic parallel execution substrate.
+//
+// The evaluation sweeps (Figs. 3-7, the ablations, the planner's
+// (kappa, mu) grid search) are hundreds of fully independent
+// deterministic simulations: every point owns its own net::Simulator
+// and seeded Rng, so points may run concurrently without sharing any
+// mutable state. This layer provides the minimal machinery for that:
+// a fixed-size FIFO thread pool (no work stealing — tasks are grabbed
+// from a single queue, results are committed in index order by the
+// caller), so sweep output is bitwise identical to the sequential run
+// regardless of thread count.
+//
+// Parallelism is selected by the MCSS_THREADS environment variable
+// (or set_threads()); MCSS_THREADS=1 is the exact legacy path — no
+// pool is created and everything runs inline on the calling thread.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mcss::runtime {
+
+/// Worker-thread count used by the parallel helpers: the set_threads()
+/// override if any, else the MCSS_THREADS environment variable, else
+/// std::thread::hardware_concurrency(). Always >= 1. The environment is
+/// read once and cached.
+[[nodiscard]] unsigned configured_threads() noexcept;
+
+/// Programmatic override of MCSS_THREADS (tests, --threads flags).
+/// Call before the first parallel helper use to also size the shared
+/// pool; later calls still select the inline path when n == 1.
+void set_threads(unsigned n) noexcept;
+
+/// Fixed-size thread pool with a single FIFO task queue. Destruction
+/// drains the queue and joins the workers.
+class ThreadPool {
+ public:
+  explicit ThreadPool(unsigned threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task; some worker runs it eventually.
+  void submit(std::function<void()> task);
+
+  [[nodiscard]] unsigned size() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// True when the calling thread is a pool worker (any pool). The
+  /// parallel helpers use this to run nested parallelism inline instead
+  /// of deadlocking on their own pool.
+  [[nodiscard]] static bool on_worker() noexcept;
+
+  /// Process-wide pool, created lazily on first use and sized by
+  /// configured_threads() at that moment. Never touched (and never
+  /// created) when configured_threads() == 1.
+  [[nodiscard]] static ThreadPool& shared();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace mcss::runtime

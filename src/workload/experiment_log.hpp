@@ -1,0 +1,81 @@
+// Machine-readable bench output: one JSON object per sweep point.
+//
+// The figure harnesses print human tables on stdout; alongside them,
+// when MCSS_BENCH_JSONL is set, each sweep point is appended as one
+// line of JSON to a .jsonl file, so trajectory tooling (BENCH_*
+// tracking, plotting, regression diffing) can consume the same series
+// without scraping printf columns. Rows are written from the ordered
+// commit path of the parallel sweep, so the file contents are as
+// deterministic as the stdout tables.
+//
+// MCSS_BENCH_JSONL semantics: unset or empty disables the writer
+// entirely (benches behave exactly as before); a value ending in
+// ".jsonl" names the output file directly; any other value is treated
+// as a directory (created if missing) receiving <bench>.jsonl.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "workload/experiment.hpp"
+
+namespace mcss::workload {
+
+/// Builder for one flat JSON object; fields keep insertion order.
+/// Doubles are serialized with round-trip (%.17g) precision so a row
+/// carries exactly the values the run produced.
+class JsonRow {
+ public:
+  JsonRow& field(std::string_view key, double value);
+  JsonRow& field(std::string_view key, std::int64_t value);
+  JsonRow& field(std::string_view key, std::uint64_t value);
+  JsonRow& field(std::string_view key, int value) {
+    return field(key, static_cast<std::int64_t>(value));
+  }
+  JsonRow& field(std::string_view key, bool value);
+  JsonRow& field(std::string_view key, std::string_view value);
+
+  /// The completed object, e.g. {"kappa":1,"mu":2.5}.
+  [[nodiscard]] std::string str() const;
+
+ private:
+  void key(std::string_view k);
+  std::string body_;
+};
+
+/// Append-one-line-per-row writer; default-constructed or empty-path
+/// instances are disabled and ignore write(). Flushes every row so a
+/// killed bench still leaves a readable prefix.
+class JsonlWriter {
+ public:
+  JsonlWriter() = default;
+  explicit JsonlWriter(const std::string& path);
+
+  /// Writer configured from MCSS_BENCH_JSONL for this bench binary;
+  /// disabled when the variable is unset or empty.
+  [[nodiscard]] static JsonlWriter from_env(std::string_view bench_name);
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return file_ != nullptr;
+  }
+
+  void write(const JsonRow& row);
+
+ private:
+  struct FileCloser {
+    void operator()(std::FILE* f) const noexcept {
+      if (f != nullptr) std::fclose(f);
+    }
+  };
+  std::unique_ptr<std::FILE, FileCloser> file_;
+};
+
+/// Append the standard ExperimentResult fields to a row (after the
+/// bench-specific point coordinates), so every bench's series carries
+/// the same result schema.
+JsonRow& add_experiment_fields(JsonRow& row, const ExperimentResult& result);
+
+}  // namespace mcss::workload

@@ -122,6 +122,36 @@ TEST(StaticScheduler, WaitsForItsSampledSubset) {
   EXPECT_EQ(d->channels, (std::vector<int>{0, 1}));
 }
 
+TEST(StaticScheduler, FullParkedPoolEvictsOldestInsteadOfWedging) {
+  // Regression: once pool_limit_ undispatchable decisions were parked,
+  // next() returned nullopt forever — even though the schedule could
+  // still sample subsets that ARE writable. With channel 0 stuck busy,
+  // the dominant (1, {0}) entry quickly fills the pool; the scheduler
+  // must keep drawing (evicting stale parked entries) until it samples
+  // the rare (1, {1}) entry that channel 1 can take.
+  const ChannelSet cs{{0, 0, 0, 1}, {0, 0, 0, 1}};
+  StaticScheduler sched(
+      ShareSchedule(cs, {{1, 0b01, 0.999}, {1, 0b10, 0.001}}), Rng(7),
+      /*pool_limit=*/4);
+  const std::vector<ChannelView> ch0_busy{{false, 0}, {true, 0}};
+
+  std::optional<ShareDecision> d;
+  int calls = 0;
+  for (; calls < 10000 && !d; ++calls) d = sched.next(ch0_busy);
+  ASSERT_TRUE(d.has_value()) << "scheduler wedged after " << calls << " calls";
+  EXPECT_EQ(d->channels, (std::vector<int>{1}));
+  // The pool filled long before the rare entry came up, so progress
+  // required evicting parked decisions.
+  EXPECT_GT(sched.stats().parked_evicted, 0u);
+
+  // Recovery: once channel 0 frees up, parked (1, {0}) work dispatches.
+  const std::vector<ChannelView> both{{true, 0}, {true, 0}};
+  const auto parked = sched.next(both);
+  ASSERT_TRUE(parked.has_value());
+  EXPECT_EQ(parked->channels, (std::vector<int>{0}));
+  EXPECT_GT(sched.stats().parked_dispatched, 0u);
+}
+
 TEST(FixedScheduler, RequiresAllChannels) {
   FixedScheduler sched(3, 3);
   const std::vector<ChannelView> missing_one{{true, 0}, {true, 0}, {false, 0}};
@@ -337,6 +367,171 @@ TEST(Receiver, MemoryCapEvictsOldestFirst) {
   f.payload.assign(1000, 2);
   rx.on_frame(encode(f));
   EXPECT_EQ(delivered, 1);
+}
+
+TEST(Receiver, AppendsRespectMemoryCap) {
+  // Regression: the cap used to be enforced only when a NEW partial was
+  // created; appends to existing partials grew buffered_bytes_ past the
+  // limit unchecked. Two k=3 partials plus appends drive usage to 4x the
+  // share size — above the old cap of 3x.
+  net::Simulator sim;
+  ReceiverConfig cfg;
+  cfg.memory_limit_bytes = 3000;
+  cfg.reassembly_timeout = net::from_seconds(100);
+  Receiver rx(sim, cfg);
+
+  ShareFrame f;
+  f.k = 3;
+  f.payload.assign(1000, 0xab);
+  f.packet_id = 1;
+  f.share_index = 1;
+  rx.on_frame(encode(f));
+  f.packet_id = 2;
+  rx.on_frame(encode(f));
+  f.packet_id = 1;
+  f.share_index = 2;
+  rx.on_frame(encode(f));  // 3000 bytes buffered: exactly at the cap
+  EXPECT_EQ(rx.buffered_bytes(), 3000u);
+  EXPECT_EQ(rx.stats().packets_evicted_memory, 0u);
+
+  // A third share for id 1 must evict id 2 (the only other partial),
+  // never id 1 itself, and must keep the cap invariant.
+  f.share_index = 3;
+  int delivered = 0;
+  rx.set_deliver([&](std::uint64_t id, std::vector<std::uint8_t>) {
+    EXPECT_EQ(id, 1u);
+    ++delivered;
+  });
+  rx.on_frame(encode(f));  // completes id 1 with its three shares
+  EXPECT_LE(rx.buffered_bytes(), cfg.memory_limit_bytes);
+  EXPECT_EQ(rx.stats().packets_evicted_memory, 1u);
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(rx.pending_packets(), 0u);
+}
+
+TEST(Receiver, UnfittableShareIsDroppedNotBuffered) {
+  net::Simulator sim;
+  ReceiverConfig cfg;
+  cfg.memory_limit_bytes = 1500;
+  cfg.reassembly_timeout = net::from_seconds(100);
+  Receiver rx(sim, cfg);
+
+  // An oversized first share can never fit: dropped, nothing tracked.
+  ShareFrame f;
+  f.packet_id = 1;
+  f.k = 3;
+  f.share_index = 1;
+  f.payload.assign(2000, 1);
+  rx.on_frame(encode(f));
+  EXPECT_EQ(rx.stats().shares_dropped_memory, 1u);
+  EXPECT_EQ(rx.pending_packets(), 0u);
+  EXPECT_EQ(rx.buffered_bytes(), 0u);
+
+  // An append that cannot fit even after evicting every OTHER partial
+  // (there are none) is dropped; the partial it extends survives intact.
+  f.payload.assign(1000, 2);
+  rx.on_frame(encode(f));
+  EXPECT_EQ(rx.buffered_bytes(), 1000u);
+  f.share_index = 2;
+  rx.on_frame(encode(f));
+  EXPECT_EQ(rx.stats().shares_dropped_memory, 2u);
+  EXPECT_EQ(rx.buffered_bytes(), 1000u);
+  EXPECT_EQ(rx.pending_packets(), 1u);
+}
+
+TEST(Receiver, CreationOrderIsPrunedOnCompletionAndEviction) {
+  // Regression: creation_order_ used to leak one entry per completed or
+  // timeout-evicted packet, so the eviction scan degraded over time.
+  net::Simulator sim;
+  ReceiverConfig cfg;
+  cfg.reassembly_timeout = net::from_millis(10);
+  Receiver rx(sim, cfg);
+  rx.set_deliver([](std::uint64_t, std::vector<std::uint8_t>) {});
+
+  ShareFrame f;
+  f.k = 1;  // single share completes immediately
+  f.payload = {42};
+  for (std::uint64_t id = 1; id <= 100; ++id) {
+    f.packet_id = id;
+    f.share_index = 1;
+    rx.on_frame(encode(f));
+  }
+  EXPECT_EQ(rx.stats().packets_delivered, 100u);
+  EXPECT_EQ(rx.pending_packets(), 0u);
+  EXPECT_EQ(rx.tracked_partials(), 0u);
+
+  // Timeout evictions must prune their entries too.
+  f.k = 2;
+  f.packet_id = 200;
+  rx.on_frame(encode(f));
+  EXPECT_EQ(rx.tracked_partials(), 1u);
+  sim.run();
+  EXPECT_EQ(rx.stats().packets_evicted_timeout, 1u);
+  EXPECT_EQ(rx.tracked_partials(), 0u);
+}
+
+TEST(Receiver, TimeoutAndMemoryEvictionInterplay) {
+  net::Simulator sim;
+  ReceiverConfig cfg;
+  cfg.memory_limit_bytes = 2500;
+  cfg.reassembly_timeout = net::from_millis(10);
+  Receiver rx(sim, cfg);
+
+  const auto share = [](std::uint64_t id) {
+    ShareFrame f;
+    f.packet_id = id;
+    f.k = 2;
+    f.share_index = 1;
+    f.payload.assign(1000, static_cast<std::uint8_t>(id));
+    return encode(f);
+  };
+  rx.on_frame(share(1));
+  sim.schedule_in(net::from_millis(5), [&] { rx.on_frame(share(2)); });
+  // At 12 ms packet 1 has timed out; 2 is alive. Packets 3 and 4 then
+  // arrive back to back: 3 fits next to 2, 4 must evict 2 (the oldest
+  // SURVIVOR — the timeout already reclaimed 1's bytes).
+  sim.schedule_in(net::from_millis(12), [&] {
+    EXPECT_EQ(rx.stats().packets_evicted_timeout, 1u);
+    EXPECT_EQ(rx.buffered_bytes(), 1000u);
+    rx.on_frame(share(3));
+    rx.on_frame(share(4));
+    EXPECT_EQ(rx.stats().packets_evicted_memory, 1u);
+    EXPECT_EQ(rx.pending_packets(), 2u);
+    EXPECT_LE(rx.buffered_bytes(), cfg.memory_limit_bytes);
+  });
+  sim.run();
+  // Everything eventually times out; bookkeeping must drain to zero.
+  EXPECT_EQ(rx.pending_packets(), 0u);
+  EXPECT_EQ(rx.tracked_partials(), 0u);
+  EXPECT_EQ(rx.buffered_bytes(), 0u);
+}
+
+TEST(Receiver, CompletedHistoryIsBounded) {
+  net::Simulator sim;
+  ReceiverConfig cfg;
+  cfg.completed_history = 4;
+  Receiver rx(sim, cfg);
+  rx.set_deliver([](std::uint64_t, std::vector<std::uint8_t>) {});
+
+  ShareFrame f;
+  f.k = 1;
+  f.payload = {7};
+  f.share_index = 1;
+  for (std::uint64_t id = 1; id <= 6; ++id) {
+    f.packet_id = id;
+    rx.on_frame(encode(f));
+  }
+  // Id 6 is still remembered: its replay is a late share. Id 1 has
+  // fallen out of the 4-deep history: its replay starts a new partial
+  // (delivered again immediately since k = 1 — duplicate delivery is
+  // the documented cost of the bounded history).
+  f.packet_id = 6;
+  rx.on_frame(encode(f));
+  EXPECT_EQ(rx.stats().late_shares, 1u);
+  f.packet_id = 1;
+  rx.on_frame(encode(f));
+  EXPECT_EQ(rx.stats().late_shares, 1u);
+  EXPECT_EQ(rx.stats().packets_delivered, 7u);
 }
 
 TEST(Receiver, DuplicateAndLateShareAccounting) {

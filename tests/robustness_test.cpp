@@ -140,6 +140,38 @@ TEST(Fuzz, ReceiverSurvivesGarbageStorm) {
             stats.malformed_frames + stats.duplicate_shares + stats.late_shares);
 }
 
+TEST(Fuzz, ReceiverAppendStormNeverExceedsMemoryCap) {
+  // Append-heavy variant of the storm: a LONG timeout (so timer-driven
+  // eviction cannot mask cap violations) and few packet ids with large
+  // k, so most accepted shares APPEND to existing partials — the path
+  // that historically bypassed the memory cap entirely.
+  net::Simulator sim;
+  ReceiverConfig cfg;
+  cfg.memory_limit_bytes = 4 * 1024;
+  cfg.reassembly_timeout = net::from_seconds(1000);
+  Receiver rx(sim, cfg);
+  int delivered = 0;
+  rx.set_deliver([&](std::uint64_t, std::vector<std::uint8_t>) { ++delivered; });
+
+  Rng rng(9);
+  ShareFrame f;
+  f.payload.assign(300, 2);
+  for (int i = 0; i < 30000; ++i) {
+    f.packet_id = rng.uniform_int(32);  // few ids -> mostly appends
+    f.k = 5;
+    f.share_index = static_cast<std::uint8_t>(1 + rng.uniform_int(8));
+    rx.on_frame(encode(f));
+    ASSERT_LE(rx.buffered_bytes(), cfg.memory_limit_bytes);
+    ASSERT_EQ(rx.tracked_partials(), rx.pending_packets());
+  }
+  EXPECT_GT(delivered, 0);
+  // The cap holds 13 shares and the storm keeps ~32 partials in flight,
+  // so staying under it requires memory evictions — and with the timers
+  // never firing, ONLY the memory path can have done the evicting.
+  EXPECT_GT(rx.stats().packets_evicted_memory, 0u);
+  EXPECT_EQ(rx.stats().packets_evicted_timeout, 0u);
+}
+
 TEST(Fuzz, ReceiverDeliversOnlyConsistentPackets) {
   // Mix two "versions" of shares for the same packet id with different
   // sizes: the receiver must keep the first and deliver an intact packet

@@ -1,0 +1,175 @@
+// Tests for the deterministic parallel sweep substrate (src/runtime):
+// ordered commits, full index coverage, the sequential fallback paths,
+// exception propagation, and bitwise determinism across thread counts.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/parallel.hpp"
+#include "runtime/thread_pool.hpp"
+#include "util/rng.hpp"
+
+namespace mcss::runtime {
+namespace {
+
+/// Restores the thread override on scope exit so tests do not leak their
+/// parallelism setting into each other.
+struct ThreadGuard {
+  explicit ThreadGuard(unsigned n) { set_threads(n); }
+  ~ThreadGuard() { set_threads(1); }
+};
+
+TEST(ThreadPool, DestructionDrainsTheQueue) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(3);
+    EXPECT_EQ(pool.size(), 3u);
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&ran] { ++ran; });
+    }
+  }  // joins after running every queued task
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, OnWorkerIsTrueOnlyOnPoolThreads) {
+  EXPECT_FALSE(ThreadPool::on_worker());
+  ThreadPool pool(1);
+  std::atomic<bool> seen{false};
+  std::atomic<bool> value{false};
+  pool.submit([&] {
+    value = ThreadPool::on_worker();
+    seen = true;
+  });
+  while (!seen.load()) std::this_thread::yield();
+  EXPECT_TRUE(value.load());
+  EXPECT_FALSE(ThreadPool::on_worker());
+}
+
+TEST(ForEachOrdered, CommitsEveryIndexInOrder) {
+  ThreadGuard guard(4);
+  const std::size_t n = 200;
+  std::vector<std::size_t> committed;
+  for_each_ordered(
+      n, [](std::size_t i) { return i * i; },
+      [&](std::size_t i, std::size_t value) {
+        EXPECT_EQ(value, i * i);
+        committed.push_back(i);
+      });
+  ASSERT_EQ(committed.size(), n);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(committed[i], i);
+}
+
+TEST(ForEachOrdered, CommitRunsOnCallingThread) {
+  ThreadGuard guard(4);
+  const auto caller = std::this_thread::get_id();
+  for_each_ordered(
+      64, [](std::size_t i) { return i; },
+      [&](std::size_t, std::size_t) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+      });
+}
+
+TEST(ForEachOrdered, SingleThreadUsesInlineSequentialPath) {
+  ThreadGuard guard(1);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::size_t> order;
+  for_each_ordered(
+      10,
+      [&](std::size_t i) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        return i + 1;
+      },
+      [&](std::size_t i, std::size_t value) {
+        EXPECT_EQ(value, i + 1);
+        order.push_back(i);
+      });
+  EXPECT_EQ(order.size(), 10u);
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+}
+
+TEST(ForEachOrdered, DeterministicAcrossThreadCounts) {
+  // Every index owns its own seeded Rng — the sweep-point pattern. The
+  // committed sequence must be identical for 1 and 8 threads.
+  const auto run = [](unsigned threads) {
+    ThreadGuard guard(threads);
+    std::string transcript;
+    for_each_ordered(
+        50,
+        [](std::size_t i) {
+          Rng rng(1000 + static_cast<std::uint64_t>(i));
+          return rng();
+        },
+        [&](std::size_t i, std::uint64_t v) {
+          transcript += std::to_string(i) + ":" + std::to_string(v) + "\n";
+        });
+    return transcript;
+  };
+  EXPECT_EQ(run(1), run(8));
+}
+
+TEST(ForEachOrdered, ComputeExceptionPropagatesToCaller) {
+  ThreadGuard guard(4);
+  EXPECT_THROW(
+      for_each_ordered(
+          100,
+          [](std::size_t i) -> int {
+            if (i == 37) throw std::runtime_error("boom");
+            return 0;
+          },
+          [](std::size_t, int) {}),
+      std::runtime_error);
+}
+
+TEST(ForEachOrdered, CommitExceptionPropagatesToCaller) {
+  ThreadGuard guard(4);
+  std::size_t committed = 0;
+  EXPECT_THROW(for_each_ordered(
+                   100, [](std::size_t i) { return i; },
+                   [&](std::size_t, std::size_t) {
+                     if (++committed == 5) throw std::runtime_error("stop");
+                   }),
+               std::runtime_error);
+  EXPECT_EQ(committed, 5u);
+}
+
+TEST(ForEachOrdered, NestedCallDegradesToSequential) {
+  ThreadGuard guard(4);
+  std::atomic<std::size_t> total{0};
+  for_each_ordered(
+      8,
+      [&](std::size_t) {
+        // Inside a pool worker the nested helper must not deadlock on
+        // the same pool; it runs inline instead.
+        std::size_t local = 0;
+        for_each_ordered(
+            4, [](std::size_t j) { return j; },
+            [&](std::size_t, std::size_t v) { local += v; });
+        return local;
+      },
+      [&](std::size_t, std::size_t v) { total += v; });
+  EXPECT_EQ(total.load(), 8u * (0 + 1 + 2 + 3));
+}
+
+TEST(ParallelForIndexed, CoversAllIndicesExactlyOnce) {
+  ThreadGuard guard(4);
+  const std::size_t n = 500;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for_indexed(n, [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(Configure, SetThreadsOverridesAndZeroMeansOne) {
+  set_threads(7);
+  EXPECT_EQ(configured_threads(), 7u);
+  set_threads(0);
+  EXPECT_EQ(configured_threads(), 1u);
+}
+
+}  // namespace
+}  // namespace mcss::runtime
