@@ -117,5 +117,6 @@ int main() {
               example_ok ? "PASS" : "FAIL");
   std::printf("# feasibility/ordering check: %s\n",
               theorem5_ok ? "PASS (limited feasible, never better)" : "FAIL");
+  mcss::obs::dump_from_env("ablation_limited_schedule");
   return example_ok && theorem5_ok ? 0 : 1;
 }

@@ -139,5 +139,6 @@ int main() {
                     redundant > single;
   std::printf("# shape check: %s\n",
               pass ? "PASS (mu - kappa margin absorbs silent outages)" : "FAIL");
+  mcss::obs::dump_from_env("ablation_outage");
   return pass ? 0 : 1;
 }

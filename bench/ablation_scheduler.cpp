@@ -119,5 +119,6 @@ int main() {
   std::printf("# dynamic trades a little loss/delay for zero schedule\n");
   std::printf("# computation; micss (k = m = n) pays for maximum privacy with\n");
   std::printf("# the slowest channel's rate and the highest fragility.\n");
+  mcss::obs::dump_from_env("ablation_scheduler");
   return 0;
 }

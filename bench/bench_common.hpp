@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/rate.hpp"
+#include "obs/export.hpp"
 #include "runtime/parallel.hpp"
 #include "workload/experiment.hpp"
 #include "workload/experiment_log.hpp"

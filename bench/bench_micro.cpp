@@ -14,6 +14,9 @@
 #include "field/gf256_bulk.hpp"
 #include "lp/simplex.hpp"
 #include "net/simulator.hpp"
+#include "obs/metrics.hpp"
+#include "obs/scope_timer.hpp"
+#include "obs/trace.hpp"
 #include "crypto/siphash.hpp"
 #include "protocol/dither.hpp"
 #include "protocol/wire.hpp"
@@ -410,5 +413,73 @@ void BM_SimulatorEventThroughput(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 10000);
 }
 BENCHMARK(BM_SimulatorEventThroughput);
+
+// ---------------------------------------------------------------- obs
+//
+// The observability overheads that matter: the cost of a disabled guard
+// (what every instrumented hot path pays when MCSS_METRICS/MCSS_TRACE
+// are unset), and of live counter/histogram/trace updates when enabled.
+
+void BM_ObsDisabledGuard(benchmark::State& state) {
+  obs::set_metrics_enabled(false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(obs::metrics_enabled());
+    benchmark::DoNotOptimize(obs::trace_enabled());
+  }
+}
+BENCHMARK(BM_ObsDisabledGuard);
+
+void BM_ObsCounterAdd(benchmark::State& state) {
+  obs::set_metrics_enabled(true);
+  obs::Registry registry;
+  const auto id = registry.counter("bench_counter");
+  for (auto _ : state) {
+    registry.add(id);
+  }
+  obs::set_metrics_enabled(false);
+  benchmark::DoNotOptimize(registry.snapshot());
+}
+BENCHMARK(BM_ObsCounterAdd);
+
+void BM_ObsHistogramObserve(benchmark::State& state) {
+  obs::set_metrics_enabled(true);
+  obs::Registry registry;
+  const auto id =
+      registry.histogram("bench_hist", obs::exp_bounds(1e-6, 2.0, 24));
+  double v = 1e-6;
+  for (auto _ : state) {
+    registry.observe(id, v);
+    v = v < 1.0 ? v * 1.001 : 1e-6;
+  }
+  obs::set_metrics_enabled(false);
+  benchmark::DoNotOptimize(registry.snapshot());
+}
+BENCHMARK(BM_ObsHistogramObserve);
+
+void BM_ObsScopeTimer(benchmark::State& state) {
+  obs::set_metrics_enabled(true);
+  obs::Registry registry;
+  const auto id =
+      registry.histogram("bench_scope", obs::exp_bounds(1e-8, 4.0, 16));
+  for (auto _ : state) {
+    obs::ScopeTimer timer(id, registry);
+  }
+  obs::set_metrics_enabled(false);
+  benchmark::DoNotOptimize(registry.snapshot());
+}
+BENCHMARK(BM_ObsScopeTimer);
+
+void BM_ObsTraceEvent(benchmark::State& state) {
+  obs::Tracer tracer;
+  tracer.set_ring_capacity(1 << 12);
+  tracer.set_enabled(true);
+  std::int64_t ts = 0;
+  for (auto _ : state) {
+    tracer.complete("bench", "bench", ts, 10, 1, "a", 1);
+    ++ts;
+  }
+  tracer.set_enabled(false);
+}
+BENCHMARK(BM_ObsTraceEvent);
 
 }  // namespace

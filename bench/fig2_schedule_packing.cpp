@@ -109,5 +109,6 @@ int main() {
   std::printf("# shape check: %s\n",
               shapes_ok ? "PASS (simulated packing within 7%% of Theorem 4)"
                         : "FAIL");
+  mcss::obs::dump_from_env("fig2_schedule_packing");
   return shapes_ok ? 0 : 1;
 }

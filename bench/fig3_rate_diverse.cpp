@@ -51,5 +51,6 @@ int main() {
   std::printf("# shape check: %s\n",
               worst_overhead <= 8.0 ? "PASS (within 8%% of optimal everywhere)"
                                     : "FAIL");
+  mcss::obs::dump_from_env("fig3_rate_diverse");
   return worst_overhead <= 8.0 ? 0 : 1;
 }

@@ -47,5 +47,6 @@ int main() {
   std::printf("# shape check: %s\n",
               worst_overhead <= 5.0 ? "PASS (within 5%% of optimal everywhere)"
                                     : "FAIL");
+  mcss::obs::dump_from_env("fig3_rate_identical");
   return worst_overhead <= 5.0 ? 0 : 1;
 }

@@ -87,5 +87,6 @@ int main() {
   std::printf("# shape check: %s\n",
               pass ? "PASS (delay settles once enough channels are underutilized)"
                    : "FAIL");
+  mcss::obs::dump_from_env("fig4_delay");
   return pass ? 0 : 1;
 }

@@ -82,5 +82,6 @@ int main() {
   const bool pass = mean_gap < 0.02 && close_points >= points * 9 / 10;
   std::printf("# shape check: %s\n",
               pass ? "PASS (loss tracks the IV-D optimum)" : "FAIL");
+  mcss::obs::dump_from_env("fig5_loss");
   return pass ? 0 : 1;
 }

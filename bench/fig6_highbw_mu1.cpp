@@ -71,5 +71,6 @@ int main() {
   std::printf("# shape check: %s\n",
               pass ? "PASS (linear tracking then host-bound plateau near 750)"
                    : "FAIL");
+  mcss::obs::dump_from_env("fig6_highbw_mu1");
   return pass ? 0 : 1;
 }

@@ -76,5 +76,6 @@ int main() {
   std::printf("# shape check: %s\n",
               pass ? "PASS (larger kappa falls short of optimal sooner)"
                    : "FAIL");
+  mcss::obs::dump_from_env("fig7_highbw_mu5");
   return pass ? 0 : 1;
 }

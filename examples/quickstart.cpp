@@ -18,6 +18,7 @@
 #include "core/rate.hpp"
 #include "net/sim_channel.hpp"
 #include "net/simulator.hpp"
+#include "obs/export.hpp"
 #include "protocol/receiver.hpp"
 #include "protocol/scheduler.hpp"
 #include "protocol/sender.hpp"
@@ -87,5 +88,15 @@ int main() {
 
   std::printf("sender used kappa = %.2f, mu = %.2f on average\n",
               sender.stats().achieved_kappa(), sender.stats().achieved_mu());
+
+  // With MCSS_METRICS/MCSS_TRACE set, export what this run recorded
+  // (the protocol hot paths publish into obs::Registry::global()).
+  if (obs::metrics_enabled()) {
+    auto& registry = obs::Registry::global();
+    sender.publish_metrics(registry);
+    receiver.publish_metrics(registry);
+    for (const auto& wire : storage) publish(registry, wire->stats());
+  }
+  obs::dump_from_env("quickstart");
   return 0;
 }

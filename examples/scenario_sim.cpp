@@ -1,28 +1,79 @@
 // scenario_sim: run a text-file experiment scenario.
 //
-//   scenario_sim                # runs the built-in demo scenario
-//   scenario_sim myfile.txt    # runs your own (see scenario.hpp format)
+//   scenario_sim                  # runs the built-in demo scenario
+//   scenario_sim myfile.txt       # runs your own (see scenario.hpp format)
+//   scenario_sim --obs [file.txt] # + metrics snapshot and Chrome trace
 //
 // Prints the model's predictions (optimal rate, LP loss/delay at max
 // rate) alongside the protocol's measured behavior — the whole paper
 // workflow, driven by a config file.
+//
+// With --obs the run also enables the observability layer: at the end it
+// prints the metrics snapshot (every component counter plus the latency
+// histograms), breaks the measured per-share delay into its pipeline
+// stages (split, channel queue wait, serialization, reassembly wait,
+// reconstruct) against the LP's predicted delay, and writes a Chrome
+// trace (scenario_trace.json) whose async spans show the same breakdown
+// per individual share in chrome://tracing or Perfetto.
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
 
 #include "core/lp_schedule.hpp"
 #include "core/rate.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "workload/scenario.hpp"
+
+namespace {
+
+/// Mean of a snapshot histogram in seconds, or -1 when it has no samples.
+double hist_mean(const mcss::obs::MetricsSnapshot& snapshot,
+                 const char* name) {
+  for (const auto& h : snapshot.histograms) {
+    if (h.name == name && h.count > 0) {
+      return h.sum / static_cast<double>(h.count);
+    }
+  }
+  return -1.0;
+}
+
+void print_stage(const char* label, double seconds) {
+  if (seconds >= 0.0) {
+    std::printf("    %-24s %10.4f ms\n", label, seconds * 1e3);
+  } else {
+    std::printf("    %-24s %10s\n", label, "(no samples)");
+  }
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace mcss;
 
+  bool obs_on = false;
+  const char* scenario_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--obs") == 0) {
+      obs_on = true;
+    } else {
+      scenario_path = argv[i];
+    }
+  }
+
+  if (obs_on) {
+    obs::set_metrics_enabled(true);
+    obs::Tracer::global().set_enabled(true);
+  }
+
   std::string text;
-  if (argc > 1) {
-    std::ifstream file(argv[1]);
+  if (scenario_path != nullptr) {
+    std::ifstream file(scenario_path);
     if (!file) {
-      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      std::fprintf(stderr, "cannot open %s\n", scenario_path);
       return 2;
     }
     std::ostringstream buffer;
@@ -80,5 +131,50 @@ int main(int argc, char** argv) {
   }
   std::printf("  kappa/mu achieved: %.2f / %.2f\n", result.achieved_kappa,
               result.achieved_mu);
+
+  if (obs_on) {
+    const auto snapshot = obs::Registry::global().snapshot();
+
+    // Where a share's delay budget goes, stage by stage, next to what
+    // the IV-D LP said the whole trip should cost.
+    std::printf("\nper-share delay breakdown (mean per stage):\n");
+    print_stage("split", hist_mean(snapshot, "mcss_sender_split_seconds"));
+    print_stage("channel queue wait",
+                hist_mean(snapshot, "mcss_channel_queue_wait_seconds"));
+    print_stage("reassembly wait (k-th share)",
+                hist_mean(snapshot, "mcss_receiver_reassembly_wait_seconds"));
+    print_stage("reconstruct",
+                hist_mean(snapshot, "mcss_receiver_reconstruct_seconds"));
+    const double e2e = hist_mean(snapshot, "mcss_e2e_delay_seconds");
+    print_stage("end-to-end", e2e);
+    if (lp_delay.status == lp::Status::Optimal && e2e >= 0.0) {
+      if (lp_delay.objective_value > 1e-9) {
+        std::printf("    %-24s %10.4f ms (measured/predicted: %.2fx)\n",
+                    "LP predicted delay", lp_delay.objective_value * 1e3,
+                    e2e / lp_delay.objective_value);
+      } else {
+        std::printf("    %-24s %10.4f ms (model counts propagation only;\n"
+                    "    %-24s %10s    measured adds queueing + host work)\n",
+                    "LP predicted delay", lp_delay.objective_value * 1e3, "",
+                    "");
+      }
+    }
+
+    std::printf("\nmetrics snapshot (%zu counters, %zu gauges, %zu histograms):\n",
+                snapshot.counters.size(), snapshot.gauges.size(),
+                snapshot.histograms.size());
+    std::printf("%s", obs::prometheus_text(snapshot).c_str());
+
+    auto& tracer = obs::Tracer::global();
+    const std::string trace_path = "scenario_trace.json";
+    tracer.write_chrome_trace(trace_path);
+    std::printf("# trace: %zu events -> %s (open in chrome://tracing)\n",
+                tracer.collect().size(), trace_path.c_str());
+    if (tracer.dropped() > 0) {
+      std::printf("# trace ring wrapped: %llu oldest events dropped "
+                  "(raise MCSS_TRACE_BUF)\n",
+                  static_cast<unsigned long long>(tracer.dropped()));
+    }
+  }
   return 0;
 }

@@ -3,9 +3,39 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/ensure.hpp"
 
 namespace mcss::net {
+
+namespace {
+
+/// Sim-time a frame waited in the transmit queue before serialization.
+/// Invalid (a no-op to observe) while metrics are disabled.
+obs::HistogramId queue_wait_hist() {
+  if (!obs::metrics_enabled()) return {};
+  return obs::Registry::global().histogram(
+      "mcss_channel_queue_wait_seconds", obs::exp_bounds(1e-6, 2.0, 24));
+}
+
+}  // namespace
+
+void publish(obs::Registry& registry, const ChannelStats& stats) {
+  const auto add = [&](std::string_view name, std::uint64_t value) {
+    registry.add(registry.counter(name), value);
+  };
+  add("mcss_channel_frames_offered", stats.frames_offered);
+  add("mcss_channel_frames_queued", stats.frames_queued);
+  add("mcss_channel_frames_dropped_queue", stats.frames_dropped_queue);
+  add("mcss_channel_frames_dropped_loss", stats.frames_dropped_loss);
+  add("mcss_channel_frames_dropped_outage", stats.frames_dropped_outage);
+  add("mcss_channel_frames_delivered", stats.frames_delivered);
+  add("mcss_channel_frames_corrupted", stats.frames_corrupted);
+  add("mcss_channel_frames_duplicated", stats.frames_duplicated);
+  add("mcss_channel_bytes_delivered", stats.bytes_delivered);
+  add("mcss_channel_bytes_queued_total", stats.bytes_queued_total);
+}
 
 SimChannel::SimChannel(Simulator& sim, ChannelConfig config, Rng rng,
                        std::string name)
@@ -48,13 +78,17 @@ bool SimChannel::try_send(std::vector<std::uint8_t> frame) {
   MCSS_ENSURE(!frame.empty(), "cannot send an empty frame");
   if (queued_bytes_ + frame.size() > config_.queue_capacity_bytes) {
     ++stats_.frames_dropped_queue;
+    if (obs::trace_enabled()) {
+      obs::Tracer::global().instant("drop_queue", "channel", sim_.now(), 0,
+                                    "bytes", frame.size());
+    }
     return false;
   }
   queued_bytes_ += frame.size();
   stats_.bytes_queued_total += frame.size();
   ++stats_.frames_queued;
   was_ready_ = ready();
-  queue_.push_back(std::move(frame));
+  queue_.push_back({std::move(frame), sim_.now()});
   if (!transmitting_) start_transmission();
   return true;
 }
@@ -66,21 +100,42 @@ void SimChannel::start_transmission() {
   }
   transmitting_ = true;
   // Serialize the head-of-line frame; completion pops it and recurses.
-  const std::size_t bytes = queue_.front().size();
+  const std::size_t bytes = queue_.front().bytes.size();
   serializing_bytes_ = bytes;
-  const SimTime done = sim_.now() + serialization_time(bytes);
+  const SimTime start = sim_.now();
+  const SimTime done = start + serialization_time(bytes);
   serializer_free_at_ = done;
-  sim_.schedule_at(done, [this] {
-    std::vector<std::uint8_t> frame = std::move(queue_.front());
+  sim_.schedule_at(done, [this, start] {
+    std::vector<std::uint8_t> frame = std::move(queue_.front().bytes);
+    const SimTime enqueued_at = queue_.front().enqueued_at;
     queue_.pop_front();
     queued_bytes_ -= frame.size();
     serializing_bytes_ = 0;
 
+    if (obs::metrics_enabled()) {
+      obs::Registry::global().observe(queue_wait_hist(),
+                                      to_seconds(start - enqueued_at));
+    }
+    if (obs::trace_enabled()) {
+      obs::Tracer::global().complete("serialize", "channel", start,
+                                     sim_.now() - start, 0, "bytes",
+                                     frame.size(), "waited_ns",
+                                     static_cast<std::uint64_t>(start - enqueued_at));
+    }
+
     // netem-equivalent loss: decided as the frame leaves the serializer.
     if (down_) {
       ++stats_.frames_dropped_outage;
+      if (obs::trace_enabled()) {
+        obs::Tracer::global().instant("drop_outage", "channel", sim_.now(), 0,
+                                      "bytes", frame.size());
+      }
     } else if (rng_.bernoulli(config_.loss)) {
       ++stats_.frames_dropped_loss;
+      if (obs::trace_enabled()) {
+        obs::Tracer::global().instant("drop_loss", "channel", sim_.now(), 0,
+                                      "bytes", frame.size());
+      }
     } else {
       // netem corrupt: flip one uniformly random bit.
       if (rng_.bernoulli(config_.corrupt)) {

@@ -26,6 +26,10 @@
 #include "net/simulator.hpp"
 #include "util/rng.hpp"
 
+namespace mcss::obs {
+class Registry;
+}
+
 namespace mcss::net {
 
 /// Static configuration of a simulated channel (one direction).
@@ -57,6 +61,11 @@ struct ChannelStats {
   std::uint64_t bytes_delivered = 0;
   std::uint64_t bytes_queued_total = 0;
 };
+
+/// Add this channel's counter totals into the registry under
+/// mcss_channel_* names. Counters are additive, so publishing several
+/// channels (or calling once per run per channel) aggregates them.
+void publish(obs::Registry& registry, const ChannelStats& stats);
 
 class SimChannel {
  public:
@@ -118,7 +127,12 @@ class SimChannel {
   DeliverFn deliver_;
   WritableFn writable_;
 
-  std::deque<std::vector<std::uint8_t>> queue_;
+  struct QueuedFrame {
+    std::vector<std::uint8_t> bytes;
+    SimTime enqueued_at = 0;  ///< for the queue-wait histogram / trace span
+  };
+
+  std::deque<QueuedFrame> queue_;
   std::size_t queued_bytes_ = 0;
   std::size_t serializing_bytes_ = 0;
   std::size_t watermark_ = 0;

@@ -1,0 +1,157 @@
+#include "obs/export.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "util/ensure.hpp"
+
+namespace mcss::obs {
+
+namespace {
+
+void append_double(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  out += buf;
+}
+
+/// JSON array of doubles, e.g. [0.001,0.002].
+std::string json_double_array(const std::vector<double>& values) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) out.push_back(',');
+    append_double(out, values[i]);
+  }
+  out.push_back(']');
+  return out;
+}
+
+std::string json_u64_array(const std::vector<std::uint64_t>& values) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) out.push_back(',');
+    append_u64(out, values[i]);
+  }
+  out.push_back(']');
+  return out;
+}
+
+}  // namespace
+
+std::string prometheus_text(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& c : snapshot.counters) {
+    out += "# TYPE " + c.name + " counter\n";
+    out += c.name + " ";
+    append_u64(out, c.value);
+    out.push_back('\n');
+  }
+  for (const auto& g : snapshot.gauges) {
+    out += "# TYPE " + g.name + " gauge\n";
+    out += g.name + " ";
+    append_double(out, g.value);
+    out.push_back('\n');
+  }
+  for (const auto& h : snapshot.histograms) {
+    out += "# TYPE " + h.name + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      cumulative += h.buckets[b];
+      out += h.name + "_bucket{le=\"";
+      if (b < h.bounds.size()) {
+        append_double(out, h.bounds[b]);
+      } else {
+        out += "+Inf";
+      }
+      out += "\"} ";
+      append_u64(out, cumulative);
+      out.push_back('\n');
+    }
+    out += h.name + "_sum ";
+    append_double(out, h.sum);
+    out.push_back('\n');
+    out += h.name + "_count ";
+    append_u64(out, h.count);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::vector<JsonRow> metrics_json_rows(const MetricsSnapshot& snapshot) {
+  std::vector<JsonRow> rows;
+  for (const auto& c : snapshot.counters) {
+    JsonRow row;
+    row.field("metric", c.name).field("type", "counter").field("value", c.value);
+    rows.push_back(std::move(row));
+  }
+  for (const auto& g : snapshot.gauges) {
+    JsonRow row;
+    row.field("metric", g.name).field("type", "gauge").field("value", g.value);
+    rows.push_back(std::move(row));
+  }
+  for (const auto& h : snapshot.histograms) {
+    JsonRow row;
+    row.field("metric", h.name)
+        .field("type", "histogram")
+        .field("count", h.count)
+        .field("sum", h.sum)
+        .field("min", h.min)
+        .field("max", h.max)
+        .field_raw("bounds", json_double_array(h.bounds))
+        .field_raw("buckets", json_u64_array(h.buckets));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+void write_metrics(const MetricsSnapshot& snapshot, const std::string& path) {
+  if (path == "-") {
+    const std::string text = prometheus_text(snapshot);
+    std::fwrite(text.data(), 1, text.size(), stdout);
+    return;
+  }
+  if (path.ends_with(".jsonl")) {
+    JsonlWriter writer(path);
+    for (const auto& row : metrics_json_rows(snapshot)) writer.write(row);
+    return;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  MCSS_ENSURE(f != nullptr, "cannot open metrics output file");
+  const std::string text = prometheus_text(snapshot);
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+}
+
+void dump_from_env(std::string_view run_name) {
+  const std::string base(run_name);
+  if (const char* env = std::getenv("MCSS_METRICS");
+      env != nullptr && *env != '\0') {
+    const std::string value(env);
+    const auto snapshot = Registry::global().snapshot();
+    if (value == "-") {
+      write_metrics(snapshot, "-");
+    } else if (value.ends_with(".prom") || value.ends_with(".jsonl")) {
+      write_metrics(snapshot, value);
+    } else {
+      std::filesystem::create_directories(value);
+      write_metrics(snapshot, value + "/" + base + ".prom");
+      write_metrics(snapshot, value + "/" + base + ".jsonl");
+    }
+  }
+  if (std::getenv("MCSS_TRACE") != nullptr &&
+      *std::getenv("MCSS_TRACE") != '\0') {
+    const std::string path =
+        resolve_env_path("MCSS_TRACE", base + "_trace", ".json");
+    if (!path.empty()) Tracer::global().write_chrome_trace(path);
+  }
+}
+
+}  // namespace mcss::obs

@@ -1,0 +1,47 @@
+// Exporters: metrics snapshots as Prometheus text or JSON-lines, traces
+// as Chrome trace_event JSON, and the env-driven end-of-run dump used
+// by every harness binary.
+//
+// Formats:
+//   - prometheus_text(): the Prometheus exposition format. Histograms
+//     emit cumulative <name>_bucket{le="..."} series plus _sum/_count,
+//     so a snapshot file loads into promtool/Grafana tooling as-is.
+//   - metrics_json_rows(): one flat JSON object per series, reusing the
+//     JsonRow/JsonlWriter machinery the bench JSONL series use; rows
+//     diff cleanly with jq between runs.
+//   - the tracer's chrome_trace_json() (see trace.hpp) opens directly
+//     in chrome://tracing / Perfetto.
+//
+// dump_from_env(run_name) is the one call a main() needs:
+//   MCSS_METRICS=<file.prom|file.jsonl|dir|->  writes the snapshot
+//     (a directory gets both <run_name>.prom and <run_name>.jsonl;
+//      "-" prints Prometheus text to stdout)
+//   MCSS_TRACE=<file.json|dir>  writes the Chrome trace
+// Both unset: nothing happens and nothing is computed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace mcss::obs {
+
+/// Prometheus exposition text for a snapshot.
+[[nodiscard]] std::string prometheus_text(const MetricsSnapshot& snapshot);
+
+/// One JSON row per series: {"metric":name,"type":...,value fields}.
+[[nodiscard]] std::vector<JsonRow> metrics_json_rows(
+    const MetricsSnapshot& snapshot);
+
+/// Write the snapshot wherever `path`'s extension says (.prom or
+/// .jsonl); "-" prints Prometheus text to stdout.
+void write_metrics(const MetricsSnapshot& snapshot, const std::string& path);
+
+/// End-of-run export driven by MCSS_METRICS / MCSS_TRACE (see header
+/// comment). Snapshots Registry::global() and the global Tracer.
+void dump_from_env(std::string_view run_name);
+
+}  // namespace mcss::obs

@@ -1,0 +1,133 @@
+#include "obs/json.hpp"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+
+#include "util/ensure.hpp"
+
+namespace mcss::obs {
+
+void append_json_escaped(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void JsonRow::key(std::string_view k) {
+  if (!body_.empty()) body_.push_back(',');
+  append_json_escaped(body_, k);
+  body_.push_back(':');
+}
+
+JsonRow& JsonRow::field(std::string_view k, double value) {
+  key(k);
+  if (!std::isfinite(value)) {
+    // JSON has no NaN/Infinity literal; %.17g would print "nan"/"inf"
+    // and corrupt the row for every downstream parser.
+    body_ += "null";
+    return *this;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  body_ += buf;
+  return *this;
+}
+
+JsonRow& JsonRow::field(std::string_view k, std::int64_t value) {
+  key(k);
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRId64, value);
+  body_ += buf;
+  return *this;
+}
+
+JsonRow& JsonRow::field(std::string_view k, std::uint64_t value) {
+  key(k);
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, value);
+  body_ += buf;
+  return *this;
+}
+
+JsonRow& JsonRow::field(std::string_view k, bool value) {
+  key(k);
+  body_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonRow& JsonRow::field(std::string_view k, std::string_view value) {
+  key(k);
+  append_json_escaped(body_, value);
+  return *this;
+}
+
+JsonRow& JsonRow::field_raw(std::string_view k, std::string_view json) {
+  key(k);
+  body_ += json;
+  return *this;
+}
+
+std::string JsonRow::str() const { return "{" + body_ + "}"; }
+
+JsonlWriter::JsonlWriter(const std::string& path) {
+  if (path.empty()) return;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  MCSS_ENSURE(f != nullptr, "cannot open JSON-lines output file");
+  file_.reset(f);
+}
+
+std::string resolve_env_path(const char* env_var, std::string_view base_name,
+                             std::string_view extension) {
+  const char* env = std::getenv(env_var);
+  if (env == nullptr || *env == '\0') return {};
+  std::string target(env);
+  if (!target.ends_with(extension)) {
+    std::filesystem::create_directories(target);
+    target += "/";
+    target += base_name;
+    target += extension;
+  }
+  return target;
+}
+
+JsonlWriter JsonlWriter::from_env(std::string_view base_name,
+                                  const char* env_var) {
+  const std::string target = resolve_env_path(env_var, base_name, ".jsonl");
+  if (target.empty()) return JsonlWriter{};
+  return JsonlWriter(target);
+}
+
+void JsonlWriter::write(const JsonRow& row) {
+  if (!file_) return;
+  const std::string line = row.str();
+  std::fwrite(line.data(), 1, line.size(), file_.get());
+  std::fputc('\n', file_.get());
+  std::fflush(file_.get());
+}
+
+}  // namespace mcss::obs

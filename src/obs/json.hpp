@@ -1,0 +1,91 @@
+// Minimal JSON emission shared by the observability exporters and the
+// bench JSON-lines series.
+//
+// Lives in obs (the lowest layer that emits machine-readable output) so
+// both the metrics/trace exporters and workload::experiment_log can use
+// the same row builder; workload re-exports these names for the bench
+// harnesses.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace mcss::obs {
+
+/// Builder for one flat JSON object; fields keep insertion order.
+/// Doubles are serialized with round-trip (%.17g) precision so a row
+/// carries exactly the values the run produced. Non-finite doubles
+/// (NaN, +/-Inf) have no JSON literal and are emitted as null.
+class JsonRow {
+ public:
+  JsonRow& field(std::string_view key, double value);
+  JsonRow& field(std::string_view key, std::int64_t value);
+  JsonRow& field(std::string_view key, std::uint64_t value);
+  JsonRow& field(std::string_view key, int value) {
+    return field(key, static_cast<std::int64_t>(value));
+  }
+  JsonRow& field(std::string_view key, bool value);
+  JsonRow& field(std::string_view key, std::string_view value);
+  /// Exact match for string literals — without it, const char* converts
+  /// to bool in preference to string_view and a label silently becomes
+  /// `true`.
+  JsonRow& field(std::string_view key, const char* value) {
+    return field(key, std::string_view(value));
+  }
+  /// Verbatim JSON fragment (array/object built by the caller).
+  JsonRow& field_raw(std::string_view key, std::string_view json);
+
+  /// The completed object, e.g. {"kappa":1,"mu":2.5}.
+  [[nodiscard]] std::string str() const;
+
+ private:
+  void key(std::string_view k);
+  std::string body_;
+};
+
+/// Escape + quote a string for embedding in JSON output.
+void append_json_escaped(std::string& out, std::string_view s);
+
+/// Append-one-line-per-row writer; default-constructed or empty-path
+/// instances are disabled and ignore write(). Flushes every row so a
+/// killed bench still leaves a readable prefix.
+class JsonlWriter {
+ public:
+  JsonlWriter() = default;
+  explicit JsonlWriter(const std::string& path);
+
+  /// Writer configured from `env_var` (default MCSS_BENCH_JSONL) for
+  /// this run name; disabled when the variable is unset or empty. A
+  /// value ending in ".jsonl" names the output file directly; any other
+  /// value is treated as a directory (created if missing) receiving
+  /// <base_name>.jsonl.
+  [[nodiscard]] static JsonlWriter from_env(
+      std::string_view base_name, const char* env_var = "MCSS_BENCH_JSONL");
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return file_ != nullptr;
+  }
+
+  void write(const JsonRow& row);
+
+ private:
+  struct FileCloser {
+    void operator()(std::FILE* f) const noexcept {
+      if (f != nullptr) std::fclose(f);
+    }
+  };
+  std::unique_ptr<std::FILE, FileCloser> file_;
+};
+
+/// Resolve an env-var output target to a concrete path: a value ending
+/// in `extension` names the file directly; any other value is treated
+/// as a directory (created if missing) receiving <base_name><extension>.
+/// Returns an empty string when the variable is unset or empty.
+[[nodiscard]] std::string resolve_env_path(const char* env_var,
+                                           std::string_view base_name,
+                                           std::string_view extension);
+
+}  // namespace mcss::obs

@@ -1,0 +1,326 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+
+#include "util/ensure.hpp"
+
+namespace mcss::obs {
+
+// ----------------------------------------------------------------- gating
+
+namespace {
+
+bool env_metrics_enabled() {
+  const char* env = std::getenv("MCSS_METRICS");
+  return env != nullptr && *env != '\0';
+}
+
+std::atomic<bool>& enabled_flag() {
+  static std::atomic<bool> flag{env_metrics_enabled()};
+  return flag;
+}
+
+}  // namespace
+
+bool metrics_enabled() noexcept {
+  return enabled_flag().load(std::memory_order_relaxed);
+}
+
+void set_metrics_enabled(bool on) noexcept {
+  enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+std::vector<double> exp_bounds(double start, double factor, std::size_t count) {
+  MCSS_ENSURE(start > 0.0 && factor > 1.0, "bounds must grow");
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double b = start;
+  for (std::size_t i = 0; i < count; ++i) {
+    bounds.push_back(b);
+    b *= factor;
+  }
+  return bounds;
+}
+
+// ----------------------------------------------------------------- registry
+
+struct Registry::Impl {
+  // Registration state, guarded by `mutex`. Updates never take it: they
+  // go through the thread-local shard, found by this registry's `uid`.
+  std::mutex mutex;
+  std::uint64_t uid = 0;
+  /// Bumped by reset(); ids minted in an older epoch are ignored.
+  std::atomic<std::uint32_t> epoch{1};
+
+  std::vector<std::string> counter_names;
+  std::vector<std::string> gauge_names;
+  std::vector<std::string> hist_names;
+  /// Deque so existing entries never move: shards cache pointers into it
+  /// and read them lock-free while registration appends.
+  std::deque<std::vector<double>> hist_bounds;
+  std::unordered_map<std::string, std::uint32_t> counter_ids;
+  std::unordered_map<std::string, std::uint32_t> gauge_ids;
+  std::unordered_map<std::string, std::uint32_t> hist_ids;
+
+  // Committed (already merged) values; same layout as a shard.
+  MetricShard committed;
+};
+
+namespace {
+
+std::uint64_t next_registry_uid() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+// Shards live with their writing thread, keyed by registry uid so a
+// destroyed (or reset) registry simply orphans its entries instead of
+// dangling. The one-slot cache makes the repeat lookup two loads.
+struct TlsShards {
+  std::uint64_t cached_uid = 0;
+  MetricShard* cached = nullptr;
+  std::unordered_map<std::uint64_t, MetricShard> by_uid;
+
+  MetricShard& get(std::uint64_t uid) {
+    if (cached_uid == uid && cached != nullptr) return *cached;
+    MetricShard& shard = by_uid[uid];
+    cached_uid = uid;
+    cached = &shard;
+    return shard;
+  }
+};
+
+thread_local TlsShards tls_shards;
+
+}  // namespace
+
+void MetricShard::merge_from(const MetricShard& from) {
+  // Vectors are delta-sized; grow the destination as needed.
+  if (counters_.size() < from.counters_.size()) {
+    counters_.resize(from.counters_.size());
+  }
+  for (std::size_t i = 0; i < from.counters_.size(); ++i) {
+    counters_[i] += from.counters_[i];
+  }
+
+  if (gauges_.size() < from.gauges_.size()) {
+    gauges_.resize(from.gauges_.size());
+  }
+  for (std::size_t i = 0; i < from.gauges_.size(); ++i) {
+    if (from.gauges_[i].set) gauges_[i] = from.gauges_[i];
+  }
+
+  if (hists_.size() < from.hists_.size()) {
+    hists_.resize(from.hists_.size());
+  }
+  for (std::size_t i = 0; i < from.hists_.size(); ++i) {
+    const auto& src = from.hists_[i];
+    if (src.count == 0) continue;
+    auto& dst = hists_[i];
+    if (dst.buckets.size() < src.buckets.size()) {
+      dst.buckets.resize(src.buckets.size());
+    }
+    for (std::size_t b = 0; b < src.buckets.size(); ++b) {
+      dst.buckets[b] += src.buckets[b];
+    }
+    dst.count += src.count;
+    dst.sum += src.sum;
+    dst.min = std::min(dst.min, src.min);
+    dst.max = std::max(dst.max, src.max);
+  }
+}
+
+Registry::Registry() : impl_(std::make_unique<Impl>()) {
+  impl_->uid = next_registry_uid();
+}
+
+Registry::~Registry() = default;
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+MetricShard& Registry::local_shard() { return tls_shards.get(impl_->uid); }
+
+CounterId Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  const std::string key(name);
+  const std::uint32_t epoch = impl_->epoch.load(std::memory_order_relaxed);
+  const auto it = impl_->counter_ids.find(key);
+  if (it != impl_->counter_ids.end()) return {it->second, epoch};
+  const auto id = static_cast<std::uint32_t>(impl_->counter_names.size());
+  impl_->counter_names.push_back(key);
+  impl_->counter_ids.emplace(key, id);
+  return {id, epoch};
+}
+
+GaugeId Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  const std::string key(name);
+  const std::uint32_t epoch = impl_->epoch.load(std::memory_order_relaxed);
+  const auto it = impl_->gauge_ids.find(key);
+  if (it != impl_->gauge_ids.end()) return {it->second, epoch};
+  const auto id = static_cast<std::uint32_t>(impl_->gauge_names.size());
+  impl_->gauge_names.push_back(key);
+  impl_->gauge_ids.emplace(key, id);
+  return {id, epoch};
+}
+
+HistogramId Registry::histogram(std::string_view name,
+                                std::vector<double> bounds) {
+  MCSS_ENSURE(std::is_sorted(bounds.begin(), bounds.end()) &&
+                  std::adjacent_find(bounds.begin(), bounds.end()) ==
+                      bounds.end(),
+              "histogram bounds must be strictly increasing");
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  const std::string key(name);
+  const std::uint32_t epoch = impl_->epoch.load(std::memory_order_relaxed);
+  const auto it = impl_->hist_ids.find(key);
+  if (it != impl_->hist_ids.end()) {
+    MCSS_ENSURE(impl_->hist_bounds[it->second] == bounds,
+                "histogram re-registered with different bounds");
+    return {it->second, epoch};
+  }
+  const auto id = static_cast<std::uint32_t>(impl_->hist_names.size());
+  impl_->hist_names.push_back(key);
+  impl_->hist_bounds.push_back(std::move(bounds));
+  impl_->hist_ids.emplace(key, id);
+  return {id, epoch};
+}
+
+void Registry::add(CounterId id, std::uint64_t delta) {
+  if (id.index == kInvalidMetric ||
+      id.epoch != impl_->epoch.load(std::memory_order_relaxed)) {
+    return;
+  }
+  MetricShard& shard = local_shard();
+  if (shard.counters_.size() <= id.index) shard.counters_.resize(id.index + 1);
+  shard.counters_[id.index] += delta;
+}
+
+void Registry::set(GaugeId id, double value) {
+  if (id.index == kInvalidMetric ||
+      id.epoch != impl_->epoch.load(std::memory_order_relaxed)) {
+    return;
+  }
+  MetricShard& shard = local_shard();
+  if (shard.gauges_.size() <= id.index) shard.gauges_.resize(id.index + 1);
+  shard.gauges_[id.index] = {value, true};
+}
+
+void Registry::observe(HistogramId id, double value) {
+  if (id.index == kInvalidMetric ||
+      id.epoch != impl_->epoch.load(std::memory_order_relaxed)) {
+    return;
+  }
+  MetricShard& shard = local_shard();
+  if (shard.hists_.size() <= id.index) shard.hists_.resize(id.index + 1);
+  auto& cell = shard.hists_[id.index];
+  if (cell.bounds == nullptr) {
+    // First observation of this series on this thread: fetch the stable
+    // bounds pointer once under the registration mutex. Bounds entries
+    // live in a deque and are immutable after registration, so every
+    // later observation is lock-free.
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    cell.bounds = &impl_->hist_bounds[id.index];
+    cell.buckets.assign(cell.bounds->size() + 1, 0);
+  }
+  // Bucket b counts values <= bounds[b]; the last bucket is +Inf.
+  const auto& bounds = *cell.bounds;
+  const auto b = static_cast<std::size_t>(
+      std::lower_bound(bounds.begin(), bounds.end(), value) - bounds.begin());
+  ++cell.buckets[b];
+  ++cell.count;
+  cell.sum += value;
+  cell.min = std::min(cell.min, value);
+  cell.max = std::max(cell.max, value);
+}
+
+MetricShard Registry::take_local() {
+  MetricShard& shard = local_shard();
+  MetricShard out = std::move(shard);
+  shard = MetricShard{};
+  return out;
+}
+
+void Registry::merge(const MetricShard& shard) {
+  if (shard.empty()) return;
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->committed.merge_from(shard);
+}
+
+MetricsSnapshot Registry::snapshot() {
+  const MetricShard local = take_local();
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->committed.merge_from(local);
+
+  MetricsSnapshot snap;
+  const MetricShard& c = impl_->committed;
+  for (std::size_t i = 0; i < impl_->counter_names.size(); ++i) {
+    snap.counters.push_back(
+        {impl_->counter_names[i],
+         i < c.counters_.size() ? c.counters_[i] : 0});
+  }
+  for (std::size_t i = 0; i < impl_->gauge_names.size(); ++i) {
+    const bool have = i < c.gauges_.size() && c.gauges_[i].set;
+    snap.gauges.push_back(
+        {impl_->gauge_names[i], have ? c.gauges_[i].value : 0.0});
+  }
+  for (std::size_t i = 0; i < impl_->hist_names.size(); ++i) {
+    MetricsSnapshot::Histogram h;
+    h.name = impl_->hist_names[i];
+    h.bounds = impl_->hist_bounds[i];
+    h.buckets.assign(h.bounds.size() + 1, 0);
+    if (i < c.hists_.size()) {
+      const auto& cell = c.hists_[i];
+      for (std::size_t b = 0; b < cell.buckets.size(); ++b) {
+        h.buckets[b] = cell.buckets[b];
+      }
+      h.count = cell.count;
+      h.sum = cell.sum;
+      h.min = cell.count ? cell.min : 0.0;
+      h.max = cell.count ? cell.max : 0.0;
+    }
+    snap.histograms.push_back(std::move(h));
+  }
+
+  const auto by_name = [](const auto& a, const auto& b) {
+    return a.name < b.name;
+  };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+  std::sort(snap.histograms.begin(), snap.histograms.end(), by_name);
+  return snap;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->counter_names.clear();
+  impl_->counter_ids.clear();
+  impl_->gauge_names.clear();
+  impl_->gauge_ids.clear();
+  impl_->hist_names.clear();
+  impl_->hist_bounds.clear();
+  impl_->hist_ids.clear();
+  impl_->committed = MetricShard{};
+  // A fresh uid orphans every thread's live shard for this registry, so
+  // stale deltas indexed by the old series table can never be merged.
+  impl_->uid = next_registry_uid();
+  // ...and a fresh epoch makes every previously minted id inert.
+  impl_->epoch.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t MetricsSnapshot::counter_value(std::string_view name) const {
+  for (const auto& c : counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+}  // namespace mcss::obs

@@ -1,0 +1,193 @@
+// Metrics registry: named counters, gauges, and fixed-bucket histograms
+// with thread-local shards that merge deterministically.
+//
+// Design goals, in order:
+//
+//   1. Determinism. The sweep engine runs hundreds of independent
+//      simulations concurrently; their metric updates must fold into one
+//      registry bitwise-identically for any MCSS_THREADS value. Every
+//      update therefore lands in the writing thread's private shard
+//      (MetricShard) — no atomics, no locks, program-order accumulation —
+//      and shards are merged explicitly, in a caller-chosen order.
+//      runtime::for_each_ordered captures the shard produced by each
+//      compute(i) and merges it on the ordered-commit path, so even
+//      order-sensitive double sums (histogram sums) are reduced in index
+//      order, exactly as the sequential run would.
+//
+//   2. Near-zero overhead when off. Instrumented hot paths guard with
+//      metrics_enabled(), a single cached-bool test; with MCSS_METRICS
+//      unset no shard is ever touched and no clock is read.
+//
+//   3. Pull-friendly migration. Components keep their plain Stats
+//      structs (cheap field increments, unchanged accessors); publish()
+//      overloads next to each struct copy the totals into the registry
+//      at snapshot points. The registry's own instruments serve the
+//      cases structs cannot: histograms (latency distributions) and
+//      cross-component series.
+//
+// Handles (CounterId &c.) are indices into the registry's series table;
+// get-or-create them once (function-local static) and update through
+// them. Snapshots are sorted by name, so exports are independent of
+// registration order.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mcss::obs {
+
+inline constexpr std::uint32_t kInvalidMetric =
+    std::numeric_limits<std::uint32_t>::max();
+
+// Ids carry the registry epoch that minted them: Registry::reset()
+// starts a new epoch, so updates through a stale id (e.g. a
+// function-local static from before the reset) become silent no-ops
+// instead of aliasing whatever series now occupies that index.
+struct CounterId {
+  std::uint32_t index = kInvalidMetric;
+  std::uint32_t epoch = 0;
+};
+struct GaugeId {
+  std::uint32_t index = kInvalidMetric;
+  std::uint32_t epoch = 0;
+};
+struct HistogramId {
+  std::uint32_t index = kInvalidMetric;
+  std::uint32_t epoch = 0;
+};
+
+/// Global switch for hot-path instrumentation: true when MCSS_METRICS is
+/// set (non-empty) or set_metrics_enabled(true) was called. Components
+/// check this before touching the registry so disabled runs pay one
+/// predictable branch per site.
+[[nodiscard]] bool metrics_enabled() noexcept;
+
+/// Programmatic override of MCSS_METRICS (examples, tests).
+void set_metrics_enabled(bool on) noexcept;
+
+/// `count` exponentially spaced histogram bounds starting at `start`,
+/// each `factor` times the previous: {start, start*factor, ...}.
+[[nodiscard]] std::vector<double> exp_bounds(double start, double factor,
+                                             std::size_t count);
+
+/// One thread's (or one sweep point's) accumulated metric deltas.
+/// Produced by Registry::take_local(), consumed by Registry::merge().
+/// Vectors are indexed by series id and sized lazily, so a shard that
+/// never saw an update is three empty vectors.
+class MetricShard {
+ public:
+  [[nodiscard]] bool empty() const noexcept {
+    return counters_.empty() && gauges_.empty() && hists_.empty();
+  }
+
+  /// Fold `from`'s deltas into this shard: counters add, set gauges win,
+  /// histogram buckets/count/sum add and min/max widen.
+  void merge_from(const MetricShard& from);
+
+ private:
+  friend class Registry;
+
+  struct GaugeCell {
+    double value = 0.0;
+    bool set = false;
+  };
+  struct HistCell {
+    /// Cached pointer to the registry's (stable, immutable) bounds for
+    /// this series; fetched under the registration mutex on first
+    /// observe, lock-free afterwards.
+    const std::vector<double>* bounds = nullptr;
+    std::vector<std::uint64_t> buckets;  // bounds.size() + 1 (last = +Inf)
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = std::numeric_limits<double>::infinity();
+    double max = -std::numeric_limits<double>::infinity();
+  };
+
+  std::vector<std::uint64_t> counters_;
+  std::vector<GaugeCell> gauges_;
+  std::vector<HistCell> hists_;
+};
+
+/// Point-in-time copy of every series, sorted by name (deterministic
+/// export order). Histogram buckets are per-bucket counts; exporters
+/// cumulate them as their format requires.
+struct MetricsSnapshot {
+  struct Counter {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  struct Gauge {
+    std::string name;
+    double value = 0.0;
+  };
+  struct Histogram {
+    std::string name;
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> buckets;  // bounds.size() + 1, last = +Inf
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;  ///< 0 when count == 0
+    double max = 0.0;
+  };
+
+  std::vector<Counter> counters;
+  std::vector<Gauge> gauges;
+  std::vector<Histogram> histograms;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+  /// Counter value by exact name; 0 when absent (test convenience).
+  [[nodiscard]] std::uint64_t counter_value(std::string_view name) const;
+};
+
+class Registry {
+ public:
+  Registry();
+  ~Registry();
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Process-wide registry used by the instrumented library code.
+  [[nodiscard]] static Registry& global();
+
+  // -- registration (get-or-create by name; thread-safe) ---------------
+  CounterId counter(std::string_view name);
+  GaugeId gauge(std::string_view name);
+  /// Bounds must be strictly increasing; re-registering an existing
+  /// histogram name returns the original id (bounds must match).
+  HistogramId histogram(std::string_view name, std::vector<double> bounds);
+
+  // -- updates (write the calling thread's shard; lock-free) -----------
+  void add(CounterId id, std::uint64_t delta = 1);
+  void set(GaugeId id, double value);
+  void observe(HistogramId id, double value);
+
+  // -- shard plumbing (the deterministic merge path) -------------------
+  /// Move the calling thread's accumulated deltas out (leaving the
+  /// thread's shard empty). Cheap when nothing was recorded.
+  [[nodiscard]] MetricShard take_local();
+  /// Fold a shard into the committed state. Callers control merge order;
+  /// merging in a fixed order makes double sums deterministic.
+  void merge(const MetricShard& shard);
+
+  /// Committed state plus the calling thread's live shard (which is
+  /// drained into the committed state first), sorted by name.
+  [[nodiscard]] MetricsSnapshot snapshot();
+
+  /// Drop all values AND all series registrations (tests). Starts a new
+  /// epoch: previously minted ids become inert, so components holding
+  /// static ids stop recording rather than corrupting the new series.
+  void reset();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  MetricShard& local_shard();
+};
+
+}  // namespace mcss::obs

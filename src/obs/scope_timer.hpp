@@ -1,0 +1,49 @@
+// RAII timers feeding registry histograms.
+//
+// ScopeTimer measures host wall time (steady_clock) around a hot-path
+// block — e.g. the Shamir split inside Sender::dispatch — and observes
+// the elapsed seconds into a histogram on destruction. When metrics are
+// disabled the constructor is a single branch and no clock is read, so
+// instrumented hot paths cost nothing in production-default runs (and
+// wall times never perturb simulation behavior either way).
+//
+// For durations measured on the *simulation* clock (queue waits,
+// reassembly latency), call Registry::observe directly with the SimTime
+// delta — those are deterministic and need no RAII.
+#pragma once
+
+#include <chrono>
+
+#include "obs/metrics.hpp"
+
+namespace mcss::obs {
+
+class ScopeTimer {
+ public:
+  /// Observes into `hist` of `registry` (seconds) when metrics are
+  /// enabled at construction time.
+  explicit ScopeTimer(HistogramId hist,
+                      Registry& registry = Registry::global()) noexcept
+      : registry_(metrics_enabled() ? &registry : nullptr), hist_(hist) {
+    if (registry_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+
+  ScopeTimer(const ScopeTimer&) = delete;
+  ScopeTimer& operator=(const ScopeTimer&) = delete;
+
+  ~ScopeTimer() {
+    if (registry_ == nullptr) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    registry_->observe(
+        hist_,
+        std::chrono::duration_cast<std::chrono::duration<double>>(elapsed)
+            .count());
+  }
+
+ private:
+  Registry* registry_;
+  HistogramId hist_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace mcss::obs

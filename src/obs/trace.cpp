@@ -1,0 +1,232 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+
+#include "util/ensure.hpp"
+
+namespace mcss::obs {
+
+namespace detail {
+std::atomic<bool> g_trace_on{[] {
+  const char* env = std::getenv("MCSS_TRACE");
+  return env != nullptr && *env != '\0';
+}()};
+}  // namespace detail
+
+// A fixed-capacity ring owned by the tracer but written by exactly one
+// thread, lock-free. `emitted` counts every event ever written; the
+// surviving window is the last min(emitted, capacity) entries.
+struct Tracer::Ring {
+  explicit Ring(std::size_t capacity, std::uint32_t tid_)
+      : buf(capacity), tid(tid_) {}
+  std::vector<TraceEvent> buf;
+  std::uint64_t emitted = 0;
+  std::uint32_t tid = 0;
+};
+
+struct Tracer::Impl {
+  std::uint64_t uid = 0;
+  mutable std::mutex mutex;
+  std::vector<std::unique_ptr<Ring>> rings;
+  std::size_t ring_capacity = 1 << 16;
+  std::uint32_t next_tid = 0;
+};
+
+namespace {
+
+std::uint64_t next_tracer_uid() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+struct TlsRings {
+  std::uint64_t cached_uid = 0;
+  Tracer::Ring* cached = nullptr;
+  std::unordered_map<std::uint64_t, Tracer::Ring*> by_uid;
+};
+
+thread_local TlsRings tls_rings;
+
+}  // namespace
+
+Tracer::Tracer() : impl_(std::make_unique<Impl>()) {
+  impl_->uid = next_tracer_uid();
+  if (const char* env = std::getenv("MCSS_TRACE_BUF")) {
+    const long v = std::atol(env);
+    if (v > 0) impl_->ring_capacity = static_cast<std::size_t>(v);
+  }
+}
+
+Tracer::~Tracer() = default;
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::set_ring_capacity(std::size_t events) {
+  MCSS_ENSURE(events > 0, "ring capacity must be positive");
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->ring_capacity = events;
+}
+
+Tracer::Ring& Tracer::local_ring() {
+  if (tls_rings.cached_uid == impl_->uid && tls_rings.cached != nullptr) {
+    return *tls_rings.cached;
+  }
+  auto it = tls_rings.by_uid.find(impl_->uid);
+  if (it == tls_rings.by_uid.end()) {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    auto ring = std::make_unique<Ring>(impl_->ring_capacity, impl_->next_tid++);
+    Ring* raw = ring.get();
+    impl_->rings.push_back(std::move(ring));
+    it = tls_rings.by_uid.emplace(impl_->uid, raw).first;
+  }
+  tls_rings.cached_uid = impl_->uid;
+  tls_rings.cached = it->second;
+  return *it->second;
+}
+
+void Tracer::emit(const TraceEvent& event) {
+  Ring& ring = local_ring();
+  TraceEvent& slot = ring.buf[ring.emitted % ring.buf.size()];
+  slot = event;
+  slot.tid = ring.tid;
+  slot.seq = ring.emitted;
+  ++ring.emitted;
+}
+
+void Tracer::complete(const char* name, const char* cat, std::int64_t ts_ns,
+                      std::int64_t dur_ns, std::uint64_t id,
+                      const char* arg0_name, std::uint64_t arg0,
+                      const char* arg1_name, std::uint64_t arg1) {
+  if (!enabled()) return;
+  emit({name, cat, 'X', ts_ns, dur_ns, id, arg0_name, arg0, arg1_name, arg1});
+}
+
+void Tracer::instant(const char* name, const char* cat, std::int64_t ts_ns,
+                     std::uint64_t id, const char* arg0_name,
+                     std::uint64_t arg0, const char* arg1_name,
+                     std::uint64_t arg1) {
+  if (!enabled()) return;
+  emit({name, cat, 'i', ts_ns, 0, id, arg0_name, arg0, arg1_name, arg1});
+}
+
+void Tracer::async_begin(const char* name, const char* cat, std::uint64_t id,
+                         std::int64_t ts_ns, const char* arg0_name,
+                         std::uint64_t arg0, const char* arg1_name,
+                         std::uint64_t arg1) {
+  if (!enabled()) return;
+  emit({name, cat, 'b', ts_ns, 0, id, arg0_name, arg0, arg1_name, arg1});
+}
+
+void Tracer::async_end(const char* name, const char* cat, std::uint64_t id,
+                       std::int64_t ts_ns) {
+  if (!enabled()) return;
+  emit({name, cat, 'e', ts_ns, 0, id, nullptr, 0, nullptr, 0});
+}
+
+std::vector<TraceEvent> Tracer::collect() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  std::vector<TraceEvent> out;
+  for (const auto& ring : impl_->rings) {
+    const std::uint64_t cap = ring->buf.size();
+    const std::uint64_t first =
+        ring->emitted > cap ? ring->emitted - cap : 0;
+    for (std::uint64_t s = first; s < ring->emitted; ++s) {
+      out.push_back(ring->buf[s % cap]);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.ts_ns != b.ts_ns) return a.ts_ns < b.ts_ns;
+              if (a.tid != b.tid) return a.tid < b.tid;
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  std::uint64_t total = 0;
+  for (const auto& ring : impl_->rings) {
+    const std::uint64_t cap = ring->buf.size();
+    if (ring->emitted > cap) total += ring->emitted - cap;
+  }
+  return total;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  for (auto& ring : impl_->rings) ring->emitted = 0;
+}
+
+std::string Tracer::chrome_trace_json() const {
+  const auto events = collect();
+  std::string out = "{\"traceEvents\":[";
+  char buf[64];
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"name\":\"";
+    out += e.name;
+    out += "\",\"cat\":\"";
+    out += e.cat;
+    out += "\",\"ph\":\"";
+    out.push_back(e.phase);
+    out += "\",\"pid\":1,\"tid\":";
+    std::snprintf(buf, sizeof buf, "%u", e.tid);
+    out += buf;
+    // Chrome's ts unit is microseconds; keep nanosecond precision.
+    std::snprintf(buf, sizeof buf, ",\"ts\":%.3f",
+                  static_cast<double>(e.ts_ns) / 1e3);
+    out += buf;
+    if (e.phase == 'X') {
+      std::snprintf(buf, sizeof buf, ",\"dur\":%.3f",
+                    static_cast<double>(e.dur_ns) / 1e3);
+      out += buf;
+    }
+    if (e.phase == 'b' || e.phase == 'e' || e.id != 0) {
+      std::snprintf(buf, sizeof buf, ",\"id\":\"0x%llx\"",
+                    static_cast<unsigned long long>(e.id));
+      out += buf;
+    }
+    if (e.arg0_name != nullptr || e.arg1_name != nullptr) {
+      out += ",\"args\":{";
+      if (e.arg0_name != nullptr) {
+        out += '"';
+        out += e.arg0_name;
+        std::snprintf(buf, sizeof buf, "\":%llu",
+                      static_cast<unsigned long long>(e.arg0));
+        out += buf;
+      }
+      if (e.arg1_name != nullptr) {
+        if (e.arg0_name != nullptr) out.push_back(',');
+        out += '"';
+        out += e.arg1_name;
+        std::snprintf(buf, sizeof buf, "\":%llu",
+                      static_cast<unsigned long long>(e.arg1));
+        out += buf;
+      }
+      out.push_back('}');
+    }
+    out.push_back('}');
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+void Tracer::write_chrome_trace(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  MCSS_ENSURE(f != nullptr, "cannot open trace output file");
+  const std::string json = chrome_trace_json();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+}
+
+}  // namespace mcss::obs

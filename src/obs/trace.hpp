@@ -1,0 +1,125 @@
+// Sim-time event tracing: share/packet lifecycle spans in Chrome
+// trace_event form.
+//
+// Instrumented components emit events stamped with the simulator clock
+// (split -> schedule decision -> channel enqueue -> delivery/loss ->
+// reassembly -> reconstruct); a finished run is exported as Chrome
+// trace JSON and opens directly in chrome://tracing or Perfetto, which
+// render the async spans per share/packet id — "where did share #N
+// spend its delay budget" becomes a timeline query.
+//
+// Gating and cost. Tracing is off unless MCSS_TRACE is set (or
+// set_enabled(true) is called); every emit helper first tests a cached
+// bool, so disabled runs pay one predictable branch per site. When on,
+// events append to a fixed-capacity per-thread ring buffer (no locks,
+// no allocation per event — names are static string literals), and the
+// ring simply wraps: the newest events win, the overwritten count is
+// reported, a run can never exhaust memory by tracing.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mcss::obs {
+
+namespace detail {
+/// The global tracer's switch, exposed directly so hot-path guards are
+/// one relaxed load — no function call into the translation unit.
+extern std::atomic<bool> g_trace_on;
+}  // namespace detail
+
+/// One trace_event. `ts_ns`/`dur_ns` are simulation nanoseconds
+/// (net::SimTime); exporters convert to Chrome's microsecond floats.
+struct TraceEvent {
+  const char* name = "";  ///< static string literal
+  const char* cat = "";   ///< static string literal
+  char phase = 'i';       ///< 'X' complete, 'i' instant, 'b'/'e' async
+  std::int64_t ts_ns = 0;
+  std::int64_t dur_ns = 0;   ///< 'X' only
+  std::uint64_t id = 0;      ///< async span / share identity
+  const char* arg0_name = nullptr;  ///< optional numeric args
+  std::uint64_t arg0 = 0;
+  const char* arg1_name = nullptr;
+  std::uint64_t arg1 = 0;
+  std::uint32_t tid = 0;   ///< assigned per writing thread
+  std::uint64_t seq = 0;   ///< per-thread emission order
+};
+
+/// Stable share-span id from (packet id, share index): packet spans use
+/// the packet id directly, share spans this combination.
+[[nodiscard]] constexpr std::uint64_t share_span_id(
+    std::uint64_t packet_id, std::uint8_t share_index) noexcept {
+  return (packet_id << 8) | share_index;
+}
+
+class Tracer {
+ public:
+  Tracer();
+  ~Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Process-wide tracer; enabled at startup iff MCSS_TRACE is set.
+  [[nodiscard]] static Tracer& global();
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return detail::g_trace_on.load(std::memory_order_relaxed);
+  }
+  void set_enabled(bool on) noexcept {
+    detail::g_trace_on.store(on, std::memory_order_relaxed);
+  }
+
+  /// Per-thread ring capacity (events). Applies to rings created after
+  /// the call; also via MCSS_TRACE_BUF. Default 1 << 16.
+  void set_ring_capacity(std::size_t events);
+
+  // -- emission (no-ops when disabled) ---------------------------------
+  // Name/cat/arg-name strings must outlive the tracer (use literals).
+  void complete(const char* name, const char* cat, std::int64_t ts_ns,
+                std::int64_t dur_ns, std::uint64_t id = 0,
+                const char* arg0_name = nullptr, std::uint64_t arg0 = 0,
+                const char* arg1_name = nullptr, std::uint64_t arg1 = 0);
+  void instant(const char* name, const char* cat, std::int64_t ts_ns,
+               std::uint64_t id = 0, const char* arg0_name = nullptr,
+               std::uint64_t arg0 = 0, const char* arg1_name = nullptr,
+               std::uint64_t arg1 = 0);
+  void async_begin(const char* name, const char* cat, std::uint64_t id,
+                   std::int64_t ts_ns, const char* arg0_name = nullptr,
+                   std::uint64_t arg0 = 0, const char* arg1_name = nullptr,
+                   std::uint64_t arg1 = 0);
+  void async_end(const char* name, const char* cat, std::uint64_t id,
+                 std::int64_t ts_ns);
+
+  // -- collection ------------------------------------------------------
+  /// Surviving events from every thread's ring, stably ordered by
+  /// (ts_ns, tid, seq). Does not clear.
+  [[nodiscard]] std::vector<TraceEvent> collect() const;
+  /// Events overwritten by ring wraparound, across all rings.
+  [[nodiscard]] std::uint64_t dropped() const;
+  /// Chrome trace JSON ({"traceEvents":[...]}) of collect().
+  [[nodiscard]] std::string chrome_trace_json() const;
+  /// Write chrome_trace_json() to a file.
+  void write_chrome_trace(const std::string& path) const;
+  /// Discard all buffered events (rings stay registered).
+  void clear();
+
+  struct Ring;  ///< opaque; public only for the thread-local ring cache
+
+ private:
+  struct Impl;
+  void emit(const TraceEvent& event);
+  Ring& local_ring();
+
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Shorthand for the global tracer's cached switch: one relaxed load.
+[[nodiscard]] inline bool trace_enabled() noexcept {
+  return detail::g_trace_on.load(std::memory_order_relaxed);
+}
+
+}  // namespace mcss::obs

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "protocol/wire.hpp"
 #include "sss/xor_sharing.hpp"
 #include "util/ensure.hpp"
@@ -187,6 +188,28 @@ void MicssReceiver::on_data_frame(std::vector<std::uint8_t> raw) {
     completed_order_.pop_front();
   }
   if (deliver_) deliver_(id, std::move(payload));
+}
+
+void publish(obs::Registry& registry, const MicssSenderStats& stats) {
+  const auto add = [&](std::string_view name, std::uint64_t value) {
+    registry.add(registry.counter(name), value);
+  };
+  add("mcss_micss_sender_packets_offered", stats.packets_offered);
+  add("mcss_micss_sender_packets_rejected", stats.packets_rejected);
+  add("mcss_micss_sender_packets_completed", stats.packets_completed);
+  add("mcss_micss_sender_shares_sent", stats.shares_sent);
+  add("mcss_micss_sender_retransmissions", stats.retransmissions);
+}
+
+void publish(obs::Registry& registry, const MicssReceiverStats& stats) {
+  const auto add = [&](std::string_view name, std::uint64_t value) {
+    registry.add(registry.counter(name), value);
+  };
+  add("mcss_micss_receiver_shares_received", stats.shares_received);
+  add("mcss_micss_receiver_duplicate_shares", stats.duplicate_shares);
+  add("mcss_micss_receiver_packets_delivered", stats.packets_delivered);
+  add("mcss_micss_receiver_bytes_delivered", stats.bytes_delivered);
+  add("mcss_micss_receiver_acks_sent", stats.acks_sent);
 }
 
 }  // namespace mcss::proto

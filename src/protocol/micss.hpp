@@ -52,6 +52,9 @@ struct MicssSenderStats {
   std::uint64_t retransmissions = 0;
 };
 
+/// Add these totals into the registry under mcss_micss_sender_* names.
+void publish(obs::Registry& registry, const MicssSenderStats& stats);
+
 class MicssSender {
  public:
   /// `data_out[i]` carries share i+1; `ack_in[i]` is the matching reverse
@@ -95,6 +98,9 @@ struct MicssReceiverStats {
   std::uint64_t bytes_delivered = 0;
   std::uint64_t acks_sent = 0;
 };
+
+/// Add these totals into the registry under mcss_micss_receiver_* names.
+void publish(obs::Registry& registry, const MicssReceiverStats& stats);
 
 class MicssReceiver {
  public:

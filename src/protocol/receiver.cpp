@@ -3,11 +3,54 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/scope_timer.hpp"
+#include "obs/trace.hpp"
 #include "protocol/wire.hpp"
 #include "sss/shamir.hpp"
 #include "util/ensure.hpp"
 
 namespace mcss::proto {
+
+namespace {
+
+/// Sim-time from a packet's first share arriving to its k-th (the
+/// reassembly wait). Invalid while metrics are disabled.
+obs::HistogramId reassembly_wait_hist() {
+  if (!obs::metrics_enabled()) return {};
+  return obs::Registry::global().histogram(
+      "mcss_receiver_reassembly_wait_seconds", obs::exp_bounds(1e-6, 2.0, 24));
+}
+
+/// Wall-clock cost of one Shamir reconstruction.
+obs::HistogramId reconstruct_hist() {
+  if (!obs::metrics_enabled()) return {};
+  return obs::Registry::global().histogram(
+      "mcss_receiver_reconstruct_seconds", obs::exp_bounds(1e-8, 4.0, 16));
+}
+
+}  // namespace
+
+void publish(obs::Registry& registry, const ReceiverStats& stats) {
+  const auto add = [&](std::string_view name, std::uint64_t value) {
+    registry.add(registry.counter(name), value);
+  };
+  add("mcss_receiver_frames_received", stats.frames_received);
+  add("mcss_receiver_malformed_frames", stats.malformed_frames);
+  add("mcss_receiver_auth_failures", stats.auth_failures);
+  add("mcss_receiver_duplicate_shares", stats.duplicate_shares);
+  add("mcss_receiver_late_shares", stats.late_shares);
+  add("mcss_receiver_conflicting_metadata", stats.conflicting_metadata);
+  add("mcss_receiver_packets_delivered", stats.packets_delivered);
+  add("mcss_receiver_bytes_delivered", stats.bytes_delivered);
+  add("mcss_receiver_packets_evicted_timeout", stats.packets_evicted_timeout);
+  add("mcss_receiver_packets_evicted_memory", stats.packets_evicted_memory);
+  add("mcss_receiver_shares_dropped_memory", stats.shares_dropped_memory);
+}
+
+void Receiver::publish_metrics(obs::Registry& registry) const {
+  publish(registry, stats_);
+}
 
 Receiver::Receiver(net::Simulator& sim, ReceiverConfig config,
                    net::CpuModel* cpu)
@@ -36,6 +79,12 @@ void Receiver::on_frame(std::vector<std::uint8_t> raw) {
     return;
   }
   const std::uint64_t id = frame->packet_id;
+  if (obs::trace_enabled()) {
+    // Ends the span the sender opened when it enqueued this share.
+    obs::Tracer::global().async_end(
+        "share", "share", obs::share_span_id(id, frame->share_index),
+        sim_.now());
+  }
   if (completed_.contains(id)) {
     ++stats_.late_shares;
     return;
@@ -53,6 +102,10 @@ void Receiver::on_frame(std::vector<std::uint8_t> raw) {
     partial.first_seen = sim_.now();
     it = partials_.emplace(id, std::move(partial)).first;
     it->second.order_it = creation_order_.insert(creation_order_.end(), id);
+    if (obs::trace_enabled()) {
+      obs::Tracer::global().async_begin("reassembly", "receiver", id,
+                                        sim_.now(), "k", frame->k);
+    }
     // IP-reassembly-style timer: if the packet is still partial when it
     // fires, evict it. first_seen disambiguates id reuse (never happens
     // with 64-bit ids, but keeps the check airtight).
@@ -94,11 +147,30 @@ void Receiver::on_frame(std::vector<std::uint8_t> raw) {
 }
 
 void Receiver::complete(std::uint64_t id, Partial& partial) {
-  auto payload = sss::reconstruct_first_k(partial.shares, partial.k);
+  const net::SimTime now = sim_.now();
+  if (obs::metrics_enabled()) {
+    obs::Registry::global().observe(reassembly_wait_hist(),
+                                    net::to_seconds(now - partial.first_seen));
+  }
 
-  net::SimTime done = sim_.now();
+  std::vector<std::uint8_t> payload;
+  {
+    obs::ScopeTimer reconstruct_timer(reconstruct_hist());
+    payload = sss::reconstruct_first_k(partial.shares, partial.k);
+  }
+
+  net::SimTime done = now;
   if (cpu_ != nullptr) {
     done = cpu_->submit(cpu_->reconstruct_ops(partial.k));
+  }
+  if (obs::trace_enabled()) {
+    obs::Tracer::global().async_end("reassembly", "receiver", id, now);
+    // Sim-time reconstruction charge, then the end of the packet span
+    // the sender opened at dispatch.
+    obs::Tracer::global().complete("reconstruct", "receiver", now,
+                                   std::max<net::SimTime>(0, done - now), id,
+                                   "k", partial.k);
+    obs::Tracer::global().async_end("packet", "packet", id, done);
   }
   ++stats_.packets_delivered;
   stats_.bytes_delivered += payload.size();
@@ -125,6 +197,13 @@ void Receiver::evict(std::uint64_t id, std::uint64_t* counter) {
   creation_order_.erase(it->second.order_it);
   partials_.erase(it);
   ++*counter;
+  if (obs::trace_enabled()) {
+    obs::Tracer::global().instant(counter == &stats_.packets_evicted_timeout
+                                      ? "evict_timeout"
+                                      : "evict_memory",
+                                  "receiver", sim_.now(), id);
+    obs::Tracer::global().async_end("reassembly", "receiver", id, sim_.now());
+  }
 }
 
 bool Receiver::make_room(std::size_t incoming_bytes,

@@ -23,6 +23,10 @@
 #include "net/simulator.hpp"
 #include "sss/share.hpp"
 
+namespace mcss::obs {
+class Registry;
+}
+
 namespace mcss::proto {
 
 struct ReceiverConfig {
@@ -55,6 +59,9 @@ struct ReceiverStats {
   std::uint64_t shares_dropped_memory = 0;
 };
 
+/// Add these totals into the registry under mcss_receiver_* names.
+void publish(obs::Registry& registry, const ReceiverStats& stats);
+
 class Receiver {
  public:
   /// Delivery callback: (packet id, reconstructed payload).
@@ -75,6 +82,9 @@ class Receiver {
   void on_frame(std::vector<std::uint8_t> frame);
 
   [[nodiscard]] const ReceiverStats& stats() const noexcept { return stats_; }
+
+  /// Publish this receiver's stats into the registry (end-of-run hook).
+  void publish_metrics(obs::Registry& registry) const;
   [[nodiscard]] std::size_t pending_packets() const noexcept { return partials_.size(); }
   [[nodiscard]] std::size_t buffered_bytes() const noexcept { return buffered_bytes_; }
   /// Size of the oldest-first eviction bookkeeping; always equals

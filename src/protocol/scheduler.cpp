@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/metrics.hpp"
 #include "util/ensure.hpp"
 #include "util/subset.hpp"
 
@@ -101,6 +102,19 @@ std::optional<ShareDecision> FixedScheduler::next(
   d.channels.resize(static_cast<std::size_t>(num_channels_));
   std::iota(d.channels.begin(), d.channels.end(), 0);
   return d;
+}
+
+// ------------------------------------------------------------- metrics
+
+void publish(obs::Registry& registry, const StaticSchedulerStats& stats) {
+  registry.add(registry.counter("mcss_scheduler_parked_evicted"),
+               stats.parked_evicted);
+  registry.add(registry.counter("mcss_scheduler_parked_dispatched"),
+               stats.parked_dispatched);
+}
+
+void StaticScheduler::publish_metrics(obs::Registry& registry) const {
+  publish(registry, stats_);
 }
 
 }  // namespace mcss::proto

@@ -26,6 +26,10 @@
 #include "protocol/dither.hpp"
 #include "util/rng.hpp"
 
+namespace mcss::obs {
+class Registry;
+}
+
 namespace mcss::proto {
 
 /// Sender-visible state of one channel at decision time.
@@ -50,6 +54,12 @@ class ShareScheduler {
   virtual ~ShareScheduler() = default;
   [[nodiscard]] virtual std::optional<ShareDecision> next(
       std::span<const ChannelView> channels) = 0;
+
+  /// Publish any scheduler-internal stats into the registry (end-of-run
+  /// hook; the default scheduler kinds have none).
+  virtual void publish_metrics(obs::Registry& registry) const {
+    (void)registry;
+  }
 };
 
 /// ReMICSS dynamic schedule: (k, m) from error-diffusion dithering of
@@ -74,6 +84,9 @@ struct StaticSchedulerStats {
   std::uint64_t parked_dispatched = 0;
 };
 
+/// Add these totals into the registry under mcss_scheduler_* names.
+void publish(obs::Registry& registry, const StaticSchedulerStats& stats);
+
 /// Explicit schedule: samples (k, M) from a ShareSchedule. A sampled
 /// decision whose M is not fully writable is parked in a small reorder
 /// pool while later samples proceed (packets are independent symbols, so
@@ -93,6 +106,8 @@ class StaticScheduler final : public ShareScheduler {
   [[nodiscard]] const StaticSchedulerStats& stats() const noexcept {
     return stats_;
   }
+
+  void publish_metrics(obs::Registry& registry) const override;
 
  private:
   ShareSchedule schedule_;

@@ -1,12 +1,49 @@
 #include "protocol/sender.hpp"
 
+#include <algorithm>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/scope_timer.hpp"
+#include "obs/trace.hpp"
 #include "protocol/wire.hpp"
 #include "sss/shamir.hpp"
 #include "util/ensure.hpp"
 
 namespace mcss::proto {
+
+namespace {
+
+/// Wall-clock cost of one Shamir split; invalid (observe is a no-op)
+/// while metrics are disabled, so the hot path pays one branch.
+obs::HistogramId split_hist() {
+  if (!obs::metrics_enabled()) return {};
+  return obs::Registry::global().histogram("mcss_sender_split_seconds",
+                                           obs::exp_bounds(1e-8, 4.0, 16));
+}
+
+}  // namespace
+
+void publish(obs::Registry& registry, const SenderStats& stats) {
+  const auto add = [&](std::string_view name, std::uint64_t value) {
+    registry.add(registry.counter(name), value);
+  };
+  add("mcss_sender_packets_offered", stats.packets_offered);
+  add("mcss_sender_packets_rejected", stats.packets_rejected);
+  add("mcss_sender_packets_sent", stats.packets_sent);
+  add("mcss_sender_shares_sent", stats.shares_sent);
+  add("mcss_sender_shares_dropped_at_channel",
+      stats.shares_dropped_at_channel);
+  registry.set(registry.gauge("mcss_sender_achieved_kappa"),
+               stats.achieved_kappa());
+  registry.set(registry.gauge("mcss_sender_achieved_mu"),
+               stats.achieved_mu());
+}
+
+void Sender::publish_metrics(obs::Registry& registry) const {
+  publish(registry, stats_);
+  scheduler_->publish_metrics(registry);
+}
 
 Sender::Sender(net::Simulator& sim, std::vector<net::SimChannel*> channels,
                std::unique_ptr<ShareScheduler> scheduler, Rng rng,
@@ -64,7 +101,13 @@ void Sender::pump() {
       view[i] = {channels_[i]->ready(), channels_[i]->backlog_time()};
     }
     const auto decision = scheduler_->next(view);
-    if (!decision) return;  // wait for a writability event
+    if (!decision) {
+      if (obs::trace_enabled()) {
+        obs::Tracer::global().instant("schedule_defer", "sender", sim_.now(),
+                                      0, "queued", queue_.size());
+      }
+      return;  // wait for a writability event
+    }
 
     std::vector<std::uint8_t> payload = std::move(queue_.front());
     queue_.pop_front();
@@ -83,13 +126,34 @@ void Sender::dispatch(std::vector<std::uint8_t> payload,
   stats_.sum_k += k;
   stats_.sum_m += m;
 
+  const net::SimTime now = sim_.now();
+  if (obs::trace_enabled()) {
+    // Packet lifecycle span; the receiver ends it at delivery. The
+    // schedule decision rides along as args.
+    obs::Tracer::global().async_begin("packet", "packet", id, now, "k",
+                                      static_cast<std::uint64_t>(k), "m",
+                                      static_cast<std::uint64_t>(m));
+  }
+
   // Charge the host for the split before the shares can leave.
-  net::SimTime ready_at = sim_.now();
+  net::SimTime ready_at = now;
   if (cpu_ != nullptr) {
     ready_at = cpu_->submit(cpu_->split_ops(k, m));
   }
 
-  const auto shares = sss::split(payload, k, m, rng_);
+  std::vector<sss::Share> shares;
+  {
+    obs::ScopeTimer split_timer(split_hist());
+    shares = sss::split(payload, k, m, rng_);
+  }
+  if (obs::trace_enabled()) {
+    // Sim-time cost of the split: the CPU-model charge (zero without a
+    // CPU model, where splitting is instantaneous in sim time).
+    obs::Tracer::global().complete("split", "sender", now,
+                                   std::max<net::SimTime>(0, ready_at - now),
+                                   id, "k", static_cast<std::uint64_t>(k),
+                                   "m", static_cast<std::uint64_t>(m));
+  }
   for (int j = 0; j < m; ++j) {
     ShareFrame frame;
     frame.packet_id = id;
@@ -98,13 +162,34 @@ void Sender::dispatch(std::vector<std::uint8_t> payload,
     frame.payload = shares[static_cast<std::size_t>(j)].data;
     auto bytes =
         encode(frame, config_.auth_key ? &*config_.auth_key : nullptr);
-    net::SimChannel* ch = channels_[static_cast<std::size_t>(decision.channels[static_cast<std::size_t>(j)])];
+    const auto ch_index =
+        static_cast<std::size_t>(decision.channels[static_cast<std::size_t>(j)]);
+    net::SimChannel* ch = channels_[ch_index];
     ++stats_.shares_sent;
+    const std::uint64_t span = obs::share_span_id(id, frame.share_index);
+    if (obs::trace_enabled()) {
+      // Share lifecycle span: enqueue here, ended at the receiver (or
+      // never, for shares the network loses).
+      obs::Tracer::global().async_begin("share", "share", span, now,
+                                        "channel", ch_index);
+    }
     if (ready_at <= sim_.now()) {
-      if (!ch->try_send(std::move(bytes))) ++stats_.shares_dropped_at_channel;
+      if (!ch->try_send(std::move(bytes))) {
+        ++stats_.shares_dropped_at_channel;
+        if (obs::trace_enabled()) {
+          obs::Tracer::global().async_end("share", "share", span, sim_.now());
+        }
+      }
     } else {
-      sim_.schedule_at(ready_at, [this, ch, b = std::move(bytes)]() mutable {
-        if (!ch->try_send(std::move(b))) ++stats_.shares_dropped_at_channel;
+      sim_.schedule_at(ready_at,
+                       [this, ch, span, b = std::move(bytes)]() mutable {
+        if (!ch->try_send(std::move(b))) {
+          ++stats_.shares_dropped_at_channel;
+          if (obs::trace_enabled()) {
+            obs::Tracer::global().async_end("share", "share", span,
+                                            sim_.now());
+          }
+        }
       });
     }
   }

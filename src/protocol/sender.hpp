@@ -25,6 +25,10 @@
 #include "protocol/scheduler.hpp"
 #include "util/rng.hpp"
 
+namespace mcss::obs {
+class Registry;
+}
+
 namespace mcss::proto {
 
 struct SenderConfig {
@@ -53,6 +57,10 @@ struct SenderStats {
   }
 };
 
+/// Add these totals into the registry under mcss_sender_* names
+/// (counters for the event counts, gauges for achieved kappa/mu).
+void publish(obs::Registry& registry, const SenderStats& stats);
+
 class Sender {
  public:
   /// The sender owns the TX side of the given channels: it installs their
@@ -73,6 +81,10 @@ class Sender {
 
   [[nodiscard]] const SenderStats& stats() const noexcept { return stats_; }
   [[nodiscard]] std::size_t queued_packets() const noexcept { return queue_.size(); }
+
+  /// Publish this sender's stats plus its scheduler's (if any) into the
+  /// registry. End-of-run hook; counters aggregate across calls.
+  void publish_metrics(obs::Registry& registry) const;
 
  private:
   void pump();

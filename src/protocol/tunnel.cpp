@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "util/ensure.hpp"
 
 namespace mcss::proto {
@@ -157,6 +158,17 @@ void TunnelEgress::arm_gap_timer(const FlowKey& key, FlowState& flow) {
     release_in_order(key, f);
     if (!f.pending.empty()) arm_gap_timer(key, f);
   });
+}
+
+void publish(obs::Registry& registry, const EgressStats& stats) {
+  const auto add = [&](std::string_view name, std::uint64_t value) {
+    registry.add(registry.counter(name), value);
+  };
+  add("mcss_egress_datagrams_delivered", stats.datagrams_delivered);
+  add("mcss_egress_malformed", stats.malformed);
+  add("mcss_egress_reordered_held", stats.reordered_held);
+  add("mcss_egress_gaps_skipped", stats.gaps_skipped);
+  add("mcss_egress_duplicates_dropped", stats.duplicates_dropped);
 }
 
 }  // namespace mcss::proto

@@ -98,6 +98,9 @@ struct EgressStats {
   std::uint64_t duplicates_dropped = 0;
 };
 
+/// Add these totals into the registry under mcss_egress_* names.
+void publish(obs::Registry& registry, const EgressStats& stats);
+
 /// Egress: feed with the Receiver's delivered payloads (see attach()).
 class TunnelEgress {
  public:

@@ -19,6 +19,22 @@
 // when already running on a pool worker (nested parallelism), both
 // helpers degrade to a plain sequential loop on the calling thread —
 // the exact legacy path, no pool, no synchronization.
+//
+// Observability: on the parallel path each pump captures the metric
+// deltas its compute(i) accumulated in the worker's thread-local shard
+// (obs::Registry::take_local) and the caller merges them in index order
+// right before commit(i). The sequential path performs the SAME
+// per-index capture+merge at the outermost loop level, so the registry
+// reduces per point in index order on both paths — registry contents
+// (including order-sensitive double sums, where floating-point
+// addition is not associative) are bitwise identical for any
+// MCSS_THREADS value. Nested loops (inside a compute) skip the capture;
+// their deltas fold into the enclosing point's shard in stream order,
+// again identically on both paths. Metrics recorded by commit itself
+// stay in the caller's live shard and only reach the committed state at
+// the next snapshot, so commit-side recording carries no ordering
+// guarantee. With no metrics recorded the captured shards are empty and
+// the capture is a few moves per index.
 #pragma once
 
 #include <algorithm>
@@ -32,9 +48,24 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace mcss::runtime {
+
+namespace detail {
+/// Depth of for_each_ordered frames on this thread; the sequential path
+/// captures metric shards only at depth 1 (the outermost sweep level),
+/// mirroring the parallel path where only pumps capture.
+inline thread_local unsigned sweep_depth = 0;
+
+struct SweepDepthGuard {
+  SweepDepthGuard() { ++sweep_depth; }
+  ~SweepDepthGuard() { --sweep_depth; }
+  SweepDepthGuard(const SweepDepthGuard&) = delete;
+  SweepDepthGuard& operator=(const SweepDepthGuard&) = delete;
+};
+}  // namespace detail
 
 template <typename ComputeFn, typename CommitFn>
 void for_each_ordered(std::size_t count, ComputeFn&& compute,
@@ -43,14 +74,31 @@ void for_each_ordered(std::size_t count, ComputeFn&& compute,
 
   const unsigned threads = configured_threads();
   if (threads <= 1 || count <= 1 || ThreadPool::on_worker()) {
-    for (std::size_t i = 0; i < count; ++i) commit(i, compute(i));
+    // On a pool worker this is a nested loop: the enclosing pump owns
+    // the shard capture, so never capture here.
+    const bool capture = !ThreadPool::on_worker();
+    for (std::size_t i = 0; i < count; ++i) {
+      T value = [&] {
+        detail::SweepDepthGuard depth;
+        return compute(i);
+      }();
+      if (capture && detail::sweep_depth == 0) {
+        auto& registry = obs::Registry::global();
+        registry.merge(registry.take_local());
+      }
+      commit(i, std::move(value));
+    }
     return;
   }
 
+  struct Slot {
+    T value;
+    obs::MetricShard metrics;
+  };
   struct State {
     std::mutex mutex;
     std::condition_variable progress;
-    std::vector<std::optional<T>> results;
+    std::vector<std::optional<Slot>> results;
     std::atomic<std::size_t> next{0};
     std::atomic<bool> cancelled{false};
     std::size_t pumps_running = 0;
@@ -68,7 +116,10 @@ void for_each_ordered(std::size_t count, ComputeFn&& compute,
       const std::size_t i = state.next.fetch_add(1, std::memory_order_relaxed);
       if (i >= count) break;
       try {
-        T result = compute(i);
+        // The worker's shard is empty on entry (drained after the
+        // previous claim), so what take_local() returns is exactly the
+        // deltas compute(i) produced.
+        Slot result{compute(i), obs::Registry::global().take_local()};
         std::lock_guard<std::mutex> lock(state.mutex);
         state.results[i].emplace(std::move(result));
         state.progress.notify_all();
@@ -95,11 +146,14 @@ void for_each_ordered(std::size_t count, ComputeFn&& compute,
     state.progress.wait(
         lock, [&] { return state.error || state.results[i].has_value(); });
     if (state.error) break;
-    T result = std::move(*state.results[i]);
+    Slot slot = std::move(*state.results[i]);
     state.results[i].reset();
     lock.unlock();
+    // Merge index i's metric deltas before any j > i: registry state
+    // evolves in index order, matching the sequential run exactly.
+    obs::Registry::global().merge(slot.metrics);
     try {
-      commit(i, std::move(result));
+      commit(i, std::move(slot.value));
     } catch (...) {
       lock.lock();
       if (!state.error) state.error = std::current_exception();

@@ -39,6 +39,85 @@ void OnlineStats::merge(const OnlineStats& other) noexcept {
   max_ = std::max(max_, other.max_);
 }
 
+PercentileTracker PercentileTracker::reservoir(std::size_t capacity,
+                                               std::uint64_t seed) {
+  PercentileTracker t;
+  t.capacity_ = capacity ? capacity : 1;
+  t.samples_.reserve(t.capacity_);
+  t.rng_ = Rng(seed);
+  return t;
+}
+
+void PercentileTracker::add(double x) {
+  ++seen_;
+  if (capacity_ == 0 || samples_.size() < capacity_) {
+    samples_.push_back(x);
+    sorted_ = false;
+    return;
+  }
+  // Algorithm R: element number `seen_` survives with probability
+  // capacity/seen_, replacing a uniformly chosen resident.
+  const std::uint64_t j = rng_.uniform_int(seen_);
+  if (j < capacity_) {
+    samples_[j] = x;
+    sorted_ = false;
+  }
+}
+
+void PercentileTracker::merge(const PercentileTracker& other) {
+  if (other.seen_ == 0) return;
+  if (capacity_ == 0) {
+    // Exact target: concatenate whatever the other retained (its full
+    // stream when it is exact too, an unbiased sample otherwise).
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+    seen_ += other.seen_;
+    sorted_ = false;
+    return;
+  }
+  if (!other.is_reservoir()) {
+    // The other's retained values ARE its stream; feeding them through
+    // add() continues Algorithm R exactly.
+    for (const double x : other.samples_) add(x);
+    return;
+  }
+  // Reservoir + reservoir: draw the merged reservoir from the two pools
+  // with stream-size-proportional weights. Each retained value stands
+  // for seen/retained stream values; retained values within a reservoir
+  // are exchangeable, so consuming them in stored order is unbiased.
+  const std::vector<double> a = std::move(samples_);
+  const std::vector<double>& b = other.samples_;
+  const double per_a =
+      a.empty() ? 0.0 : static_cast<double>(seen_) / static_cast<double>(a.size());
+  const double per_b = b.empty() ? 0.0
+                                 : static_cast<double>(other.seen_) /
+                                       static_cast<double>(b.size());
+  double wa = static_cast<double>(seen_);
+  double wb = static_cast<double>(other.seen_);
+  std::size_t ia = 0;
+  std::size_t ib = 0;
+  samples_.clear();
+  while (samples_.size() < capacity_ && (ia < a.size() || ib < b.size())) {
+    bool take_a;
+    if (ia >= a.size()) {
+      take_a = false;
+    } else if (ib >= b.size()) {
+      take_a = true;
+    } else {
+      take_a = rng_.uniform() * (wa + wb) < wa;
+    }
+    if (take_a) {
+      samples_.push_back(a[ia++]);
+      wa = std::max(0.0, wa - per_a);
+    } else {
+      samples_.push_back(b[ib++]);
+      wb = std::max(0.0, wb - per_b);
+    }
+  }
+  seen_ += other.seen_;
+  sorted_ = false;
+}
+
 double PercentileTracker::percentile(double q) {
   if (samples_.empty()) return 0.0;
   if (!sorted_) {

@@ -6,6 +6,7 @@
 
 #include "core/optimal.hpp"
 #include "net/simulator.hpp"
+#include "obs/metrics.hpp"
 #include "protocol/scheduler.hpp"
 #include "protocol/wire.hpp"
 #include "util/ensure.hpp"
@@ -15,6 +16,13 @@
 namespace mcss::workload {
 
 namespace {
+
+/// End-to-end one-way delay of delivered packets (sim time).
+obs::HistogramId delay_hist() {
+  if (!obs::metrics_enabled()) return {};
+  return obs::Registry::global().histogram("mcss_e2e_delay_seconds",
+                                           obs::exp_bounds(1e-5, 2.0, 24));
+}
 
 std::unique_ptr<proto::ShareScheduler> make_scheduler(
     const ExperimentConfig& config, Rng rng) {
@@ -127,6 +135,9 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
       const double rtt = net::to_seconds(sim.now() - payload_timestamp(payload));
       delay_stats.add(rtt / 2.0);
       delay_tail.add(rtt / 2.0);
+      if (obs::metrics_enabled()) {
+        obs::Registry::global().observe(delay_hist(), rtt / 2.0);
+      }
     });
   } else {
     far_rx.set_deliver([&](std::uint64_t, std::vector<std::uint8_t> payload) {
@@ -135,6 +146,9 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
           net::to_seconds(sim.now() - payload_timestamp(payload));
       delay_stats.add(one_way);
       delay_tail.add(one_way);
+      if (obs::metrics_enabled()) {
+        obs::Registry::global().observe(delay_hist(), one_way);
+      }
     });
   }
 
@@ -157,6 +171,23 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
                    root.fork()());
 
   sim.run();
+
+  if (obs::metrics_enabled()) {
+    // Publish every component's counters. Counters add, so a sweep of
+    // many experiments accumulates fleet totals in the registry.
+    auto& registry = obs::Registry::global();
+    near_tx.publish_metrics(registry);
+    far_rx.publish_metrics(registry);
+    if (far_tx) far_tx->publish_metrics(registry);
+    if (near_rx) near_rx->publish_metrics(registry);
+    for (const auto* ch : forward) publish(registry, ch->stats());
+    for (const auto* ch : reverse) publish(registry, ch->stats());
+    registry.add(registry.counter("mcss_source_packets_offered"),
+                 source.stats().packets_offered);
+    registry.add(registry.counter("mcss_source_packets_accepted"),
+                 source.stats().packets_accepted);
+    registry.add(registry.counter("mcss_experiments_run"), 1);
+  }
 
   // --- results -----------------------------------------------------------
   ExperimentResult result;

@@ -1,117 +1,6 @@
 #include "workload/experiment_log.hpp"
 
-#include <cinttypes>
-#include <cstdlib>
-#include <filesystem>
-
-#include "util/ensure.hpp"
-
 namespace mcss::workload {
-
-namespace {
-
-void append_escaped(std::string& out, std::string_view s) {
-  out.push_back('"');
-  for (const char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out.push_back(c);
-        }
-    }
-  }
-  out.push_back('"');
-}
-
-}  // namespace
-
-void JsonRow::key(std::string_view k) {
-  if (!body_.empty()) body_.push_back(',');
-  append_escaped(body_, k);
-  body_.push_back(':');
-}
-
-JsonRow& JsonRow::field(std::string_view k, double value) {
-  key(k);
-  char buf[40];
-  std::snprintf(buf, sizeof buf, "%.17g", value);
-  body_ += buf;
-  return *this;
-}
-
-JsonRow& JsonRow::field(std::string_view k, std::int64_t value) {
-  key(k);
-  char buf[24];
-  std::snprintf(buf, sizeof buf, "%" PRId64, value);
-  body_ += buf;
-  return *this;
-}
-
-JsonRow& JsonRow::field(std::string_view k, std::uint64_t value) {
-  key(k);
-  char buf[24];
-  std::snprintf(buf, sizeof buf, "%" PRIu64, value);
-  body_ += buf;
-  return *this;
-}
-
-JsonRow& JsonRow::field(std::string_view k, bool value) {
-  key(k);
-  body_ += value ? "true" : "false";
-  return *this;
-}
-
-JsonRow& JsonRow::field(std::string_view k, std::string_view value) {
-  key(k);
-  append_escaped(body_, value);
-  return *this;
-}
-
-std::string JsonRow::str() const { return "{" + body_ + "}"; }
-
-JsonlWriter::JsonlWriter(const std::string& path) {
-  if (path.empty()) return;
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  MCSS_ENSURE(f != nullptr, "cannot open JSON-lines output file");
-  file_.reset(f);
-}
-
-JsonlWriter JsonlWriter::from_env(std::string_view bench_name) {
-  const char* env = std::getenv("MCSS_BENCH_JSONL");
-  if (env == nullptr || *env == '\0') return JsonlWriter{};
-  std::string target(env);
-  if (!target.ends_with(".jsonl")) {
-    std::filesystem::create_directories(target);
-    target += "/";
-    target += bench_name;
-    target += ".jsonl";
-  }
-  return JsonlWriter(target);
-}
-
-void JsonlWriter::write(const JsonRow& row) {
-  if (!file_) return;
-  const std::string line = row.str();
-  std::fwrite(line.data(), 1, line.size(), file_.get());
-  std::fputc('\n', file_.get());
-  std::fflush(file_.get());
-}
 
 JsonRow& add_experiment_fields(JsonRow& row, const ExperimentResult& r) {
   return row.field("offered_mbps", r.offered_mbps)

@@ -12,66 +12,19 @@
 // entirely (benches behave exactly as before); a value ending in
 // ".jsonl" names the output file directly; any other value is treated
 // as a directory (created if missing) receiving <bench>.jsonl.
+//
+// The row/writer machinery itself lives in obs/json.hpp so the metrics
+// and trace exporters share it; this header re-exports those names for
+// the bench harnesses and adds the ExperimentResult schema helper.
 #pragma once
 
-#include <cstdint>
-#include <cstdio>
-#include <memory>
-#include <string>
-#include <string_view>
-
+#include "obs/json.hpp"
 #include "workload/experiment.hpp"
 
 namespace mcss::workload {
 
-/// Builder for one flat JSON object; fields keep insertion order.
-/// Doubles are serialized with round-trip (%.17g) precision so a row
-/// carries exactly the values the run produced.
-class JsonRow {
- public:
-  JsonRow& field(std::string_view key, double value);
-  JsonRow& field(std::string_view key, std::int64_t value);
-  JsonRow& field(std::string_view key, std::uint64_t value);
-  JsonRow& field(std::string_view key, int value) {
-    return field(key, static_cast<std::int64_t>(value));
-  }
-  JsonRow& field(std::string_view key, bool value);
-  JsonRow& field(std::string_view key, std::string_view value);
-
-  /// The completed object, e.g. {"kappa":1,"mu":2.5}.
-  [[nodiscard]] std::string str() const;
-
- private:
-  void key(std::string_view k);
-  std::string body_;
-};
-
-/// Append-one-line-per-row writer; default-constructed or empty-path
-/// instances are disabled and ignore write(). Flushes every row so a
-/// killed bench still leaves a readable prefix.
-class JsonlWriter {
- public:
-  JsonlWriter() = default;
-  explicit JsonlWriter(const std::string& path);
-
-  /// Writer configured from MCSS_BENCH_JSONL for this bench binary;
-  /// disabled when the variable is unset or empty.
-  [[nodiscard]] static JsonlWriter from_env(std::string_view bench_name);
-
-  [[nodiscard]] explicit operator bool() const noexcept {
-    return file_ != nullptr;
-  }
-
-  void write(const JsonRow& row);
-
- private:
-  struct FileCloser {
-    void operator()(std::FILE* f) const noexcept {
-      if (f != nullptr) std::fclose(f);
-    }
-  };
-  std::unique_ptr<std::FILE, FileCloser> file_;
-};
+using JsonRow = obs::JsonRow;
+using JsonlWriter = obs::JsonlWriter;
 
 /// Append the standard ExperimentResult fields to a row (after the
 /// bench-specific point coordinates), so every bench's series carries

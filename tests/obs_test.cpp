@@ -1,0 +1,521 @@
+// Tests for src/obs: registry semantics (counters, gauges, histograms),
+// the thread-shard merge path and its determinism across MCSS_THREADS,
+// trace ring wraparound, and exporter validity (Prometheus text and
+// Chrome trace JSON are parsed/checked in-test).
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/scope_timer.hpp"
+#include "obs/trace.hpp"
+#include "runtime/parallel.hpp"
+
+namespace mcss::obs {
+namespace {
+
+// ------------------------------------------------------------ helpers
+
+/// Restores the runtime thread override on scope exit.
+struct ThreadGuard {
+  explicit ThreadGuard(unsigned n) { runtime::set_threads(n); }
+  ~ThreadGuard() { runtime::set_threads(1); }
+};
+
+/// Restores the global metrics switch on scope exit.
+struct MetricsGuard {
+  explicit MetricsGuard(bool on) : was(metrics_enabled()) {
+    set_metrics_enabled(on);
+  }
+  ~MetricsGuard() { set_metrics_enabled(was); }
+  bool was;
+};
+
+/// Restores the global trace switch on scope exit.
+struct TraceGuard {
+  explicit TraceGuard(bool on) : was(trace_enabled()) {
+    Tracer::global().set_enabled(on);
+  }
+  ~TraceGuard() { Tracer::global().set_enabled(was); }
+  bool was;
+};
+
+/// Minimal JSON syntax validator: accepts exactly the RFC 8259 grammar
+/// (minus the \u surrogate-pair check), reports the first error offset.
+/// Small enough to keep in-test, strict enough to catch a malformed
+/// exporter (trailing commas, bare NaN, unescaped quotes...).
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view text) : s_(text) {}
+
+  [[nodiscard]] bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+  [[nodiscard]] std::size_t error_at() const { return pos_; }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek('}')) return true;
+    while (true) {
+      skip_ws();
+      if (pos_ >= s_.size() || s_[pos_] != '"' || !string()) return false;
+      skip_ws();
+      if (pos_ >= s_.size() || s_[pos_++] != ':') return false;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek('}')) return true;
+      if (pos_ >= s_.size() || s_[pos_++] != ',') return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek(']')) return true;
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek(']')) return true;
+      if (pos_ >= s_.size() || s_[pos_++] != ',') return false;
+    }
+  }
+  bool string() {
+    ++pos_;  // '"'
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        const char e = s_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= s_.size() ||
+                std::isxdigit(static_cast<unsigned char>(s_[pos_])) == 0) {
+              return false;
+            }
+          }
+        } else if (std::string_view("\"\\/bfnrt").find(e) ==
+                   std::string_view::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek('-')) {}
+    if (!digits()) return false;
+    if (peek('.') && !digits()) return false;
+    if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+      if (!peek('+')) peek('-');
+      if (!digits()) return false;
+    }
+    return pos_ > start;
+  }
+  bool digits() {
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool literal(std::string_view word) {
+    if (s_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+  bool peek(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+::testing::AssertionResult is_valid_json(const std::string& text) {
+  JsonChecker checker(text);
+  if (checker.valid()) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << "invalid JSON at offset " << checker.error_at() << " near ..."
+         << text.substr(checker.error_at() > 20 ? checker.error_at() - 20 : 0,
+                        60);
+}
+
+// ------------------------------------------------------------ JsonRow
+
+TEST(JsonRow, BasicFieldsAndEscaping) {
+  JsonRow row;
+  row.field("i", std::int64_t{-3})
+      .field("u", std::uint64_t{7})
+      .field("d", 1.5)
+      .field("b", true)
+      .field("s", std::string_view("a\"b\\c\n"));
+  const std::string text = row.str();
+  EXPECT_TRUE(is_valid_json(text));
+  EXPECT_NE(text.find("\"i\":-3"), std::string::npos);
+  EXPECT_NE(text.find("\"s\":\"a\\\"b\\\\c\\n\""), std::string::npos);
+}
+
+TEST(JsonRow, NonFiniteDoublesEmitNull) {
+  // Regression: NaN/Inf have no JSON literal; printf'ing them produced
+  // rows like {"p99_delay_s":nan} that every parser rejects.
+  JsonRow row;
+  row.field("nan", std::numeric_limits<double>::quiet_NaN())
+      .field("pinf", std::numeric_limits<double>::infinity())
+      .field("ninf", -std::numeric_limits<double>::infinity())
+      .field("ok", 2.0);
+  const std::string text = row.str();
+  EXPECT_TRUE(is_valid_json(text));
+  EXPECT_NE(text.find("\"nan\":null"), std::string::npos);
+  EXPECT_NE(text.find("\"pinf\":null"), std::string::npos);
+  EXPECT_NE(text.find("\"ninf\":null"), std::string::npos);
+  EXPECT_NE(text.find("\"ok\":2"), std::string::npos);
+  // No bare printf spellings of the non-finite values leaked through.
+  EXPECT_EQ(text.find(":nan"), std::string::npos);
+  EXPECT_EQ(text.find(":inf"), std::string::npos);
+  EXPECT_EQ(text.find(":-inf"), std::string::npos);
+}
+
+TEST(JsonRow, StringLiteralsAreStringsNotBools) {
+  // Regression: const char* used to convert to bool in preference to
+  // string_view, turning {"type":"counter"} into {"type":true}.
+  JsonRow row;
+  row.field("type", "counter");
+  EXPECT_EQ(row.str(), "{\"type\":\"counter\"}");
+}
+
+TEST(JsonRow, RoundTripsDoublePrecision) {
+  JsonRow row;
+  row.field("x", 0.1234567890123456789);
+  EXPECT_NE(row.str().find("0.12345678901234568"), std::string::npos);
+}
+
+// ----------------------------------------------------------- registry
+
+TEST(Registry, CounterGetOrCreateAndAdd) {
+  Registry registry;
+  const CounterId a = registry.counter("test_total");
+  const CounterId again = registry.counter("test_total");
+  EXPECT_EQ(a.index, again.index);
+  registry.add(a);          // default delta 1
+  registry.add(a, 41);
+  EXPECT_EQ(registry.snapshot().counter_value("test_total"), 42u);
+}
+
+TEST(Registry, InvalidIdsAreNoops) {
+  Registry registry;
+  registry.add(CounterId{});  // must not crash or register anything
+  registry.set(GaugeId{}, 1.0);
+  registry.observe(HistogramId{}, 1.0);
+  EXPECT_TRUE(registry.snapshot().empty());
+}
+
+TEST(Registry, GaugeLastWriteWins) {
+  Registry registry;
+  const GaugeId g = registry.gauge("test_gauge");
+  registry.set(g, 1.0);
+  registry.set(g, 2.5);
+  const auto snapshot = registry.snapshot();
+  ASSERT_EQ(snapshot.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(snapshot.gauges[0].value, 2.5);
+}
+
+TEST(Registry, HistogramBucketsValuesAtBounds) {
+  Registry registry;
+  const HistogramId h = registry.histogram("test_hist", {1.0, 2.0, 4.0});
+  // Bucket b counts values <= bounds[b]; the last bucket is +Inf.
+  for (const double v : {0.5, 1.0, 1.5, 2.0, 3.0, 100.0}) registry.observe(h, v);
+  const auto snapshot = registry.snapshot();
+  ASSERT_EQ(snapshot.histograms.size(), 1u);
+  const auto& hist = snapshot.histograms[0];
+  ASSERT_EQ(hist.buckets.size(), 4u);
+  EXPECT_EQ(hist.buckets[0], 2u);  // 0.5, 1.0
+  EXPECT_EQ(hist.buckets[1], 2u);  // 1.5, 2.0
+  EXPECT_EQ(hist.buckets[2], 1u);  // 3.0
+  EXPECT_EQ(hist.buckets[3], 1u);  // 100.0 -> +Inf
+  EXPECT_EQ(hist.count, 6u);
+  EXPECT_DOUBLE_EQ(hist.sum, 108.0);
+  EXPECT_DOUBLE_EQ(hist.min, 0.5);
+  EXPECT_DOUBLE_EQ(hist.max, 100.0);
+}
+
+TEST(Registry, SnapshotIsSortedByName) {
+  Registry registry;
+  registry.add(registry.counter("zeta"));
+  registry.add(registry.counter("alpha"));
+  registry.add(registry.counter("mid"));
+  const auto snapshot = registry.snapshot();
+  ASSERT_EQ(snapshot.counters.size(), 3u);
+  EXPECT_EQ(snapshot.counters[0].name, "alpha");
+  EXPECT_EQ(snapshot.counters[1].name, "mid");
+  EXPECT_EQ(snapshot.counters[2].name, "zeta");
+}
+
+TEST(Registry, TakeLocalDrainsAndMergeRestores) {
+  Registry registry;
+  const CounterId c = registry.counter("test_total");
+  registry.add(c, 5);
+  MetricShard shard = registry.take_local();
+  EXPECT_FALSE(shard.empty());
+  // The live shard was drained: only the merged copy counts.
+  EXPECT_EQ(registry.snapshot().counter_value("test_total"), 0u);
+  registry.merge(shard);
+  registry.merge(shard);  // merging twice doubles the delta
+  EXPECT_EQ(registry.snapshot().counter_value("test_total"), 10u);
+}
+
+TEST(Registry, ResetDropsSeriesAndOrphansStaleShards) {
+  Registry registry;
+  const CounterId old_id = registry.counter("test_total");
+  registry.add(old_id, 3);
+  registry.reset();
+  EXPECT_TRUE(registry.snapshot().empty());
+  // Writing through a pre-reset id must not corrupt the new epoch.
+  registry.add(old_id, 9);
+  const CounterId fresh = registry.counter("fresh_total");
+  registry.add(fresh, 1);
+  EXPECT_EQ(registry.snapshot().counter_value("fresh_total"), 1u);
+}
+
+TEST(Registry, ExpBoundsAreExponentialAndIncreasing) {
+  const auto bounds = exp_bounds(1e-6, 2.0, 10);
+  ASSERT_EQ(bounds.size(), 10u);
+  EXPECT_DOUBLE_EQ(bounds[0], 1e-6);
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_GT(bounds[i], bounds[i - 1]);
+    EXPECT_NEAR(bounds[i] / bounds[i - 1], 2.0, 1e-9);
+  }
+}
+
+TEST(ScopeTimerTest, ObservesOnceOnDestruction) {
+  MetricsGuard guard(true);  // the timer reads no clock when disabled
+  Registry registry;
+  const HistogramId h = registry.histogram("test_scope_seconds",
+                                           exp_bounds(1e-9, 10.0, 12));
+  {
+    ScopeTimer timer(h, registry);
+  }
+  const auto snapshot = registry.snapshot();
+  ASSERT_EQ(snapshot.histograms.size(), 1u);
+  EXPECT_EQ(snapshot.histograms[0].count, 1u);
+  EXPECT_GE(snapshot.histograms[0].sum, 0.0);
+}
+
+// --------------------------------------------- merge determinism
+
+/// Exercise the global registry through the sweep engine and return the
+/// exported Prometheus text — byte-for-byte comparable across runs.
+std::string sweep_and_export(unsigned threads) {
+  ThreadGuard guard(threads);
+  auto& registry = Registry::global();
+  registry.reset();
+  const std::size_t n = 257;  // not a multiple of any pool size
+  runtime::for_each_ordered(
+      n,
+      [&](std::size_t i) {
+        registry.add(registry.counter("sweep_points_total"));
+        registry.add(registry.counter("sweep_weight_total"), i);
+        registry.set(registry.gauge("sweep_last_index"),
+                     static_cast<double>(i));
+        const HistogramId h =
+            registry.histogram("sweep_value", exp_bounds(1e-3, 3.0, 8));
+        // Irrational increments make the double sum order-sensitive:
+        // only the in-order merge reproduces the sequential bytes.
+        registry.observe(h, 1e-3 + static_cast<double>(i) * 0.137);
+        registry.observe(h, std::sqrt(static_cast<double>(i + 1)));
+        return i;
+      },
+      [](std::size_t, std::size_t) {});
+  std::string text = prometheus_text(registry.snapshot());
+  registry.reset();
+  return text;
+}
+
+TEST(MergeDeterminism, PrometheusBytesIdenticalAcrossThreadCounts) {
+  const std::string serial = sweep_and_export(1);
+  EXPECT_NE(serial.find("sweep_points_total 257"), std::string::npos);
+  EXPECT_NE(serial.find("sweep_weight_total 32896"), std::string::npos);
+  for (const unsigned threads : {2u, 4u, 8u}) {
+    EXPECT_EQ(sweep_and_export(threads), serial)
+        << "diverged at MCSS_THREADS=" << threads;
+  }
+}
+
+// ---------------------------------------------------------- tracing
+
+TEST(Trace, DisabledEmitsNothing) {
+  TraceGuard guard(false);
+  Tracer tracer;
+  tracer.complete("x", "test", 10, 5);
+  tracer.instant("y", "test", 20);
+  EXPECT_TRUE(tracer.collect().empty());
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(Trace, RingWrapsKeepingNewestEvents) {
+  TraceGuard guard(true);
+  Tracer tracer;
+  tracer.set_ring_capacity(8);
+  for (std::int64_t i = 0; i < 20; ++i) {
+    tracer.instant("tick", "test", /*ts_ns=*/i, /*id=*/0, "i",
+                   static_cast<std::uint64_t>(i));
+  }
+  const auto events = tracer.collect();
+  ASSERT_EQ(events.size(), 8u);
+  EXPECT_EQ(tracer.dropped(), 12u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].ts_ns, static_cast<std::int64_t>(12 + i));
+  }
+}
+
+TEST(Trace, CollectOrdersByTimestamp) {
+  TraceGuard guard(true);
+  Tracer tracer;
+  tracer.set_ring_capacity(64);
+  tracer.complete("late", "test", 300, 10);
+  tracer.instant("early", "test", 100);
+  tracer.async_begin("mid", "test", /*id=*/7, /*ts_ns=*/200);
+  tracer.async_end("mid", "test", /*id=*/7, /*ts_ns=*/250);
+  const auto events = tracer.collect();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(std::string(events[0].name), "early");
+  EXPECT_EQ(std::string(events[1].name), "mid");
+  EXPECT_EQ(events[2].phase, 'e');
+  EXPECT_EQ(std::string(events[3].name), "late");
+}
+
+TEST(Trace, ClearDiscardsBufferedEvents) {
+  TraceGuard guard(true);
+  Tracer tracer;
+  tracer.instant("x", "test", 1);
+  EXPECT_EQ(tracer.collect().size(), 1u);
+  tracer.clear();
+  EXPECT_TRUE(tracer.collect().empty());
+  tracer.instant("y", "test", 2);
+  EXPECT_EQ(tracer.collect().size(), 1u);
+}
+
+TEST(Trace, ShareSpanIdCombinesPacketAndIndex) {
+  EXPECT_EQ(share_span_id(0, 0), 0u);
+  EXPECT_EQ(share_span_id(1, 2), (1u << 8) | 2u);
+  EXPECT_NE(share_span_id(1, 0), share_span_id(0, 1));
+}
+
+// --------------------------------------------------------- exporters
+
+MetricsSnapshot sample_snapshot() {
+  // Bounds and values chosen exactly representable in binary, so the
+  // %.17g round-trip formatting prints them in their short form.
+  Registry registry;
+  registry.add(registry.counter("demo_total"), 3);
+  registry.set(registry.gauge("demo_gauge"), -1.25);
+  const HistogramId h = registry.histogram("demo_seconds", {0.5, 2.0});
+  registry.observe(h, 0.25);
+  registry.observe(h, 1.0);
+  registry.observe(h, 5.0);
+  return registry.snapshot();
+}
+
+TEST(Exporters, PrometheusTextIsWellFormed) {
+  const std::string text = prometheus_text(sample_snapshot());
+  EXPECT_NE(text.find("# TYPE demo_total counter\ndemo_total 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE demo_gauge gauge\ndemo_gauge -1.25\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE demo_seconds histogram"), std::string::npos);
+  // Buckets are cumulative and end with +Inf == _count.
+  EXPECT_NE(text.find("demo_seconds_bucket{le=\"0.5\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("demo_seconds_bucket{le=\"2\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("demo_seconds_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("demo_seconds_count 3"), std::string::npos);
+  EXPECT_NE(text.find("demo_seconds_sum 6.25"), std::string::npos);
+}
+
+TEST(Exporters, MetricsJsonRowsAreValidJson) {
+  const auto rows = metrics_json_rows(sample_snapshot());
+  ASSERT_EQ(rows.size(), 3u);  // one per series
+  bool saw_histogram = false;
+  for (const auto& row : rows) {
+    const std::string text = row.str();
+    EXPECT_TRUE(is_valid_json(text));
+    if (text.find("\"type\":\"histogram\"") != std::string::npos) {
+      saw_histogram = true;
+      EXPECT_NE(text.find("\"count\":3"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(saw_histogram);
+}
+
+TEST(Exporters, ChromeTraceJsonParsesAndCoversPhases) {
+  TraceGuard guard(true);
+  Tracer tracer;
+  tracer.complete("serialize", "channel", 1000, 250, share_span_id(1, 0),
+                  "bytes", 300);
+  tracer.instant("drop_loss", "channel", 1500, share_span_id(1, 1));
+  tracer.async_begin("share", "protocol", share_span_id(1, 0), 900, "ch", 2);
+  tracer.async_end("share", "protocol", share_span_id(1, 0), 2000);
+  const std::string json = tracer.chrome_trace_json();
+  EXPECT_TRUE(is_valid_json(json));
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  for (const char* phase : {"\"ph\":\"X\"", "\"ph\":\"i\"", "\"ph\":\"b\"",
+                            "\"ph\":\"e\""}) {
+    EXPECT_NE(json.find(phase), std::string::npos) << phase;
+  }
+  // ts/dur are microsecond floats: 1000 ns -> 1.000.
+  EXPECT_NE(json.find("\"ts\":1.000"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":0.250"), std::string::npos);
+}
+
+TEST(Exporters, EmptyTraceIsStillValidJson) {
+  Tracer tracer;
+  EXPECT_TRUE(is_valid_json(tracer.chrome_trace_json()));
+}
+
+}  // namespace
+}  // namespace mcss::obs

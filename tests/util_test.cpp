@@ -216,6 +216,88 @@ TEST(PercentileTracker, ClampsQueryRange) {
   EXPECT_DOUBLE_EQ(t.percentile(200.0), 2.0);
 }
 
+TEST(PercentileTracker, ExactMergeConcatenates) {
+  PercentileTracker a, b;
+  for (const double x : {1.0, 3.0}) a.add(x);
+  for (const double x : {2.0, 4.0}) b.add(x);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.retained(), 4u);
+  EXPECT_FALSE(a.is_reservoir());
+  EXPECT_DOUBLE_EQ(a.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(a.percentile(100.0), 4.0);
+  EXPECT_DOUBLE_EQ(a.median(), 2.5);
+}
+
+TEST(PercentileTracker, MergeEmptyIsNoop) {
+  PercentileTracker a, empty;
+  a.add(7.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.median(), 7.0);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.median(), 7.0);
+}
+
+TEST(PercentileTracker, ReservoirStaysBounded) {
+  auto t = PercentileTracker::reservoir(64, 9);
+  for (int i = 0; i < 10000; ++i) t.add(static_cast<double>(i));
+  EXPECT_TRUE(t.is_reservoir());
+  EXPECT_EQ(t.count(), 10000u);   // every value seen is counted
+  EXPECT_EQ(t.retained(), 64u);   // memory stays at capacity
+}
+
+TEST(PercentileTracker, ReservoirBelowCapacityIsExactSample) {
+  auto t = PercentileTracker::reservoir(100, 1);
+  for (const double x : {5.0, 1.0, 3.0}) t.add(x);
+  EXPECT_EQ(t.retained(), 3u);
+  EXPECT_DOUBLE_EQ(t.median(), 3.0);  // nothing evicted yet: exact
+}
+
+TEST(PercentileTracker, ReservoirIsDeterministicPerSeed) {
+  auto a = PercentileTracker::reservoir(32, 42);
+  auto b = PercentileTracker::reservoir(32, 42);
+  for (int i = 0; i < 5000; ++i) {
+    a.add(static_cast<double>(i));
+    b.add(static_cast<double>(i));
+  }
+  for (const double q : {1.0, 25.0, 50.0, 75.0, 99.0}) {
+    EXPECT_DOUBLE_EQ(a.percentile(q), b.percentile(q));
+  }
+}
+
+TEST(PercentileTracker, ReservoirEstimatesQuantiles) {
+  // A uniform stream 0..9999: the reservoir median should land near
+  // 5000. Generous tolerance — it is a 256-sample estimate.
+  auto t = PercentileTracker::reservoir(256, 7);
+  for (int i = 0; i < 10000; ++i) t.add(static_cast<double>(i));
+  EXPECT_NEAR(t.median(), 5000.0, 1500.0);
+  EXPECT_LT(t.percentile(10.0), t.percentile(90.0));
+}
+
+TEST(PercentileTracker, ReservoirMergeStaysBoundedAndCountsAll) {
+  auto a = PercentileTracker::reservoir(64, 3);
+  auto b = PercentileTracker::reservoir(64, 4);
+  for (int i = 0; i < 1000; ++i) a.add(static_cast<double>(i));
+  for (int i = 1000; i < 3000; ++i) b.add(static_cast<double>(i));
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3000u);
+  EXPECT_LE(a.retained(), 64u);
+  // b contributed 2/3 of the stream; the merged median should sit well
+  // above a's original range midpoint.
+  EXPECT_GT(a.median(), 750.0);
+}
+
+TEST(PercentileTracker, ReservoirMergeFromExactSource) {
+  auto r = PercentileTracker::reservoir(8, 5);
+  PercentileTracker exact;
+  for (int i = 0; i < 100; ++i) exact.add(static_cast<double>(i));
+  r.merge(exact);
+  EXPECT_EQ(r.count(), 100u);
+  EXPECT_EQ(r.retained(), 8u);
+}
+
 // ---------------------------------------------------------------- subset helpers
 
 TEST(Subset, FullMask) {
