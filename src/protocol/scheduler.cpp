@@ -25,9 +25,15 @@ std::optional<ShareDecision> DynamicScheduler::next(
     if (channels[static_cast<std::size_t>(i)].ready) ready.push_back(i);
   }
   if (static_cast<int>(ready.size()) < m) return std::nullopt;
-  std::stable_sort(ready.begin(), ready.end(), [&](int a, int b) {
-    return channels[static_cast<std::size_t>(a)].backlog <
-           channels[static_cast<std::size_t>(b)].backlog;
+  // The index tiebreak is explicit, not delegated to sort stability:
+  // equal-backlog channels (common at startup, when every backlog is 0)
+  // must pick the same M on every stdlib, or sweep outputs diverge
+  // between toolchains. A total order also keeps the choice stable if
+  // the sort is ever swapped for an unstable partial_sort.
+  std::sort(ready.begin(), ready.end(), [&](int a, int b) {
+    const net::SimTime ba = channels[static_cast<std::size_t>(a)].backlog;
+    const net::SimTime bb = channels[static_cast<std::size_t>(b)].backlog;
+    return ba != bb ? ba < bb : a < b;
   });
   ready.resize(static_cast<std::size_t>(m));
 

@@ -108,7 +108,7 @@ void TunnelEgress::on_packet(std::span<const std::uint8_t> packet) {
   const FlowKey key{dg.src, dg.dst, dg.protocol};
   FlowState& flow = flows_[key];
 
-  if (decoded->seq < flow.next_seq) {
+  if (seq_before(decoded->seq, flow.next_seq)) {
     ++stats_.duplicates_dropped;  // late duplicate of something released
     return;
   }
@@ -130,6 +130,12 @@ void TunnelEgress::on_packet(std::span<const std::uint8_t> packet) {
     }
     if (!flow.pending.empty()) arm_gap_timer(key, flow);
   }
+}
+
+void TunnelEgress::prime_flow(const FlowKey& key, std::uint32_t next_seq) {
+  FlowState& flow = flows_[key];
+  flow.next_seq = next_seq;
+  release_in_order(key, flow);
 }
 
 void TunnelEgress::release_in_order(const FlowKey& key, FlowState& flow) {

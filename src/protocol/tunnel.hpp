@@ -50,6 +50,28 @@ struct FlowKey {
   friend auto operator<=>(const FlowKey&, const FlowKey&) = default;
 };
 
+/// Serial-number (RFC 1982 style) ordering for the 32-bit per-flow
+/// sequence space: `a` precedes `b` when the wrapped distance from a to
+/// b is under 2^31. A long-lived flow wraps past 2^32 (at 100 Mbps of
+/// 1 KB datagrams that is under four days); plain `<` would then treat
+/// every post-wrap datagram as ancient history and stall the flow, so
+/// all egress sequence comparisons go through these.
+[[nodiscard]] constexpr bool seq_before(std::uint32_t a,
+                                        std::uint32_t b) noexcept {
+  return static_cast<std::int32_t>(a - b) < 0;
+}
+
+/// Comparator for reorder-buffer maps. Only a strict weak ordering while
+/// all keys fit in a half-space window (< 2^31 apart) — guaranteed here
+/// because the buffer holds at most max_buffered (~hundreds) consecutive
+/// sequence numbers.
+struct SeqSerialLess {
+  [[nodiscard]] constexpr bool operator()(std::uint32_t a,
+                                          std::uint32_t b) const noexcept {
+    return seq_before(a, b);
+  }
+};
+
 /// Serialize a datagram with a per-flow sequence number (assigned by the
 /// ingress). Layout: ver(1) proto(1) src(4) dst(4) seq(4) len(2) payload.
 [[nodiscard]] std::vector<std::uint8_t> encode_datagram(const IpDatagram& dg,
@@ -72,6 +94,12 @@ class TunnelIngress {
 
   [[nodiscard]] std::uint64_t datagrams_sent() const noexcept { return sent_; }
   [[nodiscard]] std::uint64_t datagrams_dropped() const noexcept { return dropped_; }
+
+  /// Pre-position the next sequence number assigned to a flow (pairs with
+  /// TunnelEgress::prime_flow for wraparound tests / session resumption).
+  void prime_flow(const FlowKey& key, std::uint32_t next_seq) {
+    next_seq_[key] = next_seq;
+  }
 
  private:
   Sender& sender_;
@@ -115,13 +143,19 @@ class TunnelEgress {
   /// Feed one reconstructed tunnel payload directly (test entry point).
   void on_packet(std::span<const std::uint8_t> packet);
 
+  /// Pre-position a flow's expected sequence number (session resumption
+  /// and the wraparound regression tests; reaching seq 2^32 - 1 honestly
+  /// takes four billion datagrams). Creates the flow if absent; any
+  /// pending datagrams whose turn has now come are released.
+  void prime_flow(const FlowKey& key, std::uint32_t next_seq);
+
   [[nodiscard]] const EgressStats& stats() const noexcept { return stats_; }
   [[nodiscard]] std::size_t buffered() const noexcept;
 
  private:
   struct FlowState {
     std::uint32_t next_seq = 0;
-    std::map<std::uint32_t, IpDatagram> pending;
+    std::map<std::uint32_t, IpDatagram, SeqSerialLess> pending;
     std::uint64_t generation = 0;  ///< bumps cancel stale gap timers
   };
 

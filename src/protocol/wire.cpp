@@ -59,9 +59,12 @@ std::vector<std::uint8_t> encode(const ShareFrame& frame,
   return out;
 }
 
-std::optional<ShareFrame> decode(std::span<const std::uint8_t> buf,
-                                 const crypto::SipHashKey* key,
-                                 DecodeStatus* status) {
+std::optional<ShareFrame> decode_prefix(std::span<const std::uint8_t> buf,
+                                        std::size_t* consumed,
+                                        const crypto::SipHashKey* key,
+                                        DecodeStatus* status) {
+  MCSS_ENSURE(consumed != nullptr, "decode_prefix needs a consumed out-param");
+  *consumed = 0;
   if (status != nullptr) *status = DecodeStatus::Ok;
   if (buf.size() < kHeaderSize) return fail(status, DecodeStatus::Malformed);
   if (get16(buf, 0) != kMagic) return fail(status, DecodeStatus::Malformed);
@@ -83,14 +86,15 @@ std::optional<ShareFrame> decode(std::span<const std::uint8_t> buf,
   const std::size_t len = get16(buf, 14);
   const std::size_t expected =
       kHeaderSize + len + (authenticated ? kTagSize : 0);
-  if (buf.size() != expected) return fail(status, DecodeStatus::Malformed);
+  if (buf.size() < expected) return fail(status, DecodeStatus::Malformed);
 
   if (key != nullptr) {
     // A keyed receiver refuses unauthenticated frames outright.
     if (!authenticated) return fail(status, DecodeStatus::AuthFailed);
     const auto computed =
         crypto::siphash24_tag(buf.first(kHeaderSize + len), *key);
-    if (!crypto::tag_equal(computed, buf.last(kTagSize))) {
+    if (!crypto::tag_equal(computed,
+                           buf.subspan(kHeaderSize + len, kTagSize))) {
       return fail(status, DecodeStatus::AuthFailed);
     }
   } else if (authenticated) {
@@ -101,6 +105,19 @@ std::optional<ShareFrame> decode(std::span<const std::uint8_t> buf,
 
   frame.payload.assign(buf.begin() + kHeaderSize,
                        buf.begin() + static_cast<std::ptrdiff_t>(kHeaderSize + len));
+  *consumed = expected;
+  return frame;
+}
+
+std::optional<ShareFrame> decode(std::span<const std::uint8_t> buf,
+                                 const crypto::SipHashKey* key,
+                                 DecodeStatus* status) {
+  std::size_t consumed = 0;
+  auto frame = decode_prefix(buf, &consumed, key, status);
+  if (frame && consumed != buf.size()) {
+    // Strict mode: trailing bytes after the one frame are a malformation.
+    return fail(status, DecodeStatus::Malformed);
+  }
   return frame;
 }
 

@@ -17,7 +17,9 @@
 // sees shares of many packets interleaved, reordered, and duplicated
 // (Section V: "the receiver will typically be waiting for shares of many
 // packets at once"). Decoding is strict: any malformed frame is rejected
-// as a whole.
+// as a whole. Reads that may carry several back-to-back frames (the live
+// transport coalesces small frames into one datagram) parse them one at
+// a time with decode_prefix().
 //
 // The authenticated mode extends the paper's passive threat model to
 // active (Byzantine) channels: without it, a single flipped bit in any
@@ -67,8 +69,26 @@ enum class DecodeStatus {
 /// authentication failure when a key is given); the reason is reported
 /// through `status` when non-null. A receiver configured with a key
 /// REJECTS unauthenticated frames — downgrade attempts are failures.
+/// Strict: the buffer must hold exactly one frame (trailing bytes are a
+/// malformation). Delegates to decode_prefix.
 [[nodiscard]] std::optional<ShareFrame> decode(
     std::span<const std::uint8_t> buf, const crypto::SipHashKey* key = nullptr,
     DecodeStatus* status = nullptr);
+
+/// Parse ONE frame from the head of `buf` and report how many bytes it
+/// occupied through `consumed`, leaving any trailing bytes (the next
+/// frame, or junk) for the caller. This is the receive-path entry point
+/// for transports whose reads can coalesce frames (a recv() that returns
+/// two back-to-back datagram payloads, or a batched live-transport
+/// datagram): strict decode() would reject the whole buffer and drop
+/// every frame in it.
+///
+/// On success `*consumed` is the full frame size (header + payload +
+/// tag). On failure `*consumed` is 0 — a malformed head gives no safe
+/// resynchronization point, so the caller should discard the buffer (and
+/// count it; see DecodeStatus). Authentication semantics match decode().
+[[nodiscard]] std::optional<ShareFrame> decode_prefix(
+    std::span<const std::uint8_t> buf, std::size_t* consumed,
+    const crypto::SipHashKey* key = nullptr, DecodeStatus* status = nullptr);
 
 }  // namespace mcss::proto

@@ -1,0 +1,271 @@
+#include "transport/live_endpoint.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "protocol/wire.hpp"
+#include "sss/shamir.hpp"
+#include "transport/wall_clock.hpp"
+#include "util/ensure.hpp"
+
+namespace mcss::transport {
+
+std::uint16_t port_base_from_env(std::uint16_t fallback) {
+  const char* env = std::getenv("MCSS_LIVE_PORT_BASE");
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(env, &end, 10);
+  if (end == env || *end != '\0' || v > 65535) return fallback;
+  return static_cast<std::uint16_t>(v);
+}
+
+LiveEndpoint::LiveEndpoint(LiveConfig config)
+    : config_(std::move(config)),
+      epoch_ns_(monotonic_ns()),
+      poller_(config_.poller_backend),
+      rng_(config_.seed),
+      receiver_(timeline_,
+                [&]() {
+                  // A keyed endpoint keys its receiver unless the caller
+                  // already set a (possibly different) receiver key.
+                  proto::ReceiverConfig rc = config_.receiver;
+                  if (config_.auth_key && !rc.auth_key) {
+                    rc.auth_key = config_.auth_key;
+                  }
+                  return rc;
+                }()) {
+  MCSS_ENSURE(!config_.channels.empty(), "live endpoint needs channels");
+  MCSS_ENSURE(config_.channels.size() <= 32, "at most 32 channels");
+
+  scheduler_ = config_.scheduler
+                   ? std::move(config_.scheduler)
+                   : std::make_unique<proto::DynamicScheduler>(
+                         config_.kappa, config_.mu,
+                         static_cast<int>(config_.channels.size()));
+
+  receiver_.set_deliver(
+      [this](std::uint64_t id, std::vector<std::uint8_t> payload) {
+        const auto it = sent_at_ns_.find(id);
+        if (it != sent_at_ns_.end()) {
+          delay_.add(net::to_seconds(now_ns() - it->second));
+          sent_at_ns_.erase(it);
+        }
+        if (deliver_) deliver_(id, std::move(payload));
+      });
+
+  channels_.reserve(config_.channels.size());
+  write_interest_.assign(config_.channels.size(), false);
+  for (std::size_t i = 0; i < config_.channels.size(); ++i) {
+    const auto& spec = config_.channels[i];
+    const std::uint16_t port =
+        config_.port_base != 0
+            ? static_cast<std::uint16_t>(config_.port_base + i)
+            : 0;
+    auto ch = std::make_unique<UdpChannel>(spec.config, rng_.fork(), wheel_,
+                                           port, spec.name,
+                                           config_.max_datagram_bytes);
+    ch->set_on_frame([this](std::vector<std::uint8_t> frame) {
+      // Keep the receiver's clock caught up before it stamps first_seen.
+      sync_timeline(now_ns());
+      receiver_.on_frame(std::move(frame));
+    });
+    poller_.add(ch->rx_fd(), /*want_read=*/true, /*want_write=*/false);
+    poller_.add(ch->tx_fd(), /*want_read=*/false, /*want_write=*/false);
+    fd_to_channel_[ch->rx_fd()] = i;
+    fd_to_channel_[ch->tx_fd()] = i;
+    channels_.push_back(std::move(ch));
+  }
+}
+
+std::int64_t LiveEndpoint::now_ns() const {
+  return monotonic_ns() - epoch_ns_;
+}
+
+void LiveEndpoint::sync_timeline(std::int64_t now) {
+  if (now > timeline_.now()) timeline_.run_until(now);
+}
+
+bool LiveEndpoint::send(std::vector<std::uint8_t> payload) {
+  ++sender_stats_.packets_offered;
+  MCSS_ENSURE(payload.size() <= proto::kMaxPayload,
+              "packet exceeds maximum payload");
+  if (queue_.size() >= config_.max_queue_packets) {
+    ++sender_stats_.packets_rejected;
+    return false;
+  }
+  queue_.push_back(std::move(payload));
+  return true;
+}
+
+void LiveEndpoint::pump(std::int64_t now) {
+  while (!queue_.empty()) {
+    std::vector<proto::ChannelView> view(channels_.size());
+    for (std::size_t i = 0; i < channels_.size(); ++i) {
+      view[i] = {channels_[i]->ready(now), channels_[i]->backlog_ns(now)};
+    }
+    const auto decision = scheduler_->next(view);
+    if (!decision) {
+      if (obs::trace_enabled()) {
+        obs::Tracer::global().instant("schedule_defer", "sender", now, 0,
+                                      "queued", queue_.size());
+      }
+      return;  // wait for channels to drain
+    }
+    std::vector<std::uint8_t> payload = std::move(queue_.front());
+    queue_.pop_front();
+    dispatch(std::move(payload), *decision, now);
+  }
+}
+
+void LiveEndpoint::dispatch(std::vector<std::uint8_t> payload,
+                            const proto::ShareDecision& decision,
+                            std::int64_t now) {
+  const int m = static_cast<int>(decision.channels.size());
+  const int k = decision.k;
+  MCSS_INVARIANT(k >= 1 && k <= m, "scheduler produced invalid (k, m)");
+
+  const std::uint64_t id = next_packet_id_++;
+  ++sender_stats_.packets_sent;
+  sender_stats_.sum_k += k;
+  sender_stats_.sum_m += m;
+  sent_at_ns_[id] = now;
+  sent_order_.push_back({id, now});
+
+  if (obs::trace_enabled()) {
+    obs::Tracer::global().async_begin("packet", "packet", id, now, "k",
+                                      static_cast<std::uint64_t>(k), "m",
+                                      static_cast<std::uint64_t>(m));
+  }
+
+  const auto shares = sss::split(payload, k, m, rng_);
+  for (int j = 0; j < m; ++j) {
+    proto::ShareFrame frame;
+    frame.packet_id = id;
+    frame.k = static_cast<std::uint8_t>(k);
+    frame.share_index = shares[static_cast<std::size_t>(j)].index;
+    frame.payload = shares[static_cast<std::size_t>(j)].data;
+    auto bytes = proto::encode(
+        frame, config_.auth_key ? &*config_.auth_key : nullptr);
+    const auto ch_index = static_cast<std::size_t>(
+        decision.channels[static_cast<std::size_t>(j)]);
+    ++sender_stats_.shares_sent;
+    if (obs::trace_enabled()) {
+      obs::Tracer::global().async_begin(
+          "share", "share", obs::share_span_id(id, frame.share_index), now,
+          "channel", ch_index);
+    }
+    if (!channels_[ch_index]->try_send(std::move(bytes), now)) {
+      ++sender_stats_.shares_dropped_at_channel;
+      if (obs::trace_enabled()) {
+        obs::Tracer::global().async_end(
+            "share", "share", obs::share_span_id(id, frame.share_index), now);
+      }
+    }
+  }
+}
+
+void LiveEndpoint::update_write_interest() {
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    const bool want = channels_[i]->wants_write();
+    if (want != write_interest_[i]) {
+      poller_.modify(channels_[i]->tx_fd(), /*want_read=*/false,
+                     /*want_write=*/want);
+      write_interest_[i] = want;
+    }
+  }
+}
+
+int LiveEndpoint::poll_timeout_ms(std::int64_t now,
+                                  std::int64_t deadline) const {
+  std::int64_t until = deadline - now;
+  if (const auto next = wheel_.next_deadline()) {
+    until = std::min(until, *next - now);
+  }
+  until = std::max<std::int64_t>(until, 0);
+  // Round up so a 0.3 ms timer does not busy-poll, but cap the sleep so
+  // the loop re-checks the wall deadline at a reasonable cadence.
+  const std::int64_t ms = (until + 999'999) / 1'000'000;
+  return static_cast<int>(std::min<std::int64_t>(ms, 100));
+}
+
+void LiveEndpoint::run_for(std::int64_t wall_ns) {
+  MCSS_ENSURE(wall_ns >= 0, "run_for needs a nonnegative duration");
+  const std::int64_t deadline = now_ns() + wall_ns;
+  for (;;) {
+    const std::int64_t now = now_ns();
+    sync_timeline(now);
+    wheel_.advance(now);
+    pump(now);
+    update_write_interest();
+    if (now >= deadline) break;
+
+    poller_.wait(poll_timeout_ms(now, deadline), events_);
+    for (const Poller::Event& ev : events_) {
+      const auto it = fd_to_channel_.find(ev.fd);
+      if (it == fd_to_channel_.end()) continue;
+      UdpChannel& ch = *channels_[it->second];
+      if (ev.fd == ch.rx_fd() && (ev.readable || ev.error)) {
+        // POLLERR on the RX fd means a pending ICMP error; recv() drains
+        // and counts it alongside any queued datagrams.
+        ch.on_readable();
+      }
+      if (ev.fd == ch.tx_fd() && (ev.writable || ev.error)) {
+        ch.on_writable();
+      }
+    }
+  }
+
+  // Forget send timestamps nothing can deliver anymore (the receiver has
+  // long evicted those partials), so a lossy run does not grow the map.
+  const std::int64_t horizon =
+      now_ns() - 4 * std::max<std::int64_t>(
+                         config_.receiver.reassembly_timeout, 1);
+  while (!sent_order_.empty() && sent_order_.front().second < horizon) {
+    sent_at_ns_.erase(sent_order_.front().first);
+    sent_order_.pop_front();
+  }
+}
+
+void LiveEndpoint::publish_metrics(obs::Registry& registry) const {
+  proto::publish(registry, sender_stats_);
+  scheduler_->publish_metrics(registry);
+  receiver_.publish_metrics(registry);
+
+  UdpChannelStats sockets;
+  for (const auto& ch : channels_) {
+    net::publish(registry, ch->impair_stats());
+    const UdpChannelStats& s = ch->stats();
+    sockets.datagrams_sent += s.datagrams_sent;
+    sockets.datagrams_received += s.datagrams_received;
+    sockets.bytes_sent += s.bytes_sent;
+    sockets.bytes_received += s.bytes_received;
+    sockets.frames_coalesced += s.frames_coalesced;
+    sockets.send_wouldblock += s.send_wouldblock;
+    sockets.send_refused += s.send_refused;
+    sockets.send_errors += s.send_errors;
+    sockets.recv_refused += s.recv_refused;
+    sockets.recv_errors += s.recv_errors;
+    sockets.frames_forwarded += s.frames_forwarded;
+    sockets.unparsed_forwarded += s.unparsed_forwarded;
+  }
+  const auto add = [&](std::string_view name, std::uint64_t value) {
+    registry.add(registry.counter(name), value);
+  };
+  add("mcss_live_datagrams_sent", sockets.datagrams_sent);
+  add("mcss_live_datagrams_received", sockets.datagrams_received);
+  add("mcss_live_bytes_sent", sockets.bytes_sent);
+  add("mcss_live_bytes_received", sockets.bytes_received);
+  add("mcss_live_frames_coalesced", sockets.frames_coalesced);
+  add("mcss_live_send_wouldblock", sockets.send_wouldblock);
+  add("mcss_live_send_refused", sockets.send_refused);
+  add("mcss_live_send_errors", sockets.send_errors);
+  add("mcss_live_recv_refused", sockets.recv_refused);
+  add("mcss_live_recv_errors", sockets.recv_errors);
+  add("mcss_live_frames_forwarded", sockets.frames_forwarded);
+  add("mcss_live_unparsed_forwarded", sockets.unparsed_forwarded);
+}
+
+}  // namespace mcss::transport

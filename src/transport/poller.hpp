@@ -1,0 +1,63 @@
+// Readiness multiplexer: epoll on Linux, poll(2) everywhere.
+//
+// The paper's ReMICSS "chooses the first m channels which are ready for
+// writing" straight from epoll (Section V); this is that readiness
+// source. One Poller watches every channel socket of a LiveEndpoint;
+// wait() parks the pump loop until a socket turns readable/writable or
+// the impairment timer wheel needs service.
+//
+// Both backends are level-triggered, and both are compiled on Linux: the
+// epoll path is the default, the poll path is the portability fallback
+// and is forced with MCSS_LIVE_POLLER=poll (which is how CI keeps the
+// fallback honest without a non-Linux runner). Write interest is toggled
+// per-fd only while a channel actually has unflushed bytes — a
+// level-triggered EPOLLOUT on an idle UDP socket is always ready and
+// would spin the loop.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace mcss::transport {
+
+class Poller {
+ public:
+  enum class Backend { Epoll, Poll };
+
+  struct Event {
+    int fd = -1;
+    bool readable = false;
+    bool writable = false;
+    bool error = false;  ///< EPOLLERR/POLLERR (e.g. pending ICMP error)
+  };
+
+  /// Backend::Epoll on Linux unless MCSS_LIVE_POLLER=poll; Backend::Poll
+  /// elsewhere.
+  [[nodiscard]] static Backend default_backend();
+
+  explicit Poller(Backend backend = default_backend());
+  ~Poller();
+  Poller(const Poller&) = delete;
+  Poller& operator=(const Poller&) = delete;
+
+  [[nodiscard]] Backend backend() const noexcept { return backend_; }
+
+  /// Register `fd` with the given interest set. An fd is added once;
+  /// change interest with modify().
+  void add(int fd, bool want_read, bool want_write);
+  void modify(int fd, bool want_read, bool want_write);
+  void remove(int fd);
+
+  /// Block up to `timeout_ms` (-1 = indefinitely, 0 = poll-and-return)
+  /// for readiness. Appends one Event per ready fd to `out` (which is
+  /// cleared first) and returns the event count. EINTR retries.
+  std::size_t wait(int timeout_ms, std::vector<Event>& out);
+
+ private:
+  struct Impl;
+  Backend backend_;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace mcss::transport

@@ -1,0 +1,162 @@
+#include "transport/udp_channel.hpp"
+
+#include <array>
+#include <utility>
+
+#include "net/sim_time.hpp"
+#include "protocol/wire.hpp"
+#include "util/ensure.hpp"
+
+namespace mcss::transport {
+
+UdpChannel::UdpChannel(net::ChannelConfig config, Rng rng, TimerWheel& wheel,
+                       std::uint16_t rx_port, std::string name,
+                       std::size_t max_datagram_bytes)
+    : name_(std::move(name)),
+      max_datagram_bytes_(max_datagram_bytes),
+      rx_(UdpSocket::bound_loopback(rx_port)),
+      tx_(UdpSocket::bound_loopback(0)),
+      wheel_(wheel),
+      impair_(config, rng, wheel,
+              [this](std::vector<std::uint8_t> frame) {
+                release(std::move(frame));
+              }) {
+  MCSS_ENSURE(max_datagram_bytes_ >= proto::kHeaderSize + proto::kTagSize,
+              "max datagram too small for one frame");
+  tx_.connect_loopback(rx_.local_port());
+}
+
+bool UdpChannel::try_send(std::vector<std::uint8_t> frame,
+                          std::int64_t now_ns) {
+  return impair_.offer(std::move(frame), now_ns);
+}
+
+bool UdpChannel::ready(std::int64_t now_ns) const noexcept {
+  (void)now_ns;
+  // Bytes parked behind a full kernel buffer count against the watermark
+  // exactly as queued-at-the-serializer bytes do: both are backlog the
+  // scheduler should steer new shares away from.
+  return impair_.queued_bytes() + pending_out_bytes_ <
+         (impair_.config().ready_watermark_bytes != 0
+              ? impair_.config().ready_watermark_bytes
+              : std::max<std::size_t>(1,
+                                      impair_.config().queue_capacity_bytes / 2));
+}
+
+std::int64_t UdpChannel::backlog_ns(std::int64_t now_ns) const noexcept {
+  std::int64_t t = impair_.backlog_ns(now_ns);
+  if (pending_out_bytes_ > 0) {
+    // Parked bytes have already been paced; charge them at line rate as a
+    // proxy for the kernel buffer draining.
+    t += net::from_seconds(static_cast<double>(pending_out_bytes_) * 8.0 /
+                           impair_.config().rate_bps);
+  }
+  return t;
+}
+
+void UdpChannel::release(std::vector<std::uint8_t> frame) {
+  pending_out_bytes_ += frame.size();
+  pending_out_.push_back(std::move(frame));
+  flush();
+}
+
+void UdpChannel::flush() {
+  std::vector<std::uint8_t> datagram;
+  while (!pending_out_.empty()) {
+    // Coalesce consecutive released frames into one datagram. The head
+    // frame always goes (even if it alone exceeds the budget — UDP will
+    // take it or EMSGSIZE will tell us); later frames join while they fit.
+    std::size_t take = 1;
+    std::size_t total = pending_out_.front().size();
+    while (take < pending_out_.size() &&
+           total + pending_out_[take].size() <= max_datagram_bytes_) {
+      total += pending_out_[take].size();
+      ++take;
+    }
+    datagram.clear();
+    datagram.reserve(total);
+    for (std::size_t i = 0; i < take; ++i) {
+      datagram.insert(datagram.end(), pending_out_[i].begin(),
+                      pending_out_[i].end());
+    }
+
+    switch (tx_.send(datagram)) {
+      case UdpSocket::IoResult::Ok:
+        ++stats_.datagrams_sent;
+        stats_.bytes_sent += datagram.size();
+        stats_.frames_coalesced += take - 1;
+        break;
+      case UdpSocket::IoResult::WouldBlock:
+        // Kernel buffer full: park everything and wait for EPOLLOUT.
+        ++stats_.send_wouldblock;
+        return;
+      case UdpSocket::IoResult::Refused:
+        // ICMP port unreachable from an earlier datagram: best-effort
+        // loss, not an error. The shares are gone; the threshold scheme
+        // absorbs it.
+        ++stats_.send_refused;
+        break;
+      case UdpSocket::IoResult::Error:
+        ++stats_.send_errors;
+        break;
+    }
+    // Sent (or dropped): retire the frames this datagram carried.
+    for (std::size_t i = 0; i < take; ++i) {
+      pending_out_bytes_ -= pending_out_.front().size();
+      pending_out_.pop_front();
+    }
+  }
+}
+
+void UdpChannel::on_writable() { flush(); }
+
+void UdpChannel::on_readable() {
+  std::array<std::uint8_t, 65535> buf;
+  for (;;) {
+    std::size_t n = 0;
+    switch (rx_.recv(buf, &n)) {
+      case UdpSocket::IoResult::Ok:
+        break;
+      case UdpSocket::IoResult::WouldBlock:
+        return;  // drained
+      case UdpSocket::IoResult::Refused:
+        ++stats_.recv_refused;
+        continue;  // pending ICMP error consumed; keep draining
+      case UdpSocket::IoResult::Error:
+        ++stats_.recv_errors;
+        return;
+    }
+    if (n == 0) continue;  // zero-length datagram carries nothing
+    ++stats_.datagrams_received;
+    stats_.bytes_received += n;
+
+    // Split the datagram back into frames. Framing only (no key): the
+    // keyed proto::Receiver upstream re-decodes each frame and owns the
+    // malformed/auth-failure accounting, so a tampered frame is counted
+    // exactly once, by the component the tests assert on.
+    std::span<const std::uint8_t> rest(buf.data(), n);
+    while (!rest.empty()) {
+      std::size_t consumed = 0;
+      const auto frame = proto::decode_prefix(rest, &consumed);
+      if (frame.has_value()) {
+        ++stats_.frames_forwarded;
+        if (on_frame_) {
+          on_frame_(std::vector<std::uint8_t>(
+              rest.begin(), rest.begin() + static_cast<std::ptrdiff_t>(consumed)));
+        }
+        rest = rest.subspan(consumed);
+      } else {
+        // Undecodable head: forward the remainder whole so the receiver
+        // sees (and counts) the malformation, then move to the next
+        // datagram — frame boundaries inside garbage are unknowable.
+        ++stats_.unparsed_forwarded;
+        if (on_frame_) {
+          on_frame_(std::vector<std::uint8_t>(rest.begin(), rest.end()));
+        }
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace mcss::transport

@@ -1,0 +1,137 @@
+// One live channel: impairment shim in front of a loopback UDP pair.
+//
+// A UdpChannel is the live-transport analogue of net::SimChannel — same
+// config, same stats, same epoll-style ready()/backlog contract the
+// DynamicScheduler consumes — but frames actually cross the kernel:
+//
+//   try_send(frame)                          sender side
+//     -> Impairment (rate pacing, loss, delay+jitter on the TimerWheel)
+//     -> pending_out_ (frames the shim has released)
+//     -> flush(): coalesce into datagrams <= max_datagram_bytes, send()
+//        on the connected TX socket; EAGAIN parks the rest until the
+//        poller reports writability, ECONNREFUSED counts as loss
+//   on_readable()                            receiver side
+//     -> recv() on the bound RX socket until EAGAIN
+//     -> wire::decode_prefix() splits each datagram back into frames
+//        (unkeyed: framing only), forwarding the raw bytes upward so a
+//        keyed proto::Receiver keeps sole authority over auth/malformed
+//        accounting
+//
+// Coalescing is why decode_prefix exists: several shares released in the
+// same pump share one datagram, and the receive path must parse them
+// back out one frame at a time. A datagram whose head does not parse is
+// forwarded whole so the Receiver counts it malformed.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/sim_channel.hpp"
+#include "transport/impairment.hpp"
+#include "transport/timer_wheel.hpp"
+#include "transport/udp_socket.hpp"
+#include "util/rng.hpp"
+
+namespace mcss::transport {
+
+/// Socket-layer counters (the impairment layer keeps net::ChannelStats).
+struct UdpChannelStats {
+  std::uint64_t datagrams_sent = 0;
+  std::uint64_t datagrams_received = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t frames_coalesced = 0;   ///< frames packed after the first
+  std::uint64_t send_wouldblock = 0;    ///< EAGAIN events (datagram kept)
+  std::uint64_t send_refused = 0;       ///< ECONNREFUSED (counted as loss)
+  std::uint64_t send_errors = 0;        ///< other errno (datagram dropped)
+  std::uint64_t recv_refused = 0;       ///< pending ICMP error drained
+  std::uint64_t recv_errors = 0;
+  std::uint64_t frames_forwarded = 0;   ///< parsed frames handed upward
+  std::uint64_t unparsed_forwarded = 0; ///< undecodable tails handed upward
+};
+
+class UdpChannel {
+ public:
+  /// Receives the raw bytes of one frame (or one undecodable datagram
+  /// tail) from the RX socket.
+  using FrameFn = std::function<void(std::vector<std::uint8_t>)>;
+
+  /// Binds the RX socket to 127.0.0.1:`rx_port` (0 = ephemeral) and
+  /// connects an ephemeral TX socket to it. `rng` seeds the impairment's
+  /// private loss/jitter stream; the wheel is shared across channels.
+  UdpChannel(net::ChannelConfig config, Rng rng, TimerWheel& wheel,
+             std::uint16_t rx_port, std::string name = {},
+             std::size_t max_datagram_bytes = 1400);
+
+  UdpChannel(const UdpChannel&) = delete;
+  UdpChannel& operator=(const UdpChannel&) = delete;
+
+  void set_on_frame(FrameFn fn) { on_frame_ = std::move(fn); }
+
+  /// Offer a frame at monotonic time `now_ns`. False = tail drop at the
+  /// impairment queue (mirrors SimChannel::try_send).
+  bool try_send(std::vector<std::uint8_t> frame, std::int64_t now_ns);
+
+  /// epoll-style writability for the scheduler: impairment backlog plus
+  /// socket-parked bytes below the watermark.
+  [[nodiscard]] bool ready(std::int64_t now_ns) const noexcept;
+
+  /// The dynamic scheduler's "least backlog" key: serializer backlog plus
+  /// an estimate for bytes parked behind a full kernel buffer.
+  [[nodiscard]] std::int64_t backlog_ns(std::int64_t now_ns) const noexcept;
+
+  /// Drain the RX socket, splitting datagrams into frames. Called by the
+  /// endpoint when the poller reports the RX fd readable.
+  void on_readable();
+
+  /// Retry parked datagrams. Called when the poller reports the TX fd
+  /// writable (and harmlessly any other time).
+  void on_writable();
+
+  /// True while a datagram is parked waiting for kernel buffer space —
+  /// the endpoint mirrors this into the poller's EPOLLOUT interest
+  /// (level-triggered EPOLLOUT on an idle UDP socket would spin).
+  [[nodiscard]] bool wants_write() const noexcept {
+    return !pending_out_.empty();
+  }
+
+  [[nodiscard]] int tx_fd() const noexcept { return tx_.fd(); }
+  [[nodiscard]] int rx_fd() const noexcept { return rx_.fd(); }
+  [[nodiscard]] std::uint16_t rx_port() const { return rx_.local_port(); }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const net::ChannelConfig& config() const noexcept {
+    return impair_.config();
+  }
+  [[nodiscard]] const net::ChannelStats& impair_stats() const noexcept {
+    return impair_.stats();
+  }
+  [[nodiscard]] const UdpChannelStats& stats() const noexcept {
+    return stats_;
+  }
+
+  /// Test hooks: the underlying sockets (e.g. inject_wouldblock, tiny
+  /// SO_SNDBUF).
+  [[nodiscard]] UdpSocket& tx_socket() noexcept { return tx_; }
+  [[nodiscard]] UdpSocket& rx_socket() noexcept { return rx_; }
+
+ private:
+  void flush();
+  void release(std::vector<std::uint8_t> frame);
+
+  std::string name_;
+  std::size_t max_datagram_bytes_;
+  UdpSocket rx_;
+  UdpSocket tx_;
+  TimerWheel& wheel_;
+  Impairment impair_;
+  FrameFn on_frame_;
+  /// Frames released by the impairment, not yet accepted by the kernel.
+  std::deque<std::vector<std::uint8_t>> pending_out_;
+  std::size_t pending_out_bytes_ = 0;
+  UdpChannelStats stats_;
+};
+
+}  // namespace mcss::transport

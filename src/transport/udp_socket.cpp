@@ -1,0 +1,138 @@
+#include "transport/udp_socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <system_error>
+
+#include "util/ensure.hpp"
+
+namespace mcss::transport {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+sockaddr_in loopback_addr(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  return addr;
+}
+
+}  // namespace
+
+UdpSocket UdpSocket::bound_loopback(std::uint16_t port) {
+  UdpSocket s;
+#ifdef SOCK_NONBLOCK
+  s.fd_ = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (s.fd_ < 0) throw_errno("socket(AF_INET, SOCK_DGRAM)");
+#else
+  s.fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (s.fd_ < 0) throw_errno("socket(AF_INET, SOCK_DGRAM)");
+  const int flags = ::fcntl(s.fd_, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(s.fd_, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw_errno("fcntl(O_NONBLOCK)");
+  }
+#endif
+  const sockaddr_in addr = loopback_addr(port);
+  if (::bind(s.fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    throw_errno("bind(127.0.0.1)");
+  }
+  return s;
+}
+
+UdpSocket& UdpSocket::operator=(UdpSocket&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    inject_wouldblock_ = other.inject_wouldblock_;
+    other.fd_ = -1;
+    other.inject_wouldblock_ = 0;
+  }
+  return *this;
+}
+
+UdpSocket::~UdpSocket() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::uint16_t UdpSocket::local_port() const {
+  MCSS_ENSURE(valid(), "local_port() on a closed socket");
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    throw_errno("getsockname");
+  }
+  return ntohs(addr.sin_port);
+}
+
+void UdpSocket::connect_loopback(std::uint16_t port) {
+  MCSS_ENSURE(valid(), "connect_loopback() on a closed socket");
+  const sockaddr_in addr = loopback_addr(port);
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    throw_errno("connect(127.0.0.1)");
+  }
+}
+
+UdpSocket::IoResult UdpSocket::send(std::span<const std::uint8_t> datagram) {
+  MCSS_ENSURE(valid(), "send() on a closed socket");
+  if (inject_wouldblock_ > 0) {
+    --inject_wouldblock_;
+    return IoResult::WouldBlock;
+  }
+  for (;;) {
+    const ssize_t n = ::send(fd_, datagram.data(), datagram.size(), 0);
+    if (n >= 0) return IoResult::Ok;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoResult::WouldBlock;
+    if (errno == ECONNREFUSED) return IoResult::Refused;
+    return IoResult::Error;
+  }
+}
+
+UdpSocket::IoResult UdpSocket::recv(std::span<std::uint8_t> buf,
+                                    std::size_t* received) {
+  MCSS_ENSURE(valid(), "recv() on a closed socket");
+  MCSS_ENSURE(received != nullptr, "recv() needs a length out-param");
+  *received = 0;
+  for (;;) {
+    const ssize_t n = ::recv(fd_, buf.data(), buf.size(), 0);
+    if (n >= 0) {
+      *received = static_cast<std::size_t>(n);
+      return IoResult::Ok;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoResult::WouldBlock;
+    // ECONNREFUSED surfaces on connected UDP receive too (pending ICMP
+    // error); report it so callers can count and move on.
+    if (errno == ECONNREFUSED) return IoResult::Refused;
+    return IoResult::Error;
+  }
+}
+
+void UdpSocket::set_send_buffer(int bytes) {
+  MCSS_ENSURE(valid(), "setsockopt on a closed socket");
+  if (::setsockopt(fd_, SOL_SOCKET, SO_SNDBUF, &bytes, sizeof(bytes)) < 0) {
+    throw_errno("setsockopt(SO_SNDBUF)");
+  }
+}
+
+void UdpSocket::set_recv_buffer(int bytes) {
+  MCSS_ENSURE(valid(), "setsockopt on a closed socket");
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &bytes, sizeof(bytes)) < 0) {
+    throw_errno("setsockopt(SO_RCVBUF)");
+  }
+}
+
+}  // namespace mcss::transport

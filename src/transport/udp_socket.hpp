@@ -1,0 +1,80 @@
+// Nonblocking loopback UDP socket, RAII-wrapped.
+//
+// The live transport's unit of I/O: one socket per channel direction,
+// always 127.0.0.1, always O_NONBLOCK. The wrapper normalizes the errno
+// zoo of nonblocking UDP into a small result enum the channel state
+// machine can switch on:
+//
+//   WouldBlock     EAGAIN/EWOULDBLOCK — kernel send buffer full; keep
+//                  the datagram and wait for writability
+//   Refused        ECONNREFUSED — a previous datagram drew an ICMP port
+//                  unreachable (peer not bound yet, or gone). For a
+//                  best-effort share channel this is loss, not an error
+//   Error          anything else (EMSGSIZE, ENOBUFS, ...) — drop and count
+//
+// Tests can inject WouldBlock deterministically (inject_wouldblock):
+// loopback drains so fast that a real EAGAIN is timing-dependent, but
+// the backpressure path must be exercised on every CI run.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+
+namespace mcss::transport {
+
+class UdpSocket {
+ public:
+  enum class IoResult {
+    Ok,
+    WouldBlock,
+    Refused,
+    Error,
+  };
+
+  /// An invalid (closed) socket; use the factories.
+  UdpSocket() = default;
+
+  /// Nonblocking UDP socket bound to 127.0.0.1:`port` (0 = kernel picks;
+  /// read it back with local_port()). Throws std::system_error on failure.
+  [[nodiscard]] static UdpSocket bound_loopback(std::uint16_t port);
+
+  UdpSocket(UdpSocket&& other) noexcept { *this = std::move(other); }
+  UdpSocket& operator=(UdpSocket&& other) noexcept;
+  UdpSocket(const UdpSocket&) = delete;
+  UdpSocket& operator=(const UdpSocket&) = delete;
+  ~UdpSocket();
+
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+  [[nodiscard]] std::uint16_t local_port() const;
+
+  /// Fix the peer to 127.0.0.1:`port` so send() needs no address and the
+  /// socket receives ICMP errors (ECONNREFUSED) for dead peers.
+  void connect_loopback(std::uint16_t port);
+
+  /// Send one datagram. On Ok the whole datagram was accepted (UDP never
+  /// short-writes a datagram).
+  [[nodiscard]] IoResult send(std::span<const std::uint8_t> datagram);
+
+  /// Receive one datagram into `buf`; `*received` gets its length.
+  /// WouldBlock when nothing is queued. A datagram longer than `buf` is
+  /// truncated by the kernel (size your buffer for the max datagram).
+  [[nodiscard]] IoResult recv(std::span<std::uint8_t> buf,
+                              std::size_t* received);
+
+  /// Kernel buffer knobs (SO_SNDBUF / SO_RCVBUF), for the backpressure
+  /// tests; the kernel doubles and clamps the value it actually applies.
+  void set_send_buffer(int bytes);
+  void set_recv_buffer(int bytes);
+
+  /// Make the next `count` send() calls report WouldBlock without
+  /// touching the kernel (deterministic EAGAIN for tests).
+  void inject_wouldblock(int count) noexcept { inject_wouldblock_ = count; }
+
+ private:
+  int fd_ = -1;
+  int inject_wouldblock_ = 0;
+};
+
+}  // namespace mcss::transport

@@ -1,0 +1,22 @@
+// Wall time for the live transport.
+//
+// The simulator's SimTime is signed 64-bit nanoseconds; the live
+// transport keeps the same unit so the two sides of the sim-vs-live
+// boundary speak one clock type. monotonic_ns() is CLOCK_MONOTONIC-based
+// (std::chrono::steady_clock), so it never jumps backwards; callers
+// subtract a run-start origin to get small, SimTime-compatible values.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace mcss::transport {
+
+/// Nanoseconds on the monotonic clock (arbitrary epoch).
+[[nodiscard]] inline std::int64_t monotonic_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace mcss::transport

@@ -78,6 +78,29 @@ TEST(DynamicScheduler, PicksLeastBackloggedReadyChannels) {
   EXPECT_EQ(d->channels, (std::vector<int>{1, 3}));  // two least-backlogged ready
 }
 
+TEST(DynamicScheduler, EqualBacklogTiesBreakByChannelIndex) {
+  // Regression: with every backlog equal (the startup state of every
+  // sweep), the selected M must be the lowest channel indices — an
+  // explicit total order, not an artifact of one stdlib's sort. A
+  // divergent tiebreak here changes which channels carry shares and
+  // fans out into every downstream measurement.
+  DynamicScheduler sched(2.0, 3.0, 5);
+  const std::vector<ChannelView> all_equal{
+      {true, 700}, {true, 700}, {true, 700}, {true, 700}, {true, 700}};
+  const auto d = sched.next(all_equal);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->channels, (std::vector<int>{0, 1, 2}));
+
+  // Partial ties: channel 4's smaller backlog wins, then the tied pair
+  // 1 < 3 fills the remaining slots.
+  DynamicScheduler sched2(2.0, 3.0, 5);
+  const std::vector<ChannelView> partial{
+      {true, 900}, {true, 500}, {false, 0}, {true, 500}, {true, 100}};
+  const auto d2 = sched2.next(partial);
+  ASSERT_TRUE(d2.has_value());
+  EXPECT_EQ(d2->channels, (std::vector<int>{4, 1, 3}));
+}
+
 TEST(DynamicScheduler, DefersWhenTooFewReady) {
   DynamicScheduler sched(3.0, 3.0, 4);
   const std::vector<ChannelView> only_two{{true, 0}, {true, 0}, {false, 0}, {false, 0}};

@@ -99,6 +99,112 @@ TEST(Wire, DecodeRejectsMalformed) {
   EXPECT_TRUE(decode(good).has_value());
 }
 
+// ------------------------------------------------------------ decode_prefix
+
+ShareFrame sample_frame(std::uint64_t id, std::uint8_t index,
+                        std::size_t payload_len) {
+  ShareFrame f;
+  f.packet_id = id;
+  f.k = 2;
+  f.share_index = index;
+  f.payload.assign(payload_len, static_cast<std::uint8_t>(0xA0 + index));
+  return f;
+}
+
+TEST(WirePrefix, ConcatenatedFramesParseOneAtATime) {
+  // Regression: a recv that coalesces two frames used to fail strict
+  // decode() and drop both. decode_prefix walks the buffer frame by
+  // frame.
+  const auto f1 = sample_frame(10, 1, 5);
+  const auto f2 = sample_frame(11, 2, 0);  // empty payload frame
+  const auto f3 = sample_frame(12, 3, 300);
+  std::vector<std::uint8_t> buf = encode(f1);
+  const auto b2 = encode(f2);
+  const auto b3 = encode(f3);
+  buf.insert(buf.end(), b2.begin(), b2.end());
+  buf.insert(buf.end(), b3.begin(), b3.end());
+
+  std::span<const std::uint8_t> rest(buf);
+  std::vector<ShareFrame> parsed;
+  while (!rest.empty()) {
+    std::size_t consumed = 0;
+    DecodeStatus status = DecodeStatus::Ok;
+    auto f = decode_prefix(rest, &consumed, nullptr, &status);
+    ASSERT_TRUE(f.has_value());
+    EXPECT_EQ(status, DecodeStatus::Ok);
+    ASSERT_GT(consumed, 0u);
+    parsed.push_back(std::move(*f));
+    rest = rest.subspan(consumed);
+  }
+  ASSERT_EQ(parsed.size(), 3u);
+  EXPECT_EQ(parsed[0], f1);
+  EXPECT_EQ(parsed[1], f2);
+  EXPECT_EQ(parsed[2], f3);
+}
+
+TEST(WirePrefix, TrailingJunkDoesNotPoisonTheFrame) {
+  const auto f = sample_frame(77, 9, 16);
+  auto buf = encode(f);
+  const std::size_t frame_size = buf.size();
+  buf.insert(buf.end(), {0xDE, 0xAD, 0xBE});  // padding / torn next frame
+
+  std::size_t consumed = 0;
+  const auto parsed = decode_prefix(buf, &consumed);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, f);
+  EXPECT_EQ(consumed, frame_size);
+
+  // Strict decode still refuses the same buffer (delegation preserved
+  // the exact-size contract).
+  DecodeStatus status = DecodeStatus::Ok;
+  EXPECT_FALSE(decode(buf, nullptr, &status).has_value());
+  EXPECT_EQ(status, DecodeStatus::Malformed);
+}
+
+TEST(WirePrefix, AuthenticatedFramesConcatenate) {
+  const crypto::SipHashKey key{1, 2,  3,  4,  5,  6,  7,  8,
+                               9, 10, 11, 12, 13, 14, 15, 16};
+  const auto f1 = sample_frame(1, 1, 8);
+  const auto f2 = sample_frame(2, 2, 8);
+  std::vector<std::uint8_t> buf = encode(f1, &key);
+  const std::size_t first_size = buf.size();
+  const auto b2 = encode(f2, &key);
+  buf.insert(buf.end(), b2.begin(), b2.end());
+
+  std::size_t consumed = 0;
+  DecodeStatus status = DecodeStatus::Ok;
+  auto parsed = decode_prefix(buf, &consumed, &key, &status);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, f1);
+  EXPECT_EQ(consumed, first_size);  // tag bytes counted as consumed
+  EXPECT_EQ(status, DecodeStatus::Ok);
+
+  // The tag covers only the first frame, so the concatenation must not
+  // break authentication; and a flipped bit inside the first frame's
+  // extent still fails even with a healthy second frame behind it.
+  auto tampered = buf;
+  tampered[kHeaderSize] ^= 0x01;
+  EXPECT_FALSE(decode_prefix(tampered, &consumed, &key, &status).has_value());
+  EXPECT_EQ(status, DecodeStatus::AuthFailed);
+  EXPECT_EQ(consumed, 0u);
+}
+
+TEST(WirePrefix, MalformedHeadConsumesNothing) {
+  std::vector<std::uint8_t> junk(64, 0x55);
+  std::size_t consumed = 99;
+  DecodeStatus status = DecodeStatus::Ok;
+  EXPECT_FALSE(decode_prefix(junk, &consumed, nullptr, &status).has_value());
+  EXPECT_EQ(consumed, 0u);
+  EXPECT_EQ(status, DecodeStatus::Malformed);
+
+  // A truncated frame (header promises more payload than the buffer
+  // holds) is malformed, not a partial success.
+  auto truncated = encode(sample_frame(5, 5, 100));
+  truncated.resize(truncated.size() - 1);
+  EXPECT_FALSE(decode_prefix(truncated, &consumed, nullptr, &status).has_value());
+  EXPECT_EQ(consumed, 0u);
+}
+
 TEST(Wire, AckRoundtrip) {
   const AckFrame ack{0xDEADBEEFCAFEF00DULL, 5};
   const auto back = decode_ack(encode_ack(ack));

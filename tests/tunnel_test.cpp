@@ -162,6 +162,66 @@ TEST(TunnelEgress, MalformedPacketsCounted) {
   EXPECT_EQ(f.egress.stats().malformed, 1u);
 }
 
+TEST(TunnelEgress, SequenceNumbersWrapWithoutStalling) {
+  // Regression: plain uint32_t ordering treated every post-wrap sequence
+  // number as "before" the pre-wrap next_seq, so seq 0 after seq
+  // 0xFFFFFFFF was dropped as a duplicate and the flow stalled behind
+  // the gap timeout forever. Serial comparison must carry the flow
+  // seamlessly across 2^32.
+  EgressFixture f;
+  const FlowKey key{{10, 0, 0, 1}, {10, 0, 1, 1}, 6};
+  f.egress.prime_flow(key, 0xFFFFFFFEu);
+
+  f.feed(make_datagram(6, 1, 1), 0xFFFFFFFFu);  // early: held (FFFE missing)
+  f.feed(make_datagram(6, 1, 3), 0x00000001u);  // early, post-wrap: held
+  f.feed(make_datagram(6, 1, 2), 0x00000000u);  // early, the wrap itself
+  EXPECT_EQ(f.delivered.size(), 0u);
+  EXPECT_EQ(f.egress.buffered(), 3u);
+
+  f.feed(make_datagram(6, 1, 0), 0xFFFFFFFEu);  // fills the gap
+  ASSERT_EQ(f.delivered.size(), 4u);
+  for (std::uint8_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(f.delivered[i].payload[0], i);  // FFFE, FFFF, 0, 1 in order
+  }
+  EXPECT_EQ(f.egress.stats().gaps_skipped, 0u);
+  EXPECT_EQ(f.egress.buffered(), 0u);
+
+  // Late duplicates from before the wrap are still recognized as old.
+  f.feed(make_datagram(6, 1, 0), 0xFFFFFFFEu);
+  EXPECT_EQ(f.egress.stats().duplicates_dropped, 1u);
+  EXPECT_EQ(f.delivered.size(), 4u);
+
+  // And the flow keeps going on the far side of the wrap.
+  f.feed(make_datagram(6, 1, 4), 0x00000002u);
+  EXPECT_EQ(f.delivered.size(), 5u);
+}
+
+TEST(TunnelEgress, GapTimeoutSkipsAcrossTheWrap) {
+  // A real loss exactly at the wrap boundary: the gap timer must skip it
+  // and resume with the post-wrap sequence numbers.
+  EgressFixture f;
+  const FlowKey key{{10, 0, 0, 1}, {10, 0, 1, 1}, 6};
+  f.egress.prime_flow(key, 0xFFFFFFFFu);
+
+  f.feed(make_datagram(6, 1, 1), 0x00000000u);  // seq FFFFFFFF lost forever
+  f.feed(make_datagram(6, 1, 2), 0x00000001u);
+  EXPECT_EQ(f.delivered.size(), 0u);
+  f.sim.run();  // gap timer fires, skips the pre-wrap hole
+  ASSERT_EQ(f.delivered.size(), 2u);
+  EXPECT_EQ(f.delivered[0].payload[0], 1);
+  EXPECT_EQ(f.delivered[1].payload[0], 2);
+  EXPECT_EQ(f.egress.stats().gaps_skipped, 1u);
+}
+
+TEST(TunnelSeq, SerialComparisonProperties) {
+  EXPECT_TRUE(seq_before(0xFFFFFFFFu, 0x00000000u));   // across the wrap
+  EXPECT_TRUE(seq_before(0x00000000u, 0x00000001u));
+  EXPECT_FALSE(seq_before(0x00000001u, 0xFFFFFF00u));  // 1 is AFTER FFFFFF00
+  EXPECT_FALSE(seq_before(5u, 5u));                    // irreflexive
+  EXPECT_TRUE(seq_before(100u, 200u));
+  EXPECT_FALSE(seq_before(200u, 100u));
+}
+
 // ---------------------------------------------------------------- ingress
 
 TEST(TunnelIngress, SequencesPerFlow) {
