@@ -12,6 +12,11 @@
 #include "core/schedule.hpp"         // IWYU pragma: export
 #include "core/subset_metrics.hpp"   // IWYU pragma: export
 #include "crypto/siphash.hpp"        // IWYU pragma: export
+#include "feedback/redundancy.hpp"   // IWYU pragma: export
+#include "feedback/reliable_link.hpp" // IWYU pragma: export
+#include "feedback/report.hpp"       // IWYU pragma: export
+#include "feedback/report_builder.hpp" // IWYU pragma: export
+#include "feedback/retransmit.hpp"   // IWYU pragma: export
 #include "field/gf256.hpp"           // IWYU pragma: export
 #include "field/gf65536.hpp"         // IWYU pragma: export
 #include "field/gf_linalg.hpp"       // IWYU pragma: export
@@ -36,6 +41,7 @@
 #include "sss/shamir.hpp"            // IWYU pragma: export
 #include "sss/shamir16.hpp"          // IWYU pragma: export
 #include "sss/xor_sharing.hpp"       // IWYU pragma: export
+#include "util/backoff.hpp"          // IWYU pragma: export
 #include "util/ensure.hpp"           // IWYU pragma: export
 #include "util/poisson_binomial.hpp" // IWYU pragma: export
 #include "util/rng.hpp"              // IWYU pragma: export

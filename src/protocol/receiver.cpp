@@ -46,6 +46,8 @@ void publish(obs::Registry& registry, const ReceiverStats& stats) {
   add("mcss_receiver_packets_evicted_timeout", stats.packets_evicted_timeout);
   add("mcss_receiver_packets_evicted_memory", stats.packets_evicted_memory);
   add("mcss_receiver_shares_dropped_memory", stats.shares_dropped_memory);
+  add("mcss_receiver_stale_generation_shares", stats.stale_generation_shares);
+  add("mcss_receiver_partials_superseded", stats.partials_superseded);
 }
 
 void Receiver::publish_metrics(obs::Registry& registry) const {
@@ -98,6 +100,7 @@ void Receiver::on_frame(std::vector<std::uint8_t> raw) {
     }
     Partial partial;
     partial.k = frame->k;
+    partial.generation = frame->generation;
     partial.share_size = frame->payload.size();
     partial.first_seen = sim_.now();
     it = partials_.emplace(id, std::move(partial)).first;
@@ -106,19 +109,35 @@ void Receiver::on_frame(std::vector<std::uint8_t> raw) {
       obs::Tracer::global().async_begin("reassembly", "receiver", id,
                                         sim_.now(), "k", frame->k);
     }
-    // IP-reassembly-style timer: if the packet is still partial when it
-    // fires, evict it. first_seen disambiguates id reuse (never happens
-    // with 64-bit ids, but keeps the check airtight).
-    sim_.schedule_in(config_.reassembly_timeout,
-                     [this, id, born = sim_.now()] {
-                       auto p = partials_.find(id);
-                       if (p != partials_.end() && p->second.first_seen == born) {
-                         evict(id, &stats_.packets_evicted_timeout);
-                       }
-                     });
+    arm_eviction_timer(id);
   }
 
   Partial& partial = it->second;
+  if (frame->generation != partial.generation) {
+    // RFC 1982 serial order on the 8-bit generation, so an ARQ session
+    // surviving 255 re-splits wraps cleanly.
+    const bool newer =
+        static_cast<std::uint8_t>(frame->generation - partial.generation) <
+        0x80;
+    if (!newer) {
+      ++stats_.stale_generation_shares;
+      return;
+    }
+    // A retransmission re-split the packet: stored shares are from a
+    // different random polynomial and can never combine with this one.
+    // Restart the partial around the new generation, and give it a fresh
+    // reassembly lease — with ARQ, a packet legitimately outlives one
+    // reassembly timeout while retransmissions are still arriving (the
+    // superseded timer finds first_seen moved and stands down).
+    buffered_bytes_ -= partial.share_size * partial.shares.size();
+    partial.shares.clear();
+    partial.k = frame->k;
+    partial.generation = frame->generation;
+    partial.share_size = frame->payload.size();
+    partial.first_seen = sim_.now();
+    ++stats_.partials_superseded;
+    arm_eviction_timer(id);
+  }
   if (frame->k != partial.k || frame->payload.size() != partial.share_size) {
     ++stats_.conflicting_metadata;
     return;
@@ -144,6 +163,19 @@ void Receiver::on_frame(std::vector<std::uint8_t> raw) {
   if (partial.shares.size() >= partial.k) {
     complete(id, partial);
   }
+}
+
+void Receiver::arm_eviction_timer(std::uint64_t id) {
+  // IP-reassembly-style timer: if the packet is still partial when it
+  // fires, evict it. first_seen disambiguates both id reuse (never
+  // happens with 64-bit ids) and generation supersedes that renewed the
+  // lease after this timer was armed.
+  sim_.schedule_in(config_.reassembly_timeout, [this, id, born = sim_.now()] {
+    auto p = partials_.find(id);
+    if (p != partials_.end() && p->second.first_seen == born) {
+      evict(id, &stats_.packets_evicted_timeout);
+    }
+  });
 }
 
 void Receiver::complete(std::uint64_t id, Partial& partial) {

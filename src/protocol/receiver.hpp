@@ -57,6 +57,12 @@ struct ReceiverStats {
   /// evicting every other partial (the incoming share alone, or the
   /// partial it extends, would exceed the limit).
   std::uint64_t shares_dropped_memory = 0;
+  /// Shares of an older generation than the stored partial, dropped —
+  /// shares of different re-splits never combine (see wire.hpp).
+  std::uint64_t stale_generation_shares = 0;
+  /// Partials whose buffered shares were discarded because a newer
+  /// generation (a retransmission) arrived and restarted reassembly.
+  std::uint64_t partials_superseded = 0;
 };
 
 /// Add these totals into the registry under mcss_receiver_* names.
@@ -97,6 +103,7 @@ class Receiver {
  private:
   struct Partial {
     std::uint8_t k = 1;
+    std::uint8_t generation = 0;  ///< re-split count of the stored shares
     std::size_t share_size = 0;
     std::vector<sss::Share> shares;
     net::SimTime first_seen = 0;
@@ -104,6 +111,7 @@ class Receiver {
     std::list<std::uint64_t>::iterator order_it;
   };
 
+  void arm_eviction_timer(std::uint64_t id);
   void complete(std::uint64_t id, Partial& partial);
   void evict(std::uint64_t id, std::uint64_t* counter);
   /// Evict oldest partials (never `exclude`) until `incoming_bytes` more

@@ -34,6 +34,8 @@ void publish(obs::Registry& registry, const SenderStats& stats) {
   add("mcss_sender_shares_sent", stats.shares_sent);
   add("mcss_sender_shares_dropped_at_channel",
       stats.shares_dropped_at_channel);
+  add("mcss_sender_packets_retransmitted", stats.packets_retransmitted);
+  add("mcss_sender_shares_retransmitted", stats.shares_retransmitted);
   registry.set(registry.gauge("mcss_sender_achieved_kappa"),
                stats.achieved_kappa());
   registry.set(registry.gauge("mcss_sender_achieved_mu"),
@@ -125,6 +127,9 @@ void Sender::dispatch(std::vector<std::uint8_t> payload,
   ++stats_.packets_sent;
   stats_.sum_k += k;
   stats_.sum_m += m;
+  if (dispatch_hook_) {
+    dispatch_hook_(id, k, payload, decision.channels);
+  }
 
   const net::SimTime now = sim_.now();
   if (obs::trace_enabled()) {
@@ -191,6 +196,46 @@ void Sender::dispatch(std::vector<std::uint8_t> payload,
           }
         }
       });
+    }
+  }
+}
+
+void Sender::resend(std::uint64_t id, std::uint8_t generation,
+                    std::span<const std::uint8_t> payload, int k,
+                    std::span<const int> channels) {
+  const int m = static_cast<int>(channels.size());
+  MCSS_ENSURE(generation != 0, "retransmissions must bump the generation");
+  MCSS_ENSURE(k >= 1 && k <= m, "resend needs a valid (k, m)");
+
+  ++stats_.packets_retransmitted;
+  const net::SimTime now = sim_.now();
+  if (obs::trace_enabled()) {
+    obs::Tracer::global().instant("retransmit", "sender", now, id, "generation",
+                                  static_cast<std::uint64_t>(generation), "m",
+                                  static_cast<std::uint64_t>(m));
+  }
+
+  // Fresh randomness: a new polynomial per retransmission, never a
+  // replay of the original share bytes (see wire.hpp on generations).
+  std::vector<sss::Share> shares;
+  {
+    obs::ScopeTimer split_timer(split_hist());
+    shares = sss::split(payload, k, m, rng_);
+  }
+  for (int j = 0; j < m; ++j) {
+    ShareFrame frame;
+    frame.packet_id = id;
+    frame.k = static_cast<std::uint8_t>(k);
+    frame.share_index = shares[static_cast<std::size_t>(j)].index;
+    frame.generation = generation;
+    frame.payload = shares[static_cast<std::size_t>(j)].data;
+    auto bytes = encode(frame, config_.auth_key ? &*config_.auth_key : nullptr);
+    const auto ch_index =
+        static_cast<std::size_t>(channels[static_cast<std::size_t>(j)]);
+    MCSS_ENSURE(ch_index < channels_.size(), "resend channel out of range");
+    ++stats_.shares_retransmitted;
+    if (!channels_[ch_index]->try_send(std::move(bytes))) {
+      ++stats_.shares_dropped_at_channel;
     }
   }
 }

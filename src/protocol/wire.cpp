@@ -42,15 +42,21 @@ std::vector<std::uint8_t> encode(const ShareFrame& frame,
   MCSS_ENSURE(frame.k >= 1, "threshold must be at least 1");
   MCSS_ENSURE(frame.share_index >= 1, "share index 0 is reserved");
 
+  std::uint8_t flags = key != nullptr ? kFlagAuthenticated : 0;
+  // Generation 0 omits the extension byte: original transmissions stay
+  // byte-identical to the pre-reliability encoding.
+  if (frame.generation != 0) flags |= kFlagGeneration;
+
   std::vector<std::uint8_t> out;
-  out.reserve(kHeaderSize + frame.payload.size() + (key ? kTagSize : 0));
+  out.reserve(kHeaderSize + 1 + frame.payload.size() + (key ? kTagSize : 0));
   put16(out, kMagic);
   out.push_back(kVersion);
   out.push_back(frame.k);
   put64(out, frame.packet_id);
   out.push_back(frame.share_index);
-  out.push_back(key != nullptr ? kFlagAuthenticated : 0);
+  out.push_back(flags);
   put16(out, static_cast<std::uint16_t>(frame.payload.size()));
+  if (frame.generation != 0) out.push_back(frame.generation);
   out.insert(out.end(), frame.payload.begin(), frame.payload.end());
   if (key != nullptr) {
     const auto tag = crypto::siphash24_tag(out, *key);
@@ -78,23 +84,29 @@ std::optional<ShareFrame> decode_prefix(std::span<const std::uint8_t> buf,
     return fail(status, DecodeStatus::Malformed);
   }
   const std::uint8_t flags = buf[13];
-  if ((flags & ~kFlagAuthenticated) != 0) {
+  if ((flags & ~(kFlagAuthenticated | kFlagGeneration)) != 0) {
     return fail(status, DecodeStatus::Malformed);  // unknown flag bits
   }
   const bool authenticated = (flags & kFlagAuthenticated) != 0;
+  // Extension byte between header and payload (retransmissions only).
+  const std::size_t ext = (flags & kFlagGeneration) != 0 ? 1 : 0;
 
   const std::size_t len = get16(buf, 14);
-  const std::size_t expected =
-      kHeaderSize + len + (authenticated ? kTagSize : 0);
+  const std::size_t body = kHeaderSize + ext + len;
+  const std::size_t expected = body + (authenticated ? kTagSize : 0);
   if (buf.size() < expected) return fail(status, DecodeStatus::Malformed);
+  if (ext != 0) {
+    frame.generation = buf[kHeaderSize];
+    // Generation 0 with the flag set would make one frame encodable two
+    // ways; the canonical encoding omits the byte, so reject the other.
+    if (frame.generation == 0) return fail(status, DecodeStatus::Malformed);
+  }
 
   if (key != nullptr) {
     // A keyed receiver refuses unauthenticated frames outright.
     if (!authenticated) return fail(status, DecodeStatus::AuthFailed);
-    const auto computed =
-        crypto::siphash24_tag(buf.first(kHeaderSize + len), *key);
-    if (!crypto::tag_equal(computed,
-                           buf.subspan(kHeaderSize + len, kTagSize))) {
+    const auto computed = crypto::siphash24_tag(buf.first(body), *key);
+    if (!crypto::tag_equal(computed, buf.subspan(body, kTagSize))) {
       return fail(status, DecodeStatus::AuthFailed);
     }
   } else if (authenticated) {
@@ -103,8 +115,8 @@ std::optional<ShareFrame> decode_prefix(std::span<const std::uint8_t> buf,
     // protocol itself uses.)
   }
 
-  frame.payload.assign(buf.begin() + kHeaderSize,
-                       buf.begin() + static_cast<std::ptrdiff_t>(kHeaderSize + len));
+  frame.payload.assign(buf.begin() + static_cast<std::ptrdiff_t>(kHeaderSize + ext),
+                       buf.begin() + static_cast<std::ptrdiff_t>(body));
   *consumed = expected;
   return frame;
 }

@@ -8,10 +8,23 @@
 //        3     1  threshold k required to reconstruct the packet
 //        4     8  packet id (little endian) — sender-assigned, increasing
 //       12     1  share index (the GF(256) abscissa, 1..255)
-//       13     1  flags (bit 0: authenticated)
+//       13     1  flags (bit 0: authenticated, bit 1: generation byte)
 //       14     2  payload length (little endian)
-//       16     -  payload (the share bytes; same length as the packet)
-//       16+len  8  SipHash-2-4 tag over bytes [0, 16+len)  [flag bit 0 only]
+//       16     1  generation (retransmission count)  [flag bit 1 only]
+//       16+g    -  payload (the share bytes; same length as the packet)
+//       16+g+len 8  SipHash-2-4 tag over bytes [0, 16+g+len)  [flag bit 0]
+//
+// (g is 1 when flag bit 1 is set, else 0. Generation 0 frames omit the
+// byte entirely, so the original-transmission encoding is byte-identical
+// to frames from before the reliability layer existed.)
+//
+// The generation counts how many times the sender has RE-SPLIT this
+// packet: shares of different generations come from different random
+// polynomials and must never be combined (k shares of mixed generations
+// reconstruct garbage), so the receiver keeps only the newest generation
+// of a partial. Retransmissions always carry fresh share randomness —
+// resending the original share bytes would hand an eavesdropper the
+// exact symbol it already missed.
 //
 // The header carries k and the packet id because a best-effort receiver
 // sees shares of many packets interleaved, reordered, and duplicated
@@ -41,12 +54,16 @@ inline constexpr std::size_t kHeaderSize = 16;
 inline constexpr std::size_t kTagSize = 8;
 inline constexpr std::size_t kMaxPayload = 0xFFFF;
 inline constexpr std::uint8_t kFlagAuthenticated = 0x01;
+inline constexpr std::uint8_t kFlagGeneration = 0x02;
 
 /// Parsed header + payload of one share frame.
 struct ShareFrame {
   std::uint64_t packet_id = 0;
   std::uint8_t k = 1;
   std::uint8_t share_index = 1;
+  /// Re-split count: 0 = original transmission, n = n-th retransmission.
+  /// Shares only combine within one generation (see header comment).
+  std::uint8_t generation = 0;
   std::vector<std::uint8_t> payload;
 
   friend bool operator==(const ShareFrame&, const ShareFrame&) = default;

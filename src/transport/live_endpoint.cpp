@@ -53,6 +53,7 @@ LiveEndpoint::LiveEndpoint(LiveConfig config)
           delay_.add(net::to_seconds(now_ns() - it->second));
           sent_at_ns_.erase(it);
         }
+        if (builder_) builder_->on_delivered(id, now_ns());
         if (deliver_) deliver_(id, std::move(payload));
       });
 
@@ -67,9 +68,17 @@ LiveEndpoint::LiveEndpoint(LiveConfig config)
     auto ch = std::make_unique<UdpChannel>(spec.config, rng_.fork(), wheel_,
                                            port, spec.name,
                                            config_.max_datagram_bytes);
-    ch->set_on_frame([this](std::vector<std::uint8_t> frame) {
+    ch->set_on_frame([this, i](std::vector<std::uint8_t> frame) {
       // Keep the receiver's clock caught up before it stamps first_seen.
       sync_timeline(now_ns());
+      if (builder_) {
+        // Classify for the per-channel report counters the way the
+        // receiver will: a parseable head is a share frame, anything
+        // else is an undecodable blob the channel mangled.
+        std::size_t consumed = 0;
+        builder_->on_channel_frame(
+            i, proto::decode_prefix(frame, &consumed).has_value());
+      }
       receiver_.on_frame(std::move(frame));
     });
     poller_.add(ch->rx_fd(), /*want_read=*/true, /*want_write=*/false);
@@ -77,6 +86,49 @@ LiveEndpoint::LiveEndpoint(LiveConfig config)
     fd_to_channel_[ch->rx_fd()] = i;
     fd_to_channel_[ch->tx_fd()] = i;
     channels_.push_back(std::move(ch));
+  }
+
+  if (config_.reliability.enabled) {
+    const std::size_t n = channels_.size();
+    builder_.emplace(feedback::ReportBuilderConfig{
+        .num_channels = n,
+        .sack_window_words = config_.reliability.sack_window_words,
+        .max_delay_samples = config_.reliability.max_delay_samples});
+    manager_ = std::make_unique<feedback::RetransmitManager>(
+        config_.reliability.retransmit, rng_.fork());
+    manager_->set_retransmit([this](std::uint64_t id, std::uint8_t generation,
+                                    const std::vector<std::uint8_t>& payload,
+                                    int k) {
+      resend(id, generation, payload, k);
+    });
+
+    // The feedback channel rides the same wheel/poller machinery as the
+    // share channels; report datagrams fail share-frame parsing at the
+    // channel, so they arrive whole via the unparsed-forward path.
+    const std::uint16_t fb_port =
+        config_.port_base != 0
+            ? static_cast<std::uint16_t>(config_.port_base + n)
+            : 0;
+    feedback_ch_ = std::make_unique<UdpChannel>(
+        config_.reliability.feedback_channel, rng_.fork(), wheel_, fb_port,
+        "feedback", config_.max_datagram_bytes);
+    feedback_ch_->set_on_frame([this](std::vector<std::uint8_t> datagram) {
+      manager_->on_report_datagram(datagram, now_ns(),
+                                   config_.reliability.report_auth_key
+                                       ? &*config_.reliability.report_auth_key
+                                       : nullptr);
+    });
+    poller_.add(feedback_ch_->rx_fd(), /*want_read=*/true,
+                /*want_write=*/false);
+    poller_.add(feedback_ch_->tx_fd(), /*want_read=*/false,
+                /*want_write=*/false);
+    fd_to_channel_[feedback_ch_->rx_fd()] = n;
+    fd_to_channel_[feedback_ch_->tx_fd()] = n;
+
+    MCSS_ENSURE(config_.reliability.report_interval_ns > 0,
+                "report interval must be positive");
+    wheel_.schedule_at(now_ns() + config_.reliability.report_interval_ns,
+                       [this] { emit_report(); });
   }
 }
 
@@ -133,6 +185,9 @@ void LiveEndpoint::dispatch(std::vector<std::uint8_t> payload,
   sender_stats_.sum_m += m;
   sent_at_ns_[id] = now;
   sent_order_.push_back({id, now});
+  if (manager_) {
+    manager_->on_packet_sent(id, k, payload, decision.channels, now);
+  }
 
   if (obs::trace_enabled()) {
     obs::Tracer::global().async_begin("packet", "packet", id, now, "k",
@@ -176,6 +231,14 @@ void LiveEndpoint::update_write_interest() {
       write_interest_[i] = want;
     }
   }
+  if (feedback_ch_) {
+    const bool want = feedback_ch_->wants_write();
+    if (want != feedback_write_interest_) {
+      poller_.modify(feedback_ch_->tx_fd(), /*want_read=*/false,
+                     /*want_write=*/want);
+      feedback_write_interest_ = want;
+    }
+  }
 }
 
 int LiveEndpoint::poll_timeout_ms(std::int64_t now,
@@ -198,15 +261,26 @@ void LiveEndpoint::run_for(std::int64_t wall_ns) {
     const std::int64_t now = now_ns();
     sync_timeline(now);
     wheel_.advance(now);
+    if (manager_) manager_->advance(now);
     pump(now);
     update_write_interest();
     if (now >= deadline) break;
 
-    poller_.wait(poll_timeout_ms(now, deadline), events_);
+    // RTO deadlines bound the sleep alongside the wheel and the wall
+    // deadline, so a due retransmission never waits for traffic.
+    std::int64_t wake = deadline;
+    if (manager_) {
+      if (const auto rto = manager_->next_deadline()) {
+        wake = std::min(wake, *rto);
+      }
+    }
+    poller_.wait(poll_timeout_ms(now, wake), events_);
     for (const Poller::Event& ev : events_) {
       const auto it = fd_to_channel_.find(ev.fd);
       if (it == fd_to_channel_.end()) continue;
-      UdpChannel& ch = *channels_[it->second];
+      UdpChannel& ch = it->second < channels_.size()
+                           ? *channels_[it->second]
+                           : *feedback_ch_;
       if (ev.fd == ch.rx_fd() && (ev.readable || ev.error)) {
         // POLLERR on the RX fd means a pending ICMP error; recv() drains
         // and counts it alongside any queued datagrams.
@@ -229,13 +303,89 @@ void LiveEndpoint::run_for(std::int64_t wall_ns) {
   }
 }
 
+void LiveEndpoint::emit_report() {
+  const std::int64_t now = now_ns();
+  auto report = builder_->build(now);
+  auto bytes = feedback::encode_report(report,
+                                       config_.reliability.report_auth_key
+                                           ? &*config_.reliability.report_auth_key
+                                           : nullptr);
+  ++reports_sent_;
+  if (!feedback_ch_->try_send(std::move(bytes), now)) {
+    ++reports_dropped_at_channel_;
+  }
+  wheel_.schedule_at(now + config_.reliability.report_interval_ns,
+                     [this] { emit_report(); });
+}
+
+void LiveEndpoint::resend(std::uint64_t id, std::uint8_t generation,
+                          const std::vector<std::uint8_t>& payload, int k) {
+  const std::int64_t now = now_ns();
+  const int n = static_cast<int>(channels_.size());
+  const int m = std::min(n, k + config_.reliability.retransmit_extra);
+  const std::uint32_t exposure = manager_->exposure_mask(id).value_or(0);
+
+  // Privacy-aware channel choice: already-exposed channels first (free
+  // for the adversary model), then unexposed by index. The live config
+  // has no per-channel risk estimate; index order is the deterministic
+  // fallback, matching ReliableLink with an empty risk vector.
+  std::vector<int> order(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) order[static_cast<std::size_t>(i)] = i;
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const bool ea = (exposure >> a) & 1u;
+    const bool eb = (exposure >> b) & 1u;
+    if (ea != eb) return ea;
+    return a < b;
+  });
+  order.resize(static_cast<std::size_t>(m));
+
+  ++sender_stats_.packets_retransmitted;
+  if (obs::trace_enabled()) {
+    obs::Tracer::global().instant("retransmit", "sender", now, id,
+                                  "generation",
+                                  static_cast<std::uint64_t>(generation), "m",
+                                  static_cast<std::uint64_t>(m));
+  }
+  const auto shares = sss::split(payload, k, m, rng_);
+  for (int j = 0; j < m; ++j) {
+    proto::ShareFrame frame;
+    frame.packet_id = id;
+    frame.k = static_cast<std::uint8_t>(k);
+    frame.share_index = shares[static_cast<std::size_t>(j)].index;
+    frame.generation = generation;
+    frame.payload = shares[static_cast<std::size_t>(j)].data;
+    auto bytes =
+        proto::encode(frame, config_.auth_key ? &*config_.auth_key : nullptr);
+    const auto ch_index = static_cast<std::size_t>(order[static_cast<std::size_t>(j)]);
+    ++sender_stats_.shares_retransmitted;
+    if (!channels_[ch_index]->try_send(std::move(bytes), now)) {
+      ++sender_stats_.shares_dropped_at_channel;
+    }
+  }
+  manager_->note_exposure(id, order);
+}
+
 void LiveEndpoint::publish_metrics(obs::Registry& registry) const {
   proto::publish(registry, sender_stats_);
   scheduler_->publish_metrics(registry);
   receiver_.publish_metrics(registry);
 
+  if (manager_) {
+    feedback::publish(registry, manager_->stats());
+    const auto add_fb = [&](std::string_view name, std::uint64_t value) {
+      registry.add(registry.counter(name), value);
+    };
+    add_fb("mcss_live_reports_sent", reports_sent_);
+    add_fb("mcss_live_reports_dropped_at_channel",
+           reports_dropped_at_channel_);
+  }
+
   UdpChannelStats sockets;
-  for (const auto& ch : channels_) {
+  std::vector<const UdpChannel*> all_channels;
+  all_channels.reserve(channels_.size() + 1);
+  for (const auto& ch : channels_) all_channels.push_back(ch.get());
+  if (feedback_ch_) all_channels.push_back(feedback_ch_.get());
+  for (const UdpChannel* ch : all_channels) {
     net::publish(registry, ch->impair_stats());
     const UdpChannelStats& s = ch->stats();
     sockets.datagrams_sent += s.datagrams_sent;
@@ -244,6 +394,7 @@ void LiveEndpoint::publish_metrics(obs::Registry& registry) const {
     sockets.bytes_received += s.bytes_received;
     sockets.frames_coalesced += s.frames_coalesced;
     sockets.send_wouldblock += s.send_wouldblock;
+    sockets.send_retries += s.send_retries;
     sockets.send_refused += s.send_refused;
     sockets.send_errors += s.send_errors;
     sockets.recv_refused += s.recv_refused;
@@ -260,6 +411,7 @@ void LiveEndpoint::publish_metrics(obs::Registry& registry) const {
   add("mcss_live_bytes_received", sockets.bytes_received);
   add("mcss_live_frames_coalesced", sockets.frames_coalesced);
   add("mcss_live_send_wouldblock", sockets.send_wouldblock);
+  add("mcss_live_send_retries", sockets.send_retries);
   add("mcss_live_send_refused", sockets.send_refused);
   add("mcss_live_send_errors", sockets.send_errors);
   add("mcss_live_recv_refused", sockets.recv_refused);

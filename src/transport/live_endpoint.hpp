@@ -34,6 +34,8 @@
 #include <vector>
 
 #include "crypto/siphash.hpp"
+#include "feedback/report_builder.hpp"
+#include "feedback/retransmit.hpp"
 #include "net/simulator.hpp"
 #include "protocol/receiver.hpp"
 #include "protocol/scheduler.hpp"
@@ -55,6 +57,26 @@ struct LiveChannelSpec {
   std::string name;
 };
 
+/// Reliability add-on for a live endpoint: a feedback UdpChannel carries
+/// periodic receiver reports back to the sender side, which acks, learns
+/// RTT, and retransmits over the RetransmitManager's RTO timers.
+struct LiveReliabilityConfig {
+  bool enabled = false;
+  feedback::RetransmitConfig retransmit;
+  /// ReportBuilder sizing (num_channels is filled in by the endpoint).
+  std::size_t sack_window_words = 16;
+  std::size_t max_delay_samples = 64;
+  std::int64_t report_interval_ns = 20'000'000;
+  /// Shares beyond k on each retransmission.
+  int retransmit_extra = 1;
+  /// Impairment of the report path (feedback can be lossy too). The
+  /// default ChannelConfig is a clean fast channel.
+  net::ChannelConfig feedback_channel;
+  /// Tag reports with SipHash; unauthenticated/tampered ones are
+  /// rejected and counted.
+  std::optional<crypto::SipHashKey> report_auth_key;
+};
+
 struct LiveConfig {
   std::vector<LiveChannelSpec> channels;
   /// DynamicScheduler targets; ignored when `scheduler` is set.
@@ -74,6 +96,7 @@ struct LiveConfig {
   std::uint64_t seed = 1;
   std::size_t max_datagram_bytes = 1400;
   Poller::Backend poller_backend = Poller::default_backend();
+  LiveReliabilityConfig reliability;
 };
 
 /// MCSS_LIVE_PORT_BASE as uint16, or `fallback` when unset/unparsable.
@@ -121,6 +144,16 @@ class LiveEndpoint {
   [[nodiscard]] Poller::Backend poller_backend() const noexcept {
     return poller_.backend();
   }
+  /// Reliability internals (null/absent unless reliability.enabled).
+  [[nodiscard]] feedback::RetransmitManager* retransmit_manager() noexcept {
+    return manager_.get();
+  }
+  [[nodiscard]] UdpChannel* feedback_channel() noexcept {
+    return feedback_ch_.get();
+  }
+  [[nodiscard]] std::uint64_t reports_sent() const noexcept {
+    return reports_sent_;
+  }
 
   /// Publish sender, receiver, per-channel impairment, and socket-layer
   /// counters into the registry (end-of-run hook).
@@ -134,6 +167,9 @@ class LiveEndpoint {
   void update_write_interest();
   [[nodiscard]] int poll_timeout_ms(std::int64_t now,
                                     std::int64_t deadline) const;
+  void emit_report();
+  void resend(std::uint64_t id, std::uint8_t generation,
+              const std::vector<std::uint8_t>& payload, int k);
 
   LiveConfig config_;
   std::int64_t epoch_ns_;
@@ -160,6 +196,14 @@ class LiveEndpoint {
   std::deque<std::pair<std::uint64_t, std::int64_t>> sent_order_;
   PercentileTracker delay_;
   std::vector<Poller::Event> events_;  ///< reused across wait() calls
+
+  /// Reliability plumbing (engaged only when reliability.enabled).
+  std::unique_ptr<UdpChannel> feedback_ch_;
+  bool feedback_write_interest_ = false;
+  std::optional<feedback::ReportBuilder> builder_;
+  std::unique_ptr<feedback::RetransmitManager> manager_;
+  std::uint64_t reports_sent_ = 0;
+  std::uint64_t reports_dropped_at_channel_ = 0;
 };
 
 }  // namespace mcss::transport

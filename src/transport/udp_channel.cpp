@@ -20,7 +20,12 @@ UdpChannel::UdpChannel(net::ChannelConfig config, Rng rng, TimerWheel& wheel,
       impair_(config, rng, wheel,
               [this](std::vector<std::uint8_t> frame) {
                 release(std::move(frame));
-              }) {
+              }),
+      // Seed the retry pacer from (not with) the impairment stream so the
+      // two stay independent. Waits are short: kernel buffers drain fast.
+      retry_backoff_({.base_ns = 500'000, .cap_ns = 20'000'000,
+                      .multiplier = 2.0},
+                     Rng(rng())) {
   MCSS_ENSURE(max_datagram_bytes_ >= proto::kHeaderSize + proto::kTagSize,
               "max datagram too small for one frame");
   tx_.connect_loopback(rx_.local_port());
@@ -28,6 +33,7 @@ UdpChannel::UdpChannel(net::ChannelConfig config, Rng rng, TimerWheel& wheel,
 
 bool UdpChannel::try_send(std::vector<std::uint8_t> frame,
                           std::int64_t now_ns) {
+  last_now_ns_ = now_ns;
   return impair_.offer(std::move(frame), now_ns);
 }
 
@@ -87,8 +93,10 @@ void UdpChannel::flush() {
         stats_.frames_coalesced += take - 1;
         break;
       case UdpSocket::IoResult::WouldBlock:
-        // Kernel buffer full: park everything and wait for EPOLLOUT.
+        // Kernel buffer full: park everything and wait for EPOLLOUT,
+        // with a backoff-paced wheel retry as a backstop.
         ++stats_.send_wouldblock;
+        arm_retry();
         return;
       case UdpSocket::IoResult::Refused:
         // ICMP port unreachable from an earlier datagram: best-effort
@@ -105,7 +113,22 @@ void UdpChannel::flush() {
       pending_out_bytes_ -= pending_out_.front().size();
       pending_out_.pop_front();
     }
+    // The kernel accepted (or definitively rejected) a datagram, so the
+    // congestion episode is over; the next one starts from the base wait.
+    retry_backoff_.reset();
   }
+}
+
+void UdpChannel::arm_retry() {
+  if (retry_armed_) return;
+  retry_armed_ = true;
+  wheel_.schedule_at(last_now_ns_ + retry_backoff_.next(), [this] {
+    retry_armed_ = false;
+    if (!pending_out_.empty()) {
+      ++stats_.send_retries;
+      flush();
+    }
+  });
 }
 
 void UdpChannel::on_writable() { flush(); }

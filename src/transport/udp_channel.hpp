@@ -33,6 +33,7 @@
 #include "transport/impairment.hpp"
 #include "transport/timer_wheel.hpp"
 #include "transport/udp_socket.hpp"
+#include "util/backoff.hpp"
 #include "util/rng.hpp"
 
 namespace mcss::transport {
@@ -45,6 +46,7 @@ struct UdpChannelStats {
   std::uint64_t bytes_received = 0;
   std::uint64_t frames_coalesced = 0;   ///< frames packed after the first
   std::uint64_t send_wouldblock = 0;    ///< EAGAIN events (datagram kept)
+  std::uint64_t send_retries = 0;       ///< backoff-paced re-flush attempts
   std::uint64_t send_refused = 0;       ///< ECONNREFUSED (counted as loss)
   std::uint64_t send_errors = 0;        ///< other errno (datagram dropped)
   std::uint64_t recv_refused = 0;       ///< pending ICMP error drained
@@ -120,6 +122,7 @@ class UdpChannel {
  private:
   void flush();
   void release(std::vector<std::uint8_t> frame);
+  void arm_retry();
 
   std::string name_;
   std::size_t max_datagram_bytes_;
@@ -131,6 +134,12 @@ class UdpChannel {
   /// Frames released by the impairment, not yet accepted by the kernel.
   std::deque<std::vector<std::uint8_t>> pending_out_;
   std::size_t pending_out_bytes_ = 0;
+  /// EAGAIN recovery: EPOLLOUT is the primary wake-up, but a wheel-timer
+  /// re-flush paced by decorrelated-jitter backoff backstops pollers
+  /// whose write interest only updates between waits. Reset on progress.
+  Backoff retry_backoff_;
+  bool retry_armed_ = false;
+  std::int64_t last_now_ns_ = 0;  ///< latest time seen by try_send()
   UdpChannelStats stats_;
 };
 

@@ -1,0 +1,75 @@
+// Exponential backoff with decorrelated jitter.
+//
+// The retry schedule shared by the reliability layer (RTO escalation in
+// feedback::RetransmitManager) and the live transport (EAGAIN re-flush
+// pacing in transport::UdpChannel). Plain exponential backoff
+// synchronizes retriers — every party that failed together retries
+// together — so each delay is drawn uniformly from [base, prev * mult]
+// and capped ("decorrelated jitter"): the expected delay still grows
+// geometrically, but two backoffs started by the same event drift apart
+// immediately. Seeded by Rng, so simulator-driven schedules stay
+// deterministic.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "util/ensure.hpp"
+#include "util/rng.hpp"
+
+namespace mcss {
+
+struct BackoffConfig {
+  std::int64_t base_ns = 1'000'000;     ///< first delay; also the floor
+  std::int64_t cap_ns = 1'000'000'000;  ///< ceiling on any delay
+  double multiplier = 3.0;              ///< growth of the jitter window
+};
+
+class Backoff {
+ public:
+  explicit Backoff(BackoffConfig config, Rng rng)
+      : config_(config), rng_(rng), prev_ns_(config.base_ns) {
+    MCSS_ENSURE(config_.base_ns > 0, "backoff base must be positive");
+    MCSS_ENSURE(config_.cap_ns >= config_.base_ns,
+                "backoff cap must be at least the base");
+    MCSS_ENSURE(config_.multiplier >= 1.0, "backoff multiplier must be >= 1");
+  }
+
+  /// Next delay: min(cap, uniform(base, prev * multiplier)). The first
+  /// call draws from [base, base * multiplier].
+  [[nodiscard]] std::int64_t next() noexcept {
+    prev_ns_ = step(rng_, config_, prev_ns_);
+    ++attempts_;
+    return prev_ns_;
+  }
+
+  /// Success: the next failure starts over from the base delay.
+  void reset() noexcept {
+    prev_ns_ = config_.base_ns;
+    attempts_ = 0;
+  }
+
+  [[nodiscard]] std::uint32_t attempts() const noexcept { return attempts_; }
+
+  /// The single decorrelated-jitter step, for callers that keep per-item
+  /// `prev` state externally (e.g. one RetransmitManager tracking many
+  /// outstanding packets with one shared Rng).
+  [[nodiscard]] static std::int64_t step(Rng& rng, const BackoffConfig& config,
+                                         std::int64_t prev_ns) noexcept {
+    const double hi = static_cast<double>(std::max(prev_ns, config.base_ns)) *
+                      config.multiplier;
+    const double drawn =
+        rng.uniform(static_cast<double>(config.base_ns),
+                    std::min(hi, static_cast<double>(config.cap_ns)));
+    return std::clamp(static_cast<std::int64_t>(drawn), config.base_ns,
+                      config.cap_ns);
+  }
+
+ private:
+  BackoffConfig config_;
+  Rng rng_;
+  std::int64_t prev_ns_;
+  std::uint32_t attempts_ = 0;
+};
+
+}  // namespace mcss

@@ -46,8 +46,49 @@ ChannelSet AdaptiveController::current_model() const {
   return ChannelSet(std::move(model));
 }
 
-void AdaptiveController::tick() {
-  // 1. Sense: per-channel loss over the last window, smoothed.
+void AdaptiveController::use_feedback(
+    const feedback::RetransmitManager* manager) {
+  feedback_ = manager;
+  feedback_baselines_.clear();
+  reports_seen_ = 0;
+}
+
+bool AdaptiveController::sense_from_reports() {
+  if (feedback_ == nullptr) return false;
+  const auto& stats = feedback_->stats();
+  if (stats.reports_received == reports_seen_) return false;  // stale
+  reports_seen_ = stats.reports_received;
+
+  const auto& telemetry = feedback_->channel_telemetry();
+  if (feedback_baselines_.size() < telemetry.size()) {
+    feedback_baselines_.resize(telemetry.size());
+  }
+  bool sensed = false;
+  for (std::size_t i = 0; i < channels_.size() && i < telemetry.size(); ++i) {
+    const std::uint64_t sent =
+        telemetry[i].shares_sent - feedback_baselines_[i].sent;
+    const std::uint64_t received =
+        telemetry[i].frames_received - feedback_baselines_[i].received;
+    feedback_baselines_[i] = {telemetry[i].shares_sent,
+                              telemetry[i].frames_received};
+    if (sent >= 20) {  // need a minimally informative window
+      // In-flight shares make received lag sent within a window; in
+      // steady state the lag is constant and cancels out of the delta,
+      // transients are absorbed by the same EMA the fallback path uses.
+      const double window_loss =
+          received >= sent
+              ? 0.0
+              : static_cast<double>(sent - received) /
+                    static_cast<double>(sent);
+      loss_estimate_[i] = (1.0 - config_.smoothing) * loss_estimate_[i] +
+                          config_.smoothing * window_loss;
+      sensed = true;
+    }
+  }
+  return sensed;
+}
+
+void AdaptiveController::sense_from_channels() {
   for (std::size_t i = 0; i < channels_.size(); ++i) {
     const auto& stats = channels_[i]->stats();
     const std::uint64_t queued = stats.frames_queued - baselines_[i].queued;
@@ -61,11 +102,29 @@ void AdaptiveController::tick() {
                           config_.smoothing * window_loss;
     }
   }
+}
+
+void AdaptiveController::tick() {
+  // 1. Sense: per-channel loss over the last window, smoothed. Feedback
+  // reports are preferred; the SimChannel oracle is the fallback. Either
+  // way the sim baselines advance, so a later fallback tick windows only
+  // over traffic it has not already priced in.
+  last_tick_from_reports_ = sense_from_reports();
+  if (last_tick_from_reports_) {
+    ++feedback_ticks_;
+    for (std::size_t i = 0; i < channels_.size(); ++i) {
+      baselines_[i] = {channels_[i]->stats().frames_queued,
+                       channels_[i]->stats().frames_dropped_loss};
+    }
+  } else {
+    sense_from_channels();
+  }
 
   // 2. Plan against the refreshed model.
   const Plan plan = plan_parameters(current_model(), config_.goal);
   if (plan.feasible) {
-    history_.push_back({sim_.now(), plan.kappa, plan.mu, loss_estimate_});
+    history_.push_back({sim_.now(), plan.kappa, plan.mu, loss_estimate_,
+                        last_tick_from_reports_});
     // 3. Act: install the freshly solved schedule (its usage fractions
     // track the new loss estimates even at an unchanged operating point).
     sender_.set_scheduler(std::make_unique<proto::StaticScheduler>(

@@ -10,6 +10,18 @@
 // refreshed model, and swaps the sender's share schedule in place when
 // the plan changes. The adaptation test drifts a channel's loss mid-run
 // and verifies the controller routes around it.
+//
+// Two sensing sources, in preference order:
+//   1. Receiver feedback (use_feedback): per-channel deltas of the
+//      RetransmitManager's ChannelTelemetry — the sender's own share
+//      counts joined with the receiver's reported arrival counts. This
+//      is what a deployed sender can actually observe.
+//   2. SimChannel counters (the original path, now the fallback): reads
+//      frames_queued/frames_dropped_loss straight from the simulated
+//      channel, i.e. an oracle the live transport cannot provide.
+// The controller silently falls back to (2) whenever no fresh report
+// has arrived since the previous tick, so a lossy or stalled feedback
+// channel degrades sensing latency, never correctness.
 #pragma once
 
 #include <cstdint>
@@ -17,6 +29,7 @@
 #include <vector>
 
 #include "core/planner.hpp"
+#include "feedback/retransmit.hpp"
 #include "net/sim_channel.hpp"
 #include "net/simulator.hpp"
 #include "protocol/scheduler.hpp"
@@ -43,6 +56,9 @@ struct AdaptationEvent {
   double kappa = 0.0;
   double mu = 0.0;
   std::vector<double> estimated_loss;
+  /// True when this tick's loss estimates came from receiver feedback
+  /// reports rather than the SimChannel counter fallback.
+  bool from_reports = false;
 };
 
 class AdaptiveController {
@@ -56,14 +72,27 @@ class AdaptiveController {
   AdaptiveController(const AdaptiveController&) = delete;
   AdaptiveController& operator=(const AdaptiveController&) = delete;
 
+  /// Prefer receiver-feedback telemetry from `manager` for loss sensing;
+  /// SimChannel counters remain the fallback for ticks with no fresh
+  /// report. `manager` must outlive the controller (null detaches).
+  void use_feedback(const feedback::RetransmitManager* manager);
+
   [[nodiscard]] const std::vector<AdaptationEvent>& history() const noexcept {
     return history_;
   }
   /// Number of times the plan actually changed (schedule swapped).
   [[nodiscard]] std::uint64_t replans() const noexcept { return replans_; }
+  /// Ticks whose estimates came from feedback reports.
+  [[nodiscard]] std::uint64_t feedback_ticks() const noexcept {
+    return feedback_ticks_;
+  }
 
  private:
   void tick();
+  /// Sense this tick's loss from feedback telemetry deltas; false = no
+  /// fresh report or window too small, use the SimChannel fallback.
+  bool sense_from_reports();
+  void sense_from_channels();
   [[nodiscard]] ChannelSet current_model() const;
 
   net::Simulator& sim_;
@@ -82,6 +111,17 @@ class AdaptiveController {
   double last_mu_ = -1.0;
   std::uint64_t replans_ = 0;
   std::vector<AdaptationEvent> history_;
+
+  /// Feedback sensing state (engaged via use_feedback).
+  const feedback::RetransmitManager* feedback_ = nullptr;
+  struct FeedbackBaseline {
+    std::uint64_t sent = 0;
+    std::uint64_t received = 0;
+  };
+  std::vector<FeedbackBaseline> feedback_baselines_;
+  std::uint64_t reports_seen_ = 0;
+  std::uint64_t feedback_ticks_ = 0;
+  bool last_tick_from_reports_ = false;
 };
 
 }  // namespace mcss::workload

@@ -2,6 +2,8 @@
 
 #include <memory>
 
+#include "feedback/report.hpp"
+#include "feedback/report_builder.hpp"
 #include "net/simulator.hpp"
 #include "util/ensure.hpp"
 #include "util/stats.hpp"
@@ -51,10 +53,40 @@ ChannelEstimate measure_channel(const net::ChannelConfig& config,
     net::SimChannel channel(sim, config, root.fork());
     OnlineStats delay;
     std::uint64_t received = 0;
+
+    // Delay probes ride the feedback machinery: deliveries are recorded
+    // as ReportBuilder delay samples (packet_id = send timestamp), and
+    // every sample is reduced through one_way_delay_seconds — the SAME
+    // definition a live sender applies to receiver reports, so measured
+    // setup models and online estimates agree by construction. The
+    // serialization term makes this d propagation-only, matching the
+    // model's delay semantics.
+    const double serialization =
+        static_cast<double>(probe.frame_bytes) * 8.0 / config.rate_bps;
+    feedback::ReportBuilder builder({.num_channels = 1,
+                                     .sack_window_words = 1,
+                                     .max_delay_samples = 255});
+    const auto drain = [&] {
+      const feedback::ReceiverReport report = builder.build(sim.now());
+      for (const feedback::DelaySample& sample : report.delays) {
+        delay.add(feedback::one_way_delay_seconds(
+            static_cast<std::int64_t>(sample.packet_id),
+            sample.recv_time_ns, serialization));
+      }
+    };
     channel.set_receiver([&](std::vector<std::uint8_t> frame) {
       ++received;
-      delay.add(net::to_seconds(sim.now() - payload_timestamp(frame)));
+      builder.on_delivered(
+          static_cast<std::uint64_t>(payload_timestamp(frame)), sim.now());
     });
+    // Drain the sample ring faster than paced probes can fill it (255
+    // samples vs at most a few dozen arrivals per 10 ms at sane rates).
+    const net::SimTime drain_every = net::from_millis(10);
+    const auto drains = static_cast<net::SimTime>(
+        probe.pace_seconds / net::to_seconds(drain_every)) + 1;
+    for (net::SimTime i = 1; i <= drains; ++i) {
+      sim.schedule_at(i * drain_every, drain);
+    }
     const double probe_bps = estimate.rate_pps * probe.pace_fraction *
                              static_cast<double>(probe.frame_bytes) * 8.0;
     std::uint64_t offered = 0;
@@ -66,16 +98,14 @@ ChannelEstimate measure_channel(const net::ChannelConfig& config,
                      },
                      root.fork()());
     sim.run();
+    drain();  // in-flight tail delivered after the last scheduled drain
     estimate.probes_sent = offered;
     estimate.probes_received = received;
     estimate.loss = offered == 0
                         ? 0.0
                         : 1.0 - static_cast<double>(received) /
                                     static_cast<double>(offered);
-    // Subtract the serialization time: the model's d is propagation only.
-    const double serialization =
-        static_cast<double>(probe.frame_bytes) * 8.0 / config.rate_bps;
-    estimate.delay_s = std::max(0.0, delay.mean() - serialization);
+    estimate.delay_s = delay.mean();
   }
 
   // Correct the saturation count for loss: capacity is what the channel

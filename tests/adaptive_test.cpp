@@ -5,6 +5,8 @@
 #include <memory>
 #include <vector>
 
+#include "feedback/reliable_link.hpp"
+#include "feedback/retransmit.hpp"
 #include "net/sim_channel.hpp"
 #include "net/simulator.hpp"
 #include "protocol/receiver.hpp"
@@ -174,6 +176,106 @@ TEST(Adaptive, RejectsBadConfig) {
   bad.smoothing = 0.0;
   EXPECT_THROW(AdaptiveController(sim, tx, wires, bad, root.fork()),
                PreconditionError);
+}
+
+TEST(Adaptive, SensesLossFromFeedbackReports) {
+  // The feedback path: loss estimates come from RetransmitManager
+  // telemetry (sender send counts joined with receiver report counts),
+  // not from SimChannel counters — what a deployed sender can observe.
+  net::Simulator sim;
+  Rng root(303);
+  net::ChannelConfig cc;
+  cc.rate_bps = 20e6;
+  cc.delay = net::from_millis(1);
+  std::vector<std::unique_ptr<net::SimChannel>> storage;
+  std::vector<net::SimChannel*> wires;
+  for (int i = 0; i < 3; ++i) {
+    storage.push_back(std::make_unique<net::SimChannel>(sim, cc, root.fork()));
+    wires.push_back(storage.back().get());
+  }
+  net::SimChannel feedback_wire(sim, cc, root.fork());
+  proto::Receiver rx(sim);  // the link attaches it to the wires
+  proto::Sender tx(sim, wires,
+                   std::make_unique<proto::DynamicScheduler>(2.0, 2.0, 3),
+                   root.fork());
+  const net::SimTime end = net::from_seconds(2.0);
+  feedback::ReliableLinkConfig link_cfg;
+  link_cfg.retransmit.max_retransmits = 0;  // sense only, no repair traffic
+  link_cfg.stop_after = end;
+  feedback::ReliableLink link(sim, tx, rx, wires, feedback_wire, link_cfg,
+                              root.fork());
+
+  AdaptiveConfig cfg;
+  cfg.goal.max_loss = 0.02;
+  cfg.goal.step = 0.5;
+  cfg.interval = net::from_millis(200);
+  cfg.smoothing = 0.6;
+  cfg.stop_after = end;
+  AdaptiveController controller(sim, tx, wires, cfg, root.fork());
+  controller.use_feedback(&link.manager());
+
+  sim.schedule_at(net::from_seconds(0.5), [&] { wires[0]->set_loss(0.30); });
+  CbrSource source(
+      sim, 12e6, 1470, 0, end,
+      [&](std::vector<std::uint8_t> p) { return tx.send(std::move(p)); },
+      root.fork()());
+  sim.run();
+
+  // Most ticks saw fresh reports (reports every 20 ms, ticks every 200).
+  EXPECT_GE(controller.feedback_ticks(), 5u);
+  ASSERT_FALSE(controller.history().empty());
+  const auto& last = controller.history().back();
+  EXPECT_TRUE(last.from_reports);
+  // The drifted channel was sensed through reports alone...
+  EXPECT_GT(last.estimated_loss[0], 0.15);
+  // ...without smearing loss onto the clean channels.
+  EXPECT_LT(last.estimated_loss[1], 0.05);
+  EXPECT_LT(last.estimated_loss[2], 0.05);
+}
+
+TEST(Adaptive, FallsBackToChannelCountersWhenReportsStall) {
+  // A manager that never hears a report (dead feedback channel) must not
+  // blind the controller: every tick falls back to the SimChannel
+  // counters and still senses the drift.
+  net::Simulator sim;
+  Rng root(404);
+  net::ChannelConfig cc;
+  cc.rate_bps = 20e6;
+  std::vector<std::unique_ptr<net::SimChannel>> storage;
+  std::vector<net::SimChannel*> wires;
+  for (int i = 0; i < 3; ++i) {
+    storage.push_back(std::make_unique<net::SimChannel>(sim, cc, root.fork()));
+    wires.push_back(storage.back().get());
+  }
+  proto::Receiver rx(sim);
+  for (auto* w : wires) rx.attach(*w);
+  proto::Sender tx(sim, wires,
+                   std::make_unique<proto::DynamicScheduler>(2.0, 2.0, 3),
+                   root.fork());
+  feedback::RetransmitManager silent_manager({}, Rng(1));
+
+  AdaptiveConfig cfg;
+  cfg.goal.max_loss = 0.02;
+  cfg.goal.step = 0.5;
+  cfg.interval = net::from_millis(100);
+  cfg.smoothing = 0.6;
+  cfg.stop_after = net::from_seconds(1.0);
+  AdaptiveController controller(sim, tx, wires, cfg, root.fork());
+  controller.use_feedback(&silent_manager);
+
+  wires[0]->set_loss(0.30);
+  CbrSource source(
+      sim, 12e6, 1470, 0, net::from_seconds(1.0),
+      [&](std::vector<std::uint8_t> p) { return tx.send(std::move(p)); },
+      root.fork()());
+  sim.run();
+
+  EXPECT_EQ(controller.feedback_ticks(), 0u);
+  ASSERT_FALSE(controller.history().empty());
+  for (const auto& event : controller.history()) {
+    EXPECT_FALSE(event.from_reports);
+  }
+  EXPECT_GT(controller.history().back().estimated_loss[0], 0.15);
 }
 
 TEST(SenderSchedulerSwap, MidStreamSwapKeepsDelivering) {

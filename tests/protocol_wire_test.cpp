@@ -83,9 +83,10 @@ TEST(Wire, DecodeRejectsMalformed) {
   bad = good;
   bad[12] = 0;
   EXPECT_FALSE(decode(bad).has_value());
-  // Unknown flags.
+  // Unknown flags (0x01 = authenticated and 0x02 = generation are
+  // defined; 0x04 is the first reserved bit).
   bad = good;
-  bad[13] = 1;
+  bad[13] = 0x04;
   EXPECT_FALSE(decode(bad).has_value());
   // Length mismatch: truncated payload.
   bad = good;
@@ -99,8 +100,6 @@ TEST(Wire, DecodeRejectsMalformed) {
   EXPECT_TRUE(decode(good).has_value());
 }
 
-// ------------------------------------------------------------ decode_prefix
-
 ShareFrame sample_frame(std::uint64_t id, std::uint8_t index,
                         std::size_t payload_len) {
   ShareFrame f;
@@ -110,6 +109,90 @@ ShareFrame sample_frame(std::uint64_t id, std::uint8_t index,
   f.payload.assign(payload_len, static_cast<std::uint8_t>(0xA0 + index));
   return f;
 }
+
+// ------------------------------------------------------------- generation
+
+TEST(Wire, GenerationRoundtrip) {
+  ShareFrame f;
+  f.packet_id = 99;
+  f.k = 3;
+  f.share_index = 4;
+  f.generation = 7;
+  f.payload = {1, 2, 3};
+  const auto bytes = encode(f);
+  EXPECT_EQ(bytes.size(), kHeaderSize + 1 + 3);  // extension byte present
+  const auto back = decode(bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, f);
+  EXPECT_EQ(back->generation, 7);
+
+  // Authenticated retransmissions: tag covers the extension byte too.
+  const crypto::SipHashKey key{1, 2,  3,  4,  5,  6,  7,  8,
+                               9, 10, 11, 12, 13, 14, 15, 16};
+  auto tagged = encode(f, &key);
+  const auto back2 = decode(tagged, &key);
+  ASSERT_TRUE(back2.has_value());
+  EXPECT_EQ(*back2, f);
+  tagged[kHeaderSize] ^= 0x01;  // flip the generation byte
+  EXPECT_FALSE(decode(tagged, &key).has_value());
+}
+
+TEST(Wire, GenerationZeroIsByteIdenticalToLegacyEncoding) {
+  // Original transmissions must not change on the wire just because the
+  // reliability layer exists: generation 0 omits the extension byte.
+  ShareFrame f;
+  f.packet_id = 5;
+  f.k = 2;
+  f.share_index = 1;
+  f.payload = {0xAA, 0xBB};
+  const auto bytes = encode(f);
+  EXPECT_EQ(bytes.size(), kHeaderSize + 2);
+  EXPECT_EQ(bytes[13], 0);  // no flag bits
+  const auto back = decode(bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->generation, 0);
+}
+
+TEST(Wire, NonCanonicalGenerationZeroRejected) {
+  // The flag set with generation byte 0 would give one frame two
+  // encodings; the canonical form omits the byte, the other is refused.
+  ShareFrame f;
+  f.packet_id = 5;
+  f.k = 2;
+  f.share_index = 1;
+  f.generation = 1;
+  f.payload = {0xAA};
+  auto bytes = encode(f);
+  ASSERT_EQ(bytes[13], kFlagGeneration);
+  bytes[kHeaderSize] = 0;  // generation byte -> 0, flag still set
+  DecodeStatus status = DecodeStatus::Ok;
+  EXPECT_FALSE(decode(bytes, nullptr, &status).has_value());
+  EXPECT_EQ(status, DecodeStatus::Malformed);
+}
+
+TEST(WirePrefix, GenerationFramesConcatenate) {
+  const auto f1 = [] {
+    auto f = sample_frame(20, 1, 4);
+    f.generation = 2;
+    return f;
+  }();
+  const auto f2 = sample_frame(21, 2, 4);  // generation 0 behind it
+  std::vector<std::uint8_t> buf = encode(f1);
+  const std::size_t first_size = buf.size();
+  const auto b2 = encode(f2);
+  buf.insert(buf.end(), b2.begin(), b2.end());
+
+  std::size_t consumed = 0;
+  auto parsed = decode_prefix(buf, &consumed);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, f1);
+  EXPECT_EQ(consumed, first_size);
+  parsed = decode_prefix(std::span(buf).subspan(consumed), &consumed);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, f2);
+}
+
+// ------------------------------------------------------------ decode_prefix
 
 TEST(WirePrefix, ConcatenatedFramesParseOneAtATime) {
   // Regression: a recv that coalesces two frames used to fail strict

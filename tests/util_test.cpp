@@ -1,4 +1,5 @@
-// Tests for src/util: rng, stats, subset helpers, Poisson binomial.
+// Tests for src/util: rng, stats, subset helpers, Poisson binomial,
+// backoff.
 #include <gtest/gtest.h>
 
 #include <array>
@@ -6,6 +7,8 @@
 #include <set>
 #include <vector>
 
+#include "util/backoff.hpp"
+#include "util/ensure.hpp"
 #include "util/poisson_binomial.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -436,6 +439,92 @@ TEST(PoissonBinomial, EmptyTrialSet) {
   EXPECT_EQ(pmf[0], 1.0);
   EXPECT_EQ(poisson_binomial_tail_geq(none, 1), 0.0);
   EXPECT_EQ(poisson_binomial_tail_geq(none, 0), 1.0);
+}
+
+// ---------------------------------------------------------------- Backoff
+
+TEST(Backoff, DelaysStayWithinBounds) {
+  const BackoffConfig config{.base_ns = 1'000, .cap_ns = 50'000,
+                             .multiplier = 3.0};
+  Backoff backoff(config, Rng(7));
+  for (int i = 0; i < 200; ++i) {
+    const std::int64_t d = backoff.next();
+    EXPECT_GE(d, config.base_ns);
+    EXPECT_LE(d, config.cap_ns);
+  }
+  EXPECT_EQ(backoff.attempts(), 200u);
+}
+
+TEST(Backoff, ExpectedDelayGrowsUntilTheCap) {
+  // The jitter window is [base, prev * mult]; averaged over many
+  // independent sequences the n-th delay grows until the cap dominates.
+  const BackoffConfig config{.base_ns = 1'000, .cap_ns = 1'000'000'000,
+                             .multiplier = 3.0};
+  constexpr int kRuns = 400;
+  constexpr int kSteps = 6;
+  std::array<double, kSteps> mean{};
+  for (int run = 0; run < kRuns; ++run) {
+    Backoff backoff(config, Rng(static_cast<std::uint64_t>(run) + 1));
+    for (int s = 0; s < kSteps; ++s) {
+      mean[static_cast<std::size_t>(s)] +=
+          static_cast<double>(backoff.next()) / kRuns;
+    }
+  }
+  for (int s = 1; s < kSteps; ++s) {
+    EXPECT_GT(mean[static_cast<std::size_t>(s)],
+              mean[static_cast<std::size_t>(s - 1)]);
+  }
+}
+
+TEST(Backoff, ResetReturnsToTheBaseWindow) {
+  const BackoffConfig config{.base_ns = 1'000, .cap_ns = 1'000'000'000,
+                             .multiplier = 2.0};
+  Backoff backoff(config, Rng(11));
+  for (int i = 0; i < 20; ++i) (void)backoff.next();
+  backoff.reset();
+  EXPECT_EQ(backoff.attempts(), 0u);
+  // First post-reset delay is drawn from [base, base * mult] again.
+  const std::int64_t d = backoff.next();
+  EXPECT_GE(d, config.base_ns);
+  EXPECT_LE(d, static_cast<std::int64_t>(
+                   static_cast<double>(config.base_ns) * config.multiplier));
+}
+
+TEST(Backoff, TwoBackoffsDecorrelate) {
+  // Decorrelated jitter exists so parties that failed together do not
+  // retry together: two schedules from different seeds should disagree.
+  const BackoffConfig config{.base_ns = 1'000, .cap_ns = 1'000'000'000,
+                             .multiplier = 3.0};
+  Backoff a(config, Rng(1));
+  Backoff b(config, Rng(2));
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.next() == b.next());
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Backoff, StepIsDeterministicGivenRngState) {
+  const BackoffConfig config{.base_ns = 500, .cap_ns = 10'000,
+                             .multiplier = 2.0};
+  Rng r1(3), r2(3);
+  std::int64_t prev1 = config.base_ns;
+  std::int64_t prev2 = config.base_ns;
+  for (int i = 0; i < 50; ++i) {
+    prev1 = Backoff::step(r1, config, prev1);
+    prev2 = Backoff::step(r2, config, prev2);
+    EXPECT_EQ(prev1, prev2);
+    EXPECT_GE(prev1, config.base_ns);
+    EXPECT_LE(prev1, config.cap_ns);
+  }
+}
+
+TEST(Backoff, RejectsBadConfig) {
+  EXPECT_THROW(Backoff({.base_ns = 0, .cap_ns = 10, .multiplier = 2.0}, Rng(1)),
+               PreconditionError);
+  EXPECT_THROW(Backoff({.base_ns = 10, .cap_ns = 5, .multiplier = 2.0}, Rng(1)),
+               PreconditionError);
+  EXPECT_THROW(
+      Backoff({.base_ns = 10, .cap_ns = 20, .multiplier = 0.5}, Rng(1)),
+      PreconditionError);
 }
 
 }  // namespace
