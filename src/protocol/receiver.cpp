@@ -67,7 +67,7 @@ void Receiver::attach(net::SimChannel& channel) {
   });
 }
 
-void Receiver::on_frame(std::vector<std::uint8_t> raw) {
+void Receiver::on_frame(std::span<const std::uint8_t> raw) {
   ++stats_.frames_received;
   DecodeStatus decode_status = DecodeStatus::Ok;
   auto frame = decode(raw, config_.auth_key ? &*config_.auth_key : nullptr,

@@ -13,6 +13,7 @@
 #include <functional>
 #include <list>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -84,8 +85,16 @@ class Receiver {
 
   void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
 
-  /// Feed one raw frame (also the attach() path; public for tests).
-  void on_frame(std::vector<std::uint8_t> frame);
+  /// Feed one raw frame viewed in place — the live transport's batched
+  /// RX path hands spans into pool-backed receive slots, and only the
+  /// share payload the receiver actually retains is copied (into the
+  /// reassembly partial, by decode). The span need not outlive the call.
+  void on_frame(std::span<const std::uint8_t> frame);
+
+  /// Owning-buffer convenience (the attach() path; public for tests).
+  void on_frame(std::vector<std::uint8_t> frame) {
+    on_frame(std::span<const std::uint8_t>(frame));
+  }
 
   [[nodiscard]] const ReceiverStats& stats() const noexcept { return stats_; }
 

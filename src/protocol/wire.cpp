@@ -1,21 +1,12 @@
 #include "protocol/wire.hpp"
 
+#include <cstring>
+
 #include "util/ensure.hpp"
 
 namespace mcss::proto {
 
 namespace {
-
-void put16(std::vector<std::uint8_t>& out, std::uint16_t v) {
-  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
-  out.push_back(static_cast<std::uint8_t>(v >> 8));
-}
-
-void put64(std::vector<std::uint8_t>& out, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-  }
-}
 
 [[nodiscard]] std::uint16_t get16(std::span<const std::uint8_t> in, std::size_t at) {
   return static_cast<std::uint16_t>(in[at] | (in[at + 1] << 8));
@@ -36,33 +27,97 @@ std::optional<ShareFrame> fail(DecodeStatus* status, DecodeStatus why) {
 
 }  // namespace
 
-std::vector<std::uint8_t> encode(const ShareFrame& frame,
-                                 const crypto::SipHashKey* key) {
-  MCSS_ENSURE(frame.payload.size() <= kMaxPayload, "share payload too large");
-  MCSS_ENSURE(frame.k >= 1, "threshold must be at least 1");
-  MCSS_ENSURE(frame.share_index >= 1, "share index 0 is reserved");
+std::size_t encoded_size(const ShareFrame& frame, bool keyed) noexcept {
+  return kHeaderSize + (frame.generation != 0 ? 1 : 0) + frame.payload.size() +
+         (keyed ? kTagSize : 0);
+}
 
-  std::uint8_t flags = key != nullptr ? kFlagAuthenticated : 0;
+std::size_t encoded_size(std::size_t payload_len, std::uint8_t generation,
+                         bool keyed) noexcept {
+  return kHeaderSize + (generation != 0 ? 1 : 0) + payload_len +
+         (keyed ? kTagSize : 0);
+}
+
+std::size_t encode_header_into(const FrameMeta& meta, std::size_t payload_len,
+                               std::span<std::uint8_t> dst, bool keyed) {
+  MCSS_ENSURE(payload_len <= kMaxPayload, "share payload too large");
+  MCSS_ENSURE(meta.k >= 1, "threshold must be at least 1");
+  MCSS_ENSURE(meta.share_index >= 1, "share index 0 is reserved");
+  MCSS_ENSURE(dst.size() >= encoded_size(payload_len, meta.generation, keyed),
+              "encode destination too small");
+
+  std::uint8_t flags = keyed ? kFlagAuthenticated : 0;
   // Generation 0 omits the extension byte: original transmissions stay
   // byte-identical to the pre-reliability encoding.
-  if (frame.generation != 0) flags |= kFlagGeneration;
+  if (meta.generation != 0) flags |= kFlagGeneration;
 
-  std::vector<std::uint8_t> out;
-  out.reserve(kHeaderSize + 1 + frame.payload.size() + (key ? kTagSize : 0));
-  put16(out, kMagic);
-  out.push_back(kVersion);
-  out.push_back(frame.k);
-  put64(out, frame.packet_id);
-  out.push_back(frame.share_index);
-  out.push_back(flags);
-  put16(out, static_cast<std::uint16_t>(frame.payload.size()));
-  if (frame.generation != 0) out.push_back(frame.generation);
-  out.insert(out.end(), frame.payload.begin(), frame.payload.end());
-  if (key != nullptr) {
-    const auto tag = crypto::siphash24_tag(out, *key);
-    out.insert(out.end(), tag.begin(), tag.end());
+  std::uint8_t* p = dst.data();
+  p[0] = static_cast<std::uint8_t>(kMagic & 0xFF);
+  p[1] = static_cast<std::uint8_t>(kMagic >> 8);
+  p[2] = kVersion;
+  p[3] = meta.k;
+  for (int i = 0; i < 8; ++i) {
+    p[4 + i] = static_cast<std::uint8_t>(meta.packet_id >> (8 * i));
   }
+  p[12] = meta.share_index;
+  p[13] = flags;
+  p[14] = static_cast<std::uint8_t>(payload_len & 0xFF);
+  p[15] = static_cast<std::uint8_t>(payload_len >> 8);
+  std::size_t at = kHeaderSize;
+  if (meta.generation != 0) p[at++] = meta.generation;
+  return at;
+}
+
+void seal_frame(std::span<std::uint8_t> dst, const crypto::SipHashKey& key) {
+  MCSS_ENSURE(dst.size() >= kHeaderSize + kTagSize,
+              "seal_frame needs a full keyed frame");
+  const std::size_t at = dst.size() - kTagSize;
+  const auto tag = crypto::siphash24_tag(dst.first(at), key);
+  std::memcpy(dst.data() + at, tag.data(), tag.size());
+}
+
+std::size_t encode_into(const ShareFrame& frame, std::span<std::uint8_t> dst,
+                        const crypto::SipHashKey* key) {
+  const FrameMeta meta{frame.packet_id, frame.k, frame.share_index,
+                       frame.generation};
+  const bool keyed = key != nullptr;
+  std::size_t at = encode_header_into(meta, frame.payload.size(), dst, keyed);
+  if (!frame.payload.empty()) {
+    std::memcpy(dst.data() + at, frame.payload.data(), frame.payload.size());
+  }
+  at += frame.payload.size();
+  if (keyed) {
+    seal_frame(dst.first(at + kTagSize), *key);
+    at += kTagSize;
+  }
+  return at;
+}
+
+std::vector<std::uint8_t> encode(const ShareFrame& frame,
+                                 const crypto::SipHashKey* key) {
+  std::vector<std::uint8_t> out(encoded_size(frame, key != nullptr));
+  encode_into(frame, out, key);
   return out;
+}
+
+std::optional<std::size_t> frame_extent(
+    std::span<const std::uint8_t> buf) noexcept {
+  if (buf.size() < kHeaderSize) return std::nullopt;
+  if (get16(buf, 0) != kMagic) return std::nullopt;
+  if (buf[2] != kVersion) return std::nullopt;
+  if (buf[3] == 0 || buf[12] == 0) return std::nullopt;  // k, share index
+  const std::uint8_t flags = buf[13];
+  if ((flags & ~(kFlagAuthenticated | kFlagGeneration)) != 0) {
+    return std::nullopt;  // unknown flag bits
+  }
+  const std::size_t ext = (flags & kFlagGeneration) != 0 ? 1 : 0;
+  const std::size_t expected =
+      kHeaderSize + ext + get16(buf, 14) +
+      ((flags & kFlagAuthenticated) != 0 ? kTagSize : 0);
+  if (buf.size() < expected) return std::nullopt;
+  // Canonical encoding: generation 0 omits the extension byte.
+  if (ext != 0 && buf[kHeaderSize] == 0) return std::nullopt;
+  return expected;
 }
 
 std::optional<ShareFrame> decode_prefix(std::span<const std::uint8_t> buf,
@@ -72,35 +127,24 @@ std::optional<ShareFrame> decode_prefix(std::span<const std::uint8_t> buf,
   MCSS_ENSURE(consumed != nullptr, "decode_prefix needs a consumed out-param");
   *consumed = 0;
   if (status != nullptr) *status = DecodeStatus::Ok;
-  if (buf.size() < kHeaderSize) return fail(status, DecodeStatus::Malformed);
-  if (get16(buf, 0) != kMagic) return fail(status, DecodeStatus::Malformed);
-  if (buf[2] != kVersion) return fail(status, DecodeStatus::Malformed);
+  // Framing (magic, version, k/index, flags, lengths, canonical
+  // generation) is frame_extent's single source of truth; this function
+  // adds authentication and payload materialization on top.
+  const auto extent = frame_extent(buf);
+  if (!extent) return fail(status, DecodeStatus::Malformed);
 
   ShareFrame frame;
   frame.k = buf[3];
   frame.packet_id = get64(buf, 4);
   frame.share_index = buf[12];
-  if (frame.k == 0 || frame.share_index == 0) {
-    return fail(status, DecodeStatus::Malformed);
-  }
   const std::uint8_t flags = buf[13];
-  if ((flags & ~(kFlagAuthenticated | kFlagGeneration)) != 0) {
-    return fail(status, DecodeStatus::Malformed);  // unknown flag bits
-  }
   const bool authenticated = (flags & kFlagAuthenticated) != 0;
   // Extension byte between header and payload (retransmissions only).
   const std::size_t ext = (flags & kFlagGeneration) != 0 ? 1 : 0;
-
   const std::size_t len = get16(buf, 14);
   const std::size_t body = kHeaderSize + ext + len;
-  const std::size_t expected = body + (authenticated ? kTagSize : 0);
-  if (buf.size() < expected) return fail(status, DecodeStatus::Malformed);
-  if (ext != 0) {
-    frame.generation = buf[kHeaderSize];
-    // Generation 0 with the flag set would make one frame encodable two
-    // ways; the canonical encoding omits the byte, so reject the other.
-    if (frame.generation == 0) return fail(status, DecodeStatus::Malformed);
-  }
+  const std::size_t expected = *extent;
+  if (ext != 0) frame.generation = buf[kHeaderSize];
 
   if (key != nullptr) {
     // A keyed receiver refuses unauthenticated frames outright.

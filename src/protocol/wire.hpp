@@ -75,6 +75,45 @@ struct ShareFrame {
 [[nodiscard]] std::vector<std::uint8_t> encode(
     const ShareFrame& frame, const crypto::SipHashKey* key = nullptr);
 
+/// Exact on-wire size of `frame` as encode() would produce it.
+[[nodiscard]] std::size_t encoded_size(const ShareFrame& frame,
+                                       bool keyed) noexcept;
+
+/// Serialize straight into caller-owned storage (a FramePool slot on the
+/// live transport's fast path — no per-share vector). Preconditions match
+/// encode(); additionally `dst` must hold encoded_size() bytes. Returns
+/// the bytes written.
+std::size_t encode_into(const ShareFrame& frame, std::span<std::uint8_t> dst,
+                        const crypto::SipHashKey* key = nullptr);
+
+/// Header fields of a frame whose payload the caller writes in place —
+/// the sender's split-into-slot path, where sss::split_into fills the
+/// payload region directly and no ShareFrame (or its payload vector)
+/// ever exists.
+struct FrameMeta {
+  std::uint64_t packet_id = 0;
+  std::uint8_t k = 1;
+  std::uint8_t share_index = 1;
+  std::uint8_t generation = 0;
+};
+
+/// On-wire size of a frame with `payload_len` payload bytes.
+[[nodiscard]] std::size_t encoded_size(std::size_t payload_len,
+                                       std::uint8_t generation,
+                                       bool keyed) noexcept;
+
+/// Write the header (and generation byte) of a frame into `dst` and
+/// return the offset where the caller must place `payload_len` payload
+/// bytes. `dst` must hold the full encoded_size(); in keyed mode the
+/// caller finishes the frame with seal_frame() AFTER the payload is in
+/// place — the tag covers it.
+std::size_t encode_header_into(const FrameMeta& meta, std::size_t payload_len,
+                               std::span<std::uint8_t> dst, bool keyed);
+
+/// Compute the SipHash tag over everything before the trailing kTagSize
+/// bytes of `dst` (the complete frame) and write it there.
+void seal_frame(std::span<std::uint8_t> dst, const crypto::SipHashKey& key);
+
 enum class DecodeStatus {
   Ok,
   Malformed,   ///< bad magic/version/lengths/reserved fields
@@ -107,5 +146,15 @@ enum class DecodeStatus {
 [[nodiscard]] std::optional<ShareFrame> decode_prefix(
     std::span<const std::uint8_t> buf, std::size_t* consumed,
     const crypto::SipHashKey* key = nullptr, DecodeStatus* status = nullptr);
+
+/// Framing-only prefix scan: validates the fixed header (magic, version,
+/// k, index, flags, lengths) at the head of `buf` and returns the total
+/// frame extent (header + extension + payload + tag) WITHOUT copying the
+/// payload or checking authentication. This is the datagram-split
+/// primitive for the batched live transport: splitting a coalesced
+/// datagram must not allocate, and auth stays the keyed Receiver's job.
+/// nullopt when the head is not a complete well-formed frame.
+[[nodiscard]] std::optional<std::size_t> frame_extent(
+    std::span<const std::uint8_t> buf) noexcept;
 
 }  // namespace mcss::proto

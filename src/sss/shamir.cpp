@@ -64,6 +64,32 @@ std::vector<Share> split(std::span<const std::uint8_t> secret, int k, int m,
   return shares;
 }
 
+void split_into(std::span<const std::uint8_t> secret, int k,
+                std::span<const std::span<std::uint8_t>> dests,
+                std::vector<std::uint8_t>& scratch, Rng& rng) {
+  const int m = static_cast<int>(dests.size());
+  check_split_params(secret, k, m);
+  const std::size_t len = secret.size();
+  // Same single bulk draw as split(): scratch holds the (k-1)
+  // coefficient slices, exactly sized so rng consumption matches.
+  scratch.resize(static_cast<std::size_t>(k - 1) * len);
+  rng.fill(scratch);
+
+  for (int j = 0; j < m; ++j) {
+    const std::span<std::uint8_t> out = dests[static_cast<std::size_t>(j)];
+    MCSS_ENSURE(out.size() == len, "split_into destination length mismatch");
+    if (len != 0) std::memcpy(out.data(), secret.data(), len);
+    const auto x = static_cast<gf::Elem>(j + 1);
+    gf::Elem xp = 1;
+    for (int c = 1; c < k; ++c) {
+      xp = gf::mul(xp, x);
+      gf::bulk::mul_acc_buf(
+          out.data(), scratch.data() + static_cast<std::size_t>(c - 1) * len,
+          xp, len);
+    }
+  }
+}
+
 std::vector<Share> split_scalar(std::span<const std::uint8_t> secret, int k,
                                 int m, Rng& rng) {
   check_split_params(secret, k, m);

@@ -35,6 +35,17 @@ inline constexpr int kMaxShares = 255;
 [[nodiscard]] std::vector<Share> split(std::span<const std::uint8_t> secret,
                                        int k, int m, Rng& rng);
 
+/// Split straight into caller-provided buffers: share j's bytes go to
+/// dests[j] (abscissa j+1; every span must be secret.size() bytes), and
+/// the coefficient slices live in `scratch`, which is resized as needed
+/// and reusable across calls — the live sender's zero-allocation path,
+/// writing share bytes in place in FramePool slots. Consumes `rng`
+/// identically to split(), so for equal seeds the share bytes match
+/// split() exactly.
+void split_into(std::span<const std::uint8_t> secret, int k,
+                std::span<const std::span<std::uint8_t>> dests,
+                std::vector<std::uint8_t>& scratch, Rng& rng);
+
 /// Reference split: the seed per-byte Horner evaluation with scalar
 /// gf::mul lookups. Consumes `rng` identically to split() (same single
 /// bulk coefficient fill), so for equal seeds the two are byte-identical

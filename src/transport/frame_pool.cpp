@@ -1,0 +1,64 @@
+#include "transport/frame_pool.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/ensure.hpp"
+
+namespace mcss::transport {
+
+FramePool::FramePool(std::size_t slot_bytes, std::size_t slots)
+    : slot_bytes_(slot_bytes) {
+  MCSS_ENSURE(slot_bytes > 0, "pool slots need a nonzero size");
+  MCSS_ENSURE(slots > 0, "pool needs at least one slot");
+  MCSS_ENSURE(slots < kNone, "slot count exceeds the index space");
+  arena_.resize(slot_bytes_ * slots);
+  refs_.assign(slots, 0);
+  sizes_.assign(slots, 0);
+  next_free_.resize(slots);
+  // Thread the freelist in ascending order so fresh pools hand out
+  // ascending slots (nicer cache behavior, deterministic tests).
+  for (std::size_t i = 0; i + 1 < slots; ++i) {
+    next_free_[i] = static_cast<std::uint32_t>(i + 1);
+  }
+  next_free_[slots - 1] = kNone;
+  free_head_ = 0;
+}
+
+FrameRef FramePool::acquire() noexcept {
+  if (free_head_ == kNone) {
+    ++stats_.exhausted;
+    return {};
+  }
+  const std::uint32_t slot = free_head_;
+  free_head_ = next_free_[slot];
+  refs_[slot] = 1;
+  sizes_[slot] = 0;
+  ++in_use_;
+  ++stats_.acquired;
+  stats_.high_water = std::max(stats_.high_water, in_use_);
+  return FrameRef(this, slot);
+}
+
+FrameRef FramePool::acquire_copy(std::span<const std::uint8_t> bytes) noexcept {
+  if (bytes.size() > slot_bytes_) {
+    ++stats_.exhausted;
+    return {};
+  }
+  FrameRef ref = acquire();
+  if (ref) {
+    std::memcpy(ref.data(), bytes.data(), bytes.size());
+    ref.resize(bytes.size());
+  }
+  return ref;
+}
+
+void FramePool::release(std::uint32_t slot) noexcept {
+  if (--refs_[slot] == 0) {
+    next_free_[slot] = free_head_;
+    free_head_ = slot;
+    --in_use_;
+  }
+}
+
+}  // namespace mcss::transport

@@ -36,9 +36,9 @@ std::int64_t Impairment::serialization_ns(std::size_t bytes) const noexcept {
   return net::from_seconds(seconds);
 }
 
-bool Impairment::offer(std::vector<std::uint8_t> frame, std::int64_t now_ns) {
+bool Impairment::offer(FrameRef frame, std::int64_t now_ns) {
   ++stats_.frames_offered;
-  MCSS_ENSURE(!frame.empty(), "cannot send an empty frame");
+  MCSS_ENSURE(frame && frame.size() > 0, "cannot send an empty frame");
   if (queued_bytes_ + frame.size() > config_.queue_capacity_bytes) {
     ++stats_.frames_dropped_queue;
     return false;
@@ -54,6 +54,15 @@ bool Impairment::offer(std::vector<std::uint8_t> frame, std::int64_t now_ns) {
   const std::int64_t start = std::max(serializer_free_at_, now_ns);
   const std::int64_t departure = start + serialization_ns(frame.size());
   serializer_free_at_ = departure;
+  if (departure <= now_ns) {
+    // Transparent-channel fast path: the serializer was idle and the
+    // charge rounded to zero, so the frame departs right now — skip the
+    // wheel and its type-erased closure (the hot path's only heap
+    // allocation). Draw order matches the scheduled path exactly: the
+    // wheel would have fired this departure before any later offer.
+    depart(std::move(frame), departure);
+    return true;
+  }
   wheel_.schedule_at(departure, [this, departure,
                                  f = std::move(frame)]() mutable {
     depart(std::move(f), departure);
@@ -61,8 +70,7 @@ bool Impairment::offer(std::vector<std::uint8_t> frame, std::int64_t now_ns) {
   return true;
 }
 
-void Impairment::depart(std::vector<std::uint8_t> frame,
-                        std::int64_t departure_ns) {
+void Impairment::depart(FrameRef frame, std::int64_t departure_ns) {
   queued_bytes_ -= frame.size();
   // netem-equivalent loss: decided as the frame leaves the serializer,
   // with the same draw order as SimChannel so the two impairment paths
@@ -74,7 +82,7 @@ void Impairment::depart(std::vector<std::uint8_t> frame,
   if (rng_.bernoulli(config_.corrupt)) {
     ++stats_.frames_corrupted;
     const auto bit = rng_.uniform_int(frame.size() * 8);
-    frame[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    frame.data()[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
   }
   const int copies = rng_.bernoulli(config_.duplicate) ? 2 : 1;
   if (copies == 2) ++stats_.frames_duplicated;
@@ -82,14 +90,25 @@ void Impairment::depart(std::vector<std::uint8_t> frame,
     ++stats_.frames_delivered;
     stats_.bytes_delivered += frame.size();
     // Jitter draws independently per copy, so duplicates (and successive
-    // frames) can reorder, as with real netem.
+    // frames) can reorder, as with real netem. Duplicates SHARE the
+    // pooled slot (refcount, not copy) — both releases read the same
+    // post-corruption bytes, which is what the old copying path produced.
     std::int64_t extra = config_.delay;
     if (config_.jitter > 0) {
       extra += static_cast<std::int64_t>(
           rng_.uniform_int(static_cast<std::uint64_t>(config_.jitter) + 1));
     }
-    wheel_.schedule_at(departure_ns + extra, [this, f = frame]() mutable {
-      release_(std::move(f));
+    const std::int64_t release_at = departure_ns + extra;
+    if (extra == 0) {
+      // No netem delay to model: hand the frame straight to the channel
+      // (the second leg of the transparent fast path).
+      release_(copy + 1 < copies ? frame : std::move(frame), release_at);
+      continue;
+    }
+    wheel_.schedule_at(release_at,
+                       [this, release_at,
+                        f = copy + 1 < copies ? frame : std::move(frame)]() mutable {
+      release_(std::move(f), release_at);
     });
   }
 }

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "net/sim_channel.hpp"
+#include "transport/frame_pool.hpp"
 #include "transport/timer_wheel.hpp"
 #include "util/rng.hpp"
 
@@ -37,8 +38,11 @@ namespace mcss::transport {
 
 class Impairment {
  public:
-  /// Receives each surviving frame at its impaired release time.
-  using ReleaseFn = std::function<void(std::vector<std::uint8_t>)>;
+  /// Receives each surviving frame at its impaired release time, along
+  /// with that release time (monotonic ns) — the channel batches many
+  /// released frames into one sendmmsg, and each frame keeps its OWN
+  /// release stamp so per-frame queue-wait accounting survives batching.
+  using ReleaseFn = std::function<void(FrameRef, std::int64_t)>;
 
   /// `rng` seeds this channel's private loss/jitter stream. The wheel is
   /// shared across channels and must outlive the Impairment.
@@ -52,7 +56,13 @@ class Impairment {
   /// when the transmit queue cannot take it; otherwise the frame will
   /// serialize, possibly be lost, and otherwise be released to `release`
   /// serialization + delay + jitter later.
-  bool offer(std::vector<std::uint8_t> frame, std::int64_t now_ns);
+  ///
+  /// Fast path: when the serializer is idle and the frame's whole
+  /// serialization + delay + jitter charge rounds to zero (a transparent
+  /// channel, i.e. the bench's unimpaired configuration), the frame is
+  /// released inline — no wheel entry, no deferred closure, no
+  /// allocation — with draw order identical to the scheduled path.
+  bool offer(FrameRef frame, std::int64_t now_ns);
 
   /// epoll-style writability: backlog below the watermark (mirrors
   /// SimChannel::ready()).
@@ -77,7 +87,7 @@ class Impairment {
   }
 
  private:
-  void depart(std::vector<std::uint8_t> frame, std::int64_t departure_ns);
+  void depart(FrameRef frame, std::int64_t departure_ns);
   [[nodiscard]] std::int64_t serialization_ns(std::size_t bytes) const noexcept;
 
   net::ChannelConfig config_;

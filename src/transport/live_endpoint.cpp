@@ -22,6 +22,15 @@ std::uint16_t port_base_from_env(std::uint16_t fallback) {
   return static_cast<std::uint16_t>(v);
 }
 
+std::size_t batch_from_env(std::size_t fallback) {
+  const char* env = std::getenv("MCSS_LIVE_BATCH");
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(env, &end, 10);
+  if (end == env || *end != '\0' || v == 0 || v > 1024) return fallback;
+  return static_cast<std::size_t>(v);
+}
+
 LiveEndpoint::LiveEndpoint(LiveConfig config)
     : config_(std::move(config)),
       epoch_ns_(monotonic_ns()),
@@ -39,6 +48,29 @@ LiveEndpoint::LiveEndpoint(LiveConfig config)
                 }()) {
   MCSS_ENSURE(!config_.channels.empty(), "live endpoint needs channels");
   MCSS_ENSURE(config_.channels.size() <= 32, "at most 32 channels");
+  MCSS_ENSURE(config_.send_batch >= 1 && config_.recv_batch >= 1,
+              "batch depths must be at least 1");
+
+  // One arena for every channel: TX frames are encoded straight into
+  // slots, RX pins recv_batch slots per channel. Auto-sizing leaves
+  // ample slack for frames parked at the impairment serializer.
+  {
+    const std::size_t slot_bytes =
+        config_.pool_slot_bytes != 0
+            ? config_.pool_slot_bytes
+            : std::max<std::size_t>(2048, 2 * config_.max_datagram_bytes);
+    const std::size_t lanes = config_.channels.size() +
+                              (config_.reliability.enabled ? 1 : 0);
+    const std::size_t slots =
+        config_.pool_slots != 0
+            ? config_.pool_slots
+            : lanes * (config_.recv_batch + 4 * config_.send_batch) + 64;
+    pool_ = std::make_unique<FramePool>(slot_bytes, slots);
+  }
+  // On the uring backend, pre-register the arena with the ring
+  // (IORING_REGISTER_BUFFERS) so the pages RX slots live in are pinned
+  // once instead of per syscall; epoll/poll ignore this.
+  poller_.register_buffers({pool_->arena_data(), pool_->arena_bytes()});
 
   scheduler_ = config_.scheduler
                    ? std::move(config_.scheduler)
@@ -65,21 +97,22 @@ LiveEndpoint::LiveEndpoint(LiveConfig config)
         config_.port_base != 0
             ? static_cast<std::uint16_t>(config_.port_base + i)
             : 0;
-    auto ch = std::make_unique<UdpChannel>(spec.config, rng_.fork(), wheel_,
-                                           port, spec.name,
-                                           config_.max_datagram_bytes);
-    ch->set_on_frame([this, i](std::vector<std::uint8_t> frame) {
+    auto ch = std::make_unique<UdpChannel>(
+        spec.config, rng_.fork(), wheel_, *pool_, port, spec.name,
+        config_.max_datagram_bytes, config_.send_batch, config_.recv_batch);
+    ch->set_on_frame([this, i](std::span<const std::uint8_t> frame) {
       // Keep the receiver's clock caught up before it stamps first_seen.
       sync_timeline(now_ns());
       if (builder_) {
         // Classify for the per-channel report counters the way the
         // receiver will: a parseable head is a share frame, anything
         // else is an undecodable blob the channel mangled.
-        std::size_t consumed = 0;
-        builder_->on_channel_frame(
-            i, proto::decode_prefix(frame, &consumed).has_value());
+        builder_->on_channel_frame(i,
+                                   proto::frame_extent(frame).has_value());
       }
-      receiver_.on_frame(std::move(frame));
+      // Span straight from the receive slot: the receiver copies only
+      // the share payload it retains.
+      receiver_.on_frame(frame);
     });
     poller_.add(ch->rx_fd(), /*want_read=*/true, /*want_write=*/false);
     poller_.add(ch->tx_fd(), /*want_read=*/false, /*want_write=*/false);
@@ -110,9 +143,10 @@ LiveEndpoint::LiveEndpoint(LiveConfig config)
             ? static_cast<std::uint16_t>(config_.port_base + n)
             : 0;
     feedback_ch_ = std::make_unique<UdpChannel>(
-        config_.reliability.feedback_channel, rng_.fork(), wheel_, fb_port,
-        "feedback", config_.max_datagram_bytes);
-    feedback_ch_->set_on_frame([this](std::vector<std::uint8_t> datagram) {
+        config_.reliability.feedback_channel, rng_.fork(), wheel_, *pool_,
+        fb_port, "feedback", config_.max_datagram_bytes, config_.send_batch,
+        config_.recv_batch);
+    feedback_ch_->set_on_frame([this](std::span<const std::uint8_t> datagram) {
       manager_->on_report_datagram(datagram, now_ns(),
                                    config_.reliability.report_auth_key
                                        ? &*config_.reliability.report_auth_key
@@ -154,11 +188,26 @@ bool LiveEndpoint::send(std::vector<std::uint8_t> payload) {
 
 void LiveEndpoint::pump(std::int64_t now) {
   while (!queue_.empty()) {
-    std::vector<proto::ChannelView> view(channels_.size());
-    for (std::size_t i = 0; i < channels_.size(); ++i) {
-      view[i] = {channels_[i]->ready(now), channels_[i]->backlog_ns(now)};
+    // Pool backpressure: one decision fans out to at most one share per
+    // channel, each serialized straight into an arena slot that stays
+    // live until the frame clears impairment and sendmmsg retires it.
+    // Without headroom for that fan-out, park the packet in the send
+    // queue instead of dispatching shares encode_and_send would have to
+    // drop; departures free slots and the next pump resumes.
+    if (pool_->available() < channels_.size()) {
+      ++pool_defers_;
+      if (obs::trace_enabled()) {
+        obs::Tracer::global().instant("pool_defer", "sender", now, 0, "queued",
+                                      queue_.size());
+      }
+      return;
     }
-    const auto decision = scheduler_->next(view);
+    view_scratch_.resize(channels_.size());
+    for (std::size_t i = 0; i < channels_.size(); ++i) {
+      view_scratch_[i] = {channels_[i]->ready(now),
+                          channels_[i]->backlog_ns(now)};
+    }
+    const auto decision = scheduler_->next(view_scratch_);
     if (!decision) {
       if (obs::trace_enabled()) {
         obs::Tracer::global().instant("schedule_defer", "sender", now, 0,
@@ -195,15 +244,72 @@ void LiveEndpoint::dispatch(std::vector<std::uint8_t> payload,
                                       static_cast<std::uint64_t>(m));
   }
 
-  const auto shares = sss::split(payload, k, m, rng_);
+  // Fast path: one arena slot per share, header written first, then
+  // sss::split_into computes the share bytes STRAIGHT into the slots'
+  // payload regions — no Share vectors, no per-share copy, nothing
+  // allocated per packet after warmup. Falls back to the split()-based
+  // path when the pool cannot cover the whole fan-out (the pump gate
+  // makes that rare) or a frame would not fit a slot.
+  const bool keyed = config_.auth_key.has_value();
+  const std::size_t need = proto::encoded_size(payload.size(), 0, keyed);
+  bool fast = need <= pool_->slot_bytes();
+  if (fast) {
+    tx_slots_.clear();
+    tx_spans_.clear();
+    for (int j = 0; j < m; ++j) {
+      FrameRef slot = pool_->acquire();
+      if (!slot) {
+        fast = false;
+        tx_slots_.clear();  // hand the acquired slots back
+        tx_spans_.clear();
+        break;
+      }
+      slot.resize(need);
+      proto::FrameMeta meta;
+      meta.packet_id = id;
+      meta.k = static_cast<std::uint8_t>(k);
+      meta.share_index = static_cast<std::uint8_t>(j + 1);
+      const std::size_t off =
+          proto::encode_header_into(meta, payload.size(), slot.span(), keyed);
+      tx_spans_.push_back(slot.span().subspan(off, payload.size()));
+      tx_slots_.push_back(std::move(slot));
+    }
+  }
+  if (fast) {
+    sss::split_into(payload, k, tx_spans_, split_scratch_, rng_);
+    for (int j = 0; j < m; ++j) {
+      const auto idx = static_cast<std::size_t>(j);
+      if (keyed) proto::seal_frame(tx_slots_[idx].span(), *config_.auth_key);
+      const auto ch_index =
+          static_cast<std::size_t>(decision.channels[idx]);
+      ++sender_stats_.shares_sent;
+      if (obs::trace_enabled()) {
+        obs::Tracer::global().async_begin(
+            "share", "share",
+            obs::share_span_id(id, static_cast<std::uint8_t>(j + 1)), now,
+            "channel", ch_index);
+      }
+      if (!channels_[ch_index]->try_send(std::move(tx_slots_[idx]), now)) {
+        ++sender_stats_.shares_dropped_at_channel;
+        if (obs::trace_enabled()) {
+          obs::Tracer::global().async_end(
+              "share", "share",
+              obs::share_span_id(id, static_cast<std::uint8_t>(j + 1)), now);
+        }
+      }
+    }
+    tx_slots_.clear();
+    tx_spans_.clear();
+    return;
+  }
+
+  auto shares = sss::split(payload, k, m, rng_);
   for (int j = 0; j < m; ++j) {
     proto::ShareFrame frame;
     frame.packet_id = id;
     frame.k = static_cast<std::uint8_t>(k);
     frame.share_index = shares[static_cast<std::size_t>(j)].index;
-    frame.payload = shares[static_cast<std::size_t>(j)].data;
-    auto bytes = proto::encode(
-        frame, config_.auth_key ? &*config_.auth_key : nullptr);
+    frame.payload = std::move(shares[static_cast<std::size_t>(j)].data);
     const auto ch_index = static_cast<std::size_t>(
         decision.channels[static_cast<std::size_t>(j)]);
     ++sender_stats_.shares_sent;
@@ -212,7 +318,7 @@ void LiveEndpoint::dispatch(std::vector<std::uint8_t> payload,
           "share", "share", obs::share_span_id(id, frame.share_index), now,
           "channel", ch_index);
     }
-    if (!channels_[ch_index]->try_send(std::move(bytes), now)) {
+    if (!encode_and_send(frame, *channels_[ch_index], now)) {
       ++sender_stats_.shares_dropped_at_channel;
       if (obs::trace_enabled()) {
         obs::Tracer::global().async_end(
@@ -220,6 +326,26 @@ void LiveEndpoint::dispatch(std::vector<std::uint8_t> payload,
       }
     }
   }
+}
+
+bool LiveEndpoint::encode_and_send(const proto::ShareFrame& frame,
+                                   UdpChannel& channel, std::int64_t now) {
+  const crypto::SipHashKey* key =
+      config_.auth_key ? &*config_.auth_key : nullptr;
+  const std::size_t need = proto::encoded_size(frame, key != nullptr);
+  if (need > pool_->slot_bytes()) {
+    // A frame too large for the arena cannot travel the pooled path;
+    // degrade is drop-with-stat (size the pool for your payloads).
+    ++pool_oversize_drops_;
+    return false;
+  }
+  FrameRef slot = pool_->acquire();
+  if (!slot) return false;  // exhaustion already counted by the pool
+  slot.resize(need);
+  // Serialize once, straight into the arena — the frame's bytes are
+  // never copied again until the kernel gathers them into a datagram.
+  proto::encode_into(frame, slot.span(), key);
+  return channel.try_send(std::move(slot), now);
 }
 
 void LiveEndpoint::update_write_interest() {
@@ -263,6 +389,11 @@ void LiveEndpoint::run_for(std::int64_t wall_ns) {
     wheel_.advance(now);
     if (manager_) manager_->advance(now);
     pump(now);
+    // One flush per pump iteration: everything the wheel advance just
+    // released (plus anything the transparent fast path handed over
+    // during pump) leaves in a single sendmmsg per channel.
+    for (const auto& ch : channels_) ch->flush(now);
+    if (feedback_ch_) feedback_ch_->flush(now);
     update_write_interest();
     if (now >= deadline) break;
 
@@ -287,7 +418,7 @@ void LiveEndpoint::run_for(std::int64_t wall_ns) {
         ch.on_readable();
       }
       if (ev.fd == ch.tx_fd() && (ev.writable || ev.error)) {
-        ch.on_writable();
+        ch.on_writable(now_ns());
       }
     }
   }
@@ -311,7 +442,7 @@ void LiveEndpoint::emit_report() {
                                            ? &*config_.reliability.report_auth_key
                                            : nullptr);
   ++reports_sent_;
-  if (!feedback_ch_->try_send(std::move(bytes), now)) {
+  if (!feedback_ch_->try_send(std::span<const std::uint8_t>(bytes), now)) {
     ++reports_dropped_at_channel_;
   }
   wheel_.schedule_at(now + config_.reliability.report_interval_ns,
@@ -346,19 +477,17 @@ void LiveEndpoint::resend(std::uint64_t id, std::uint8_t generation,
                                   static_cast<std::uint64_t>(generation), "m",
                                   static_cast<std::uint64_t>(m));
   }
-  const auto shares = sss::split(payload, k, m, rng_);
+  auto shares = sss::split(payload, k, m, rng_);
   for (int j = 0; j < m; ++j) {
     proto::ShareFrame frame;
     frame.packet_id = id;
     frame.k = static_cast<std::uint8_t>(k);
     frame.share_index = shares[static_cast<std::size_t>(j)].index;
     frame.generation = generation;
-    frame.payload = shares[static_cast<std::size_t>(j)].data;
-    auto bytes =
-        proto::encode(frame, config_.auth_key ? &*config_.auth_key : nullptr);
+    frame.payload = std::move(shares[static_cast<std::size_t>(j)].data);
     const auto ch_index = static_cast<std::size_t>(order[static_cast<std::size_t>(j)]);
     ++sender_stats_.shares_retransmitted;
-    if (!channels_[ch_index]->try_send(std::move(bytes), now)) {
+    if (!encode_and_send(frame, *channels_[ch_index], now)) {
       ++sender_stats_.shares_dropped_at_channel;
     }
   }
@@ -381,6 +510,7 @@ void LiveEndpoint::publish_metrics(obs::Registry& registry) const {
   }
 
   UdpChannelStats sockets;
+  std::uint64_t syscalls = poller_.wait_calls();
   std::vector<const UdpChannel*> all_channels;
   all_channels.reserve(channels_.size() + 1);
   for (const auto& ch : channels_) all_channels.push_back(ch.get());
@@ -397,10 +527,14 @@ void LiveEndpoint::publish_metrics(obs::Registry& registry) const {
     sockets.send_retries += s.send_retries;
     sockets.send_refused += s.send_refused;
     sockets.send_errors += s.send_errors;
+    sockets.sendmmsg_short += s.sendmmsg_short;
     sockets.recv_refused += s.recv_refused;
     sockets.recv_errors += s.recv_errors;
+    sockets.recv_truncated += s.recv_truncated;
     sockets.frames_forwarded += s.frames_forwarded;
     sockets.unparsed_forwarded += s.unparsed_forwarded;
+    sockets.frames_dropped_pool += s.frames_dropped_pool;
+    syscalls += ch->syscalls_send() + ch->syscalls_recv();
   }
   const auto add = [&](std::string_view name, std::uint64_t value) {
     registry.add(registry.counter(name), value);
@@ -414,10 +548,27 @@ void LiveEndpoint::publish_metrics(obs::Registry& registry) const {
   add("mcss_live_send_retries", sockets.send_retries);
   add("mcss_live_send_refused", sockets.send_refused);
   add("mcss_live_send_errors", sockets.send_errors);
+  add("mcss_live_sendmmsg_short", sockets.sendmmsg_short);
   add("mcss_live_recv_refused", sockets.recv_refused);
   add("mcss_live_recv_errors", sockets.recv_errors);
+  add("mcss_live_recv_truncated", sockets.recv_truncated);
   add("mcss_live_frames_forwarded", sockets.frames_forwarded);
   add("mcss_live_unparsed_forwarded", sockets.unparsed_forwarded);
+  add("mcss_live_frames_dropped_pool", sockets.frames_dropped_pool);
+
+  // The bench's syscalls_per_packet numerator: every kernel crossing the
+  // transport makes — send/sendmmsg, recv/recvmmsg, and poller waits.
+  add("mcss_transport_syscalls_total", syscalls);
+
+  const FramePool::Stats& ps = pool_->stats();
+  add("mcss_live_pool_acquired", ps.acquired);
+  add("mcss_live_pool_exhausted", ps.exhausted);
+  add("mcss_live_pool_oversize_drops", pool_oversize_drops_);
+  add("mcss_live_pool_defers", pool_defers_);
+  registry.set(registry.gauge("mcss_live_pool_high_water"),
+               static_cast<double>(ps.high_water));
+  registry.set(registry.gauge("mcss_live_pool_slots"),
+               static_cast<double>(pool_->capacity()));
 }
 
 }  // namespace mcss::transport

@@ -28,6 +28,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -77,6 +78,10 @@ struct LiveReliabilityConfig {
   std::optional<crypto::SipHashKey> report_auth_key;
 };
 
+/// MCSS_LIVE_BATCH as a positive size (it seeds both send_batch and
+/// recv_batch defaults below), or `fallback` when unset/unparsable.
+[[nodiscard]] std::size_t batch_from_env(std::size_t fallback = 32);
+
 struct LiveConfig {
   std::vector<LiveChannelSpec> channels;
   /// DynamicScheduler targets; ignored when `scheduler` is set.
@@ -97,6 +102,20 @@ struct LiveConfig {
   std::size_t max_datagram_bytes = 1400;
   Poller::Backend poller_backend = Poller::default_backend();
   LiveReliabilityConfig reliability;
+  /// Datagrams per sendmmsg / recvmmsg. 1 = the legacy unbatched path
+  /// (one syscall per datagram, assembly copies) — kept as the honest
+  /// before/after baseline for bench/live_eval and as the escape hatch
+  /// if a batched syscall misbehaves: MCSS_LIVE_BATCH overrides these
+  /// defaults, and an explicit assignment overrides the env.
+  std::size_t send_batch = batch_from_env(32);
+  std::size_t recv_batch = batch_from_env(32);
+  /// FramePool sizing. 0 = auto: slots from channel count and batch
+  /// depths (receive pins + transmit in flight, with slack), slot bytes
+  /// from max_datagram_bytes. Every share frame must fit one slot;
+  /// larger frames are dropped-with-stat, so raise pool_slot_bytes when
+  /// sending payloads beyond the defaults.
+  std::size_t pool_slots = 0;
+  std::size_t pool_slot_bytes = 0;
 };
 
 /// MCSS_LIVE_PORT_BASE as uint16, or `fallback` when unset/unparsable.
@@ -144,6 +163,10 @@ class LiveEndpoint {
   [[nodiscard]] Poller::Backend poller_backend() const noexcept {
     return poller_.backend();
   }
+  /// The readiness source (e.g. wait_calls() for syscall accounting).
+  [[nodiscard]] const Poller& poller() const noexcept { return poller_; }
+  /// The shared frame arena all channels draw from.
+  [[nodiscard]] const FramePool& pool() const noexcept { return *pool_; }
   /// Reliability internals (null/absent unless reliability.enabled).
   [[nodiscard]] feedback::RetransmitManager* retransmit_manager() noexcept {
     return manager_.get();
@@ -170,10 +193,19 @@ class LiveEndpoint {
   void emit_report();
   void resend(std::uint64_t id, std::uint8_t generation,
               const std::vector<std::uint8_t>& payload, int k);
+  /// Serialize `frame` straight into a pool slot and hand it to
+  /// `channel`. False = dropped (pool exhausted, frame larger than a
+  /// slot, or impairment-queue tail drop) — callers count the share.
+  bool encode_and_send(const proto::ShareFrame& frame, UdpChannel& channel,
+                       std::int64_t now);
 
   LiveConfig config_;
   std::int64_t epoch_ns_;
   Poller poller_;
+  /// Declared before wheel_ and channels_: every FrameRef still alive at
+  /// destruction — receive pins, parked frames, and impairment timer
+  /// callbacks pending in the wheel — must release into a live pool.
+  std::unique_ptr<FramePool> pool_;
   TimerWheel wheel_;
   Rng rng_;
   std::unique_ptr<proto::ShareScheduler> scheduler_;
@@ -204,6 +236,21 @@ class LiveEndpoint {
   std::unique_ptr<feedback::RetransmitManager> manager_;
   std::uint64_t reports_sent_ = 0;
   std::uint64_t reports_dropped_at_channel_ = 0;
+  /// Frames whose encoding exceeds the pool's slot size (see
+  /// LiveConfig::pool_slot_bytes).
+  std::uint64_t pool_oversize_drops_ = 0;
+  /// Pump iterations that parked instead of dispatching because the
+  /// arena lacked headroom for a full share fan-out (backpressure, not
+  /// loss — the packet stays queued).
+  std::uint64_t pool_defers_ = 0;
+
+  /// Steady-state dispatch scratch, sized once: the per-pump scheduler
+  /// view, the per-packet slot handles and payload windows of the
+  /// split-into-slot fast path, and the splitter's coefficient slices.
+  std::vector<proto::ChannelView> view_scratch_;
+  std::vector<FrameRef> tx_slots_;
+  std::vector<std::span<std::uint8_t>> tx_spans_;
+  std::vector<std::uint8_t> split_scratch_;
 };
 
 }  // namespace mcss::transport

@@ -5,10 +5,13 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <system_error>
 
+#include "transport/uring_poller.hpp"
 #include "util/ensure.hpp"
 
 #if defined(__linux__)
@@ -34,6 +37,8 @@ struct Poller::Impl {
 #if MCSS_HAVE_EPOLL
   std::vector<epoll_event> ready;
 #endif
+  // io_uring state (null unless backend is Uring)
+  std::unique_ptr<UringCore> uring;
   // poll state
   std::vector<pollfd> fds;
 
@@ -49,6 +54,9 @@ Poller::Backend Poller::default_backend() {
   if (forced != nullptr && std::strcmp(forced, "poll") == 0) {
     return Backend::Poll;
   }
+  if (forced != nullptr && std::strcmp(forced, "uring") == 0) {
+    return Backend::Uring;
+  }
   return Backend::Epoll;
 #else
   return Backend::Poll;
@@ -57,13 +65,34 @@ Poller::Backend Poller::default_backend() {
 
 Poller::Poller(Backend backend)
     : backend_(backend), impl_(std::make_unique<Impl>()) {
+  if (backend_ == Backend::Uring) {
+    try {
+      impl_->uring = std::make_unique<UringCore>();
+    } catch (const std::exception& e) {
+      // Graceful degrade: a kernel refusing io_uring (seccomp ENOSYS,
+      // EPERM, memlock) must not kill the endpoint — run on epoll and
+      // say so once, visibly.
+#if MCSS_HAVE_EPOLL
+      backend_ = Backend::Epoll;
+#else
+      backend_ = Backend::Poll;
+#endif
+      std::fprintf(stderr,
+                   "mcss: io_uring poller unavailable (%s); "
+                   "falling back to %s\n",
+                   e.what(), backend_ == Backend::Epoll ? "epoll" : "poll");
+    }
+  }
 #if MCSS_HAVE_EPOLL
   if (backend_ == Backend::Epoll) {
     impl_->epfd = ::epoll_create1(EPOLL_CLOEXEC);
     if (impl_->epfd < 0) throw_errno("epoll_create1");
   }
 #else
-  MCSS_ENSURE(backend_ == Backend::Poll, "epoll backend requires Linux");
+  MCSS_ENSURE(backend_ != Backend::Epoll, "epoll backend requires Linux");
+  if (backend_ != Backend::Uring) {
+    MCSS_ENSURE(backend_ == Backend::Poll, "unknown poller backend");
+  }
 #endif
 }
 
@@ -73,6 +102,10 @@ Poller::~Poller() {
 
 void Poller::add(int fd, bool want_read, bool want_write) {
   MCSS_ENSURE(fd >= 0, "adding an invalid fd");
+  if (backend_ == Backend::Uring) {
+    impl_->uring->add(fd, want_read, want_write);
+    return;
+  }
 #if MCSS_HAVE_EPOLL
   if (backend_ == Backend::Epoll) {
     epoll_event ev{};
@@ -93,6 +126,10 @@ void Poller::add(int fd, bool want_read, bool want_write) {
 }
 
 void Poller::modify(int fd, bool want_read, bool want_write) {
+  if (backend_ == Backend::Uring) {
+    impl_->uring->modify(fd, want_read, want_write);
+    return;
+  }
 #if MCSS_HAVE_EPOLL
   if (backend_ == Backend::Epoll) {
     epoll_event ev{};
@@ -111,6 +148,10 @@ void Poller::modify(int fd, bool want_read, bool want_write) {
 }
 
 void Poller::remove(int fd) {
+  if (backend_ == Backend::Uring) {
+    impl_->uring->remove(fd);
+    return;
+  }
 #if MCSS_HAVE_EPOLL
   if (backend_ == Backend::Epoll) {
     epoll_event ev{};  // non-null for pre-2.6.9 kernels, per epoll_ctl(2)
@@ -127,6 +168,10 @@ void Poller::remove(int fd) {
 
 std::size_t Poller::wait(int timeout_ms, std::vector<Event>& out) {
   out.clear();
+  ++wait_calls_;
+  if (backend_ == Backend::Uring) {
+    return impl_->uring->wait(timeout_ms, out);
+  }
 #if MCSS_HAVE_EPOLL
   if (backend_ == Backend::Epoll) {
     impl_->ready.resize(64);
@@ -163,6 +208,11 @@ std::size_t Poller::wait(int timeout_ms, std::vector<Event>& out) {
     out.push_back(e);
   }
   return out.size();
+}
+
+bool Poller::register_buffers(std::span<const std::uint8_t> arena) noexcept {
+  if (backend_ != Backend::Uring) return false;
+  return impl_->uring->register_buffers(arena.data(), arena.size());
 }
 
 }  // namespace mcss::transport

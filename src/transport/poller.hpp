@@ -6,24 +6,30 @@
 // wait() parks the pump loop until a socket turns readable/writable or
 // the impairment timer wheel needs service.
 //
-// Both backends are level-triggered, and both are compiled on Linux: the
-// epoll path is the default, the poll path is the portability fallback
-// and is forced with MCSS_LIVE_POLLER=poll (which is how CI keeps the
-// fallback honest without a non-Linux runner). Write interest is toggled
-// per-fd only while a channel actually has unflushed bytes — a
-// level-triggered EPOLLOUT on an idle UDP socket is always ready and
-// would spin the loop.
+// All backends are level-triggered (io_uring's multishot poll is made
+// level-equivalent by re-arming; see uring_poller.hpp), and all three
+// compile on Linux: epoll is the default, poll is the portability
+// fallback, io_uring is the batched-submission path. MCSS_LIVE_POLLER
+// forces one at runtime (epoll|poll|uring — which is how CI keeps every
+// backend honest without a non-Linux runner). Asking for uring on a
+// kernel that refuses (seccomp ENOSYS, EPERM) falls back to epoll with
+// one logged reason; backend() reports what is actually running. Write
+// interest is toggled per-fd only while a channel actually has
+// unflushed bytes — a level-triggered EPOLLOUT on an idle UDP socket is
+// always ready and would spin the loop.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 namespace mcss::transport {
 
 class Poller {
  public:
-  enum class Backend { Epoll, Poll };
+  enum class Backend { Epoll, Poll, Uring };
 
   struct Event {
     int fd = -1;
@@ -32,8 +38,11 @@ class Poller {
     bool error = false;  ///< EPOLLERR/POLLERR (e.g. pending ICMP error)
   };
 
-  /// Backend::Epoll on Linux unless MCSS_LIVE_POLLER=poll; Backend::Poll
-  /// elsewhere.
+  /// Backend::Epoll on Linux unless MCSS_LIVE_POLLER forces poll or
+  /// uring; Backend::Poll elsewhere. An env value of "uring" is returned
+  /// as requested even when the kernel may refuse — the constructor does
+  /// the probe-and-fallback so the refusal reason gets logged exactly
+  /// once where it happens.
   [[nodiscard]] static Backend default_backend();
 
   explicit Poller(Backend backend = default_backend());
@@ -41,6 +50,7 @@ class Poller {
   Poller(const Poller&) = delete;
   Poller& operator=(const Poller&) = delete;
 
+  /// The backend actually in use (after any uring→epoll fallback).
   [[nodiscard]] Backend backend() const noexcept { return backend_; }
 
   /// Register `fd` with the given interest set. An fd is added once;
@@ -54,9 +64,22 @@ class Poller {
   /// cleared first) and returns the event count. EINTR retries.
   std::size_t wait(int timeout_ms, std::vector<Event>& out);
 
+  /// Number of wait() calls that reached the kernel — the poller's
+  /// contribution to syscalls_per_packet in the live bench.
+  [[nodiscard]] std::uint64_t wait_calls() const noexcept {
+    return wait_calls_;
+  }
+
+  /// Hand a contiguous buffer arena (the FramePool) to the backend.
+  /// Only the uring backend does anything with it
+  /// (IORING_REGISTER_BUFFERS, pre-pinning the pages the RX slots live
+  /// in); epoll/poll ignore it. Returns whether a registration took.
+  bool register_buffers(std::span<const std::uint8_t> arena) noexcept;
+
  private:
   struct Impl;
   Backend backend_;
+  std::uint64_t wait_calls_ = 0;
   std::unique_ptr<Impl> impl_;
 };
 

@@ -56,8 +56,16 @@ UdpSocket& UdpSocket::operator=(UdpSocket&& other) noexcept {
     if (fd_ >= 0) ::close(fd_);
     fd_ = other.fd_;
     inject_wouldblock_ = other.inject_wouldblock_;
+    inject_accept_limit_ = other.inject_accept_limit_;
+    inject_accept_armed_ = other.inject_accept_armed_;
+    syscalls_send_ = other.syscalls_send_;
+    syscalls_recv_ = other.syscalls_recv_;
     other.fd_ = -1;
     other.inject_wouldblock_ = 0;
+    other.inject_accept_limit_ = 0;
+    other.inject_accept_armed_ = false;
+    other.syscalls_send_ = 0;
+    other.syscalls_recv_ = 0;
   }
   return *this;
 }
@@ -92,6 +100,7 @@ UdpSocket::IoResult UdpSocket::send(std::span<const std::uint8_t> datagram) {
     return IoResult::WouldBlock;
   }
   for (;;) {
+    ++syscalls_send_;
     const ssize_t n = ::send(fd_, datagram.data(), datagram.size(), 0);
     if (n >= 0) return IoResult::Ok;
     if (errno == EINTR) continue;
@@ -101,12 +110,66 @@ UdpSocket::IoResult UdpSocket::send(std::span<const std::uint8_t> datagram) {
   }
 }
 
+UdpSocket::BatchResult UdpSocket::send_many(std::span<mmsghdr> msgs) {
+  MCSS_ENSURE(valid(), "send_many() on a closed socket");
+  if (msgs.empty()) return {IoResult::Ok, 0};
+  // The accept-limit hook consumes BEFORE the wouldblock hook: arming
+  // both models a mid-batch EAGAIN exactly as the kernel sequences it —
+  // this call returns short after really sending the head, the NEXT call
+  // reports the error.
+  std::span<mmsghdr> window = msgs;
+  if (inject_accept_armed_) {
+    inject_accept_armed_ = false;
+    const auto k = static_cast<std::size_t>(
+        inject_accept_limit_ < 0 ? 0 : inject_accept_limit_);
+    if (k < msgs.size()) {
+      // Really send the first k, then report short — the same observable
+      // the kernel produces when slot k fails mid-batch.
+      if (k == 0) return {IoResult::Ok, 0};
+      window = msgs.first(k);
+    }
+  } else if (inject_wouldblock_ > 0) {
+    --inject_wouldblock_;
+    return {IoResult::WouldBlock, 0};
+  }
+  for (;;) {
+    ++syscalls_send_;
+    const int n = ::sendmmsg(fd_, window.data(),
+                             static_cast<unsigned>(window.size()), 0);
+    if (n >= 0) return {IoResult::Ok, static_cast<unsigned>(n)};
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return {IoResult::WouldBlock, 0};
+    }
+    if (errno == ECONNREFUSED) return {IoResult::Refused, 0};
+    return {IoResult::Error, 0};
+  }
+}
+
+UdpSocket::BatchResult UdpSocket::recv_many(std::span<mmsghdr> msgs) {
+  MCSS_ENSURE(valid(), "recv_many() on a closed socket");
+  if (msgs.empty()) return {IoResult::Ok, 0};
+  for (;;) {
+    ++syscalls_recv_;
+    const int n = ::recvmmsg(fd_, msgs.data(),
+                             static_cast<unsigned>(msgs.size()), 0, nullptr);
+    if (n >= 0) return {IoResult::Ok, static_cast<unsigned>(n)};
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return {IoResult::WouldBlock, 0};
+    }
+    if (errno == ECONNREFUSED) return {IoResult::Refused, 0};
+    return {IoResult::Error, 0};
+  }
+}
+
 UdpSocket::IoResult UdpSocket::recv(std::span<std::uint8_t> buf,
                                     std::size_t* received) {
   MCSS_ENSURE(valid(), "recv() on a closed socket");
   MCSS_ENSURE(received != nullptr, "recv() needs a length out-param");
   *received = 0;
   for (;;) {
+    ++syscalls_recv_;
     const ssize_t n = ::recv(fd_, buf.data(), buf.size(), 0);
     if (n >= 0) {
       *received = static_cast<std::size_t>(n);

@@ -17,6 +17,8 @@
 // the backpressure path must be exercised on every CI run.
 #pragma once
 
+#include <sys/socket.h>
+
 #include <cstdint>
 #include <span>
 #include <utility>
@@ -30,6 +32,16 @@ class UdpSocket {
     WouldBlock,
     Refused,
     Error,
+  };
+
+  /// Outcome of one sendmmsg/recvmmsg call. `completed` datagrams were
+  /// moved; when completed < the batch size, `result` explains why the
+  /// batch stopped short *if the kernel told us* — a short sendmmsg
+  /// return reports Ok and leaves the failing datagram's errno for the
+  /// next call, per sendmmsg(2), so callers requeue the tail and retry.
+  struct BatchResult {
+    IoResult result = IoResult::Ok;
+    unsigned completed = 0;
   };
 
   /// An invalid (closed) socket; use the factories.
@@ -63,18 +75,64 @@ class UdpSocket {
   [[nodiscard]] IoResult recv(std::span<std::uint8_t> buf,
                               std::size_t* received);
 
+  /// Send up to msgs.size() datagrams in one sendmmsg(2). The caller owns
+  /// the mmsghdr/iovec arrays (persistent, reused across calls — this
+  /// layer allocates nothing). Error mapping matches send(): a failure on
+  /// the FIRST datagram surfaces as {WouldBlock|Refused|Error, 0}; a
+  /// failure on a later slot makes the kernel stop and return the count
+  /// sent so far — reported here as {Ok, n<size}, with the slot's errno
+  /// surfacing at the head of the next call. msg_len is filled per sent
+  /// datagram (UDP never short-writes, so it is informational).
+  [[nodiscard]] BatchResult send_many(std::span<mmsghdr> msgs);
+
+  /// Receive up to msgs.size() datagrams in one recvmmsg(2). Each
+  /// mmsghdr's iovec must point at a receive slot; on return, slot i of
+  /// the first `completed` has msg_len bytes (check msg_flags & MSG_TRUNC
+  /// for oversized datagrams). {WouldBlock, 0} when nothing is queued;
+  /// {Ok, n<size} means the queue drained mid-batch (no need to call
+  /// again until the poller reports readable).
+  [[nodiscard]] BatchResult recv_many(std::span<mmsghdr> msgs);
+
+  /// Syscalls actually issued (send/sendmmsg and recv/recvmmsg that
+  /// reached the kernel, including ones that returned EAGAIN; EINTR
+  /// retries count each attempt). The batched fast path's whole point is
+  /// driving syscalls_send()/packet toward 1/batch — the bench reads
+  /// these.
+  [[nodiscard]] std::uint64_t syscalls_send() const noexcept {
+    return syscalls_send_;
+  }
+  [[nodiscard]] std::uint64_t syscalls_recv() const noexcept {
+    return syscalls_recv_;
+  }
+
   /// Kernel buffer knobs (SO_SNDBUF / SO_RCVBUF), for the backpressure
   /// tests; the kernel doubles and clamps the value it actually applies.
   void set_send_buffer(int bytes);
   void set_recv_buffer(int bytes);
 
-  /// Make the next `count` send() calls report WouldBlock without
-  /// touching the kernel (deterministic EAGAIN for tests).
+  /// Make the next `count` send()/send_many() calls report WouldBlock
+  /// without touching the kernel (deterministic EAGAIN for tests). A
+  /// batched call consumes ONE injection and completes zero datagrams —
+  /// modelling EAGAIN on slot 0.
   void inject_wouldblock(int count) noexcept { inject_wouldblock_ = count; }
+
+  /// Make the next send_many() really send only the first `k` datagrams
+  /// and return short ({Ok, k}), as the kernel does when a mid-batch slot
+  /// fails — a real short return needs a timing-dependent mid-batch
+  /// EAGAIN, but the requeue-the-tail path must run on every CI run.
+  /// One-shot; 0 disarms. Ignored by send().
+  void inject_accept_limit(int k) noexcept {
+    inject_accept_limit_ = k;
+    inject_accept_armed_ = true;
+  }
 
  private:
   int fd_ = -1;
   int inject_wouldblock_ = 0;
+  int inject_accept_limit_ = 0;
+  bool inject_accept_armed_ = false;
+  std::uint64_t syscalls_send_ = 0;
+  std::uint64_t syscalls_recv_ = 0;
 };
 
 }  // namespace mcss::transport

@@ -1,0 +1,352 @@
+#include "transport/uring_poller.hpp"
+
+#if MCSS_HAVE_URING
+
+#include <linux/io_uring.h>
+#include <poll.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <system_error>
+
+#include "util/ensure.hpp"
+
+namespace mcss::transport {
+
+namespace {
+
+// Sentinel user_data values that never collide with (gen << 32 | fd):
+// generation 0 is never issued to a registration.
+constexpr std::uint64_t kTimeoutUd = 0x0000000000000001ull;
+constexpr std::uint64_t kIgnoreUd = 0x0000000000000002ull;
+
+constexpr unsigned kRingEntries = 64;
+
+int sys_io_uring_setup(unsigned entries, io_uring_params* p) {
+  return static_cast<int>(::syscall(__NR_io_uring_setup, entries, p));
+}
+
+int sys_io_uring_enter(int fd, unsigned to_submit, unsigned min_complete,
+                       unsigned flags) {
+  return static_cast<int>(::syscall(__NR_io_uring_enter, fd, to_submit,
+                                    min_complete, flags, nullptr,
+                                    std::size_t{0}));
+}
+
+int sys_io_uring_register(int fd, unsigned opcode, const void* arg,
+                          unsigned nr_args) {
+  return static_cast<int>(::syscall(__NR_io_uring_register, fd, opcode, arg,
+                                    nr_args));
+}
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+std::uint64_t make_ud(std::uint32_t gen, int fd) {
+  return (static_cast<std::uint64_t>(gen) << 32) |
+         static_cast<std::uint32_t>(fd);
+}
+
+}  // namespace
+
+bool UringCore::supported() noexcept {
+  static const bool ok = [] {
+    io_uring_params params{};
+    const int fd = sys_io_uring_setup(4, &params);
+    if (fd < 0) return false;
+    ::close(fd);
+    return true;
+  }();
+  return ok;
+}
+
+UringCore::UringCore() {
+  io_uring_params params{};
+  ring_fd_ = sys_io_uring_setup(kRingEntries, &params);
+  if (ring_fd_ < 0) throw_errno("io_uring_setup");
+
+  sq_ring_bytes_ = params.sq_off.array + params.sq_entries * sizeof(unsigned);
+  cq_ring_bytes_ =
+      params.cq_off.cqes + params.cq_entries * sizeof(io_uring_cqe);
+  single_mmap_ = (params.features & IORING_FEAT_SINGLE_MMAP) != 0;
+  if (single_mmap_ && cq_ring_bytes_ > sq_ring_bytes_) {
+    sq_ring_bytes_ = cq_ring_bytes_;
+  }
+
+  sq_ring_ = ::mmap(nullptr, sq_ring_bytes_, PROT_READ | PROT_WRITE,
+                    MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQ_RING);
+  if (sq_ring_ == MAP_FAILED) {
+    sq_ring_ = nullptr;
+    ::close(ring_fd_);
+    ring_fd_ = -1;
+    throw_errno("mmap(IORING_OFF_SQ_RING)");
+  }
+  if (single_mmap_) {
+    cq_ring_ = sq_ring_;
+  } else {
+    cq_ring_ = ::mmap(nullptr, cq_ring_bytes_, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_CQ_RING);
+    if (cq_ring_ == MAP_FAILED) {
+      cq_ring_ = nullptr;
+      ::munmap(sq_ring_, sq_ring_bytes_);
+      sq_ring_ = nullptr;
+      ::close(ring_fd_);
+      ring_fd_ = -1;
+      throw_errno("mmap(IORING_OFF_CQ_RING)");
+    }
+  }
+  sqes_bytes_ = params.sq_entries * sizeof(io_uring_sqe);
+  sqes_ = ::mmap(nullptr, sqes_bytes_, PROT_READ | PROT_WRITE,
+                 MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQES);
+  if (sqes_ == MAP_FAILED) {
+    sqes_ = nullptr;
+    if (!single_mmap_) ::munmap(cq_ring_, cq_ring_bytes_);
+    ::munmap(sq_ring_, sq_ring_bytes_);
+    cq_ring_ = sq_ring_ = nullptr;
+    ::close(ring_fd_);
+    ring_fd_ = -1;
+    throw_errno("mmap(IORING_OFF_SQES)");
+  }
+
+  auto* sq = static_cast<char*>(sq_ring_);
+  sq_head_ = reinterpret_cast<unsigned*>(sq + params.sq_off.head);
+  sq_tail_ = reinterpret_cast<unsigned*>(sq + params.sq_off.tail);
+  sq_mask_ = *reinterpret_cast<unsigned*>(sq + params.sq_off.ring_mask);
+  sq_entries_ = params.sq_entries;
+  sq_array_ = reinterpret_cast<unsigned*>(sq + params.sq_off.array);
+  auto* cq = static_cast<char*>(cq_ring_);
+  cq_head_ = reinterpret_cast<unsigned*>(cq + params.cq_off.head);
+  cq_tail_ = reinterpret_cast<unsigned*>(cq + params.cq_off.tail);
+  cq_mask_ = *reinterpret_cast<unsigned*>(cq + params.cq_off.ring_mask);
+  cqes_ = cq + params.cq_off.cqes;
+}
+
+UringCore::~UringCore() {
+  if (sqes_ != nullptr) ::munmap(sqes_, sqes_bytes_);
+  if (cq_ring_ != nullptr && !single_mmap_) ::munmap(cq_ring_, cq_ring_bytes_);
+  if (sq_ring_ != nullptr) ::munmap(sq_ring_, sq_ring_bytes_);
+  if (ring_fd_ >= 0) ::close(ring_fd_);
+}
+
+void* UringCore::next_sqe() {
+  // Single-threaded submitter: our tail is private until the release
+  // store; only head moves under us (kernel side, hence the acquire).
+  unsigned head = __atomic_load_n(sq_head_, __ATOMIC_ACQUIRE);
+  unsigned tail = *sq_tail_;
+  if (tail - head >= sq_entries_) {
+    // SQ full: flush what is queued, then the slot must exist (the
+    // kernel consumes all submitted entries on enter without SQPOLL).
+    enter(0, false);
+    head = __atomic_load_n(sq_head_, __ATOMIC_ACQUIRE);
+    tail = *sq_tail_;
+    MCSS_INVARIANT(tail - head < sq_entries_, "SQ still full after flush");
+  }
+  const unsigned idx = tail & sq_mask_;
+  auto* sqe = static_cast<io_uring_sqe*>(sqes_) + idx;
+  std::memset(sqe, 0, sizeof(*sqe));
+  sq_array_[idx] = idx;
+  __atomic_store_n(sq_tail_, tail + 1, __ATOMIC_RELEASE);
+  ++pending_submit_;
+  return sqe;
+}
+
+void UringCore::push_poll_add(int fd, Reg& reg) {
+  if (!reg.want_read && !reg.want_write) return;
+  auto* sqe = static_cast<io_uring_sqe*>(next_sqe());
+  sqe->opcode = IORING_OP_POLL_ADD;
+  sqe->fd = fd;
+  sqe->poll32_events = (reg.want_read ? POLLIN : 0u) |
+                       (reg.want_write ? POLLOUT : 0u);
+  sqe->user_data = make_ud(reg.gen, fd);
+  reg.armed = true;
+}
+
+void UringCore::push_poll_remove(std::uint64_t target_user_data) {
+  auto* sqe = static_cast<io_uring_sqe*>(next_sqe());
+  sqe->opcode = IORING_OP_POLL_REMOVE;
+  sqe->fd = -1;
+  sqe->addr = target_user_data;
+  sqe->user_data = kIgnoreUd;
+}
+
+void UringCore::push_timeout(int timeout_ms) {
+  timeout_ts_[0] = timeout_ms / 1000;
+  timeout_ts_[1] = static_cast<long long>(timeout_ms % 1000) * 1'000'000;
+  auto* sqe = static_cast<io_uring_sqe*>(next_sqe());
+  sqe->opcode = IORING_OP_TIMEOUT;
+  sqe->fd = -1;
+  sqe->addr = reinterpret_cast<std::uintptr_t>(&timeout_ts_[0]);
+  sqe->len = 1;    // one timespec
+  sqe->off = 1;    // ...or complete after 1 CQE, so no stale timers linger
+  sqe->user_data = kTimeoutUd;
+}
+
+void UringCore::enter(unsigned min_complete, bool getevents) {
+  for (;;) {
+    const unsigned flags = getevents ? IORING_ENTER_GETEVENTS : 0u;
+    const int n = sys_io_uring_enter(ring_fd_, pending_submit_, min_complete,
+                                     flags);
+    if (n >= 0) {
+      pending_submit_ -= static_cast<unsigned>(n) <= pending_submit_
+                             ? static_cast<unsigned>(n)
+                             : pending_submit_;
+      return;
+    }
+    if (errno == EINTR) continue;
+    // EBUSY: CQ backlogged — the caller's drain makes room; ETIME: the
+    // wait timed out at the enter layer. Neither is a failure.
+    if (errno == EBUSY || errno == ETIME) return;
+    throw_errno("io_uring_enter");
+  }
+}
+
+void UringCore::drain(std::vector<Poller::Event>& out) {
+  unsigned head = *cq_head_;
+  const unsigned tail = __atomic_load_n(cq_tail_, __ATOMIC_ACQUIRE);
+  while (head != tail) {
+    const auto* cqe =
+        static_cast<const io_uring_cqe*>(cqes_) + (head & cq_mask_);
+    ++head;
+    const std::uint64_t ud = cqe->user_data;
+    if (ud == kTimeoutUd || ud == kIgnoreUd) continue;
+    const int fd = static_cast<int>(ud & 0xFFFFFFFFu);
+    const auto gen = static_cast<std::uint32_t>(ud >> 32);
+    if (fd < 0 || static_cast<std::size_t>(fd) >= regs_.size() ||
+        !reg_live_[static_cast<std::size_t>(fd)]) {
+      continue;  // completion for a registration that no longer exists
+    }
+    Reg& reg = regs_[static_cast<std::size_t>(fd)];
+    if (reg.gen != gen) continue;  // ghost from a cancelled arming
+
+    if (cqe->res < 0) {
+      if (cqe->res == -ECANCELED) continue;
+      Poller::Event e;
+      e.fd = fd;
+      e.error = true;
+      out.push_back(e);
+      push_poll_add(fd, reg);  // keep watching; errors are level-ish too
+      continue;
+    }
+
+    const auto mask = static_cast<unsigned>(cqe->res);
+    Poller::Event e;
+    e.fd = fd;
+    e.readable = (mask & POLLIN) != 0;
+    e.writable = (mask & POLLOUT) != 0;
+    e.error = (mask & (POLLERR | POLLHUP)) != 0;
+    out.push_back(e);
+    // Re-arm: the fresh POLL_ADD re-runs vfs_poll, so readiness that is
+    // still pending (data left unread) posts again — level-triggered,
+    // like epoll/poll.
+    reg.armed = false;
+    push_poll_add(fd, reg);
+  }
+  __atomic_store_n(cq_head_, head, __ATOMIC_RELEASE);
+}
+
+void UringCore::add(int fd, bool want_read, bool want_write) {
+  MCSS_ENSURE(fd >= 0, "adding an invalid fd");
+  const auto idx = static_cast<std::size_t>(fd);
+  if (idx >= regs_.size()) {
+    regs_.resize(idx + 1);
+    reg_live_.resize(idx + 1, false);
+  }
+  MCSS_ENSURE(!reg_live_[idx], "fd already registered");
+  reg_live_[idx] = true;
+  regs_[idx] = Reg{};
+  regs_[idx].want_read = want_read;
+  regs_[idx].want_write = want_write;
+  regs_[idx].gen = next_gen_++;
+  push_poll_add(fd, regs_[idx]);
+}
+
+void UringCore::modify(int fd, bool want_read, bool want_write) {
+  const auto idx = static_cast<std::size_t>(fd);
+  MCSS_ENSURE(fd >= 0 && idx < regs_.size() && reg_live_[idx],
+              "modifying an unregistered fd");
+  Reg& reg = regs_[idx];
+  if (reg.want_read == want_read && reg.want_write == want_write) return;
+  if (reg.armed) push_poll_remove(make_ud(reg.gen, fd));
+  reg.want_read = want_read;
+  reg.want_write = want_write;
+  reg.gen = next_gen_++;
+  reg.armed = false;
+  push_poll_add(fd, reg);
+}
+
+void UringCore::remove(int fd) {
+  const auto idx = static_cast<std::size_t>(fd);
+  MCSS_ENSURE(fd >= 0 && idx < regs_.size() && reg_live_[idx],
+              "removing an unregistered fd");
+  Reg& reg = regs_[idx];
+  if (reg.armed) push_poll_remove(make_ud(reg.gen, fd));
+  reg_live_[idx] = false;
+  regs_[idx] = Reg{};
+}
+
+std::size_t UringCore::wait(int timeout_ms, std::vector<Poller::Event>& out) {
+  out.clear();
+  // CQEs may already be posted from a previous enter (multishot polls
+  // fire without us asking). Drain first so a hot loop never blocks on
+  // events it already has.
+  drain(out);
+  if (!out.empty()) return out.size();
+  // Re-arm/cancel SQEs queued by the PREVIOUS drain submit here, after
+  // the consumer has had its chance to drain the sockets — arming runs
+  // vfs_poll at submit time, so this ordering is what makes readiness
+  // level-accurate instead of one cycle stale.
+  if (timeout_ms == 0) {
+    enter(0, true);
+  } else if (timeout_ms > 0) {
+    push_timeout(timeout_ms);
+    enter(1, true);
+  } else {
+    enter(1, true);
+  }
+  drain(out);
+  return out.size();
+}
+
+bool UringCore::register_buffers(const void* data,
+                                 std::size_t bytes) noexcept {
+  if (data == nullptr || bytes == 0) return false;
+  iovec iov{};
+  iov.iov_base = const_cast<void*>(data);
+  iov.iov_len = bytes;
+  buffers_registered_ =
+      sys_io_uring_register(ring_fd_, IORING_REGISTER_BUFFERS, &iov, 1) == 0;
+  return buffers_registered_;
+}
+
+}  // namespace mcss::transport
+
+#else  // !MCSS_HAVE_URING
+
+#include <system_error>
+
+namespace mcss::transport {
+
+bool UringCore::supported() noexcept { return false; }
+
+UringCore::UringCore() {
+  throw std::system_error(std::make_error_code(std::errc::function_not_supported),
+                          "io_uring support not compiled in");
+}
+
+UringCore::~UringCore() = default;
+void UringCore::add(int, bool, bool) {}
+void UringCore::modify(int, bool, bool) {}
+void UringCore::remove(int) {}
+std::size_t UringCore::wait(int, std::vector<Poller::Event>&) { return 0; }
+bool UringCore::register_buffers(const void*, std::size_t) noexcept {
+  return false;
+}
+
+}  // namespace mcss::transport
+
+#endif  // MCSS_HAVE_URING

@@ -1,0 +1,126 @@
+// io_uring readiness core — the third Poller backend.
+//
+// Raw syscalls (io_uring_setup/io_uring_enter/io_uring_register) and
+// hand-mmapped SQ/CQ rings: the container deliberately carries no
+// liburing, and the ring protocol is small enough to speak directly.
+//
+// Shape: readiness-mode io_uring. Each registered fd gets an
+// IORING_OP_POLL_ADD, re-armed after every delivered completion. The
+// re-arm SQEs batch into the next io_uring_enter, so steady state is
+// still one syscall per wakeup — and because arming re-runs vfs_poll
+// immediately, an fd with undrained data re-reports on the next wait,
+// which is exactly epoll's level-triggered contract. (Multishot poll —
+// IORING_POLL_ADD_MULTI — was measured here first and rejected: it
+// posts one CQE per WAKEUP, not per level, so a socket with unread
+// data goes silent after the first event and the backend stops being
+// substitutable for epoll. Multishot RECEIVE into registered buffers
+// is the documented follow-up; see DESIGN.md.) Timed waits piggyback
+// an IORING_OP_TIMEOUT SQE with count=1 — it completes on the first
+// CQE or the deadline, whichever is first, so no stale timers
+// accumulate.
+//
+// user_data packs (generation << 32 | fd). modify()/remove() cancel via
+// IORING_OP_POLL_REMOVE and bump the generation; CQEs from a cancelled
+// arming carry the old generation and are dropped on drain, so a
+// re-registered fd never sees ghost readiness from its previous life.
+//
+// register_buffers() wires the FramePool arena to the ring
+// (IORING_REGISTER_BUFFERS) so a future fixed-buffer receive path
+// (IORING_OP_RECV with registered buffers) needs no code motion; the
+// datagram moves themselves stay on recvmmsg/sendmmsg for now, which
+// keeps all three poller backends behaviourally identical (DESIGN.md,
+// "frame lifecycle").
+//
+// Construction THROWS when the kernel refuses (ENOSYS under seccomp,
+// EPERM, resource limits); Poller catches that and falls back to epoll
+// with a logged reason. supported() is the cheap cached probe for
+// skip-or-run decisions in tests and CI.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "transport/poller.hpp"
+
+#if defined(__linux__) && __has_include(<linux/io_uring.h>)
+#define MCSS_HAVE_URING 1
+#else
+#define MCSS_HAVE_URING 0
+#endif
+
+namespace mcss::transport {
+
+class UringCore {
+ public:
+  /// Can this kernel give us a ring at all? Probes once (setup+close),
+  /// caches the answer for the process.
+  [[nodiscard]] static bool supported() noexcept;
+
+  /// Throws std::system_error when ring setup fails.
+  UringCore();
+  ~UringCore();
+  UringCore(const UringCore&) = delete;
+  UringCore& operator=(const UringCore&) = delete;
+
+  void add(int fd, bool want_read, bool want_write);
+  void modify(int fd, bool want_read, bool want_write);
+  void remove(int fd);
+  std::size_t wait(int timeout_ms, std::vector<Poller::Event>& out);
+
+  /// IORING_REGISTER_BUFFERS over one contiguous arena (the FramePool).
+  /// Best-effort: a kernel refusing (memlock limits) just leaves the
+  /// ring unregistered. Returns whether registration took.
+  bool register_buffers(const void* data, std::size_t bytes) noexcept;
+
+  [[nodiscard]] bool buffers_registered() const noexcept {
+    return buffers_registered_;
+  }
+
+ private:
+  struct Reg {
+    bool want_read = false;
+    bool want_write = false;
+    std::uint32_t gen = 0;
+    bool armed = false;
+  };
+
+  void push_poll_add(int fd, Reg& reg);
+  void push_poll_remove(std::uint64_t target_user_data);
+  void push_timeout(int timeout_ms);
+  void* next_sqe();  // returns io_uring_sqe*, flushing if the SQ is full
+  void enter(unsigned min_complete, bool getevents);
+  void drain(std::vector<Poller::Event>& out);
+
+  int ring_fd_ = -1;
+  void* sq_ring_ = nullptr;
+  void* cq_ring_ = nullptr;
+  void* sqes_ = nullptr;
+  std::size_t sq_ring_bytes_ = 0;
+  std::size_t cq_ring_bytes_ = 0;
+  std::size_t sqes_bytes_ = 0;
+  bool single_mmap_ = false;
+
+  unsigned* sq_head_ = nullptr;
+  unsigned* sq_tail_ = nullptr;
+  unsigned sq_mask_ = 0;
+  unsigned sq_entries_ = 0;
+  unsigned* sq_array_ = nullptr;
+  unsigned* cq_head_ = nullptr;
+  unsigned* cq_tail_ = nullptr;
+  unsigned cq_mask_ = 0;
+  void* cqes_ = nullptr;
+
+  unsigned pending_submit_ = 0;
+  bool buffers_registered_ = false;
+  std::uint32_t next_gen_ = 1;
+  // fd -> registration; fds are small ints, the table is tiny (one per
+  // channel socket), lookups happen once per CQE.
+  std::vector<Reg> regs_;        // indexed by fd
+  std::vector<bool> reg_live_;   // indexed by fd
+  // 16-byte timespec the pending TIMEOUT SQE points into; must outlive
+  // the op, hence a member.
+  long long timeout_ts_[2] = {0, 0};
+};
+
+}  // namespace mcss::transport

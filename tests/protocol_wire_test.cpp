@@ -112,6 +112,35 @@ ShareFrame sample_frame(std::uint64_t id, std::uint8_t index,
 
 // ------------------------------------------------------------- generation
 
+TEST(Wire, HeaderThenSealMatchesEncode) {
+  // The sender's split-into-slot path writes the header first, fills the
+  // payload in place, and seals; the bytes must match one-shot encode()
+  // in both keyed and unkeyed modes.
+  ShareFrame f;
+  f.packet_id = 0xFEEDFACECAFEULL;
+  f.k = 2;
+  f.share_index = 3;
+  f.generation = 5;
+  f.payload = {9, 8, 7, 6};
+  const crypto::SipHashKey key{1, 2,  3,  4,  5,  6,  7,  8,
+                               9, 10, 11, 12, 13, 14, 15, 16};
+  for (const bool keyed : {false, true}) {
+    const crypto::SipHashKey* kp = keyed ? &key : nullptr;
+    const auto expected = encode(f, kp);
+
+    const FrameMeta meta{f.packet_id, f.k, f.share_index, f.generation};
+    ASSERT_EQ(encoded_size(f.payload.size(), f.generation, keyed),
+              expected.size());
+    std::vector<std::uint8_t> got(expected.size());
+    const std::size_t off =
+        encode_header_into(meta, f.payload.size(), got, keyed);
+    std::copy(f.payload.begin(), f.payload.end(),
+              got.begin() + static_cast<std::ptrdiff_t>(off));
+    if (keyed) seal_frame(got, key);
+    EXPECT_EQ(got, expected) << (keyed ? "keyed" : "unkeyed");
+  }
+}
+
 TEST(Wire, GenerationRoundtrip) {
   ShareFrame f;
   f.packet_id = 99;

@@ -4,6 +4,7 @@
 
 #include <array>
 #include <set>
+#include <span>
 #include <vector>
 
 #include "field/gf256.hpp"
@@ -81,6 +82,42 @@ TEST(Shamir, SharesAreSecretSized) {
   for (const Share& s : shares) {
     EXPECT_EQ(s.data.size(), secret.size());  // H(Y) = H(X), no expansion
   }
+}
+
+TEST(Shamir, SplitIntoMatchesSplitByteForByte) {
+  // The live sender's in-place path must consume the rng identically and
+  // produce the same share bytes as the allocating split().
+  Rng rng_a(71);
+  Rng rng_b(71);
+  const auto secret = random_secret(rng_a, 500);
+  random_secret(rng_b, 500);  // keep the streams aligned
+
+  const auto shares = split(secret, 3, 5, rng_a);
+
+  std::vector<std::vector<std::uint8_t>> bufs(
+      5, std::vector<std::uint8_t>(secret.size()));
+  std::vector<std::span<std::uint8_t>> dests(bufs.begin(), bufs.end());
+  std::vector<std::uint8_t> scratch;
+  split_into(secret, 3, dests, scratch, rng_b);
+
+  for (int j = 0; j < 5; ++j) {
+    EXPECT_EQ(bufs[static_cast<std::size_t>(j)],
+              shares[static_cast<std::size_t>(j)].data)
+        << "share " << j;
+  }
+  // Scratch reuse across calls with a different k must stay correct.
+  split_into(secret, 1, dests, scratch, rng_b);
+  for (const auto& buf : bufs) EXPECT_EQ(buf, secret);  // k=1 replicates
+}
+
+TEST(Shamir, SplitIntoRejectsWrongSizedDestination) {
+  Rng rng(72);
+  const auto secret = random_secret(rng, 64);
+  std::vector<std::uint8_t> short_buf(32);
+  std::vector<std::span<std::uint8_t>> dests{std::span(short_buf)};
+  std::vector<std::uint8_t> scratch;
+  EXPECT_THROW(split_into(secret, 1, dests, scratch, rng),
+               PreconditionError);
 }
 
 TEST(Shamir, EmptySecretRoundtrips) {

@@ -5,25 +5,76 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
+#include <string>
+#include <cstring>
+#include <new>
 #include <unordered_map>
 #include <vector>
 
 #include "net/sim_channel.hpp"
 #include "protocol/wire.hpp"
+#include "transport/frame_pool.hpp"
 #include "transport/impairment.hpp"
 #include "transport/live_endpoint.hpp"
 #include "transport/poller.hpp"
 #include "transport/timer_wheel.hpp"
 #include "transport/udp_channel.hpp"
 #include "transport/udp_socket.hpp"
+#include "transport/uring_poller.hpp"
 #include "transport/wall_clock.hpp"
+#include "util/ensure.hpp"
 #include "util/rng.hpp"
+
+// ---- allocation-counting hook ----------------------------------------
+//
+// Replacing the global allocator is binary-wide, so counting is gated on
+// a flag that SteadyStateFastPathDoesNotAllocateAfterWarmup flips around
+// its measured region. Everything else pays one relaxed load per new.
+namespace {
+std::atomic<bool> g_count_allocs{false};
+std::atomic<std::uint64_t> g_allocs{0};
+}  // namespace
+
+// noinline keeps GCC from pairing an inlined free() against new
+// expressions elsewhere and warning about a mismatch that is not one
+// (this new IS malloc-based).
+#define MCSS_TEST_NOINLINE __attribute__((noinline))
+
+MCSS_TEST_NOINLINE void* operator new(std::size_t size) {
+  if (g_count_allocs.load(std::memory_order_relaxed)) {
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (void* p = std::malloc(size != 0 ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+MCSS_TEST_NOINLINE void* operator new[](std::size_t size) {
+  return ::operator new(size);
+}
+MCSS_TEST_NOINLINE void operator delete(void* p) noexcept { std::free(p); }
+MCSS_TEST_NOINLINE void operator delete[](void* p) noexcept { std::free(p); }
+MCSS_TEST_NOINLINE void operator delete(void* p, std::size_t) noexcept {
+  std::free(p);
+}
+MCSS_TEST_NOINLINE void operator delete[](void* p, std::size_t) noexcept {
+  std::free(p);
+}
 
 namespace mcss::transport {
 namespace {
 
 using net::ChannelConfig;
+
+/// Pool-backed frame full of `fill`. Tests size their pools so that
+/// acquisition cannot fail.
+FrameRef make_frame(FramePool& pool, std::size_t size, std::uint8_t fill) {
+  FrameRef f = pool.acquire();
+  MCSS_ENSURE(f, "test pool exhausted");
+  f.resize(size);
+  std::memset(f.data(), fill, size);
+  return f;
+}
 
 // ---------------------------------------------------------------- wheel
 
@@ -134,20 +185,55 @@ TEST_P(PollerBackends, ReportsReadinessAndHonorsInterest) {
   EXPECT_EQ(poller.wait(0, events), 0u);
 }
 
+// The uring leg exercises the io_uring backend where the kernel provides
+// one; where it does not, Poller falls back (with a logged reason) and
+// the leg degenerates into a second epoll run — still a valid check of
+// the fallback contract.
 INSTANTIATE_TEST_SUITE_P(Backends, PollerBackends,
                          ::testing::Values(Poller::Backend::Epoll,
-                                           Poller::Backend::Poll),
-                         [](const auto& param_info) {
-                           return param_info.param == Poller::Backend::Epoll
-                                      ? "epoll"
-                                      : "poll";
+                                           Poller::Backend::Poll,
+                                           Poller::Backend::Uring),
+                         [](const auto& param_info) -> std::string {
+                           switch (param_info.param) {
+                             case Poller::Backend::Epoll:
+                               return "epoll";
+                             case Poller::Backend::Poll:
+                               return "poll";
+                             case Poller::Backend::Uring:
+                               return "uring";
+                           }
+                           return "unknown";
                          });
 
-TEST(Poller, EnvForcesThePollFallback) {
+TEST(Poller, EnvSelectsEachBackendAndFallsBackToEpoll) {
   ASSERT_EQ(::setenv("MCSS_LIVE_POLLER", "poll", 1), 0);
   EXPECT_EQ(Poller::default_backend(), Poller::Backend::Poll);
+  ASSERT_EQ(::setenv("MCSS_LIVE_POLLER", "uring", 1), 0);
+  EXPECT_EQ(Poller::default_backend(), Poller::Backend::Uring);
+  ASSERT_EQ(::setenv("MCSS_LIVE_POLLER", "epoll", 1), 0);
+  EXPECT_EQ(Poller::default_backend(), Poller::Backend::Epoll);
   ASSERT_EQ(::unsetenv("MCSS_LIVE_POLLER"), 0);
   EXPECT_EQ(Poller::default_backend(), Poller::Backend::Epoll);
+}
+
+TEST(Poller, UringRequestFallsBackGracefullyWhenUnsupported) {
+  Poller poller(Poller::Backend::Uring);
+  if (UringCore::supported()) {
+    EXPECT_EQ(poller.backend(), Poller::Backend::Uring);
+  } else {
+    // The constructor must not throw; it logs and degrades.
+    EXPECT_NE(poller.backend(), Poller::Backend::Uring);
+  }
+  // Whatever it resolved to must actually poll.
+  UdpSocket rx = UdpSocket::bound_loopback(0);
+  UdpSocket tx = UdpSocket::bound_loopback(0);
+  tx.connect_loopback(rx.local_port());
+  poller.add(rx.fd(), /*want_read=*/true, /*want_write=*/false);
+  ASSERT_EQ(tx.send(std::vector<std::uint8_t>{1}), UdpSocket::IoResult::Ok);
+  std::vector<Poller::Event> events;
+  ASSERT_EQ(poller.wait(1000, events), 1u);
+  EXPECT_TRUE(events[0].readable);
+  EXPECT_GT(poller.wait_calls(), 0u);
 }
 
 // --------------------------------------------------------------- socket
@@ -183,6 +269,138 @@ TEST(UdpSocket, InjectedWouldBlockIsDeterministic) {
   EXPECT_EQ(tx.send(msg), UdpSocket::IoResult::Ok);
 }
 
+TEST(UdpSocket, SendManyRecvManyMoveWholeBatchesInOneSyscallEach) {
+  UdpSocket rx = UdpSocket::bound_loopback(0);
+  UdpSocket tx = UdpSocket::bound_loopback(0);
+  tx.connect_loopback(rx.local_port());
+
+  // Three distinct datagrams, one sendmmsg.
+  std::array<std::array<std::uint8_t, 8>, 3> out;
+  std::array<iovec, 3> out_iov;
+  std::array<mmsghdr, 3> out_msgs{};
+  for (std::size_t i = 0; i < 3; ++i) {
+    out[i].fill(static_cast<std::uint8_t>(0x40 + i));
+    out_iov[i] = {out[i].data(), out[i].size()};
+    out_msgs[i].msg_hdr.msg_iov = &out_iov[i];
+    out_msgs[i].msg_hdr.msg_iovlen = 1;
+  }
+  const auto sent = tx.send_many(out_msgs);
+  ASSERT_EQ(sent.result, UdpSocket::IoResult::Ok);
+  EXPECT_EQ(sent.completed, 3u);
+  EXPECT_EQ(tx.syscalls_send(), 1u);
+  for (const auto& m : out_msgs) EXPECT_EQ(m.msg_len, 8u);
+
+  // Drain with recvmmsg into four slots; loopback may deliver in pieces,
+  // so accumulate until all three arrive.
+  std::array<std::array<std::uint8_t, 64>, 4> in;
+  std::array<iovec, 4> in_iov;
+  std::array<mmsghdr, 4> in_msgs{};
+  for (std::size_t i = 0; i < 4; ++i) {
+    in_iov[i] = {in[i].data(), in[i].size()};
+    in_msgs[i].msg_hdr.msg_iov = &in_iov[i];
+    in_msgs[i].msg_hdr.msg_iovlen = 1;
+  }
+  std::vector<std::uint8_t> first_bytes;
+  for (int spins = 0; spins < 5000 && first_bytes.size() < 3; ++spins) {
+    const auto got = rx.recv_many(in_msgs);
+    if (got.result != UdpSocket::IoResult::Ok) continue;
+    for (unsigned i = 0; i < got.completed; ++i) {
+      ASSERT_EQ(in_msgs[i].msg_len, 8u);
+      first_bytes.push_back(in[i][0]);
+    }
+  }
+  std::sort(first_bytes.begin(), first_bytes.end());
+  EXPECT_EQ(first_bytes, (std::vector<std::uint8_t>{0x40, 0x41, 0x42}));
+  EXPECT_GT(rx.syscalls_recv(), 0u);
+}
+
+TEST(UdpSocket, InjectedAcceptLimitShortensOneBatch) {
+  UdpSocket rx = UdpSocket::bound_loopback(0);
+  UdpSocket tx = UdpSocket::bound_loopback(0);
+  tx.connect_loopback(rx.local_port());
+  std::array<std::uint8_t, 4> payload{1, 2, 3, 4};
+  std::array<iovec, 3> iov;
+  std::array<mmsghdr, 3> msgs{};
+  for (std::size_t i = 0; i < 3; ++i) {
+    iov[i] = {payload.data(), payload.size()};
+    msgs[i].msg_hdr.msg_iov = &iov[i];
+    msgs[i].msg_hdr.msg_iovlen = 1;
+  }
+  tx.inject_accept_limit(2);
+  auto batch = tx.send_many(msgs);
+  EXPECT_EQ(batch.result, UdpSocket::IoResult::Ok);
+  EXPECT_EQ(batch.completed, 2u);  // kernel "took" only the head
+  batch = tx.send_many(msgs);      // hook is one-shot
+  EXPECT_EQ(batch.result, UdpSocket::IoResult::Ok);
+  EXPECT_EQ(batch.completed, 3u);
+}
+
+// ----------------------------------------------------------- frame pool
+
+TEST(FramePool, AcquireRecycleAndHighWater) {
+  FramePool pool(256, 4);
+  EXPECT_EQ(pool.capacity(), 4u);
+  EXPECT_EQ(pool.available(), 4u);
+  {
+    FrameRef a = pool.acquire();
+    FrameRef b = pool.acquire();
+    ASSERT_TRUE(a);
+    ASSERT_TRUE(b);
+    EXPECT_NE(a.slot(), b.slot());
+    a.resize(100);
+    EXPECT_EQ(a.size(), 100u);
+    EXPECT_EQ(pool.in_use(), 2u);
+  }
+  // Both refs dropped: slots recycled, high-water remembers the peak.
+  EXPECT_EQ(pool.in_use(), 0u);
+  EXPECT_EQ(pool.available(), 4u);
+  EXPECT_EQ(pool.stats().acquired, 2u);
+  EXPECT_EQ(pool.stats().high_water, 2u);
+  // Data pointers are arena-stable: reacquiring reuses the same memory.
+  FrameRef c = pool.acquire();
+  ASSERT_TRUE(c);
+  EXPECT_GE(c.data(), pool.arena_data());
+  EXPECT_LT(c.data(), pool.arena_data() + pool.arena_bytes());
+}
+
+TEST(FramePool, CopiesShareTheSlotUntilTheLastRefDrops) {
+  FramePool pool(128, 2);
+  FrameRef a = pool.acquire();
+  ASSERT_TRUE(a);
+  a.resize(5);
+  std::memcpy(a.data(), "hello", 5);
+  FrameRef b = a;  // refcount bump, same slot
+  EXPECT_EQ(pool.in_use(), 1u);
+  EXPECT_EQ(a.data(), b.data());
+  a.reset();
+  EXPECT_EQ(pool.in_use(), 1u) << "slot must survive the first release";
+  EXPECT_EQ(b.size(), 5u);
+  EXPECT_EQ(std::memcmp(b.data(), "hello", 5), 0);
+  b.reset();
+  EXPECT_EQ(pool.in_use(), 0u);
+}
+
+TEST(FramePool, ExhaustionReturnsNullAndCounts) {
+  FramePool pool(64, 2);
+  FrameRef a = pool.acquire();
+  FrameRef b = pool.acquire();
+  ASSERT_TRUE(a && b);
+  FrameRef c = pool.acquire();
+  EXPECT_FALSE(c);
+  EXPECT_EQ(pool.stats().exhausted, 1u);
+  // Oversize copies can never be pooled; same degrade, same stat.
+  const std::vector<std::uint8_t> big(65, 0xAA);
+  a.reset();
+  EXPECT_FALSE(pool.acquire_copy(big));
+  EXPECT_EQ(pool.stats().exhausted, 2u);
+  // A fitting copy lands byte-for-byte.
+  const std::vector<std::uint8_t> ok(64, 0xBB);
+  FrameRef d = pool.acquire_copy(ok);
+  ASSERT_TRUE(d);
+  EXPECT_EQ(d.size(), 64u);
+  EXPECT_TRUE(std::equal(ok.begin(), ok.end(), d.data()));
+}
+
 // ----------------------------------------------------------- impairment
 
 /// Steps the wheel in `step_ns` increments up to `until_ns`, recording the
@@ -202,10 +420,11 @@ TEST(Impairment, PacesFramesAtTheConfiguredRate) {
   cfg.rate_bps = 8e6;  // 1000 bytes = 1 ms on the serializer
   cfg.delay = 0;
   ReleaseRecorder rec;
+  FramePool pool(2048, 8);
   Impairment impair(cfg, Rng(1), wheel,
-                    [&](std::vector<std::uint8_t>) { rec.at.push_back(rec.now); });
+                    [&](FrameRef, std::int64_t) { rec.at.push_back(rec.now); });
   for (int i = 0; i < 5; ++i) {
-    ASSERT_TRUE(impair.offer(std::vector<std::uint8_t>(1000, 0xAB), 0));
+    ASSERT_TRUE(impair.offer(make_frame(pool, 1000, 0xAB), 0));
   }
   EXPECT_EQ(impair.backlog_ns(0), 5'000'000);
   rec.step(wheel, 10'000'000, 50'000);
@@ -229,10 +448,11 @@ TEST(Impairment, DelayPlusJitterStaysInBounds) {
   cfg.jitter = 2'000'000;
   cfg.queue_capacity_bytes = 1 << 20;
   ReleaseRecorder rec;
+  FramePool pool(256, 128);
   Impairment impair(cfg, Rng(7), wheel,
-                    [&](std::vector<std::uint8_t>) { rec.at.push_back(rec.now); });
+                    [&](FrameRef, std::int64_t) { rec.at.push_back(rec.now); });
   for (int i = 0; i < 100; ++i) {
-    ASSERT_TRUE(impair.offer(std::vector<std::uint8_t>(64, 1), 0));
+    ASSERT_TRUE(impair.offer(make_frame(pool, 64, 1), 0));
   }
   rec.step(wheel, 9'000'000, 50'000);
   ASSERT_EQ(rec.at.size(), 100u);
@@ -249,14 +469,15 @@ TEST(Impairment, TailDropsAndReadyWatermark) {
   cfg.rate_bps = 8e6;
   cfg.queue_capacity_bytes = 3000;  // watermark defaults to 1500
   int released = 0;
+  FramePool pool(2048, 8);
   Impairment impair(cfg, Rng(1), wheel,
-                    [&](std::vector<std::uint8_t>) { ++released; });
+                    [&](FrameRef, std::int64_t) { ++released; });
   EXPECT_TRUE(impair.ready());
   for (int i = 0; i < 3; ++i) {
-    EXPECT_TRUE(impair.offer(std::vector<std::uint8_t>(1000, 2), 0));
+    EXPECT_TRUE(impair.offer(make_frame(pool, 1000, 2), 0));
   }
   EXPECT_FALSE(impair.ready());  // 3000 queued >= 1500 watermark
-  EXPECT_FALSE(impair.offer(std::vector<std::uint8_t>(1000, 2), 0));
+  EXPECT_FALSE(impair.offer(make_frame(pool, 1000, 2), 0));
   EXPECT_EQ(impair.stats().frames_dropped_queue, 1u);
   wheel.advance(10'000'000);  // drain
   EXPECT_TRUE(impair.ready());
@@ -269,11 +490,12 @@ TEST(Impairment, SeededBernoulliLossLandsNearTheConfiguredRate) {
   ChannelConfig cfg;
   cfg.rate_bps = 8e9;  // 100 bytes = 100 ns; drains between offers
   cfg.loss = 0.3;
-  Impairment impair(cfg, Rng(42), wheel, [](std::vector<std::uint8_t>) {});
+  FramePool pool(256, 8);
+  Impairment impair(cfg, Rng(42), wheel, [](FrameRef, std::int64_t) {});
   const int kFrames = 2000;
   for (int i = 0; i < kFrames; ++i) {
     const std::int64_t t = static_cast<std::int64_t>(i) * 1000;
-    ASSERT_TRUE(impair.offer(std::vector<std::uint8_t>(100, 3), t));
+    ASSERT_TRUE(impair.offer(make_frame(pool, 100, 3), t));
     wheel.advance(t + 1000);
   }
   wheel.advance(kFrames * 1000 + 10'000'000);
@@ -287,14 +509,22 @@ TEST(Impairment, SeededBernoulliLossLandsNearTheConfiguredRate) {
 
 // ---------------------------------------------------------- udp channel
 
+/// Span consumer that materializes each forwarded frame for comparison.
+UdpChannel::FrameFn collect_into(std::vector<std::vector<std::uint8_t>>& got) {
+  return [&got](std::span<const std::uint8_t> f) {
+    got.emplace_back(f.begin(), f.end());
+  };
+}
+
 TEST(UdpChannel, CoalescesOnBackpressureAndSplitsFramesOnReceive) {
   TimerWheel wheel(100'000, 64);
   wheel.advance(0);
+  FramePool pool(2048, 64);
   ChannelConfig cfg;
   cfg.rate_bps = 1e12;
-  UdpChannel ch(cfg, Rng(3), wheel, /*rx_port=*/0, "test");
+  UdpChannel ch(cfg, Rng(3), wheel, pool, /*rx_port=*/0, "test");
   std::vector<std::vector<std::uint8_t>> got;
-  ch.set_on_frame([&](std::vector<std::uint8_t> f) { got.push_back(std::move(f)); });
+  ch.set_on_frame(collect_into(got));
 
   std::vector<std::vector<std::uint8_t>> sent;
   for (std::uint8_t i = 1; i <= 3; ++i) {
@@ -305,16 +535,20 @@ TEST(UdpChannel, CoalescesOnBackpressureAndSplitsFramesOnReceive) {
     frame.payload = std::vector<std::uint8_t>(40, i);
     sent.push_back(proto::encode(frame));
   }
-  // Park the first datagram deterministically so later releases coalesce
-  // behind it.
+  for (auto& f : sent) {
+    ASSERT_TRUE(ch.try_send(std::span<const std::uint8_t>(f), 0));
+  }
+  wheel.advance(1'000'000);  // all three land in the pending ring
+  // Park deterministically: the first sendmmsg hits an injected EAGAIN.
   ch.tx_socket().inject_wouldblock(1);
-  for (auto& f : sent) ASSERT_TRUE(ch.try_send(f, 0));
-  wheel.advance(1'000'000);  // releases all three; flush retries coalesce
-  EXPECT_TRUE(ch.wants_write() || ch.stats().datagrams_sent > 0);
-  ch.on_writable();  // kernel was never actually full
-  EXPECT_FALSE(ch.wants_write());
+  ch.flush(1'000'000);
+  EXPECT_TRUE(ch.wants_write());
   EXPECT_EQ(ch.stats().send_wouldblock, 1u);
-  EXPECT_GE(ch.stats().frames_coalesced, 1u);
+  ch.on_writable(1'000'000);  // kernel was never actually full
+  EXPECT_FALSE(ch.wants_write());
+  // All three frames fit one datagram: coalesced behind the head.
+  EXPECT_EQ(ch.stats().datagrams_sent, 1u);
+  EXPECT_GE(ch.stats().frames_coalesced, 2u);
 
   for (int spins = 0; spins < 2000 && got.size() < 3; ++spins) {
     ch.on_readable();
@@ -330,10 +564,11 @@ TEST(UdpChannel, CoalescesOnBackpressureAndSplitsFramesOnReceive) {
 TEST(UdpChannel, UndecodableDatagramIsForwardedWholeForAccounting) {
   TimerWheel wheel;
   wheel.advance(0);
+  FramePool pool(2048, 40);
   ChannelConfig cfg;
-  UdpChannel ch(cfg, Rng(3), wheel, 0, "junk");
+  UdpChannel ch(cfg, Rng(3), wheel, pool, 0, "junk");
   std::vector<std::vector<std::uint8_t>> got;
-  ch.set_on_frame([&](std::vector<std::uint8_t> f) { got.push_back(std::move(f)); });
+  ch.set_on_frame(collect_into(got));
 
   UdpSocket attacker = UdpSocket::bound_loopback(0);
   attacker.connect_loopback(ch.rx_port());
@@ -346,6 +581,224 @@ TEST(UdpChannel, UndecodableDatagramIsForwardedWholeForAccounting) {
   EXPECT_EQ(got[0], junk);
   EXPECT_EQ(ch.stats().unparsed_forwarded, 1u);
   EXPECT_EQ(ch.stats().frames_forwarded, 0u);
+}
+
+/// One wire frame whose encoding is large enough that two never share a
+/// 1400-byte datagram — each pending frame becomes its own datagram.
+std::vector<std::uint8_t> big_frame_bytes(std::uint64_t id) {
+  proto::ShareFrame frame;
+  frame.packet_id = id;
+  frame.k = 2;
+  frame.share_index = 1;
+  frame.payload = std::vector<std::uint8_t>(800, static_cast<std::uint8_t>(id));
+  return proto::encode(frame);
+}
+
+TEST(UdpChannel, ShortSendmmsgRetiresTheHeadAndResendsTheTail) {
+  TimerWheel wheel(100'000, 64);
+  wheel.advance(0);
+  FramePool pool(2048, 64);
+  ChannelConfig cfg;
+  cfg.rate_bps = 1e15;  // transparent: releases happen inside try_send
+  UdpChannel ch(cfg, Rng(5), wheel, pool, 0, "short");
+  std::vector<std::vector<std::uint8_t>> got;
+  ch.set_on_frame(collect_into(got));
+
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    ASSERT_TRUE(ch.try_send(
+        std::span<const std::uint8_t>(big_frame_bytes(i)), 0));
+  }
+  // The kernel "takes" only 2 of the 5 datagrams from the first
+  // sendmmsg; flush must retire exactly those and re-offer the tail in
+  // a follow-up call, not drop or resend the head.
+  ch.tx_socket().inject_accept_limit(2);
+  ch.flush(0);
+  EXPECT_EQ(ch.stats().datagrams_sent, 5u);
+  EXPECT_EQ(ch.stats().sendmmsg_short, 1u);
+  EXPECT_EQ(ch.syscalls_send(), 2u) << "short batch + one follow-up";
+  EXPECT_FALSE(ch.wants_write());
+
+  for (int spins = 0; spins < 5000 && got.size() < 5; ++spins) {
+    ch.on_readable();
+  }
+  ASSERT_EQ(got.size(), 5u);
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    EXPECT_EQ(got[i - 1], big_frame_bytes(i)) << "frame " << i;
+  }
+}
+
+TEST(UdpChannel, EagainOnSlotZeroParksTheWholeBatch) {
+  TimerWheel wheel(100'000, 64);
+  wheel.advance(0);
+  FramePool pool(2048, 64);
+  ChannelConfig cfg;
+  cfg.rate_bps = 1e15;
+  UdpChannel ch(cfg, Rng(5), wheel, pool, 0, "slot0");
+  std::size_t frames_seen = 0;
+  ch.set_on_frame([&](std::span<const std::uint8_t>) { ++frames_seen; });
+
+  for (std::uint64_t i = 1; i <= 4; ++i) {
+    ASSERT_TRUE(ch.try_send(
+        std::span<const std::uint8_t>(big_frame_bytes(i)), 0));
+  }
+  ch.tx_socket().inject_wouldblock(1);  // EAGAIN before any slot completes
+  ch.flush(0);
+  EXPECT_EQ(ch.stats().datagrams_sent, 0u);
+  EXPECT_EQ(ch.stats().send_wouldblock, 1u);
+  EXPECT_TRUE(ch.wants_write());
+  ch.on_writable(0);
+  EXPECT_EQ(ch.stats().datagrams_sent, 4u);
+  EXPECT_FALSE(ch.wants_write());
+}
+
+TEST(UdpChannel, EagainMidBatchRetiresTheHeadAndParksTheTail) {
+  TimerWheel wheel(100'000, 64);
+  wheel.advance(0);
+  FramePool pool(2048, 64);
+  ChannelConfig cfg;
+  cfg.rate_bps = 1e15;
+  UdpChannel ch(cfg, Rng(5), wheel, pool, 0, "slotk");
+  ch.set_on_frame([](std::span<const std::uint8_t>) {});
+
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    ASSERT_TRUE(ch.try_send(
+        std::span<const std::uint8_t>(big_frame_bytes(i)), 0));
+  }
+  // sendmmsg semantics for a mid-batch EAGAIN: the call returns short
+  // (the error surfaces at the head of the NEXT call). Model it as a
+  // short accept followed by an injected EAGAIN.
+  ch.tx_socket().inject_accept_limit(2);
+  ch.tx_socket().inject_wouldblock(1);
+  ch.flush(0);
+  EXPECT_EQ(ch.stats().datagrams_sent, 2u) << "head must be retired";
+  EXPECT_EQ(ch.stats().sendmmsg_short, 1u);
+  EXPECT_EQ(ch.stats().send_wouldblock, 1u);
+  EXPECT_TRUE(ch.wants_write()) << "tail parks until EPOLLOUT";
+  ch.on_writable(0);
+  EXPECT_EQ(ch.stats().datagrams_sent, 5u);
+  EXPECT_FALSE(ch.wants_write());
+}
+
+TEST(UdpChannel, RecvmmsgDrainsBurstsLargerThanTheBatch) {
+  TimerWheel wheel;
+  wheel.advance(0);
+  FramePool pool(2048, 32);
+  ChannelConfig cfg;
+  UdpChannel ch(cfg, Rng(7), wheel, pool, 0, "burst", 1400,
+                /*send_batch=*/32, /*recv_batch=*/4);
+  std::vector<std::vector<std::uint8_t>> got;
+  ch.set_on_frame(collect_into(got));
+
+  UdpSocket peer = UdpSocket::bound_loopback(0);
+  peer.connect_loopback(ch.rx_port());
+  for (std::uint64_t i = 1; i <= 10; ++i) {
+    ASSERT_EQ(peer.send(big_frame_bytes(i)), UdpSocket::IoResult::Ok);
+  }
+  for (int spins = 0; spins < 5000 && got.size() < 10; ++spins) {
+    ch.on_readable();
+  }
+  ASSERT_EQ(got.size(), 10u);
+  EXPECT_EQ(ch.stats().datagrams_received, 10u);
+  EXPECT_EQ(ch.stats().frames_forwarded, 10u);
+  // 10 datagrams through 4-deep recvmmsg: at least three kernel visits,
+  // far fewer than the 10 the unbatched path would make.
+  EXPECT_GE(ch.syscalls_recv(), 3u);
+}
+
+TEST(UdpChannel, PoolExhaustionUnderStormDegradesToDropWithStat) {
+  TimerWheel wheel;
+  wheel.advance(0);
+  // 6 slots; the channel pins 2 for its receive batch, leaving 4 for TX.
+  FramePool pool(2048, 6);
+  ChannelConfig cfg;
+  cfg.rate_bps = 1e15;
+  UdpChannel ch(cfg, Rng(9), wheel, pool, 0, "storm", 1400,
+                /*send_batch=*/32, /*recv_batch=*/2);
+  ch.set_on_frame([](std::span<const std::uint8_t>) {});
+
+  const auto frame = big_frame_bytes(1);
+  std::size_t accepted = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (ch.try_send(std::span<const std::uint8_t>(frame), 0)) ++accepted;
+  }
+  EXPECT_EQ(accepted, 4u) << "exactly the free slots";
+  EXPECT_EQ(ch.stats().frames_dropped_pool, 6u);
+  EXPECT_EQ(pool.stats().exhausted, 6u);
+  EXPECT_EQ(pool.available(), 0u);
+
+  // Flushing returns the slots; the channel recovers without help.
+  ch.flush(0);
+  EXPECT_EQ(ch.stats().datagrams_sent, 4u);
+  EXPECT_EQ(pool.available(), 4u);
+  EXPECT_TRUE(ch.try_send(std::span<const std::uint8_t>(frame), 0));
+}
+
+TEST(UdpChannel, WholeBatchDepartureKeepsPerFrameReleaseStamps) {
+  TimerWheel wheel(100'000, 64);
+  wheel.advance(0);
+  FramePool pool(2048, 40);  // 32 pinned receive slots + TX headroom
+  ChannelConfig cfg;
+  cfg.rate_bps = 8e6;  // 1000 bytes = 1 ms on the serializer
+  UdpChannel ch(cfg, Rng(11), wheel, pool, 0, "stamps");
+  ch.set_on_frame([](std::span<const std::uint8_t>) {});
+
+  for (std::uint8_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(ch.try_send(make_frame(pool, 1000, i), 0));
+  }
+  wheel.advance(10'000'000);  // serializer releases at 1, 2, 3 ms
+  ch.flush(10'000'000);
+  // 1000-byte frames do not share a 1400-byte datagram: three datagrams,
+  // ONE sendmmsg — yet each retired frame keeps the release stamp the
+  // serializer gave it, not one smeared batch-departure time.
+  EXPECT_EQ(ch.stats().datagrams_sent, 3u);
+  EXPECT_EQ(ch.syscalls_send(), 1u);
+  const auto stamps = ch.last_flush_release_ns();
+  ASSERT_EQ(stamps.size(), 3u);
+  EXPECT_EQ(stamps[0], 1'000'000);
+  EXPECT_EQ(stamps[1], 2'000'000);
+  EXPECT_EQ(stamps[2], 3'000'000);
+}
+
+TEST(UdpChannel, SteadyStateFastPathDoesNotAllocateAfterWarmup) {
+  TimerWheel wheel(100'000, 64);
+  wheel.advance(0);
+  FramePool pool(2048, 80);
+  ChannelConfig cfg;
+  cfg.rate_bps = 1e15;  // transparent channel: no wheel, no closures
+  UdpChannel ch(cfg, Rng(13), wheel, pool, 0, "hot");
+  std::size_t frames_seen = 0;
+  ch.set_on_frame([&frames_seen](std::span<const std::uint8_t>) {
+    ++frames_seen;
+  });
+  const auto frame = big_frame_bytes(42);
+
+  // One round = stage 8 frames into pool slots, one sendmmsg out, drain
+  // the RX socket through the pinned recvmmsg slots.
+  const auto round = [&](std::int64_t t, std::size_t expect_seen) {
+    for (int i = 0; i < 8; ++i) {
+      (void)ch.try_send(std::span<const std::uint8_t>(frame), t);
+    }
+    ch.flush(t);
+    for (int spins = 0; spins < 200000 && frames_seen < expect_seen;
+         ++spins) {
+      ch.on_readable();
+    }
+  };
+
+  for (int r = 0; r < 3; ++r) {  // warmup: pools, freelists, socket bufs
+    round(r * 1'000'000, static_cast<std::size_t>(r + 1) * 8);
+  }
+  ASSERT_EQ(frames_seen, 24u);
+
+  g_allocs.store(0);
+  g_count_allocs.store(true);
+  for (int r = 3; r < 8; ++r) {
+    round(r * 1'000'000, static_cast<std::size_t>(r + 1) * 8);
+  }
+  g_count_allocs.store(false);
+  ASSERT_EQ(frames_seen, 64u);
+  EXPECT_EQ(g_allocs.load(), 0u)
+      << "the warmed-up pool/batch/split path must never touch the heap";
 }
 
 // --------------------------------------------------------- live endpoint
@@ -502,12 +955,15 @@ TEST(LiveEndpoint, SeededImpairedRunMatchesConfiguredLossAndDelay) {
   cfg.kappa = 2.0;
   cfg.mu = 3.0;
   cfg.seed = 77;
-  cfg.max_queue_packets = 512;
+  cfg.max_queue_packets = 1024;
   LiveEndpoint ep(std::move(cfg));
   std::size_t delivered = 0;
   ep.set_deliver([&](std::uint64_t, std::vector<std::uint8_t>) { ++delivered; });
 
-  const int kPackets = 300;
+  // Enough packets that even the least-preferred channel decides a few
+  // hundred frames — at n >= 200 draws, the 0.06 tolerance sits beyond
+  // 3 sigma of a Bernoulli(0.10) estimate.
+  const int kPackets = 600;
   for (int i = 0; i < kPackets; ++i) {
     ASSERT_TRUE(ep.send(std::vector<std::uint8_t>(256, 0x77)));
   }
@@ -524,7 +980,7 @@ TEST(LiveEndpoint, SeededImpairedRunMatchesConfiguredLossAndDelay) {
   for (std::size_t i = 0; i < ep.num_channels(); ++i) {
     const auto& s = ep.channel(i).impair_stats();
     const std::uint64_t decided = s.frames_dropped_loss + s.frames_delivered;
-    if (decided < 50) continue;  // too few samples to judge
+    if (decided < 200) continue;  // too few samples to judge
     const double measured =
         static_cast<double>(s.frames_dropped_loss) / static_cast<double>(decided);
     EXPECT_NEAR(measured, losses[i], 0.06) << "channel " << i;
@@ -572,6 +1028,100 @@ TEST(LiveEndpoint, TinyKernelBuffersDoNotWedgeTheLoop) {
   for (std::size_t i = 0; i < ep.num_channels(); ++i) {
     EXPECT_EQ(ep.channel(i).stats().send_errors, 0u) << "channel " << i;
   }
+}
+
+TEST(LiveEndpoint, BatchFromEnvParsesAndFallsBack) {
+  // Save the caller's value: under the CI leg that runs the whole suite
+  // with MCSS_LIVE_BATCH=1, this test must not strip the override from
+  // the tests that run after it.
+  const char* prior = ::getenv("MCSS_LIVE_BATCH");
+  const std::string saved = prior ? prior : "";
+  ASSERT_EQ(::unsetenv("MCSS_LIVE_BATCH"), 0);
+  EXPECT_EQ(batch_from_env(), 32u);
+  EXPECT_EQ(batch_from_env(8), 8u);
+  ASSERT_EQ(::setenv("MCSS_LIVE_BATCH", "1", 1), 0);
+  EXPECT_EQ(batch_from_env(), 1u) << "legacy escape hatch";
+  ASSERT_EQ(::setenv("MCSS_LIVE_BATCH", "64", 1), 0);
+  EXPECT_EQ(batch_from_env(), 64u);
+  ASSERT_EQ(::setenv("MCSS_LIVE_BATCH", "0", 1), 0);
+  EXPECT_EQ(batch_from_env(), 32u) << "zero is not a batch";
+  ASSERT_EQ(::setenv("MCSS_LIVE_BATCH", "garbage", 1), 0);
+  EXPECT_EQ(batch_from_env(), 32u);
+  ASSERT_EQ(::setenv("MCSS_LIVE_BATCH", "4096", 1), 0);
+  EXPECT_EQ(batch_from_env(), 32u) << "beyond the sane cap";
+  if (prior) {
+    ASSERT_EQ(::setenv("MCSS_LIVE_BATCH", saved.c_str(), 1), 0);
+  } else {
+    ASSERT_EQ(::unsetenv("MCSS_LIVE_BATCH"), 0);
+  }
+}
+
+TEST(LiveEndpoint, LegacyUnbatchedModeStillDelivers) {
+  // send_batch = recv_batch = 1 is the pre-batching transport, kept as
+  // the bench baseline and the MCSS_LIVE_BATCH=1 escape hatch.
+  LiveConfig cfg = clean_config(2, 100.0, 17);
+  cfg.send_batch = 1;
+  cfg.recv_batch = 1;
+  LiveEndpoint ep(std::move(cfg));
+  std::size_t delivered = 0;
+  ep.set_deliver([&](std::uint64_t, std::vector<std::uint8_t>) {
+    ++delivered;
+  });
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(ep.send(std::vector<std::uint8_t>(96, 0x2F)));
+  }
+  run_until(ep, 3000, [&] { return delivered >= 20; });
+  EXPECT_EQ(delivered, 20u);
+  EXPECT_EQ(ep.receiver().stats().malformed_frames, 0u);
+}
+
+TEST(LiveEndpoint, UringBackendDeliversOrFallsBackCleanly) {
+  LiveConfig cfg = clean_config(2, 100.0, 19);
+  cfg.poller_backend = Poller::Backend::Uring;
+  LiveEndpoint ep(std::move(cfg));
+  if (UringCore::supported()) {
+    ASSERT_EQ(ep.poller_backend(), Poller::Backend::Uring);
+  } else {
+    ASSERT_NE(ep.poller_backend(), Poller::Backend::Uring)
+        << "unsupported kernels must fall back, not wedge";
+  }
+  std::size_t delivered = 0;
+  ep.set_deliver([&](std::uint64_t, std::vector<std::uint8_t>) {
+    ++delivered;
+  });
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(ep.send(std::vector<std::uint8_t>(80, 0x6B)));
+  }
+  run_until(ep, 3000, [&] { return delivered >= 20; });
+  EXPECT_EQ(delivered, 20u);
+}
+
+TEST(LiveEndpoint, SyscallAndPoolAccountingIsPopulated) {
+  LiveEndpoint ep(clean_config(2, 100.0, 23));
+  std::size_t delivered = 0;
+  ep.set_deliver([&](std::uint64_t, std::vector<std::uint8_t>) {
+    ++delivered;
+  });
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(ep.send(std::vector<std::uint8_t>(128, 0x3C)));
+  }
+  run_until(ep, 3000, [&] { return delivered >= 30; });
+  ASSERT_EQ(delivered, 30u);
+
+  EXPECT_GT(ep.poller().wait_calls(), 0u);
+  std::uint64_t socket_calls = 0;
+  std::uint64_t datagrams = 0;
+  for (std::size_t i = 0; i < ep.num_channels(); ++i) {
+    socket_calls +=
+        ep.channel(i).syscalls_send() + ep.channel(i).syscalls_recv();
+    datagrams += ep.channel(i).stats().datagrams_sent;
+  }
+  EXPECT_GT(socket_calls, 0u);
+  EXPECT_GT(datagrams, 0u);
+  // Every TX frame was encoded straight into the shared arena.
+  EXPECT_GT(ep.pool().stats().acquired, 0u);
+  EXPECT_EQ(ep.pool().stats().exhausted, 0u) << "auto-sizing left slack";
+  EXPECT_GT(ep.pool().stats().high_water, 0u);
 }
 
 TEST(LiveEndpoint, PortBaseFromEnvParsesAndFallsBack) {
