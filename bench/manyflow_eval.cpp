@@ -1,0 +1,381 @@
+// manyflow_eval: the session layer at scale — 1k -> 100k+ concurrent
+// flows multiplexed over one shared channel set, with PCS-style churn.
+//
+// The ROOT-Sim PCS model drives a large population of calls with
+// configurable interarrival and lifetime; this bench does the ReMICSS
+// equivalent: each sweep point ramps N concurrent flows (every flow
+// sends real traffic through the loopback UDP transport at open), then
+// churns a fraction of the population (close + replacement open, again
+// with traffic), and measures
+//
+//   flows/sec        total opens / wall time of the point
+//   p99 setup        open_flow() wall cost (admission + state install)
+//   memory per flow  RSS delta across the ramp / N
+//
+//   manyflow_eval [--max N] [--out BENCH_manyflow.json]
+//
+// In-binary gates (CI fails on exit 1):
+//   - a sweep point with >= 10k concurrent flows sustains its target
+//     population through churn,
+//   - p99 setup latency stays under 5 ms at every point,
+//   - memory per flow at the largest point stays under the configured
+//     per-flow receiver cap (the degradation budget),
+//   - single-flow ARQ THROUGH THE SESSION LAYER still delivers >= 99.9%
+//     on 10%-lossy channels (the reliability_eval gate, session path).
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#if defined(__linux__)
+#include <unistd.h>
+#endif
+
+#include "obs/json.hpp"
+#include "session/session_endpoint.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mcss;
+
+constexpr std::size_t kPayloadBytes = 64;
+
+/// Resident set size in bytes via /proc/self/statm; 0 when unavailable
+/// (the memory gate auto-passes where it cannot measure).
+std::size_t rss_bytes() {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  unsigned long total = 0;
+  unsigned long resident = 0;
+  const int got = std::fscanf(f, "%lu %lu", &total, &resident);
+  std::fclose(f);
+  if (got != 2) return 0;
+  return static_cast<std::size_t>(resident) *
+         static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+#else
+  return 0;
+#endif
+}
+
+session::SessionConfig sweep_config(std::size_t flows, std::uint64_t seed) {
+  session::SessionConfig config;
+  net::ChannelConfig clean;
+  clean.rate_bps = 2e9;
+  clean.queue_capacity_bytes = 4 * 1024 * 1024;
+  for (int i = 0; i < 3; ++i) {
+    config.channels.push_back({clean, "lane" + std::to_string(i)});
+  }
+  config.seed = seed;
+  config.reliability.enabled = true;
+  config.reliability.report_interval_ns = 50'000'000;
+  config.limits.max_flows = flows + 16;
+  config.limits.max_dispatch_per_pump = 1024;
+  // Deep arena: the population's transient partials share it with the
+  // socket path; heap fallback is the designed overflow, not a failure.
+  config.pool_slots = 8192;
+  return config;
+}
+
+session::FlowParams sweep_params() {
+  session::FlowParams params;
+  params.rate_pps = 2.0;  // admission price; keeps 100k flows in budget
+  params.payload_bytes = kPayloadBytes;
+  return params;
+}
+
+struct SweepResult {
+  std::size_t target_flows = 0;
+  std::size_t sustained_flows = 0;  ///< concurrent population after churn
+  std::uint64_t opens = 0;
+  std::uint64_t churned = 0;
+  double elapsed_s = 0.0;
+  double flows_per_sec = 0.0;
+  double p99_setup_s = 0.0;
+  double mem_per_flow_bytes = 0.0;
+  std::uint64_t packets_sent = 0;
+  std::uint64_t packets_delivered = 0;
+  double delivered_fraction = 0.0;
+  std::uint64_t frames_unknown_connection = 0;
+};
+
+SweepResult run_sweep_point(std::size_t target, std::uint64_t seed) {
+  session::SessionEndpoint ep(sweep_config(target, seed));
+  const session::FlowParams params = sweep_params();
+  Rng churn_rng(seed ^ 0xC0FFEE);
+  std::vector<std::uint8_t> payload(kPayloadBytes, 0x5a);
+
+  const std::size_t rss_before = rss_bytes();
+  const std::int64_t start = ep.now_ns();
+
+  // Ramp: arrivals as fast as the endpoint admits them, each flow
+  // offering one real packet at birth. Periodic pumping keeps sockets
+  // drained so the ramp measures the session layer, not ENOBUFS.
+  std::vector<std::uint32_t> open;
+  open.reserve(target);
+  while (open.size() < target) {
+    for (std::size_t i = 0; i < 256 && open.size() < target; ++i) {
+      const auto cid = ep.open_flow(params);
+      if (!cid) break;  // admission refused: report what was sustained
+      open.push_back(*cid);
+      (void)ep.send(*cid, payload);
+    }
+    ep.run_for(0);
+  }
+  const std::size_t rss_after_ramp = rss_bytes();
+
+  // Drain until deliveries stop improving: in-flight shares, coalesced
+  // reports, and RTO rounds for the stragglers. Run between phases so
+  // churn victims are closed in steady state, not mid-delivery.
+  // Two consecutive quiet windows are required before giving up: one
+  // 100 ms window can fall entirely inside the 200 ms initial RTO.
+  const auto drain = [&ep] {
+    std::uint64_t last_delivered = 0;
+    int quiet = 0;
+    for (int i = 0; i < 12 && quiet < 2; ++i) {
+      ep.run_for(100'000'000);
+      const std::uint64_t d = ep.stats().packets_delivered;
+      quiet = d == last_delivered ? quiet + 1 : 0;
+      last_delivered = d;
+    }
+  };
+  drain();
+
+  // Churn: PCS-style replacement — an exponential-lifetime population in
+  // steady state loses and gains members at the same rate, so replacing
+  // uniformly chosen victims models the stationary view. Replacements
+  // send at birth like everyone else.
+  const std::size_t churn = std::min<std::size_t>(target / 10, 5000);
+  for (std::size_t i = 0; i < churn && !open.empty(); ++i) {
+    const auto victim =
+        static_cast<std::size_t>(churn_rng.uniform_int(open.size()));
+    (void)ep.close_flow(open[victim]);
+    const auto cid = ep.open_flow(params);
+    if (cid) {
+      open[victim] = *cid;
+      (void)ep.send(*cid, payload);
+    } else {
+      open.erase(open.begin() + static_cast<std::ptrdiff_t>(victim));
+    }
+    if (i % 64 == 63) ep.run_for(0);
+  }
+  // (Packets still in flight when churn closed their flow are gone by
+  // design — late shares of a closed connection drop at the demux.)
+  drain();
+
+  SweepResult r;
+  r.target_flows = target;
+  r.sustained_flows = ep.num_flows();
+  r.opens = ep.stats().flows_opened;
+  r.churned = ep.stats().flows_closed;
+  r.elapsed_s = static_cast<double>(ep.now_ns() - start) / 1e9;
+  r.flows_per_sec =
+      r.elapsed_s > 0.0 ? static_cast<double>(r.opens) / r.elapsed_s : 0.0;
+  r.p99_setup_s = ep.setup_latency_seconds().percentile(99.0);
+  if (rss_before != 0 && rss_after_ramp > rss_before) {
+    r.mem_per_flow_bytes =
+        static_cast<double>(rss_after_ramp - rss_before) /
+        static_cast<double>(target);
+  }
+  r.packets_sent = ep.stats().packets_sent;
+  r.packets_delivered = ep.stats().packets_delivered;
+  r.delivered_fraction =
+      r.packets_sent == 0
+          ? 0.0
+          : static_cast<double>(r.packets_delivered) /
+                static_cast<double>(r.packets_sent);
+  r.frames_unknown_connection = ep.stats().frames_unknown_connection;
+  return r;
+}
+
+struct ArqResult {
+  std::uint64_t packets_sent = 0;
+  std::uint64_t packets_delivered = 0;
+  std::uint64_t packets_retransmitted = 0;
+  double delivered_fraction = 0.0;
+};
+
+/// The reliability_eval delivery gate, rerun through the session layer:
+/// one flow, 10%-lossy share channels, clean feedback, ARQ on.
+ArqResult run_single_flow_arq(std::uint64_t seed) {
+  session::SessionConfig config;
+  net::ChannelConfig lossy;
+  lossy.rate_bps = 100e6;
+  lossy.loss = 0.10;
+  for (int i = 0; i < 3; ++i) {
+    config.channels.push_back({lossy, "lossy" + std::to_string(i)});
+  }
+  config.seed = seed;
+  config.reliability.enabled = true;
+  config.reliability.retransmit.max_retransmits = 6;
+  config.reliability.report_interval_ns = 10'000'000;
+  session::SessionEndpoint ep(std::move(config));
+
+  std::uint64_t delivered = 0;
+  ep.set_deliver([&](std::uint32_t, std::uint64_t, std::vector<std::uint8_t>) {
+    ++delivered;
+  });
+  const auto cid = ep.open_flow();
+  if (!cid) return {};
+
+  constexpr int kPackets = 300;
+  std::vector<std::uint8_t> payload(256, 0xA5);
+  int sent = 0;
+  while (sent < kPackets) {
+    if (ep.send(*cid, payload)) ++sent;
+    ep.run_for(1'000'000);
+  }
+  // Drain long enough for several RTO rounds on the stragglers.
+  for (int i = 0; i < 40 && delivered < kPackets; ++i) {
+    ep.run_for(100'000'000);
+  }
+
+  ArqResult r;
+  const auto* ss = ep.flow_sender_stats(*cid);
+  r.packets_sent = ss != nullptr ? ss->packets_sent : 0;
+  r.packets_retransmitted = ss != nullptr ? ss->packets_retransmitted : 0;
+  r.packets_delivered = delivered;
+  r.delivered_fraction =
+      r.packets_sent == 0
+          ? 0.0
+          : static_cast<double>(delivered) /
+                static_cast<double>(r.packets_sent);
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t max_flows = 100'000;
+  std::string out_path = "BENCH_manyflow.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--max") == 0 && i + 1 < argc) {
+      max_flows = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--max FLOWS] [--out BENCH_manyflow.json]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (const char* env = std::getenv("MCSS_MANYFLOW_MAX");
+      env != nullptr && *env != '\0') {
+    max_flows = static_cast<std::size_t>(std::strtoul(env, nullptr, 10));
+  }
+
+  std::vector<std::size_t> sweep;
+  for (const std::size_t n : {std::size_t{1'000}, std::size_t{10'000},
+                              std::size_t{100'000}}) {
+    if (n <= max_flows) sweep.push_back(n);
+  }
+  if (sweep.empty() || sweep.back() != max_flows) sweep.push_back(max_flows);
+
+  constexpr double kP99SetupGateS = 0.005;      // 5 ms on a shared CI host
+  const std::size_t mem_gate_bytes =
+      session::SessionLimits{}.per_flow_memory_bytes;
+
+  std::printf("manyflow_eval: session-layer flow sweep with churn\n");
+  std::printf("%10s %10s %12s %12s %12s %10s %8s\n", "target", "sustained",
+              "flows/sec", "p99 setup", "mem/flow", "delivered", "churn");
+
+  std::vector<SweepResult> results;
+  for (const std::size_t n : sweep) {
+    SweepResult r = run_sweep_point(n, /*seed=*/17);
+    std::printf("%10zu %10zu %12.0f %10.1fus %10.0fB %9.1f%% %8llu\n",
+                r.target_flows, r.sustained_flows, r.flows_per_sec,
+                r.p99_setup_s * 1e6, r.mem_per_flow_bytes,
+                r.delivered_fraction * 100.0,
+                static_cast<unsigned long long>(r.churned));
+    results.push_back(std::move(r));
+  }
+
+  const ArqResult arq = run_single_flow_arq(/*seed=*/23);
+  std::printf("\nsingle-flow ARQ through the session layer:\n");
+  std::printf("  sent %llu  delivered %llu  retransmitted %llu  -> %.3f%%\n",
+              static_cast<unsigned long long>(arq.packets_sent),
+              static_cast<unsigned long long>(arq.packets_delivered),
+              static_cast<unsigned long long>(arq.packets_retransmitted),
+              arq.delivered_fraction * 100.0);
+
+  // Gates.
+  bool sustained_10k = false;
+  bool setup_ok = true;
+  bool mem_ok = true;
+  for (const SweepResult& r : results) {
+    if (r.target_flows >= 10'000 && r.sustained_flows >= r.target_flows) {
+      sustained_10k = true;
+    }
+    if (r.p99_setup_s > kP99SetupGateS) setup_ok = false;
+  }
+  const SweepResult& largest = results.back();
+  if (largest.mem_per_flow_bytes >
+      static_cast<double>(mem_gate_bytes)) {
+    mem_ok = false;
+  }
+  // Sweeps capped below 10k (debug runs) only need to sustain their own
+  // largest target.
+  if (max_flows < 10'000) {
+    sustained_10k = largest.sustained_flows >= largest.target_flows;
+  }
+  const bool arq_ok = arq.delivered_fraction >= 0.999;
+  const bool all_pass = sustained_10k && setup_ok && mem_ok && arq_ok;
+
+  std::printf("\ngates:\n");
+  std::printf("  >=10k flows sustained through churn   %s\n",
+              sustained_10k ? "PASS" : "FAIL");
+  std::printf("  p99 setup latency <= %.1f ms          %s\n",
+              kP99SetupGateS * 1e3, setup_ok ? "PASS" : "FAIL");
+  std::printf("  mem/flow <= %zu B at %zu flows   %s\n", mem_gate_bytes,
+              largest.target_flows, mem_ok ? "PASS" : "FAIL");
+  std::printf("  single-flow ARQ delivery >= 99.9%%     %s\n",
+              arq_ok ? "PASS" : "FAIL");
+
+  std::string rows = "[";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const SweepResult& r = results[i];
+    obs::JsonRow row;
+    row.field("target_flows", static_cast<std::uint64_t>(r.target_flows))
+        .field("sustained_flows", static_cast<std::uint64_t>(r.sustained_flows))
+        .field("flows_opened", r.opens)
+        .field("flows_churned", r.churned)
+        .field("elapsed_s", r.elapsed_s)
+        .field("flows_per_sec", r.flows_per_sec)
+        .field("p99_setup_s", r.p99_setup_s)
+        .field("mem_per_flow_bytes", r.mem_per_flow_bytes)
+        .field("packets_sent", r.packets_sent)
+        .field("packets_delivered", r.packets_delivered)
+        .field("delivered_fraction", r.delivered_fraction)
+        .field("frames_unknown_connection", r.frames_unknown_connection);
+    if (i != 0) rows += ",";
+    rows += row.str();
+  }
+  rows += "]";
+
+  obs::JsonRow arq_row;
+  arq_row.field("packets_sent", arq.packets_sent)
+      .field("packets_delivered", arq.packets_delivered)
+      .field("packets_retransmitted", arq.packets_retransmitted)
+      .field("delivered_fraction", arq.delivered_fraction);
+
+  obs::JsonRow doc;
+  doc.field("bench", "manyflow_eval")
+      .field_raw("sweep", rows)
+      .field_raw("single_flow_arq", arq_row.str())
+      .field("gate_sustained_10k", sustained_10k)
+      .field("gate_p99_setup", setup_ok)
+      .field("gate_mem_per_flow", mem_ok)
+      .field("gate_arq_delivery", arq_ok)
+      .field("all_pass", all_pass);
+  if (std::FILE* f = std::fopen(out_path.c_str(), "w")) {
+    std::fprintf(f, "%s\n", doc.str().c_str());
+    std::fclose(f);
+    std::printf("\nwrote %s\n", out_path.c_str());
+  }
+
+  return all_pass ? 0 : 1;
+}

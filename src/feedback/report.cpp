@@ -45,12 +45,17 @@ std::vector<std::uint8_t> encode_report(const ReceiverReport& report,
               "too many delay samples");
 
   std::vector<std::uint8_t> out;
-  out.reserve(kReportHeaderSize + 8 * report.sack.size() +
-              16 * report.channels.size() + 16 * report.delays.size() +
-              (key ? proto::kTagSize : 0));
+  out.reserve(kReportHeaderSize +
+              (report.connection_id != 0 ? kReportConnectionIdSize : 0) +
+              8 * report.sack.size() + 16 * report.channels.size() +
+              16 * report.delays.size() + (key ? proto::kTagSize : 0));
+  std::uint8_t flags = key != nullptr ? kReportFlagAuthenticated : 0;
+  // Connection 0 omits the field: single-flow reports stay byte-identical
+  // to the pre-session encoding (mirrors the share codec's canonical form).
+  if (report.connection_id != 0) flags |= kReportFlagConnection;
   put_u16(out, kReportMagic);
   out.push_back(kReportVersion);
-  out.push_back(key != nullptr ? kReportFlagAuthenticated : 0);
+  out.push_back(flags);
   out.push_back(static_cast<std::uint8_t>(report.channels.size()));
   out.push_back(static_cast<std::uint8_t>(report.delays.size()));
   put_u16(out, static_cast<std::uint16_t>(report.sack.size()));
@@ -58,6 +63,11 @@ std::vector<std::uint8_t> encode_report(const ReceiverReport& report,
   put_u64(out, static_cast<std::uint64_t>(report.receiver_time_ns));
   put_u64(out, report.packets_delivered);
   put_u64(out, report.sack_base);
+  if (report.connection_id != 0) {
+    for (int i = 0; i < 4; ++i) {
+      out.push_back(static_cast<std::uint8_t>(report.connection_id >> (8 * i)));
+    }
+  }
   for (std::uint64_t word : report.sack) put_u64(out, word);
   for (const ChannelCounters& ch : report.channels) {
     put_u64(out, ch.frames_received);
@@ -89,11 +99,13 @@ std::optional<ReceiverReport> decode_report_prefix(
     return std::nullopt;
   }
   const std::uint8_t flags = buf[3];
-  if ((flags & ~kReportFlagAuthenticated) != 0) {
+  if ((flags & ~(kReportFlagAuthenticated | kReportFlagConnection)) != 0) {
     set_status(status, proto::DecodeStatus::Malformed);
     return std::nullopt;
   }
   const bool authenticated = (flags & kReportFlagAuthenticated) != 0;
+  const std::size_t cid =
+      (flags & kReportFlagConnection) != 0 ? kReportConnectionIdSize : 0;
   const std::size_t num_channels = buf[4];
   const std::size_t num_delays = buf[5];
   const std::size_t sack_words = get_u16(buf.data() + 6);
@@ -102,7 +114,7 @@ std::optional<ReceiverReport> decode_report_prefix(
     set_status(status, proto::DecodeStatus::Malformed);
     return std::nullopt;
   }
-  const std::size_t body = kReportHeaderSize + 8 * sack_words +
+  const std::size_t body = kReportHeaderSize + cid + 8 * sack_words +
                            16 * num_channels + 16 * num_delays;
   const std::size_t expected = body + (authenticated ? proto::kTagSize : 0);
   if (buf.size() < expected) {
@@ -129,7 +141,19 @@ std::optional<ReceiverReport> decode_report_prefix(
   report.receiver_time_ns = static_cast<std::int64_t>(get_u64(buf.data() + 16));
   report.packets_delivered = get_u64(buf.data() + 24);
   report.sack_base = get_u64(buf.data() + 32);
-  const std::uint8_t* p = buf.data() + kReportHeaderSize;
+  if (cid != 0) {
+    std::uint32_t id = 0;
+    for (int i = 3; i >= 0; --i) {
+      id = (id << 8) | buf[kReportHeaderSize + static_cast<std::size_t>(i)];
+    }
+    if (id == 0) {
+      // Canonical encoding: connection 0 omits the field.
+      set_status(status, proto::DecodeStatus::Malformed);
+      return std::nullopt;
+    }
+    report.connection_id = id;
+  }
+  const std::uint8_t* p = buf.data() + kReportHeaderSize + cid;
   report.sack.reserve(sack_words);
   for (std::size_t i = 0; i < sack_words; ++i, p += 8) {
     report.sack.push_back(get_u64(p));

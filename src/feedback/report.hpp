@@ -9,7 +9,7 @@
 //   offset  size  field
 //        0     2  magic 0x5246 ("RF")
 //        2     1  version (1)
-//        3     1  flags (bit 0: authenticated)
+//        3     1  flags (bit 0: authenticated, bit 1: connection id)
 //        4     1  number of channels n (1..32)
 //        5     1  delay sample count s (0..255)
 //        6     2  SACK word count w (little endian, 0..1024)
@@ -18,15 +18,24 @@
 //       16     8  receiver clock at build time, nanoseconds
 //       24     8  packets delivered, cumulative
 //       32     8  SACK base packet id
-//       40    8w  SACK bitmap words (bit b of word i acknowledges packet
+//       40     4  connection id (little endian)     [flag bit 1 only]
+//     40+c    8w  SACK bitmap words (bit b of word i acknowledges packet
 //                 id base + 64*i + b as DELIVERED — reconstructed, not
 //                 merely a share seen)
-//     40+8w  16n  per-channel counters, cumulative: frames received and
+//   40+c+8w  16n  per-channel counters, cumulative: frames received and
 //                 frames that arrived undecodable (8 bytes each)
 //        ...  16s  delay samples: (packet id, receive time ns) of recent
 //                 deliveries; the sender joins them with its own send
 //                 stamps for one-way delay
 //       tail    8  SipHash-2-4 tag over all preceding bytes [flag bit 0]
+//
+// (c is 4 when flag bit 1 is set, else 0. Connection 0 — the
+// single-flow encoding — omits the field, keeping pre-session reports
+// byte-identical.) The connection id scopes EVERYTHING in the report:
+// seq, the SACK window, delivered counts, delay samples. The session
+// layer demuxes reports to the owning flow's RetransmitManager before
+// any ack processing, so one flow's report can never ack or supersede
+// another flow's packets.
 //
 // Decoding is strict, mirroring the share codec: bad magic/version,
 // unknown flags, out-of-range counts, or truncation reject the whole
@@ -49,6 +58,8 @@ inline constexpr std::uint16_t kReportMagic = 0x5246;
 inline constexpr std::uint8_t kReportVersion = 1;
 inline constexpr std::size_t kReportHeaderSize = 40;
 inline constexpr std::uint8_t kReportFlagAuthenticated = 0x01;
+inline constexpr std::uint8_t kReportFlagConnection = 0x02;
+inline constexpr std::size_t kReportConnectionIdSize = 4;
 inline constexpr std::size_t kMaxReportChannels = 32;
 inline constexpr std::size_t kMaxSackWords = 1024;
 inline constexpr std::size_t kMaxDelaySamples = 255;
@@ -76,6 +87,9 @@ struct DelaySample {
 };
 
 struct ReceiverReport {
+  /// Flow this report belongs to; 0 = the single-flow (pre-session)
+  /// encoding, which omits the field on the wire.
+  std::uint32_t connection_id = 0;
   std::uint64_t seq = 0;
   std::int64_t receiver_time_ns = 0;
   std::uint64_t packets_delivered = 0;  ///< cumulative

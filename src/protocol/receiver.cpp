@@ -1,6 +1,7 @@
 #include "protocol/receiver.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <utility>
 
 #include "obs/metrics.hpp"
@@ -48,6 +49,8 @@ void publish(obs::Registry& registry, const ReceiverStats& stats) {
   add("mcss_receiver_shares_dropped_memory", stats.shares_dropped_memory);
   add("mcss_receiver_stale_generation_shares", stats.stale_generation_shares);
   add("mcss_receiver_partials_superseded", stats.partials_superseded);
+  add("mcss_receiver_partials_in_arena", stats.partials_in_arena);
+  add("mcss_receiver_partials_on_heap", stats.partials_on_heap);
 }
 
 void Receiver::publish_metrics(obs::Registry& registry) const {
@@ -61,6 +64,19 @@ Receiver::Receiver(net::Simulator& sim, ReceiverConfig config,
   MCSS_ENSURE(config_.memory_limit_bytes > 0, "memory limit must be positive");
 }
 
+Receiver::~Receiver() {
+  // Timers this receiver parked in the (possibly shared, longer-lived)
+  // simulator hold the token, check it, and stand down.
+  *alive_ = false;
+}
+
+void Receiver::set_arena(util::FramePool* arena) {
+  MCSS_ENSURE(partials_.empty(),
+              "set_arena requires no pending partials (storage layouts "
+              "would mix)");
+  config_.arena = arena;
+}
+
 void Receiver::attach(net::SimChannel& channel) {
   channel.set_receiver([this](std::vector<std::uint8_t> f) {
     on_frame(std::move(f));
@@ -70,8 +86,10 @@ void Receiver::attach(net::SimChannel& channel) {
 void Receiver::on_frame(std::span<const std::uint8_t> raw) {
   ++stats_.frames_received;
   DecodeStatus decode_status = DecodeStatus::Ok;
-  auto frame = decode(raw, config_.auth_key ? &*config_.auth_key : nullptr,
-                      &decode_status);
+  // Zero-copy parse: the payload stays a span into `raw` and is copied
+  // exactly once, straight into the partial's storage, on append.
+  const auto frame = decode_view(
+      raw, config_.auth_key ? &*config_.auth_key : nullptr, &decode_status);
   if (!frame) {
     if (decode_status == DecodeStatus::AuthFailed) {
       ++stats_.auth_failures;
@@ -104,6 +122,7 @@ void Receiver::on_frame(std::span<const std::uint8_t> raw) {
     partial.share_size = frame->payload.size();
     partial.first_seen = sim_.now();
     it = partials_.emplace(id, std::move(partial)).first;
+    init_storage(it->second);
     it->second.order_it = creation_order_.insert(creation_order_.end(), id);
     if (obs::trace_enabled()) {
       obs::Tracer::global().async_begin("reassembly", "receiver", id,
@@ -129,12 +148,15 @@ void Receiver::on_frame(std::span<const std::uint8_t> raw) {
     // reassembly lease — with ARQ, a packet legitimately outlives one
     // reassembly timeout while retransmissions are still arriving (the
     // superseded timer finds first_seen moved and stands down).
-    buffered_bytes_ -= partial.share_size * partial.shares.size();
+    buffered_bytes_ -= partial.share_size * partial.count;
     partial.shares.clear();
+    partial.slot.reset();
+    partial.count = 0;
     partial.k = frame->k;
     partial.generation = frame->generation;
     partial.share_size = frame->payload.size();
     partial.first_seen = sim_.now();
+    init_storage(partial);
     ++stats_.partials_superseded;
     arm_eviction_timer(id);
   }
@@ -142,10 +164,7 @@ void Receiver::on_frame(std::span<const std::uint8_t> raw) {
     ++stats_.conflicting_metadata;
     return;
   }
-  const auto dup = std::any_of(
-      partial.shares.begin(), partial.shares.end(),
-      [&](const sss::Share& s) { return s.index == frame->share_index; });
-  if (dup) {
+  if (has_share(partial, frame->share_index)) {
     ++stats_.duplicate_shares;
     return;
   }
@@ -159,10 +178,60 @@ void Receiver::on_frame(std::span<const std::uint8_t> raw) {
     return;
   }
   buffered_bytes_ += frame->payload.size();
-  partial.shares.push_back({frame->share_index, std::move(frame->payload)});
-  if (partial.shares.size() >= partial.k) {
+  append_share(partial, frame->share_index, frame->payload);
+  if (partial.count >= partial.k) {
     complete(id, partial);
   }
+}
+
+void Receiver::init_storage(Partial& partial) {
+  // One arena slot holds the whole partial: k index bytes up front, then
+  // k share regions of share_size each. Appends are then a byte write
+  // plus a memcpy — no heap. Partials that cannot fit a slot (or find
+  // the pool exhausted) degrade to per-share heap vectors.
+  const std::size_t need =
+      static_cast<std::size_t>(partial.k) * (1 + partial.share_size);
+  if (config_.arena != nullptr && need <= config_.arena->slot_bytes()) {
+    partial.slot = config_.arena->acquire();
+  }
+  if (partial.in_arena()) {
+    partial.slot.resize(need);
+    ++stats_.partials_in_arena;
+  } else {
+    partial.shares.reserve(partial.k);
+    ++stats_.partials_on_heap;
+  }
+}
+
+bool Receiver::has_share(const Partial& partial, std::uint8_t index) const {
+  if (partial.in_arena()) {
+    const std::uint8_t* indices = partial.slot.data();
+    for (std::uint8_t i = 0; i < partial.count; ++i) {
+      if (indices[i] == index) return true;
+    }
+    return false;
+  }
+  return std::any_of(
+      partial.shares.begin(), partial.shares.end(),
+      [index](const sss::Share& s) { return s.index == index; });
+}
+
+void Receiver::append_share(Partial& partial, std::uint8_t index,
+                            std::span<const std::uint8_t> payload) {
+  if (partial.in_arena()) {
+    std::uint8_t* base = partial.slot.data();
+    base[partial.count] = index;
+    if (!payload.empty()) {
+      std::memcpy(base + partial.k +
+                      static_cast<std::size_t>(partial.count) *
+                          partial.share_size,
+                  payload.data(), payload.size());
+    }
+  } else {
+    partial.shares.push_back(
+        {index, std::vector<std::uint8_t>(payload.begin(), payload.end())});
+  }
+  ++partial.count;
 }
 
 void Receiver::arm_eviction_timer(std::uint64_t id) {
@@ -170,12 +239,17 @@ void Receiver::arm_eviction_timer(std::uint64_t id) {
   // fires, evict it. first_seen disambiguates both id reuse (never
   // happens with 64-bit ids) and generation supersedes that renewed the
   // lease after this timer was armed.
-  sim_.schedule_in(config_.reassembly_timeout, [this, id, born = sim_.now()] {
-    auto p = partials_.find(id);
-    if (p != partials_.end() && p->second.first_seen == born) {
-      evict(id, &stats_.packets_evicted_timeout);
-    }
-  });
+  // `alive` outlives the receiver (the simulator may be shared and
+  // longer-lived — session-layer flows come and go); a timer surviving
+  // its receiver stands down instead of touching freed state.
+  sim_.schedule_in(config_.reassembly_timeout,
+                   [this, alive = alive_, id, born = sim_.now()] {
+                     if (!*alive) return;
+                     auto p = partials_.find(id);
+                     if (p != partials_.end() && p->second.first_seen == born) {
+                       evict(id, &stats_.packets_evicted_timeout);
+                     }
+                   });
 }
 
 void Receiver::complete(std::uint64_t id, Partial& partial) {
@@ -188,7 +262,21 @@ void Receiver::complete(std::uint64_t id, Partial& partial) {
   std::vector<std::uint8_t> payload;
   {
     obs::ScopeTimer reconstruct_timer(reconstruct_hist());
-    payload = sss::reconstruct_first_k(partial.shares, partial.k);
+    if (partial.in_arena()) {
+      // Views straight into the arena slot; k <= 255 bounds the stack
+      // array. complete() fires on the k-th append, so count == k.
+      sss::ShareView views[255];
+      const std::uint8_t* base = partial.slot.data();
+      for (std::size_t i = 0; i < partial.k; ++i) {
+        views[i] = {base[i],
+                    {base + partial.k + i * partial.share_size,
+                     partial.share_size}};
+      }
+      payload = sss::reconstruct_views(
+          std::span<const sss::ShareView>(views, partial.k));
+    } else {
+      payload = sss::reconstruct_first_k(partial.shares, partial.k);
+    }
   }
 
   net::SimTime done = now;
@@ -210,13 +298,15 @@ void Receiver::complete(std::uint64_t id, Partial& partial) {
     if (done <= sim_.now()) {
       deliver_(id, std::move(payload));
     } else {
-      sim_.schedule_at(done, [this, id, p = std::move(payload)]() mutable {
-        deliver_(id, std::move(p));
-      });
+      sim_.schedule_at(
+          done, [this, alive = alive_, id, p = std::move(payload)]() mutable {
+            if (!*alive) return;
+            deliver_(id, std::move(p));
+          });
     }
   }
 
-  buffered_bytes_ -= partial.share_size * partial.shares.size();
+  buffered_bytes_ -= partial.share_size * partial.count;
   creation_order_.erase(partial.order_it);
   partials_.erase(id);
   remember_completed(id);
@@ -225,7 +315,7 @@ void Receiver::complete(std::uint64_t id, Partial& partial) {
 void Receiver::evict(std::uint64_t id, std::uint64_t* counter) {
   const auto it = partials_.find(id);
   MCSS_INVARIANT(it != partials_.end(), "evicting a packet that is not pending");
-  buffered_bytes_ -= it->second.share_size * it->second.shares.size();
+  buffered_bytes_ -= it->second.share_size * it->second.count;
   creation_order_.erase(it->second.order_it);
   partials_.erase(it);
   ++*counter;

@@ -12,6 +12,7 @@
 #include <deque>
 #include <functional>
 #include <list>
+#include <memory>
 #include <optional>
 #include <span>
 #include <unordered_map>
@@ -23,6 +24,7 @@
 #include "net/sim_channel.hpp"
 #include "net/simulator.hpp"
 #include "sss/share.hpp"
+#include "util/frame_pool.hpp"
 
 namespace mcss::obs {
 class Registry;
@@ -41,6 +43,13 @@ struct ReceiverConfig {
   /// are accepted; tampered and unauthenticated frames are dropped and
   /// counted in stats().auth_failures.
   std::optional<crypto::SipHashKey> auth_key;
+  /// When set, reassembly partials store their share bytes in slots of
+  /// this pool (one slot per partial: k index bytes, then k regions of
+  /// share_size bytes) instead of heap-allocating per appended share.
+  /// Partials too big for a slot, or arriving while the pool is
+  /// exhausted, fall back to the heap — a policy degradation, never a
+  /// drop. The pool must outlive the receiver. Not owned.
+  util::FramePool* arena = nullptr;
 };
 
 struct ReceiverStats {
@@ -64,6 +73,11 @@ struct ReceiverStats {
   /// Partials whose buffered shares were discarded because a newer
   /// generation (a retransmission) arrived and restarted reassembly.
   std::uint64_t partials_superseded = 0;
+  /// Partials whose share storage landed in an arena slot vs. the heap
+  /// fallback (pool exhausted, partial too big for a slot, or no arena
+  /// configured). Arena appends are allocation-free.
+  std::uint64_t partials_in_arena = 0;
+  std::uint64_t partials_on_heap = 0;
 };
 
 /// Add these totals into the registry under mcss_receiver_* names.
@@ -76,9 +90,15 @@ class Receiver {
 
   explicit Receiver(net::Simulator& sim, ReceiverConfig config = {},
                     net::CpuModel* cpu = nullptr);
+  ~Receiver();
 
   Receiver(const Receiver&) = delete;
   Receiver& operator=(const Receiver&) = delete;
+
+  /// Late-bind the partial-storage arena (see ReceiverConfig::arena) —
+  /// for owners whose pool is constructed after the receiver. Only legal
+  /// while no partials are pending.
+  void set_arena(util::FramePool* arena);
 
   /// Install this receiver as the delivery target of a channel.
   void attach(net::SimChannel& channel);
@@ -113,12 +133,28 @@ class Receiver {
   struct Partial {
     std::uint8_t k = 1;
     std::uint8_t generation = 0;  ///< re-split count of the stored shares
+    std::uint8_t count = 0;       ///< shares stored so far
     std::size_t share_size = 0;
-    std::vector<sss::Share> shares;
+    /// Arena storage: k index bytes, then k share regions of share_size
+    /// each. Null = heap fallback via `shares`.
+    util::FrameRef slot;
+    std::vector<sss::Share> shares;  ///< heap fallback storage
     net::SimTime first_seen = 0;
     /// This partial's node in creation_order_, for O(1) unlink.
     std::list<std::uint64_t>::iterator order_it;
+
+    [[nodiscard]] bool in_arena() const noexcept {
+      return static_cast<bool>(slot);
+    }
   };
+
+  /// Acquire storage for a (re)started partial: an arena slot when it
+  /// fits and the pool has room, the heap vector otherwise.
+  void init_storage(Partial& partial);
+  [[nodiscard]] bool has_share(const Partial& partial,
+                               std::uint8_t index) const;
+  void append_share(Partial& partial, std::uint8_t index,
+                    std::span<const std::uint8_t> payload);
 
   void arm_eviction_timer(std::uint64_t id);
   void complete(std::uint64_t id, Partial& partial);
@@ -140,6 +176,12 @@ class Receiver {
   std::unordered_set<std::uint64_t> completed_;
   std::deque<std::uint64_t> completed_order_;
   ReceiverStats stats_;
+  /// Liveness token captured by timers parked in sim_: the simulator has
+  /// no cancellation, and with the session layer many receivers share
+  /// one long-lived timeline — a receiver destroyed with timers pending
+  /// (flow teardown) must make those callbacks no-ops, not
+  /// use-after-frees.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
 
 }  // namespace mcss::proto

@@ -20,7 +20,8 @@ namespace {
   return v;
 }
 
-std::optional<ShareFrame> fail(DecodeStatus* status, DecodeStatus why) {
+template <typename T>
+std::optional<T> fail(DecodeStatus* status, DecodeStatus why) {
   if (status != nullptr) *status = why;
   return std::nullopt;
 }
@@ -28,13 +29,14 @@ std::optional<ShareFrame> fail(DecodeStatus* status, DecodeStatus why) {
 }  // namespace
 
 std::size_t encoded_size(const ShareFrame& frame, bool keyed) noexcept {
-  return kHeaderSize + (frame.generation != 0 ? 1 : 0) + frame.payload.size() +
-         (keyed ? kTagSize : 0);
+  return encoded_size(frame.payload.size(), frame.generation, keyed,
+                      frame.connection_id);
 }
 
 std::size_t encoded_size(std::size_t payload_len, std::uint8_t generation,
-                         bool keyed) noexcept {
-  return kHeaderSize + (generation != 0 ? 1 : 0) + payload_len +
+                         bool keyed, std::uint32_t connection_id) noexcept {
+  return kHeaderSize + (generation != 0 ? 1 : 0) +
+         (connection_id != 0 ? kConnectionIdSize : 0) + payload_len +
          (keyed ? kTagSize : 0);
 }
 
@@ -43,13 +45,16 @@ std::size_t encode_header_into(const FrameMeta& meta, std::size_t payload_len,
   MCSS_ENSURE(payload_len <= kMaxPayload, "share payload too large");
   MCSS_ENSURE(meta.k >= 1, "threshold must be at least 1");
   MCSS_ENSURE(meta.share_index >= 1, "share index 0 is reserved");
-  MCSS_ENSURE(dst.size() >= encoded_size(payload_len, meta.generation, keyed),
+  MCSS_ENSURE(dst.size() >= encoded_size(payload_len, meta.generation, keyed,
+                                         meta.connection_id),
               "encode destination too small");
 
   std::uint8_t flags = keyed ? kFlagAuthenticated : 0;
   // Generation 0 omits the extension byte: original transmissions stay
-  // byte-identical to the pre-reliability encoding.
+  // byte-identical to the pre-reliability encoding. Connection 0 (the
+  // single-flow encoding) likewise omits the connection id.
   if (meta.generation != 0) flags |= kFlagGeneration;
+  if (meta.connection_id != 0) flags |= kFlagConnectionId;
 
   std::uint8_t* p = dst.data();
   p[0] = static_cast<std::uint8_t>(kMagic & 0xFF);
@@ -65,6 +70,11 @@ std::size_t encode_header_into(const FrameMeta& meta, std::size_t payload_len,
   p[15] = static_cast<std::uint8_t>(payload_len >> 8);
   std::size_t at = kHeaderSize;
   if (meta.generation != 0) p[at++] = meta.generation;
+  if (meta.connection_id != 0) {
+    for (int i = 0; i < 4; ++i) {
+      p[at++] = static_cast<std::uint8_t>(meta.connection_id >> (8 * i));
+    }
+  }
   return at;
 }
 
@@ -79,7 +89,7 @@ void seal_frame(std::span<std::uint8_t> dst, const crypto::SipHashKey& key) {
 std::size_t encode_into(const ShareFrame& frame, std::span<std::uint8_t> dst,
                         const crypto::SipHashKey* key) {
   const FrameMeta meta{frame.packet_id, frame.k, frame.share_index,
-                       frame.generation};
+                       frame.generation, frame.connection_id};
   const bool keyed = key != nullptr;
   std::size_t at = encode_header_into(meta, frame.payload.size(), dst, keyed);
   if (!frame.payload.empty()) {
@@ -107,51 +117,71 @@ std::optional<std::size_t> frame_extent(
   if (buf[2] != kVersion) return std::nullopt;
   if (buf[3] == 0 || buf[12] == 0) return std::nullopt;  // k, share index
   const std::uint8_t flags = buf[13];
-  if ((flags & ~(kFlagAuthenticated | kFlagGeneration)) != 0) {
+  if ((flags & ~(kFlagAuthenticated | kFlagGeneration | kFlagConnectionId)) !=
+      0) {
     return std::nullopt;  // unknown flag bits
   }
   const std::size_t ext = (flags & kFlagGeneration) != 0 ? 1 : 0;
+  const std::size_t cid =
+      (flags & kFlagConnectionId) != 0 ? kConnectionIdSize : 0;
   const std::size_t expected =
-      kHeaderSize + ext + get16(buf, 14) +
+      kHeaderSize + ext + cid + get16(buf, 14) +
       ((flags & kFlagAuthenticated) != 0 ? kTagSize : 0);
   if (buf.size() < expected) return std::nullopt;
-  // Canonical encoding: generation 0 omits the extension byte.
+  // Canonical encoding: generation 0 omits the extension byte and
+  // connection 0 omits the connection id.
   if (ext != 0 && buf[kHeaderSize] == 0) return std::nullopt;
+  if (cid != 0) {
+    std::uint32_t id = 0;
+    for (int i = 3; i >= 0; --i) {
+      id = (id << 8) | buf[kHeaderSize + ext + static_cast<std::size_t>(i)];
+    }
+    if (id == 0) return std::nullopt;
+  }
   return expected;
 }
 
-std::optional<ShareFrame> decode_prefix(std::span<const std::uint8_t> buf,
-                                        std::size_t* consumed,
-                                        const crypto::SipHashKey* key,
-                                        DecodeStatus* status) {
+std::optional<FrameView> decode_prefix_view(std::span<const std::uint8_t> buf,
+                                            std::size_t* consumed,
+                                            const crypto::SipHashKey* key,
+                                            DecodeStatus* status) {
   MCSS_ENSURE(consumed != nullptr, "decode_prefix needs a consumed out-param");
   *consumed = 0;
   if (status != nullptr) *status = DecodeStatus::Ok;
   // Framing (magic, version, k/index, flags, lengths, canonical
-  // generation) is frame_extent's single source of truth; this function
-  // adds authentication and payload materialization on top.
+  // generation/connection) is frame_extent's single source of truth;
+  // this function adds authentication and field extraction on top.
   const auto extent = frame_extent(buf);
-  if (!extent) return fail(status, DecodeStatus::Malformed);
+  if (!extent) return fail<FrameView>(status, DecodeStatus::Malformed);
 
-  ShareFrame frame;
-  frame.k = buf[3];
-  frame.packet_id = get64(buf, 4);
-  frame.share_index = buf[12];
+  FrameView view;
+  view.k = buf[3];
+  view.packet_id = get64(buf, 4);
+  view.share_index = buf[12];
   const std::uint8_t flags = buf[13];
   const bool authenticated = (flags & kFlagAuthenticated) != 0;
-  // Extension byte between header and payload (retransmissions only).
+  // Extension bytes between header and payload (retransmissions carry a
+  // generation; multiplexed flows carry a connection id).
   const std::size_t ext = (flags & kFlagGeneration) != 0 ? 1 : 0;
+  const std::size_t cid =
+      (flags & kFlagConnectionId) != 0 ? kConnectionIdSize : 0;
   const std::size_t len = get16(buf, 14);
-  const std::size_t body = kHeaderSize + ext + len;
-  const std::size_t expected = *extent;
-  if (ext != 0) frame.generation = buf[kHeaderSize];
+  const std::size_t body = kHeaderSize + ext + cid + len;
+  if (ext != 0) view.generation = buf[kHeaderSize];
+  if (cid != 0) {
+    std::uint32_t id = 0;
+    for (int i = 3; i >= 0; --i) {
+      id = (id << 8) | buf[kHeaderSize + ext + static_cast<std::size_t>(i)];
+    }
+    view.connection_id = id;
+  }
 
   if (key != nullptr) {
     // A keyed receiver refuses unauthenticated frames outright.
-    if (!authenticated) return fail(status, DecodeStatus::AuthFailed);
+    if (!authenticated) return fail<FrameView>(status, DecodeStatus::AuthFailed);
     const auto computed = crypto::siphash24_tag(buf.first(body), *key);
     if (!crypto::tag_equal(computed, buf.subspan(body, kTagSize))) {
-      return fail(status, DecodeStatus::AuthFailed);
+      return fail<FrameView>(status, DecodeStatus::AuthFailed);
     }
   } else if (authenticated) {
     // Tag present but no key to check it: parse the frame, ignore the tag.
@@ -159,9 +189,36 @@ std::optional<ShareFrame> decode_prefix(std::span<const std::uint8_t> buf,
     // protocol itself uses.)
   }
 
-  frame.payload.assign(buf.begin() + static_cast<std::ptrdiff_t>(kHeaderSize + ext),
-                       buf.begin() + static_cast<std::ptrdiff_t>(body));
-  *consumed = expected;
+  view.payload = buf.subspan(kHeaderSize + ext + cid, len);
+  *consumed = *extent;
+  return view;
+}
+
+std::optional<FrameView> decode_view(std::span<const std::uint8_t> buf,
+                                     const crypto::SipHashKey* key,
+                                     DecodeStatus* status) {
+  std::size_t consumed = 0;
+  auto view = decode_prefix_view(buf, &consumed, key, status);
+  if (view && consumed != buf.size()) {
+    // Strict mode: trailing bytes after the one frame are a malformation.
+    return fail<FrameView>(status, DecodeStatus::Malformed);
+  }
+  return view;
+}
+
+std::optional<ShareFrame> decode_prefix(std::span<const std::uint8_t> buf,
+                                        std::size_t* consumed,
+                                        const crypto::SipHashKey* key,
+                                        DecodeStatus* status) {
+  const auto view = decode_prefix_view(buf, consumed, key, status);
+  if (!view) return std::nullopt;
+  ShareFrame frame;
+  frame.packet_id = view->packet_id;
+  frame.k = view->k;
+  frame.share_index = view->share_index;
+  frame.generation = view->generation;
+  frame.connection_id = view->connection_id;
+  frame.payload.assign(view->payload.begin(), view->payload.end());
   return frame;
 }
 
@@ -172,7 +229,7 @@ std::optional<ShareFrame> decode(std::span<const std::uint8_t> buf,
   auto frame = decode_prefix(buf, &consumed, key, status);
   if (frame && consumed != buf.size()) {
     // Strict mode: trailing bytes after the one frame are a malformation.
-    return fail(status, DecodeStatus::Malformed);
+    return fail<ShareFrame>(status, DecodeStatus::Malformed);
   }
   return frame;
 }

@@ -8,15 +8,26 @@
 //        3     1  threshold k required to reconstruct the packet
 //        4     8  packet id (little endian) — sender-assigned, increasing
 //       12     1  share index (the GF(256) abscissa, 1..255)
-//       13     1  flags (bit 0: authenticated, bit 1: generation byte)
+//       13     1  flags (bit 0: authenticated, bit 1: generation byte,
+//                 bit 2: connection id)
 //       14     2  payload length (little endian)
 //       16     1  generation (retransmission count)  [flag bit 1 only]
-//       16+g    -  payload (the share bytes; same length as the packet)
-//       16+g+len 8  SipHash-2-4 tag over bytes [0, 16+g+len)  [flag bit 0]
+//       16+g    4  connection id (little endian)      [flag bit 2 only]
+//       16+g+c   -  payload (the share bytes; same length as the packet)
+//       ...tail  8  SipHash-2-4 tag over all preceding bytes [flag bit 0]
 //
-// (g is 1 when flag bit 1 is set, else 0. Generation 0 frames omit the
-// byte entirely, so the original-transmission encoding is byte-identical
-// to frames from before the reliability layer existed.)
+// (g is 1 when flag bit 1 is set, else 0; c is 4 when flag bit 2 is set,
+// else 0. Generation 0 frames omit the generation byte and connection 0
+// frames omit the connection id, so the single-flow original-transmission
+// encoding is byte-identical to frames from before the reliability and
+// session layers existed.)
+//
+// The connection id multiplexes many independent ReMICSS flows over one
+// shared channel set (the session layer's flow table key). Packet ids,
+// generations, and acks are all scoped WITHIN a connection: shares of
+// equal packet id but different connection ids belong to different
+// secrets and must never meet in one reassembly buffer — the demux
+// happens before the receiver, keyed on this field.
 //
 // The generation counts how many times the sender has RE-SPLIT this
 // packet: shares of different generations come from different random
@@ -55,6 +66,8 @@ inline constexpr std::size_t kTagSize = 8;
 inline constexpr std::size_t kMaxPayload = 0xFFFF;
 inline constexpr std::uint8_t kFlagAuthenticated = 0x01;
 inline constexpr std::uint8_t kFlagGeneration = 0x02;
+inline constexpr std::uint8_t kFlagConnectionId = 0x04;
+inline constexpr std::size_t kConnectionIdSize = 4;
 
 /// Parsed header + payload of one share frame.
 struct ShareFrame {
@@ -64,9 +77,26 @@ struct ShareFrame {
   /// Re-split count: 0 = original transmission, n = n-th retransmission.
   /// Shares only combine within one generation (see header comment).
   std::uint8_t generation = 0;
+  /// Flow this share belongs to; 0 = the single-flow (pre-session)
+  /// encoding, which omits the field on the wire.
+  std::uint32_t connection_id = 0;
   std::vector<std::uint8_t> payload;
 
   friend bool operator==(const ShareFrame&, const ShareFrame&) = default;
+};
+
+/// Zero-copy view of one decoded share frame: all header fields plus a
+/// span into the caller's buffer where the payload sits. This is the
+/// hot-path decode result — the session demux routes on connection_id
+/// and the receiver copies the payload bytes straight into its partial
+/// storage, so no std::vector ever materializes per share.
+struct FrameView {
+  std::uint64_t packet_id = 0;
+  std::uint8_t k = 1;
+  std::uint8_t share_index = 1;
+  std::uint8_t generation = 0;
+  std::uint32_t connection_id = 0;
+  std::span<const std::uint8_t> payload;
 };
 
 /// Serialize a share frame. Throws PreconditionError when the payload
@@ -95,12 +125,13 @@ struct FrameMeta {
   std::uint8_t k = 1;
   std::uint8_t share_index = 1;
   std::uint8_t generation = 0;
+  std::uint32_t connection_id = 0;
 };
 
 /// On-wire size of a frame with `payload_len` payload bytes.
 [[nodiscard]] std::size_t encoded_size(std::size_t payload_len,
-                                       std::uint8_t generation,
-                                       bool keyed) noexcept;
+                                       std::uint8_t generation, bool keyed,
+                                       std::uint32_t connection_id = 0) noexcept;
 
 /// Write the header (and generation byte) of a frame into `dst` and
 /// return the offset where the caller must place `payload_len` payload
@@ -146,6 +177,21 @@ enum class DecodeStatus {
 [[nodiscard]] std::optional<ShareFrame> decode_prefix(
     std::span<const std::uint8_t> buf, std::size_t* consumed,
     const crypto::SipHashKey* key = nullptr, DecodeStatus* status = nullptr);
+
+/// Zero-copy decode_prefix: identical framing/authentication semantics,
+/// but the result's payload is a span INTO `buf` (valid only while `buf`
+/// is) instead of an owned vector. This is the session/receiver hot
+/// path — one parse, no allocation, demux on connection_id, and the
+/// consumer copies only the bytes it retains.
+[[nodiscard]] std::optional<FrameView> decode_prefix_view(
+    std::span<const std::uint8_t> buf, std::size_t* consumed,
+    const crypto::SipHashKey* key = nullptr, DecodeStatus* status = nullptr);
+
+/// Strict zero-copy decode: exactly one frame in `buf` (trailing bytes
+/// are a malformation), payload viewed in place.
+[[nodiscard]] std::optional<FrameView> decode_view(
+    std::span<const std::uint8_t> buf, const crypto::SipHashKey* key = nullptr,
+    DecodeStatus* status = nullptr);
 
 /// Framing-only prefix scan: validates the fixed header (magic, version,
 /// k, index, flags, lengths) at the head of `buf` and returns the total

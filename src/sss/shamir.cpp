@@ -116,11 +116,12 @@ std::vector<Share> split_scalar(std::span<const std::uint8_t> secret, int k,
 
 namespace {
 
-void check_shares(std::span<const Share> shares) {
+template <typename S>  // Share or ShareView (same field names)
+void check_shares(std::span<const S> shares) {
   MCSS_ENSURE(!shares.empty(), "need at least one share");
   const std::size_t len = shares.front().data.size();
   bool seen[256] = {};
-  for (const Share& s : shares) {
+  for (const S& s : shares) {
     MCSS_ENSURE(s.index != 0, "share index 0 is invalid");
     MCSS_ENSURE(!seen[s.index], "duplicate share index");
     MCSS_ENSURE(s.data.size() == len, "share length mismatch");
@@ -128,7 +129,8 @@ void check_shares(std::span<const Share> shares) {
   }
 }
 
-std::vector<gf::Elem> reconstruction_weights(std::span<const Share> shares) {
+template <typename S>
+std::vector<gf::Elem> reconstruction_weights(std::span<const S> shares) {
   std::vector<gf::Elem> xs(shares.size());
   for (std::size_t i = 0; i < shares.size(); ++i) xs[i] = shares[i].index;
   std::vector<gf::Elem> weights(shares.size());
@@ -136,9 +138,8 @@ std::vector<gf::Elem> reconstruction_weights(std::span<const Share> shares) {
   return weights;
 }
 
-}  // namespace
-
-std::vector<std::uint8_t> reconstruct(std::span<const Share> shares) {
+template <typename S>
+std::vector<std::uint8_t> reconstruct_impl(std::span<const S> shares) {
   check_shares(shares);
   const std::vector<gf::Elem> weights = reconstruction_weights(shares);
 
@@ -150,6 +151,16 @@ std::vector<std::uint8_t> reconstruct(std::span<const Share> shares) {
                           len);
   }
   return secret;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> reconstruct(std::span<const Share> shares) {
+  return reconstruct_impl(shares);
+}
+
+std::vector<std::uint8_t> reconstruct_views(std::span<const ShareView> shares) {
+  return reconstruct_impl(shares);
 }
 
 std::vector<std::uint8_t> reconstruct_scalar(std::span<const Share> shares) {

@@ -73,4 +73,10 @@ void split_into(std::span<const std::uint8_t> secret, int k,
 [[nodiscard]] std::vector<std::uint8_t> reconstruct_first_k(
     std::span<const Share> shares, int k);
 
+/// reconstruct() over non-owning views: byte-identical result, same
+/// precondition checks, no per-share vectors — the receiver's
+/// arena-backed reassembly path hands spans into pool slots.
+[[nodiscard]] std::vector<std::uint8_t> reconstruct_views(
+    std::span<const ShareView> shares);
+
 }  // namespace mcss::sss

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace mcss::sss {
@@ -18,6 +19,15 @@ struct Share {
   std::vector<std::uint8_t> data;
 
   friend bool operator==(const Share&, const Share&) = default;
+};
+
+/// Non-owning view of one share: same meaning as Share, but `data`
+/// aliases storage the caller owns (an arena slot, a receive buffer).
+/// The zero-copy counterpart for reconstruct_views() — reassembly can
+/// keep share bytes in pool slots end to end.
+struct ShareView {
+  std::uint8_t index = 0;
+  std::span<const std::uint8_t> data;
 };
 
 }  // namespace mcss::sss

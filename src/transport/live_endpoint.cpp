@@ -50,6 +50,17 @@ LiveEndpoint::LiveEndpoint(LiveConfig config)
   MCSS_ENSURE(config_.channels.size() <= 32, "at most 32 channels");
   MCSS_ENSURE(config_.send_batch >= 1 && config_.recv_batch >= 1,
               "batch depths must be at least 1");
+  if (config_.port_base != 0) {
+    // Channel i binds port_base + i, plus one feedback lane when
+    // reliability is on. uint16_t arithmetic would otherwise wrap
+    // silently and bind a channel at a low port (or 0 = ephemeral).
+    const std::size_t last_lane = config_.channels.size() -
+                                  (config_.reliability.enabled ? 0 : 1);
+    MCSS_ENSURE(static_cast<std::size_t>(config_.port_base) + last_lane <=
+                    65535,
+                "port_base + channels (and feedback lane) exceeds 65535: "
+                "the port range would wrap");
+  }
 
   // One arena for every channel: TX frames are encoded straight into
   // slots, RX pins recv_batch slots per channel. Auto-sizing leaves
@@ -67,6 +78,9 @@ LiveEndpoint::LiveEndpoint(LiveConfig config)
             : lanes * (config_.recv_batch + 4 * config_.send_batch) + 64;
     pool_ = std::make_unique<FramePool>(slot_bytes, slots);
   }
+  // Reassembly partials share the arena too: small-k partials live in
+  // slots, so steady-state RX appends never touch the heap.
+  receiver_.set_arena(pool_.get());
   // On the uring backend, pre-register the arena with the ring
   // (IORING_REGISTER_BUFFERS) so the pages RX slots live in are pinned
   // once instead of per syscall; epoll/poll ignore this.

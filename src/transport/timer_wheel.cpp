@@ -21,16 +21,39 @@ void TimerWheel::anchor(std::int64_t t_ns) {
   }
 }
 
-void TimerWheel::schedule_at(std::int64_t deadline_ns, Callback fn) {
+TimerWheel::TimerId TimerWheel::schedule_at(std::int64_t deadline_ns,
+                                            Callback fn) {
   MCSS_ENSURE(fn != nullptr, "null timer callback");
   anchor(deadline_ns);
   // Past deadlines land in the current tick's slot so the next advance()
   // fires them immediately.
   const std::int64_t tick =
       std::max(deadline_ns / tick_ns_, current_tick_);
-  slots_[slot_of(tick)].push_back(
-      Entry{deadline_ns, next_seq_++, std::move(fn)});
+  const std::size_t slot = slot_of(tick);
+  const TimerId id = next_seq_++;
+  slots_[slot].push_back(Entry{deadline_ns, id, std::move(fn)});
+  live_.emplace(id, static_cast<std::uint32_t>(slot));
   ++pending_;
+  return id;
+}
+
+bool TimerWheel::cancel(TimerId id) {
+  const auto it = live_.find(id);
+  if (it == live_.end()) return false;  // fired, cancelled, or unknown
+  auto& slot = slots_[it->second];
+  const auto pos = std::find_if(
+      slot.begin(), slot.end(), [id](const Entry& e) { return e.seq == id; });
+  if (pos != slot.end()) {
+    slot.erase(pos);
+  } else {
+    // Not parked in its slot: advance() has already pulled it into the
+    // current due batch (we are being called from a callback). Flag it
+    // so the firing loop skips it.
+    cancelled_inflight_.insert(id);
+  }
+  live_.erase(it);
+  --pending_;
+  return true;
 }
 
 std::size_t TimerWheel::advance(std::int64_t now_ns) {
@@ -74,9 +97,16 @@ std::size_t TimerWheel::advance(std::int64_t now_ns) {
       return a.deadline_ns != b.deadline_ns ? a.deadline_ns < b.deadline_ns
                                             : a.seq < b.seq;
     });
-    pending_ -= due.size();
-    fired_total += due.size();
     for (Entry& entry : due) {
+      // An earlier callback of this very batch may have cancelled this
+      // timer (flow teardown between arm and fire) — suppress it.
+      if (!cancelled_inflight_.empty() &&
+          cancelled_inflight_.erase(entry.seq) > 0) {
+        continue;
+      }
+      live_.erase(entry.seq);
+      --pending_;
+      ++fired_total;
       entry.fn();
     }
   }

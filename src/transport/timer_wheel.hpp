@@ -23,6 +23,8 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 namespace mcss::transport {
@@ -31,6 +33,10 @@ class TimerWheel {
  public:
   using Callback = std::function<void()>;
 
+  /// Handle for cancel(). Never 0 — store kNoTimer for "nothing armed".
+  using TimerId = std::uint64_t;
+  static constexpr TimerId kNoTimer = 0;
+
   /// `tick_ns` is the firing granularity (timers fire within one tick of
   /// their deadline); `slots` * `tick_ns` is one rotation. Defaults: 0.5 ms
   /// ticks, 1024 slots = 512 ms per rotation, far beyond any netem-style
@@ -38,8 +44,19 @@ class TimerWheel {
   explicit TimerWheel(std::int64_t tick_ns = 500'000, std::size_t slots = 1024);
 
   /// Schedule `fn` at absolute time `deadline_ns`. Deadlines in the past
-  /// fire on the next advance(). O(1).
-  void schedule_at(std::int64_t deadline_ns, Callback fn);
+  /// fire on the next advance(). O(1). The returned handle cancels the
+  /// timer; callers that never cancel may ignore it.
+  TimerId schedule_at(std::int64_t deadline_ns, Callback fn);
+
+  /// Cancel a pending timer: its callback will NOT run. Returns true
+  /// when `id` was pending; false when it already fired, was already
+  /// cancelled, or never existed (a safe no-op, so teardown paths can
+  /// cancel unconditionally). O(slot occupancy). Callable from within a
+  /// firing callback — a timer cancelled by an earlier callback of the
+  /// same advance() batch is suppressed, which is the whole point: a
+  /// flow torn down between arm and fire must not have the stale
+  /// callback touch its freed state.
+  bool cancel(TimerId id);
 
   /// Fire every timer with deadline <= now_ns, in deadline order (ties in
   /// schedule order). Returns the number fired. Callbacks may schedule
@@ -65,8 +82,15 @@ class TimerWheel {
   std::vector<std::vector<Entry>> slots_;
   std::int64_t current_tick_;  ///< everything before this tick has fired
   bool started_ = false;       ///< current_tick_ anchors on first use
-  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_seq_ = 1;  ///< 0 is kNoTimer
   std::size_t pending_ = 0;
+  /// seq -> slot index for every pending timer: cancel() erases the
+  /// entry from its slot eagerly, so slots never accumulate dead
+  /// entries and next_deadline()/pending() stay exact.
+  std::unordered_map<std::uint64_t, std::uint32_t> live_;
+  /// Timers cancelled while sitting in the current advance() due batch
+  /// (already pulled out of their slot): the firing loop skips them.
+  std::unordered_set<std::uint64_t> cancelled_inflight_;
 
   void anchor(std::int64_t t_ns);
   [[nodiscard]] std::size_t slot_of(std::int64_t tick) const noexcept {

@@ -1,11 +1,11 @@
-#include "transport/frame_pool.hpp"
+#include "util/frame_pool.hpp"
 
 #include <algorithm>
 #include <cstring>
 
 #include "util/ensure.hpp"
 
-namespace mcss::transport {
+namespace mcss::util {
 
 FramePool::FramePool(std::size_t slot_bytes, std::size_t slots)
     : slot_bytes_(slot_bytes) {
@@ -61,4 +61,4 @@ void FramePool::release(std::uint32_t slot) noexcept {
   }
 }
 
-}  // namespace mcss::transport
+}  // namespace mcss::util

@@ -124,9 +124,14 @@ TEST(ReportCodec, RejectsMalformed) {
   bad = good;
   bad[2] = 9;
   EXPECT_FALSE(decode_report(bad).has_value());
-  // Unknown flag bits.
+  // Unknown flag bits (0x01 = authenticated and 0x02 = connection id
+  // are defined; 0x04 is the first reserved bit).
   bad = good;
-  bad[3] = 0x02;
+  bad[3] = 0x04;
+  EXPECT_FALSE(decode_report(bad).has_value());
+  // Connection flag set without the 4 id bytes: truncated report.
+  bad = good;
+  bad[3] = kReportFlagConnection;
   EXPECT_FALSE(decode_report(bad).has_value());
   // Channel count out of range (0 and > 32).
   bad = good;
@@ -192,10 +197,60 @@ TEST(ReportCodec, PrefixParsesCoalescedReports) {
   EXPECT_EQ(consumed, 0u);
 }
 
+TEST(ReportCodec, ConnectionIdRoundtrip) {
+  auto r = sample_report();
+  r.connection_id = 0xC0FFEE;
+  const auto bytes = encode_report(r);
+  EXPECT_EQ(bytes.size(), kReportHeaderSize + kReportConnectionIdSize +
+                              8 * r.sack.size() + 16 * r.channels.size() +
+                              16 * r.delays.size());
+  EXPECT_EQ(bytes[3], kReportFlagConnection);
+  const auto back = decode_report(bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, r);
+
+  // Authenticated: the tag covers the connection id — a forged demux
+  // would let one flow's report ack another flow's packets.
+  auto tagged = encode_report(r, &kKey);
+  ASSERT_TRUE(decode_report(tagged, &kKey).has_value());
+  tagged[kReportHeaderSize] ^= 0x01;  // first connection-id byte
+  proto::DecodeStatus status = proto::DecodeStatus::Ok;
+  EXPECT_FALSE(decode_report(tagged, &kKey, &status).has_value());
+  EXPECT_EQ(status, proto::DecodeStatus::AuthFailed);
+}
+
+TEST(ReportCodec, ConnectionZeroIsByteIdenticalToLegacyEncoding) {
+  // Single-flow reports must not change on the wire just because the
+  // session layer exists: connection 0 omits the field.
+  auto r = sample_report();
+  ASSERT_EQ(r.connection_id, 0u);
+  const auto bytes = encode_report(r);
+  EXPECT_EQ(bytes[3], 0);  // no flag bits
+  const auto back = decode_report(bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->connection_id, 0u);
+}
+
+TEST(ReportCodec, NonCanonicalConnectionZeroRejected) {
+  auto r = sample_report();
+  r.connection_id = 1;
+  auto bytes = encode_report(r);
+  ASSERT_EQ(bytes[3], kReportFlagConnection);
+  for (std::size_t i = 0; i < kReportConnectionIdSize; ++i) {
+    bytes[kReportHeaderSize + i] = 0;  // id -> 0, flag still set
+  }
+  proto::DecodeStatus status = proto::DecodeStatus::Ok;
+  EXPECT_FALSE(decode_report(bytes, nullptr, &status).has_value());
+  EXPECT_EQ(status, proto::DecodeStatus::Malformed);
+}
+
 TEST(ReportCodec, RandomizedRoundtrip) {
   Rng rng(2024);
   for (int trial = 0; trial < 200; ++trial) {
     ReceiverReport r;
+    r.connection_id = static_cast<std::uint32_t>(rng.uniform_int(3) == 0
+                                                     ? 0
+                                                     : (rng() & 0xFFFFFFFF));
     r.seq = rng();
     r.receiver_time_ns = static_cast<std::int64_t>(rng() >> 1);
     r.packets_delivered = rng();

@@ -83,10 +83,14 @@ TEST(Wire, DecodeRejectsMalformed) {
   bad = good;
   bad[12] = 0;
   EXPECT_FALSE(decode(bad).has_value());
-  // Unknown flags (0x01 = authenticated and 0x02 = generation are
-  // defined; 0x04 is the first reserved bit).
+  // Unknown flags (0x01 = authenticated, 0x02 = generation, and
+  // 0x04 = connection id are defined; 0x08 is the first reserved bit).
   bad = good;
-  bad[13] = 0x04;
+  bad[13] = 0x08;
+  EXPECT_FALSE(decode(bad).has_value());
+  // Connection flag set without the 4 id bytes: truncated frame.
+  bad = good;
+  bad[13] = kFlagConnectionId;
   EXPECT_FALSE(decode(bad).has_value());
   // Length mismatch: truncated payload.
   bad = good;
@@ -197,6 +201,135 @@ TEST(Wire, NonCanonicalGenerationZeroRejected) {
   DecodeStatus status = DecodeStatus::Ok;
   EXPECT_FALSE(decode(bytes, nullptr, &status).has_value());
   EXPECT_EQ(status, DecodeStatus::Malformed);
+}
+
+// ------------------------------------------------------------ connection id
+
+TEST(Wire, ConnectionIdRoundtrip) {
+  ShareFrame f;
+  f.packet_id = 77;
+  f.k = 3;
+  f.share_index = 2;
+  f.connection_id = 0xDEADBEEF;
+  f.payload = {4, 5, 6};
+  const auto bytes = encode(f);
+  EXPECT_EQ(bytes.size(), kHeaderSize + kConnectionIdSize + 3);
+  EXPECT_EQ(bytes[13], kFlagConnectionId);
+  const auto back = decode(bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, f);
+
+  // Generation + connection id together: generation byte first, then the
+  // 4 id bytes, per the header layout.
+  f.generation = 9;
+  const auto both = encode(f);
+  EXPECT_EQ(both.size(), kHeaderSize + 1 + kConnectionIdSize + 3);
+  EXPECT_EQ(both[13], kFlagGeneration | kFlagConnectionId);
+  EXPECT_EQ(both[kHeaderSize], 9);
+  const auto back2 = decode(both);
+  ASSERT_TRUE(back2.has_value());
+  EXPECT_EQ(*back2, f);
+
+  // Authenticated: the tag covers the connection id, so flipping one of
+  // its bytes must fail auth (a forged demux would misroute shares).
+  const crypto::SipHashKey key{1, 2,  3,  4,  5,  6,  7,  8,
+                               9, 10, 11, 12, 13, 14, 15, 16};
+  auto tagged = encode(f, &key);
+  ASSERT_TRUE(decode(tagged, &key).has_value());
+  tagged[kHeaderSize + 1] ^= 0x01;  // first connection-id byte
+  EXPECT_FALSE(decode(tagged, &key).has_value());
+}
+
+TEST(Wire, ConnectionZeroIsByteIdenticalToLegacyEncoding) {
+  // Single-flow frames must not change on the wire just because the
+  // session layer exists: connection 0 omits the field.
+  ShareFrame f;
+  f.packet_id = 5;
+  f.k = 2;
+  f.share_index = 1;
+  f.payload = {0xAA, 0xBB};
+  const auto bytes = encode(f);
+  EXPECT_EQ(bytes.size(), kHeaderSize + 2);
+  EXPECT_EQ(bytes[13], 0);  // no flag bits
+  const auto back = decode(bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->connection_id, 0u);
+}
+
+TEST(Wire, NonCanonicalConnectionZeroRejected) {
+  // The flag set with a zero id would give one frame two encodings; the
+  // canonical form omits the field, the other is refused.
+  ShareFrame f;
+  f.packet_id = 5;
+  f.k = 2;
+  f.share_index = 1;
+  f.connection_id = 1;
+  f.payload = {0xAA};
+  auto bytes = encode(f);
+  ASSERT_EQ(bytes[13], kFlagConnectionId);
+  for (std::size_t i = 0; i < kConnectionIdSize; ++i) {
+    bytes[kHeaderSize + i] = 0;  // id -> 0, flag still set
+  }
+  DecodeStatus status = DecodeStatus::Ok;
+  EXPECT_FALSE(decode(bytes, nullptr, &status).has_value());
+  EXPECT_EQ(status, DecodeStatus::Malformed);
+}
+
+TEST(Wire, FrameViewDecodesInPlace) {
+  // The zero-copy path: the view's payload must be a span into the
+  // caller's buffer, not a copy, with every header field intact.
+  ShareFrame f;
+  f.packet_id = 1234;
+  f.k = 4;
+  f.share_index = 6;
+  f.generation = 2;
+  f.connection_id = 42;
+  f.payload = {10, 20, 30, 40, 50};
+  const crypto::SipHashKey key{1, 2,  3,  4,  5,  6,  7,  8,
+                               9, 10, 11, 12, 13, 14, 15, 16};
+  for (const bool keyed : {false, true}) {
+    const crypto::SipHashKey* kp = keyed ? &key : nullptr;
+    const auto bytes = encode(f, kp);
+    const auto view = decode_view(bytes, kp);
+    ASSERT_TRUE(view.has_value()) << (keyed ? "keyed" : "unkeyed");
+    EXPECT_EQ(view->packet_id, f.packet_id);
+    EXPECT_EQ(view->k, f.k);
+    EXPECT_EQ(view->share_index, f.share_index);
+    EXPECT_EQ(view->generation, f.generation);
+    EXPECT_EQ(view->connection_id, f.connection_id);
+    ASSERT_EQ(view->payload.size(), f.payload.size());
+    EXPECT_TRUE(std::equal(view->payload.begin(), view->payload.end(),
+                           f.payload.begin()));
+    // Zero-copy: the span aliases the encode buffer.
+    EXPECT_GE(view->payload.data(), bytes.data());
+    EXPECT_LE(view->payload.data() + view->payload.size(),
+              bytes.data() + bytes.size());
+  }
+}
+
+TEST(WirePrefix, ConnectionFramesConcatenate) {
+  // Coalesced datagrams interleave flows: prefix parsing must walk
+  // mixed-flow frames (cid, no cid, different cid) one at a time.
+  auto f1 = sample_frame(30, 1, 4);
+  f1.connection_id = 7;
+  auto f2 = sample_frame(31, 2, 4);  // single-flow frame behind it
+  auto f3 = sample_frame(32, 1, 4);
+  f3.connection_id = 1000000;
+  std::vector<std::uint8_t> buf = encode(f1);
+  for (const ShareFrame* f : {&f2, &f3}) {
+    const auto b = encode(*f);
+    buf.insert(buf.end(), b.begin(), b.end());
+  }
+
+  std::span<const std::uint8_t> rest(buf);
+  for (const ShareFrame* want : {&f1, &f2, &f3}) {
+    std::size_t consumed = 0;
+    const auto parsed = decode_prefix(rest, &consumed);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, *want);
+    rest = rest.subspan(consumed);
+  }
+  EXPECT_TRUE(rest.empty());
 }
 
 TEST(WirePrefix, GenerationFramesConcatenate) {

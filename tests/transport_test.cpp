@@ -14,7 +14,10 @@
 #include <vector>
 
 #include "net/sim_channel.hpp"
+#include "net/simulator.hpp"
+#include "protocol/receiver.hpp"
 #include "protocol/wire.hpp"
+#include "sss/shamir.hpp"
 #include "transport/frame_pool.hpp"
 #include "transport/impairment.hpp"
 #include "transport/live_endpoint.hpp"
@@ -148,6 +151,80 @@ TEST(TimerWheel, NextDeadlineIsExact) {
   EXPECT_EQ(*wheel.next_deadline(), 2'100'000);
   wheel.advance(3'000'000);
   EXPECT_EQ(*wheel.next_deadline(), 7'300'000);
+}
+
+TEST(TimerWheel, CancelPreventsFiringAndIsIdempotent) {
+  TimerWheel wheel(1'000'000, 8);
+  wheel.advance(0);
+  bool fired = false;
+  const auto id = wheel.schedule_at(2'000'000, [&] { fired = true; });
+  EXPECT_NE(id, TimerWheel::kNoTimer);
+  EXPECT_EQ(wheel.pending(), 1u);
+  EXPECT_TRUE(wheel.cancel(id));
+  EXPECT_EQ(wheel.pending(), 0u);
+  EXPECT_FALSE(wheel.next_deadline().has_value());
+  EXPECT_EQ(wheel.advance(5'000'000), 0u);
+  EXPECT_FALSE(fired);
+  // Double-cancel, cancel-after-fire, and garbage ids are safe no-ops.
+  EXPECT_FALSE(wheel.cancel(id));
+  const auto id2 = wheel.schedule_at(6'000'000, [] {});
+  wheel.advance(7'000'000);
+  EXPECT_FALSE(wheel.cancel(id2));
+  EXPECT_FALSE(wheel.cancel(12345));
+  EXPECT_FALSE(wheel.cancel(TimerWheel::kNoTimer));
+}
+
+TEST(TimerWheel, CancelledTimerDoesNotMaskLaterDeadlines) {
+  // next_deadline() must not report a cancelled timer's deadline: the
+  // pump loop would wake early and fire nothing.
+  TimerWheel wheel(1'000'000, 8);
+  wheel.advance(0);
+  const auto early = wheel.schedule_at(2'000'000, [] {});
+  int fired = 0;
+  wheel.schedule_at(5'000'000, [&] { ++fired; });
+  EXPECT_TRUE(wheel.cancel(early));
+  ASSERT_TRUE(wheel.next_deadline().has_value());
+  EXPECT_EQ(*wheel.next_deadline(), 5'000'000);
+  EXPECT_EQ(wheel.advance(5'000'000), 1u);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(TimerWheel, TeardownBetweenArmAndFireDoesNotTouchFreedState) {
+  // Regression (ISSUE 7): a flow torn down with a pending retransmit
+  // timer left the callback to fire against freed per-flow state. The
+  // callback below dereferences the flow's memory — without cancel()
+  // this test dies under ASan as heap-use-after-free.
+  TimerWheel wheel(1'000'000, 8);
+  wheel.advance(0);
+  struct FlowState {
+    int rto_count = 0;
+  };
+  auto flow = std::make_unique<FlowState>();
+  FlowState* raw = flow.get();
+  const auto id = wheel.schedule_at(2'000'000, [raw] { ++raw->rto_count; });
+  // Teardown: free the flow, cancel its armed timer.
+  flow.reset();
+  EXPECT_TRUE(wheel.cancel(id));
+  EXPECT_EQ(wheel.advance(10'000'000), 0u);
+}
+
+TEST(TimerWheel, CancelFromCallbackSuppressesLaterEntryInSameBatch) {
+  // Both timers are due in ONE advance(): the first callback tears the
+  // "flow" down and cancels the second timer, which advance() has
+  // already pulled into its due batch. The second callback must not run
+  // (it touches the freed state — ASan-visible without the fix).
+  TimerWheel wheel(1'000'000, 8);
+  wheel.advance(0);
+  auto flow = std::make_unique<int>(0);
+  int* raw = flow.get();
+  TimerWheel::TimerId second = TimerWheel::kNoTimer;
+  wheel.schedule_at(2'000'000, [&] {
+    flow.reset();
+    EXPECT_TRUE(wheel.cancel(second));
+  });
+  second = wheel.schedule_at(3'000'000, [raw] { *raw = 99; });
+  EXPECT_EQ(wheel.advance(5'000'000), 1u);  // only the teardown fired
+  EXPECT_EQ(wheel.pending(), 0u);
 }
 
 // --------------------------------------------------------------- poller
@@ -801,6 +878,110 @@ TEST(UdpChannel, SteadyStateFastPathDoesNotAllocateAfterWarmup) {
       << "the warmed-up pool/batch/split path must never touch the heap";
 }
 
+TEST(Receiver, ArenaReassemblyAppendsDoNotAllocate) {
+  // Regression (ISSUE 7): partials used to heap-allocate a vector per
+  // appended share. With an arena, the partial lives in one pool slot
+  // (k index bytes + k share regions) and appends are a byte write plus
+  // a memcpy — zero heap traffic.
+  net::Simulator sim;
+  FramePool pool(4096, 16);
+  proto::ReceiverConfig rc;
+  rc.arena = &pool;
+  proto::Receiver receiver(sim, rc);
+
+  // k = 8 shares of 256 bytes: 8 * (1 + 256) = 2056 bytes, fits a slot.
+  Rng rng(7);
+  std::vector<std::uint8_t> secret(256);
+  rng.fill(secret);
+  const auto shares = sss::split(secret, 8, 8, rng);
+  std::vector<std::vector<std::uint8_t>> frames;
+  for (const auto& s : shares) {
+    proto::ShareFrame f;
+    f.packet_id = 1;
+    f.k = 8;
+    f.share_index = s.index;
+    f.payload = s.data;
+    frames.push_back(proto::encode(f));
+  }
+
+  std::vector<std::uint8_t> delivered;
+  receiver.set_deliver([&](std::uint64_t, std::vector<std::uint8_t> p) {
+    delivered = std::move(p);
+  });
+
+  // First share creates the partial (map node, order node, slot acquire
+  // — the "warmup" for this packet).
+  receiver.on_frame(std::span<const std::uint8_t>(frames[0]));
+  ASSERT_EQ(receiver.stats().partials_in_arena, 1u);
+  ASSERT_EQ(receiver.stats().partials_on_heap, 0u);
+  ASSERT_EQ(pool.in_use(), 1u);
+
+  g_allocs.store(0);
+  g_count_allocs.store(true);
+  for (int i = 1; i < 7; ++i) {  // appends only — completion is separate
+    receiver.on_frame(std::span<const std::uint8_t>(frames[i]));
+  }
+  g_count_allocs.store(false);
+  EXPECT_EQ(g_allocs.load(), 0u)
+      << "arena-backed reassembly appends must never touch the heap";
+  EXPECT_EQ(receiver.pending_packets(), 1u);
+
+  // The k-th share completes the packet and releases the slot.
+  receiver.on_frame(std::span<const std::uint8_t>(frames[7]));
+  EXPECT_EQ(delivered, secret);
+  EXPECT_EQ(receiver.stats().packets_delivered, 1u);
+  EXPECT_EQ(pool.in_use(), 0u);
+}
+
+TEST(Receiver, OversizePartialFallsBackToHeapAndStillDelivers) {
+  // A partial that cannot fit one slot (k * (1 + share_size) too big)
+  // degrades to heap vectors — a policy change, never a drop. Same for
+  // pool exhaustion.
+  net::Simulator sim;
+  FramePool pool(512, 2);  // 3 * (1 + 256) = 771 > 512 -> heap
+  proto::ReceiverConfig rc;
+  rc.arena = &pool;
+  proto::Receiver receiver(sim, rc);
+
+  Rng rng(11);
+  std::vector<std::uint8_t> secret(256);
+  rng.fill(secret);
+  const auto shares = sss::split(secret, 3, 3, rng);
+
+  std::vector<std::uint8_t> delivered;
+  receiver.set_deliver([&](std::uint64_t, std::vector<std::uint8_t> p) {
+    delivered = std::move(p);
+  });
+  for (const auto& s : shares) {
+    proto::ShareFrame f;
+    f.packet_id = 9;
+    f.k = 3;
+    f.share_index = s.index;
+    f.payload = s.data;
+    const auto bytes = proto::encode(f);
+    receiver.on_frame(std::span<const std::uint8_t>(bytes));
+  }
+  EXPECT_EQ(delivered, secret);
+  EXPECT_EQ(receiver.stats().partials_on_heap, 1u);
+  EXPECT_EQ(receiver.stats().partials_in_arena, 0u);
+  EXPECT_EQ(pool.in_use(), 0u);
+
+  // Exhaustion: tiny pool with every slot taken -> heap fallback too.
+  FrameRef hog1 = pool.acquire();
+  FrameRef hog2 = pool.acquire();
+  ASSERT_TRUE(hog1);
+  ASSERT_TRUE(hog2);
+  proto::ShareFrame small;
+  small.packet_id = 10;
+  small.k = 2;
+  small.share_index = 1;
+  small.payload = {1, 2, 3, 4};
+  const auto bytes = proto::encode(small);
+  receiver.on_frame(std::span<const std::uint8_t>(bytes));
+  EXPECT_EQ(receiver.pending_packets(), 1u);
+  EXPECT_EQ(receiver.stats().partials_on_heap, 2u);
+}
+
 // --------------------------------------------------------- live endpoint
 
 LiveConfig clean_config(std::size_t n, double mbps, std::uint64_t seed) {
@@ -822,6 +1003,37 @@ template <typename Done>
 void run_until(LiveEndpoint& ep, int budget_ms, Done done) {
   for (int spent = 0; spent < budget_ms && !done(); spent += 10) {
     ep.run_for(10'000'000);
+  }
+}
+
+TEST(LiveEndpoint, PortBaseWraparoundIsRejectedAtSetup) {
+  // Regression (ISSUE 7): channel i binds port_base + i with uint16_t
+  // arithmetic, so a high base silently wrapped to a low port. The
+  // endpoint must refuse the configuration up front instead.
+  {
+    LiveConfig cfg = clean_config(3, 100.0, 7);
+    cfg.port_base = 65534;  // lanes at 65534, 65535, 65536 -> wrap
+    EXPECT_THROW((void)LiveEndpoint(std::move(cfg)), PreconditionError);
+  }
+  {
+    // Boundary: the LAST channel exactly at 65535 is fine.
+    LiveConfig cfg = clean_config(3, 100.0, 7);
+    cfg.port_base = 65533;  // lanes at 65533, 65534, 65535
+    EXPECT_NO_THROW((void)LiveEndpoint(std::move(cfg)));
+  }
+  {
+    // Reliability adds a feedback lane at port_base + n: a base that
+    // fits the share channels alone must still be refused.
+    LiveConfig cfg = clean_config(3, 100.0, 7);
+    cfg.port_base = 65533;
+    cfg.reliability.enabled = true;  // feedback lane at 65536 -> wrap
+    EXPECT_THROW((void)LiveEndpoint(std::move(cfg)), PreconditionError);
+  }
+  {
+    LiveConfig cfg = clean_config(3, 100.0, 7);
+    cfg.port_base = 65532;  // shares 65532..65534, feedback 65535
+    cfg.reliability.enabled = true;
+    EXPECT_NO_THROW((void)LiveEndpoint(std::move(cfg)));
   }
 }
 
