@@ -37,6 +37,15 @@ void ReportBuilder::on_delivered(std::uint64_t packet_id,
   // Ids below the base fell out of the window (a very late delivery);
   // the cumulative counter still records them.
   if (config_.max_delay_samples > 0) {
+    // Receiver delivery stamps must be monotone — the sender-side join
+    // rejects samples newer than the report's build time, so a clock
+    // that stepped backwards would silently discard every later sample.
+    // Clamp regressions up to the last stamp and count them instead.
+    if (recv_time_ns < last_recv_time_ns_) {
+      recv_time_ns = last_recv_time_ns_;
+      ++delay_samples_clamped_;
+    }
+    last_recv_time_ns_ = recv_time_ns;
     if (delays_.size() >= config_.max_delay_samples) delays_.pop_front();
     delays_.push_back({packet_id, recv_time_ns});
   }

@@ -57,6 +57,11 @@ class ReportBuilder {
   }
   /// Whether `packet_id` is acknowledged in the current window.
   [[nodiscard]] bool acked(std::uint64_t packet_id) const noexcept;
+  /// Delivery stamps that regressed against an earlier sample and were
+  /// clamped up to it (a receiver clock stepping backwards).
+  [[nodiscard]] std::uint64_t delay_samples_clamped() const noexcept {
+    return delay_samples_clamped_;
+  }
 
  private:
   void advance_window(std::uint64_t packet_id);
@@ -68,6 +73,8 @@ class ReportBuilder {
   std::vector<std::uint64_t> sack_;
   std::vector<ChannelCounters> channels_;
   std::deque<DelaySample> delays_;
+  std::int64_t last_recv_time_ns_ = 0;
+  std::uint64_t delay_samples_clamped_ = 0;
 };
 
 }  // namespace mcss::feedback

@@ -25,6 +25,7 @@ void publish(obs::Registry& registry, const RetransmitStats& stats) {
   add("mcss_retransmit_reports_malformed", stats.reports_malformed);
   add("mcss_retransmit_reports_auth_failed", stats.reports_auth_failed);
   add("mcss_retransmit_rtt_samples", stats.rtt_samples);
+  add("mcss_retransmit_delay_samples_clamped", stats.delay_samples_clamped);
   add("mcss_retransmit_initial_channel_sum", stats.initial_channel_sum);
   add("mcss_retransmit_exposure_channel_sum", stats.exposure_channel_sum);
   registry.set(registry.gauge("mcss_retransmit_ack_delay_seconds_mean"),
@@ -132,10 +133,23 @@ void RetransmitManager::on_report(const ReceiverReport& report,
 
   // Delay samples join receiver delivery times with our send stamps.
   // Only never-retransmitted packets contribute (Karn's ambiguity
-  // applies to one-way delay exactly as to RTT).
+  // applies to one-way delay exactly as to RTT). Samples that claim a
+  // delivery before the send or after the report's own build stamp are
+  // physically impossible (clock regression or a mangled-but-authentic
+  // sample); they are counted and excluded rather than clamped into the
+  // estimator, where a silent zero would drag the mean.
   for (const DelaySample& sample : report.delays) {
     const auto it = outstanding_.find(sample.packet_id);
     if (it == outstanding_.end() || it->second.retransmitted) continue;
+    // (The build stamp and recv_time_ns share the receiver's clock, so
+    // that comparison needs no clock sync; a stamp of 0 means the
+    // report was built without one and the bound cannot apply.)
+    if (sample.recv_time_ns < it->second.first_sent_ns ||
+        (report.receiver_time_ns > 0 &&
+         sample.recv_time_ns > report.receiver_time_ns)) {
+      ++stats_.delay_samples_clamped;
+      continue;
+    }
     stats_.delay.add(one_way_delay_seconds(it->second.first_sent_ns,
                                            sample.recv_time_ns));
   }
@@ -228,6 +242,15 @@ std::optional<std::uint32_t> RetransmitManager::exposure_mask(
   const auto it = outstanding_.find(packet_id);
   if (it == outstanding_.end()) return std::nullopt;
   return it->second.exposure_mask;
+}
+
+int RetransmitManager::widest_exposure() const noexcept {
+  int widest = 0;
+  for (const auto& [id, packet] : outstanding_) {
+    (void)id;
+    widest = std::max(widest, std::popcount(packet.exposure_mask));
+  }
+  return widest;
 }
 
 std::vector<ClosedPacket> RetransmitManager::drain_closed() {

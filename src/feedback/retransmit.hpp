@@ -77,6 +77,10 @@ struct RetransmitStats {
   std::uint64_t reports_malformed = 0;
   std::uint64_t reports_auth_failed = 0;
   std::uint64_t rtt_samples = 0;
+  /// Delay samples rejected as physically impossible: delivery stamped
+  /// before the packet's send or after the report carrying it was
+  /// built. Excluded from `delay` so the estimate stays honest.
+  std::uint64_t delay_samples_clamped = 0;
   /// Sum over closed packets of |initial channel set| and |realized
   /// exposure set|; their ratio is the average exposure widening that
   /// retransmissions caused.
@@ -173,6 +177,12 @@ class RetransmitManager {
   /// Realized exposure of a still-outstanding packet.
   [[nodiscard]] std::optional<std::uint32_t> exposure_mask(
       std::uint64_t packet_id) const;
+
+  /// Widest realized exposure union (channel count) across the
+  /// still-outstanding packets — the flow-drill-down "how wide has
+  /// this flow's privacy spread" signal. O(outstanding), no
+  /// allocation.
+  [[nodiscard]] int widest_exposure() const noexcept;
 
   /// Drain the closed-packet records accumulated since the last drain.
   [[nodiscard]] std::vector<ClosedPacket> drain_closed();

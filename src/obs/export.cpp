@@ -1,6 +1,7 @@
 #include "obs/export.hpp"
 
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -12,6 +13,16 @@ namespace mcss::obs {
 namespace {
 
 void append_double(std::string& out, double v) {
+  // %g spells non-finite values "inf"/"nan", which the Prometheus text
+  // format rejects; it wants the exact spellings below.
+  if (std::isnan(v)) {
+    out += "NaN";
+    return;
+  }
+  if (std::isinf(v)) {
+    out += v > 0 ? "+Inf" : "-Inf";
+    return;
+  }
   char buf[40];
   std::snprintf(buf, sizeof buf, "%.17g", v);
   out += buf;
@@ -23,12 +34,17 @@ void append_u64(std::string& out, std::uint64_t v) {
   out += buf;
 }
 
-/// JSON array of doubles, e.g. [0.001,0.002].
+/// JSON array of doubles, e.g. [0.001,0.002]. Non-finite entries become
+/// null — JSON has no Inf/NaN literal (same convention as JsonRow).
 std::string json_double_array(const std::vector<double>& values) {
   std::string out = "[";
   for (std::size_t i = 0; i < values.size(); ++i) {
     if (i != 0) out.push_back(',');
-    append_double(out, values[i]);
+    if (std::isfinite(values[i])) {
+      append_double(out, values[i]);
+    } else {
+      out += "null";
+    }
   }
   out.push_back(']');
   return out;

@@ -154,6 +154,10 @@ CounterId Registry::counter(std::string_view name) {
   const std::uint32_t epoch = impl_->epoch.load(std::memory_order_relaxed);
   const auto it = impl_->counter_ids.find(key);
   if (it != impl_->counter_ids.end()) return {it->second, epoch};
+  // One name, one type: a second registration under a different type
+  // would emit two conflicting # TYPE lines in the exposition.
+  MCSS_ENSURE(!impl_->gauge_ids.contains(key) && !impl_->hist_ids.contains(key),
+              "metric name already registered with a different type");
   const auto id = static_cast<std::uint32_t>(impl_->counter_names.size());
   impl_->counter_names.push_back(key);
   impl_->counter_ids.emplace(key, id);
@@ -166,6 +170,9 @@ GaugeId Registry::gauge(std::string_view name) {
   const std::uint32_t epoch = impl_->epoch.load(std::memory_order_relaxed);
   const auto it = impl_->gauge_ids.find(key);
   if (it != impl_->gauge_ids.end()) return {it->second, epoch};
+  MCSS_ENSURE(
+      !impl_->counter_ids.contains(key) && !impl_->hist_ids.contains(key),
+      "metric name already registered with a different type");
   const auto id = static_cast<std::uint32_t>(impl_->gauge_names.size());
   impl_->gauge_names.push_back(key);
   impl_->gauge_ids.emplace(key, id);
@@ -187,6 +194,9 @@ HistogramId Registry::histogram(std::string_view name,
                 "histogram re-registered with different bounds");
     return {it->second, epoch};
   }
+  MCSS_ENSURE(
+      !impl_->counter_ids.contains(key) && !impl_->gauge_ids.contains(key),
+      "metric name already registered with a different type");
   const auto id = static_cast<std::uint32_t>(impl_->hist_names.size());
   impl_->hist_names.push_back(key);
   impl_->hist_bounds.push_back(std::move(bounds));

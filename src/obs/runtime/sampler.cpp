@@ -1,0 +1,168 @@
+#include "obs/runtime/sampler.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
+#include "obs/export.hpp"
+
+namespace mcss::obs::runtime {
+
+std::int64_t obs_interval_from_env(std::int64_t fallback_ns) {
+  const char* raw = std::getenv("MCSS_OBS_INTERVAL");
+  if (raw == nullptr || *raw == '\0') return fallback_ns;
+  char* end = nullptr;
+  const double ms = std::strtod(raw, &end);
+  if (end == raw || ms <= 0.0) return fallback_ns;
+  return static_cast<std::int64_t>(ms * 1e6);
+}
+
+Sampler::Sampler(SamplerConfig config) : config_(config) {
+  metrics_text_ = "# no sample yet\n";
+  flows_json_ = "{\"sample_seq\":0,\"flows_open\":0}\n";
+}
+
+void Sampler::set_flow_probes(CollectCidsFn collect, ProbeFlowFn probe) {
+  collect_ = std::move(collect);
+  probe_ = std::move(probe);
+}
+
+void Sampler::set_publish(PublishFn publish) { publish_ = std::move(publish); }
+
+void Sampler::poll(std::int64_t now_ns) {
+  if (walking_) {
+    step();
+    if (!walking_ || walk_pos_ >= walk_cids_.size()) finalize(now_ns);
+    return;
+  }
+  if (now_ns >= next_sample_ns_) begin(now_ns);
+}
+
+void Sampler::sample_now(std::int64_t now_ns) {
+  if (!walking_) begin(now_ns);
+  while (walking_ && walk_pos_ < walk_cids_.size()) step();
+  finalize(now_ns);
+}
+
+std::int64_t Sampler::next_due_ns(std::int64_t now_ns) const {
+  if (walking_) return now_ns;
+  return std::max(next_sample_ns_, now_ns);
+}
+
+void Sampler::TopK::offer(std::uint64_t value, const FlowSample& sample,
+                          std::size_t cap) {
+  if (cap == 0) return;
+  // Fast reject against the current minimum: with cap<<flows nearly
+  // every probed flow loses to the full board, and four offers per flow
+  // per sample round make the linear scan below the walk's hot spot.
+  if (entries.size() >= cap) {
+    const auto& last = entries.back();
+    if (value < last.first ||
+        (value == last.first && sample.cid >= last.second.cid)) {
+      return;
+    }
+  }
+  const auto pos = std::find_if(
+      entries.begin(), entries.end(),
+      [&](const auto& e) {
+        return value > e.first ||
+               (value == e.first && sample.cid < e.second.cid);
+      });
+  if (pos == entries.end() && entries.size() >= cap) return;
+  entries.insert(pos, {value, sample});
+  if (entries.size() > cap) entries.pop_back();
+}
+
+void Sampler::begin(std::int64_t now_ns) {
+  walking_ = true;
+  walk_started_ns_ = now_ns;
+  walk_pos_ = 0;
+  walk_cids_.clear();
+  if (collect_) collect_(walk_cids_);
+  by_queue_.entries.clear();
+  by_rto_.entries.clear();
+  by_receiver_mem_.entries.clear();
+  by_exposure_.entries.clear();
+}
+
+void Sampler::step() {
+  const std::size_t stop =
+      std::min(walk_cids_.size(), walk_pos_ + config_.max_flows_per_slice);
+  for (; walk_pos_ < stop; ++walk_pos_) {
+    FlowSample sample;
+    if (!probe_ || !probe_(walk_cids_[walk_pos_], sample)) continue;
+    by_queue_.offer(sample.queued_packets, sample, config_.top_k);
+    by_rto_.offer(static_cast<std::uint64_t>(std::max<std::int64_t>(
+                      sample.rto_ns, 0)),
+                  sample, config_.top_k);
+    by_receiver_mem_.offer(sample.receiver_bytes, sample, config_.top_k);
+    by_exposure_.offer(
+        static_cast<std::uint64_t>(std::max(sample.exposure_width, 0)),
+        sample, config_.top_k);
+  }
+}
+
+void Sampler::append_flow_array(std::string& out, const TopK& top,
+                                std::string_view key) {
+  out += '"';
+  out += key;
+  out += "\":[";
+  bool first = true;
+  for (const auto& [value, s] : top.entries) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"cid\":";
+    out += std::to_string(s.cid);
+    out += ",\"queued\":";
+    out += std::to_string(s.queued_packets);
+    out += ",\"outstanding\":";
+    out += std::to_string(s.outstanding);
+    out += ",\"rto_ms\":";
+    out += std::to_string(static_cast<double>(s.rto_ns) / 1e6);
+    out += ",\"retransmits\":";
+    out += std::to_string(s.retransmits);
+    out += ",\"receiver_bytes\":";
+    out += std::to_string(s.receiver_bytes);
+    out += ",\"exposure_width\":";
+    out += std::to_string(s.exposure_width);
+    out += ",\"sent\":";
+    out += std::to_string(s.packets_sent);
+    out += ",\"delivered\":";
+    out += std::to_string(s.packets_delivered);
+    out += '}';
+  }
+  out += ']';
+}
+
+void Sampler::finalize(std::int64_t now_ns) {
+  walking_ = false;
+  flows_open_ = walk_cids_.size();
+  ++sample_seq_;
+  sample_time_ns_ = now_ns;
+  next_sample_ns_ = walk_started_ns_ + config_.interval_ns;
+  if (next_sample_ns_ <= now_ns) next_sample_ns_ = now_ns + config_.interval_ns;
+
+  if (publish_) publish_(Registry::global());
+  metrics_text_ = prometheus_text(Registry::global().snapshot());
+
+  flows_json_.clear();
+  flows_json_ += "{\"t_ns\":";
+  flows_json_ += std::to_string(sample_time_ns_);
+  flows_json_ += ",\"sample_seq\":";
+  flows_json_ += std::to_string(sample_seq_);
+  flows_json_ += ",\"flows_open\":";
+  flows_json_ += std::to_string(flows_open_);
+  flows_json_ += ",\"top_k\":";
+  flows_json_ += std::to_string(config_.top_k);
+  flows_json_ += ',';
+  append_flow_array(flows_json_, by_queue_, "by_queue_depth");
+  flows_json_ += ',';
+  append_flow_array(flows_json_, by_rto_, "by_rto");
+  flows_json_ += ',';
+  append_flow_array(flows_json_, by_receiver_mem_, "by_receiver_memory");
+  flows_json_ += ',';
+  append_flow_array(flows_json_, by_exposure_, "by_exposure_width");
+  flows_json_ += "}\n";
+}
+
+}  // namespace mcss::obs::runtime

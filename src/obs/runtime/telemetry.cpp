@@ -1,0 +1,88 @@
+#include "obs/runtime/telemetry.hpp"
+
+#include <utility>
+
+#include "obs/metrics.hpp"
+
+namespace mcss::obs::runtime {
+
+namespace {
+
+ScrapeServerConfig server_config(const RuntimeTelemetryConfig& config) {
+  ScrapeServerConfig server = config.server;
+  server.port = config.port;
+  return server;
+}
+
+SamplerConfig sampler_config(const RuntimeTelemetryConfig& config) {
+  SamplerConfig sampler = config.sampler;
+  sampler.interval_ns = obs_interval_from_env(sampler.interval_ns);
+  return sampler;
+}
+
+}  // namespace
+
+void CounterDeltas::add_total(Registry& registry, std::string_view name,
+                              std::uint64_t total) {
+  std::uint64_t& last = last_[std::string(name)];
+  if (total > last) {
+    registry.add(registry.counter(name), total - last);
+  }
+  last = total;
+}
+
+RuntimeTelemetry::RuntimeTelemetry(RuntimeTelemetryConfig config)
+    : config_(std::move(config)),
+      server_(server_config(config_)),
+      sampler_(sampler_config(config_)),
+      privacy_(config_.privacy),
+      health_(config_.health) {
+  if (config_.enable_metrics) set_metrics_enabled(true);
+  server_.route("/metrics", [this](const ScrapeRequest&) {
+    ScrapeResponse response;
+    response.body = sampler_.metrics_text();
+    return response;
+  });
+  server_.route("/flows", [this](const ScrapeRequest&) {
+    ScrapeResponse response;
+    response.content_type = "application/json";
+    response.body = sampler_.flows_json();
+    return response;
+  });
+  // The route handler has no loop clock; the latest sample time is the
+  // freshest timestamp we can report without one.
+  server_.route("/healthz", [this](const ScrapeRequest&) {
+    ScrapeResponse response;
+    response.content_type = "application/json";
+    response.body = healthz_json(sampler_.sample_time_ns());
+    return response;
+  });
+}
+
+std::string RuntimeTelemetry::healthz_json(std::int64_t now_ns) const {
+  std::string out;
+  out += "{\"status\":\"ok\",\"t_ns\":";
+  out += std::to_string(now_ns);
+  out += ",\"sample_seq\":";
+  out += std::to_string(sampler_.sample_seq());
+  out += ",\"sample_age_ns\":";
+  out += std::to_string(now_ns - sampler_.sample_time_ns());
+  out += ",\"flows_open\":";
+  out += std::to_string(sampler_.flows_open());
+  out += ",\"pump_iterations\":";
+  out += std::to_string(health_.pump_iterations());
+  out += ",\"watchdog_stalls\":";
+  out += std::to_string(health_.watchdog_stalls());
+  out += ",\"max_pump_us\":";
+  out += std::to_string(static_cast<double>(health_.max_pump_ns()) / 1e3);
+  out += ",\"privacy_packets\":";
+  out += std::to_string(privacy_.totals().packets_accounted);
+  out += ",\"privacy_degradations\":";
+  out += std::to_string(privacy_.totals().degradations);
+  out += ",\"privacy_z_deficit\":";
+  out += std::to_string(privacy_.deficit());
+  out += "}\n";
+  return out;
+}
+
+}  // namespace mcss::obs::runtime

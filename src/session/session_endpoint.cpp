@@ -118,6 +118,49 @@ SessionEndpoint::SessionEndpoint(SessionConfig config)
     wheel_.schedule_at(now_ns() + config_.reliability.report_interval_ns,
                        [this] { emit_reports(); });
   }
+
+  if (config_.telemetry.enabled) init_telemetry();
+}
+
+void SessionEndpoint::init_telemetry() {
+  obs::runtime::RuntimeTelemetryConfig tcfg = config_.telemetry;
+  if (tcfg.privacy.channel_risks.empty()) {
+    // Uniform adversary prior: z_i = 0.1 per channel. Relative signals
+    // (widening, degradations) are meaningful under any positive prior;
+    // scenarios with real per-channel compromise probabilities override.
+    tcfg.privacy.channel_risks.assign(channels_.size(), 0.1);
+  }
+  telemetry_ = std::make_unique<obs::runtime::RuntimeTelemetry>(tcfg);
+  telemetry_->server().set_fd_hooks(
+      [this](int fd, bool r, bool w) { poller_.add(fd, r, w); },
+      [this](int fd, bool r, bool w) { poller_.modify(fd, r, w); },
+      [this](int fd) { poller_.remove(fd); });
+  telemetry_->sampler().set_flow_probes(
+      [this](std::vector<std::uint32_t>& out) {
+        out.clear();
+        out.reserve(flows_.size());
+        for (const auto& [cid, flow] : flows_) {
+          (void)flow;
+          out.push_back(cid);
+        }
+      },
+      [this](std::uint32_t cid, obs::runtime::FlowSample& out) {
+        return probe_flow(cid, out);
+      });
+  telemetry_->sampler().set_publish(
+      [this](obs::Registry& registry) { publish_runtime_metrics(registry); });
+  arm_sampler_timer();
+}
+
+void SessionEndpoint::arm_sampler_timer() {
+  // The timer never does sampler work itself — run_for polls the
+  // sampler every iteration. It exists to bound the poller sleep so an
+  // idle endpoint still wakes to take (and finish) samples on time.
+  const std::int64_t now = now_ns();
+  const std::int64_t due = telemetry_->sampler().sampling()
+                               ? now + 1'000'000
+                               : telemetry_->sampler().next_due_ns(now);
+  wheel_.schedule_at(std::max(due, now + 1), [this] { arm_sampler_timer(); });
 }
 
 SessionEndpoint::~SessionEndpoint() = default;
@@ -184,8 +227,14 @@ std::optional<std::uint32_t> SessionEndpoint::open_flow(
   admitted_bytes_per_s_ += price;
   ++stats_.flows_opened;
   flows_.emplace(cid, std::move(flow));
-  setup_latency_.add(
-      static_cast<double>(transport::monotonic_ns() - t0) / 1e9);
+  const std::int64_t setup_ns = transport::monotonic_ns() - t0;
+  setup_latency_.add(static_cast<double>(setup_ns) / 1e9);
+  if (obs::metrics_enabled()) {
+    obs::Registry& registry = obs::Registry::global();
+    static const obs::HistogramId open_id = registry.histogram(
+        "mcss_session_open_flow_us", obs::exp_bounds(1.0, 2.0, 16));
+    registry.observe(open_id, static_cast<double>(setup_ns) / 1e3);
+  }
   return cid;
 }
 
@@ -200,6 +249,7 @@ bool SessionEndpoint::close_flow(std::uint32_t cid) {
     wheel_.cancel(flow.rto_timer);
     flow.rto_timer = transport::TimerWheel::kNoTimer;
   }
+  fold_closed(flow);
   unlink_ready(flow);
   unlink_report(flow);
   admitted_bytes_per_s_ =
@@ -508,6 +558,7 @@ void SessionEndpoint::arm_rto(Flow& flow, std::int64_t now) {
     f.rto_timer = transport::TimerWheel::kNoTimer;
     const std::int64_t fire_now = now_ns();
     f.manager->advance(fire_now);
+    fold_closed(f);
     arm_rto(f, fire_now);
   });
 }
@@ -548,7 +599,14 @@ void SessionEndpoint::on_delivered(std::uint32_t cid, std::uint64_t id,
   Flow& flow = *it->second;
   const auto sent = flow.sent_at_ns.find(id);
   if (sent != flow.sent_at_ns.end()) {
-    delay_.add(net::to_seconds(now_ns() - sent->second));
+    const double delay_s = net::to_seconds(now_ns() - sent->second);
+    delay_.add(delay_s);
+    if (obs::metrics_enabled()) {
+      obs::Registry& registry = obs::Registry::global();
+      static const obs::HistogramId delay_id = registry.histogram(
+          "mcss_session_e2e_delay_seconds", obs::exp_bounds(1e-4, 2.0, 20));
+      registry.observe(delay_id, delay_s);
+    }
     flow.sent_at_ns.erase(sent);
   }
   ++stats_.packets_delivered;
@@ -636,6 +694,7 @@ void SessionEndpoint::on_feedback_datagram(
     // its generations never supersede) another flow's packet ids.
     flow.manager->on_report(*report, now);
     ++stats_.reports_demuxed;
+    fold_closed(flow);
     arm_rto(flow, now);
   }
 }
@@ -683,12 +742,27 @@ void SessionEndpoint::run_for(std::int64_t wall_ns) {
     for (const auto& ch : channels_) ch->flush(now);
     if (feedback_ch_) feedback_ch_->flush(now);
     update_write_interest();
+    if (telemetry_) {
+      telemetry_->poll(now_ns());
+      telemetry_->health().on_pump(now_ns() - now);
+    }
     if (now >= deadline) break;
 
-    poller_.wait(poll_timeout_ms(now, deadline), events_);
+    const int timeout_ms = poll_timeout_ms(now, deadline);
+    const std::int64_t wait_start = telemetry_ ? now_ns() : 0;
+    poller_.wait(timeout_ms, events_);
+    if (telemetry_) {
+      telemetry_->health().on_wait(timeout_ms, now_ns() - wait_start);
+    }
     for (const transport::Poller::Event& ev : events_) {
       const auto it = fd_to_channel_.find(ev.fd);
-      if (it == fd_to_channel_.end()) continue;
+      if (it == fd_to_channel_.end()) {
+        if (telemetry_) {
+          telemetry_->on_poller_event(ev.fd, ev.readable || ev.error,
+                                      ev.writable || ev.error);
+        }
+        continue;
+      }
       transport::UdpChannel& ch = it->second < channels_.size()
                                       ? *channels_[it->second]
                                       : *feedback_ch_;
@@ -724,9 +798,76 @@ const proto::SenderStats* SessionEndpoint::flow_sender_stats(
   return it != flows_.end() ? &it->second->sender_stats : nullptr;
 }
 
-void SessionEndpoint::publish_metrics(obs::Registry& registry) const {
+void SessionEndpoint::fold_closed(Flow& flow) {
+  if (!telemetry_ || !flow.manager) return;
+  const auto closed = flow.manager->drain_closed();
+  if (closed.empty()) return;
+  closed_scratch_.clear();
+  closed_scratch_.reserve(closed.size());
+  for (const feedback::ClosedPacket& packet : closed) {
+    closed_scratch_.push_back({packet.k, packet.initial_mask,
+                               packet.exposure_mask, packet.retransmits,
+                               packet.acked});
+  }
+  telemetry_->privacy().on_closed(closed_scratch_);
+}
+
+bool SessionEndpoint::probe_flow(std::uint32_t cid,
+                                 obs::runtime::FlowSample& out) const {
+  const auto it = flows_.find(cid);
+  if (it == flows_.end()) return false;  // closed since collection
+  const Flow& flow = *it->second;
+  out.cid = cid;
+  out.queued_packets = flow.queue.size();
+  out.receiver_bytes = flow.receiver.buffered_bytes();
+  out.packets_sent = flow.sender_stats.packets_sent;
+  out.packets_delivered = flow.receiver.stats().packets_delivered;
+  if (flow.manager) {
+    out.outstanding = flow.manager->outstanding();
+    out.rto_ns = flow.manager->current_rto_ns();
+    out.retransmits = flow.manager->stats().retransmits;
+    out.exposure_width = flow.manager->widest_exposure();
+  }
+  return true;
+}
+
+void SessionEndpoint::publish_runtime_metrics(obs::Registry& registry) const {
+  // O(1) in flows: session-level counters as deltas plus cheap gauges.
+  // The O(flows) per-flow aggregation stays in publish_metrics (the
+  // end-of-run hook) — a 250 ms sampler must not walk 100k flows twice.
   const auto add = [&](std::string_view name, std::uint64_t value) {
-    registry.add(registry.counter(name), value);
+    counter_deltas_.add_total(registry, name, value);
+  };
+  add("mcss_session_flows_opened", stats_.flows_opened);
+  add("mcss_session_flows_closed", stats_.flows_closed);
+  add("mcss_session_packets_sent", stats_.packets_sent);
+  add("mcss_session_packets_delivered", stats_.packets_delivered);
+  add("mcss_session_queue_rejects", stats_.queue_rejects);
+  add("mcss_session_reports_sent", stats_.reports_sent);
+  add("mcss_session_reports_demuxed", stats_.reports_demuxed);
+  add("mcss_session_pool_defers", stats_.pool_defers);
+  add("mcss_session_schedule_defers", stats_.schedule_defers);
+  registry.set(registry.gauge("mcss_session_flows_open"),
+               static_cast<double>(flows_.size()));
+  registry.set(registry.gauge("mcss_session_admitted_bytes_per_s"),
+               admitted_bytes_per_s_);
+  registry.set(registry.gauge("mcss_session_budget_bytes_per_s"),
+               budget_bytes_per_s_);
+  if (telemetry_) {
+    telemetry_->health().set_pool_occupancy(pool_->in_use(),
+                                            pool_->capacity());
+    // Fold batches skip the gauge stores (too hot); refresh them here
+    // at sample cadence instead.
+    telemetry_->privacy().publish_gauges();
+  }
+}
+
+void SessionEndpoint::publish_metrics(obs::Registry& registry) const {
+  // Delta-tracked adds: when the periodic sampler already published
+  // these series mid-run, only the remainder lands here and the
+  // registry converges to the exact totals.
+  const auto add = [&](std::string_view name, std::uint64_t value) {
+    counter_deltas_.add_total(registry, name, value);
   };
   add("mcss_session_flows_opened", stats_.flows_opened);
   add("mcss_session_flows_closed", stats_.flows_closed);

@@ -67,6 +67,7 @@
 #include "feedback/report_builder.hpp"
 #include "feedback/retransmit.hpp"
 #include "net/simulator.hpp"
+#include "obs/runtime/telemetry.hpp"
 #include "protocol/receiver.hpp"
 #include "protocol/scheduler.hpp"
 #include "protocol/sender.hpp"
@@ -137,6 +138,12 @@ struct SessionConfig {
   /// FramePool sizing, 0 = auto (as LiveConfig, plus slack for partials).
   std::size_t pool_slots = 0;
   std::size_t pool_slot_bytes = 0;
+  /// Runtime telemetry plane (scrape server + sampler + privacy
+  /// accounting + loop health); off by default. When
+  /// telemetry.privacy.channel_risks is empty the endpoint fills a
+  /// uniform 0.1 prior per channel (scenarios that know their real
+  /// per-channel compromise probabilities should set them).
+  obs::runtime::RuntimeTelemetryConfig telemetry;
 };
 
 struct SessionStats {
@@ -249,8 +256,15 @@ class SessionEndpoint {
       std::uint32_t cid) const;
 
   /// Publish session, per-channel, pool, and aggregated per-flow
-  /// counters into the registry (end-of-run hook).
+  /// counters into the registry (end-of-run hook). Session-level
+  /// counters go through the same delta tracker the periodic sampler
+  /// uses, so totals stay exact whether or not sampling ran.
   void publish_metrics(obs::Registry& registry) const;
+
+  /// The runtime telemetry plane; null unless config.telemetry.enabled.
+  [[nodiscard]] obs::runtime::RuntimeTelemetry* telemetry() noexcept {
+    return telemetry_.get();
+  }
 
  private:
   struct Flow {
@@ -319,6 +333,20 @@ class SessionEndpoint {
   void push_report(Flow& flow);
   void unlink_report(Flow& flow);
 
+  void init_telemetry();
+  /// Wake-up timer so an idle poller still advances the sampler; 1 ms
+  /// cadence while a sliced flow walk is in progress, the sample
+  /// interval otherwise.
+  void arm_sampler_timer();
+  /// Drain the flow's closed-packet records into the privacy
+  /// accountant (call after any event that can close packets).
+  void fold_closed(Flow& flow);
+  [[nodiscard]] bool probe_flow(std::uint32_t cid,
+                                obs::runtime::FlowSample& out) const;
+  /// Session-level counters as deltas + cheap gauges; the periodic
+  /// sampler's publish hook (O(1) in flows).
+  void publish_runtime_metrics(obs::Registry& registry) const;
+
   SessionConfig config_;
   std::int64_t epoch_ns_;
   transport::Poller poller_;
@@ -350,6 +378,12 @@ class SessionEndpoint {
   Flow* ready_tail_ = nullptr;
   Flow* report_head_ = nullptr;
   Flow* report_tail_ = nullptr;
+
+  std::unique_ptr<obs::runtime::RuntimeTelemetry> telemetry_;
+  /// Last totals published per counter series (publish_metrics is
+  /// logically const; the tracker is bookkeeping, not state).
+  mutable obs::runtime::CounterDeltas counter_deltas_;
+  std::vector<obs::runtime::ExposureRecord> closed_scratch_;
 
   std::vector<transport::Poller::Event> events_;
   std::vector<proto::ChannelView> view_scratch_;

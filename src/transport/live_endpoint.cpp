@@ -165,6 +165,7 @@ LiveEndpoint::LiveEndpoint(LiveConfig config)
                                    config_.reliability.report_auth_key
                                        ? &*config_.reliability.report_auth_key
                                        : nullptr);
+      fold_closed();
     });
     poller_.add(feedback_ch_->rx_fd(), /*want_read=*/true,
                 /*want_write=*/false);
@@ -178,6 +179,73 @@ LiveEndpoint::LiveEndpoint(LiveConfig config)
     wheel_.schedule_at(now_ns() + config_.reliability.report_interval_ns,
                        [this] { emit_report(); });
   }
+
+  if (config_.telemetry.enabled) init_telemetry();
+}
+
+void LiveEndpoint::init_telemetry() {
+  obs::runtime::RuntimeTelemetryConfig tcfg = config_.telemetry;
+  if (tcfg.privacy.channel_risks.empty()) {
+    // Uniform adversary prior (see SessionEndpoint::init_telemetry).
+    tcfg.privacy.channel_risks.assign(channels_.size(), 0.1);
+  }
+  telemetry_ = std::make_unique<obs::runtime::RuntimeTelemetry>(tcfg);
+  telemetry_->server().set_fd_hooks(
+      [this](int fd, bool r, bool w) { poller_.add(fd, r, w); },
+      [this](int fd, bool r, bool w) { poller_.modify(fd, r, w); },
+      [this](int fd) { poller_.remove(fd); });
+  // The single protocol pipeline shows up in /flows as pseudo-flow 0.
+  telemetry_->sampler().set_flow_probes(
+      [](std::vector<std::uint32_t>& out) {
+        out.clear();
+        out.push_back(0);
+      },
+      [this](std::uint32_t cid, obs::runtime::FlowSample& out) {
+        out.cid = cid;
+        out.queued_packets = queue_.size();
+        out.receiver_bytes = receiver_.buffered_bytes();
+        out.packets_sent = sender_stats_.packets_sent;
+        out.packets_delivered = receiver_.stats().packets_delivered;
+        if (manager_) {
+          out.outstanding = manager_->outstanding();
+          out.rto_ns = manager_->current_rto_ns();
+          out.retransmits = manager_->stats().retransmits;
+          out.exposure_width = manager_->widest_exposure();
+        }
+        return true;
+      });
+  telemetry_->sampler().set_publish([this](obs::Registry& registry) {
+    registry.set(registry.gauge("mcss_live_queued_packets"),
+                 static_cast<double>(queue_.size()));
+    telemetry_->health().set_pool_occupancy(pool_->in_use(),
+                                            pool_->capacity());
+    telemetry_->privacy().publish_gauges();
+  });
+  arm_sampler_timer();
+}
+
+void LiveEndpoint::arm_sampler_timer() {
+  // Wake-up only — run_for polls the sampler each iteration (see
+  // SessionEndpoint::arm_sampler_timer for the cadence rationale).
+  const std::int64_t now = now_ns();
+  const std::int64_t due = telemetry_->sampler().sampling()
+                               ? now + 1'000'000
+                               : telemetry_->sampler().next_due_ns(now);
+  wheel_.schedule_at(std::max(due, now + 1), [this] { arm_sampler_timer(); });
+}
+
+void LiveEndpoint::fold_closed() {
+  if (!telemetry_ || !manager_) return;
+  const auto closed = manager_->drain_closed();
+  if (closed.empty()) return;
+  closed_scratch_.clear();
+  closed_scratch_.reserve(closed.size());
+  for (const feedback::ClosedPacket& packet : closed) {
+    closed_scratch_.push_back({packet.k, packet.initial_mask,
+                               packet.exposure_mask, packet.retransmits,
+                               packet.acked});
+  }
+  telemetry_->privacy().on_closed(closed_scratch_);
 }
 
 std::int64_t LiveEndpoint::now_ns() const {
@@ -401,7 +469,10 @@ void LiveEndpoint::run_for(std::int64_t wall_ns) {
     const std::int64_t now = now_ns();
     sync_timeline(now);
     wheel_.advance(now);
-    if (manager_) manager_->advance(now);
+    if (manager_) {
+      manager_->advance(now);
+      fold_closed();
+    }
     pump(now);
     // One flush per pump iteration: everything the wheel advance just
     // released (plus anything the transparent fast path handed over
@@ -409,6 +480,10 @@ void LiveEndpoint::run_for(std::int64_t wall_ns) {
     for (const auto& ch : channels_) ch->flush(now);
     if (feedback_ch_) feedback_ch_->flush(now);
     update_write_interest();
+    if (telemetry_) {
+      telemetry_->poll(now_ns());
+      telemetry_->health().on_pump(now_ns() - now);
+    }
     if (now >= deadline) break;
 
     // RTO deadlines bound the sleep alongside the wheel and the wall
@@ -419,10 +494,21 @@ void LiveEndpoint::run_for(std::int64_t wall_ns) {
         wake = std::min(wake, *rto);
       }
     }
-    poller_.wait(poll_timeout_ms(now, wake), events_);
+    const int timeout_ms = poll_timeout_ms(now, wake);
+    const std::int64_t wait_start = telemetry_ ? now_ns() : 0;
+    poller_.wait(timeout_ms, events_);
+    if (telemetry_) {
+      telemetry_->health().on_wait(timeout_ms, now_ns() - wait_start);
+    }
     for (const Poller::Event& ev : events_) {
       const auto it = fd_to_channel_.find(ev.fd);
-      if (it == fd_to_channel_.end()) continue;
+      if (it == fd_to_channel_.end()) {
+        if (telemetry_) {
+          telemetry_->on_poller_event(ev.fd, ev.readable || ev.error,
+                                      ev.writable || ev.error);
+        }
+        continue;
+      }
       UdpChannel& ch = it->second < channels_.size()
                            ? *channels_[it->second]
                            : *feedback_ch_;

@@ -38,6 +38,7 @@
 #include "feedback/report_builder.hpp"
 #include "feedback/retransmit.hpp"
 #include "net/simulator.hpp"
+#include "obs/runtime/telemetry.hpp"
 #include "protocol/receiver.hpp"
 #include "protocol/scheduler.hpp"
 #include "protocol/sender.hpp"
@@ -116,6 +117,10 @@ struct LiveConfig {
   /// sending payloads beyond the defaults.
   std::size_t pool_slots = 0;
   std::size_t pool_slot_bytes = 0;
+  /// Runtime telemetry plane (scrape server + sampler + privacy
+  /// accounting + loop health); off by default. The single protocol
+  /// pipeline appears in /flows as pseudo-flow cid 0.
+  obs::runtime::RuntimeTelemetryConfig telemetry;
 };
 
 /// MCSS_LIVE_PORT_BASE as uint16, or `fallback` when unset/unparsable.
@@ -182,7 +187,16 @@ class LiveEndpoint {
   /// counters into the registry (end-of-run hook).
   void publish_metrics(obs::Registry& registry) const;
 
+  /// The runtime telemetry plane; null unless config.telemetry.enabled.
+  [[nodiscard]] obs::runtime::RuntimeTelemetry* telemetry() noexcept {
+    return telemetry_.get();
+  }
+
  private:
+  void init_telemetry();
+  void arm_sampler_timer();
+  /// Drain closed-packet exposure records into the privacy accountant.
+  void fold_closed();
   void pump(std::int64_t now);
   void dispatch(std::vector<std::uint8_t> payload,
                 const proto::ShareDecision& decision, std::int64_t now);
@@ -243,6 +257,9 @@ class LiveEndpoint {
   /// arena lacked headroom for a full share fan-out (backpressure, not
   /// loss — the packet stays queued).
   std::uint64_t pool_defers_ = 0;
+
+  std::unique_ptr<obs::runtime::RuntimeTelemetry> telemetry_;
+  std::vector<obs::runtime::ExposureRecord> closed_scratch_;
 
   /// Steady-state dispatch scratch, sized once: the per-pump scheduler
   /// view, the per-packet slot handles and payload windows of the

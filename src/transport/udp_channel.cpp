@@ -14,26 +14,32 @@ namespace mcss::transport {
 
 namespace {
 
+// These ids sit on per-frame / per-syscall paths, so they are resolved
+// once and cached (function-local static, the hot-path convention): a
+// registry lookup per datagram burst costs a mutex and two allocations
+// at rates where that is measurable. Callers gate on metrics_enabled();
+// after a Registry::reset() the cached ids are inert no-ops by design.
+
 /// Wall-clock time a released frame waited in the pending ring before
-/// the kernel took it. Invalid while metrics are disabled.
+/// the kernel took it.
 obs::HistogramId tx_queue_wait_hist() {
-  if (!obs::metrics_enabled()) return {};
-  return obs::Registry::global().histogram(
+  static const obs::HistogramId id = obs::Registry::global().histogram(
       "mcss_transport_tx_queue_wait_seconds", obs::exp_bounds(1e-7, 4.0, 20));
+  return id;
 }
 
 /// Datagrams moved per sendmmsg/recvmmsg that moved any — the batching
 /// efficiency distribution (1 = the syscall carried a single datagram).
 obs::HistogramId send_batch_hist() {
-  if (!obs::metrics_enabled()) return {};
-  return obs::Registry::global().histogram(
+  static const obs::HistogramId id = obs::Registry::global().histogram(
       "mcss_transport_send_batch_datagrams", obs::exp_bounds(1.0, 2.0, 8));
+  return id;
 }
 
 obs::HistogramId recv_batch_hist() {
-  if (!obs::metrics_enabled()) return {};
-  return obs::Registry::global().histogram(
+  static const obs::HistogramId id = obs::Registry::global().histogram(
       "mcss_transport_recv_batch_datagrams", obs::exp_bounds(1.0, 2.0, 8));
+  return id;
 }
 
 }  // namespace

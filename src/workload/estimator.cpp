@@ -69,9 +69,15 @@ ChannelEstimate measure_channel(const net::ChannelConfig& config,
     const auto drain = [&] {
       const feedback::ReceiverReport report = builder.build(sim.now());
       for (const feedback::DelaySample& sample : report.delays) {
+        const auto send_ns = static_cast<std::int64_t>(sample.packet_id);
+        if (sample.recv_time_ns < send_ns) {
+          // Impossible under the simulator's single clock; count rather
+          // than let the zero-clamp drag the mean down.
+          ++estimate.delay_samples_clamped;
+          continue;
+        }
         delay.add(feedback::one_way_delay_seconds(
-            static_cast<std::int64_t>(sample.packet_id),
-            sample.recv_time_ns, serialization));
+            send_ns, sample.recv_time_ns, serialization));
       }
     };
     channel.set_receiver([&](std::vector<std::uint8_t> frame) {

@@ -28,6 +28,9 @@ struct ChannelEstimate {
   double rate_pps = 0.0;  ///< measured capacity, frames per second
   std::uint64_t probes_sent = 0;
   std::uint64_t probes_received = 0;
+  /// Probe samples whose delivery stamp preceded the send stamp —
+  /// impossible under one clock, so excluded from delay_s and counted.
+  std::uint64_t delay_samples_clamped = 0;
 };
 
 struct ProbeConfig {
