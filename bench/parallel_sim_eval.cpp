@@ -1,0 +1,262 @@
+// parallel_sim_eval: the partitioned logical-process engine at scale.
+//
+// Three phases over workload::run_multiflow (flows pinned to per-LP
+// channel sets, cross-LP planner control loop riding the conservative
+// lookahead path):
+//
+//   determinism  the same population at MCSS_THREADS = 1, 2, 8 must
+//                produce bitwise-identical result fingerprints (the
+//                (time, seq) merge guarantee). HARD GATE: exit 1 on any
+//                mismatch, whatever the host.
+//   thread sweep wall-clock for one fixed population across thread
+//                counts. The speedup bar is conditional on the host
+//                (same policy as run_bench_sweeps.sh): >= 2.0x at 8
+//                threads on hosts with >= 8 cores, >= 1.3x at 4 on
+//                >= 4 cores, informational below that — single-core CI
+//                still verifies determinism.
+//   LP sweep +   windows / events / cross-events as the partition count
+//   large point  grows, then one large population (default 1,000,000
+//                flows; MCSS_PSIM_FLOWS or --large-flows overrides for
+//                constrained hosts) run at the full host width.
+//
+//   parallel_sim_eval [--flows N] [--large-flows N] [--out FILE]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "runtime/thread_pool.hpp"
+#include "workload/multiflow.hpp"
+
+namespace {
+
+using namespace mcss;
+
+workload::MultiflowConfig population(std::uint64_t flows, std::uint32_t lps) {
+  workload::MultiflowConfig config;
+  config.num_lps = lps;
+  config.total_flows = flows;
+  config.max_active_per_lp = 48;
+  config.offered_bps = 1e6;
+  config.packet_bytes = 64;
+  config.flow_duration_s = 0.004;
+  // Arrivals paced so the steady-state active population stays near the
+  // concurrency bound regardless of total flow count.
+  config.arrival_window_s =
+      static_cast<double>(flows) * config.flow_duration_s /
+      (static_cast<double>(lps) * config.max_active_per_lp) * 1.5;
+  config.control_period_s = 0.05;
+  config.seed = 42;
+  return config;
+}
+
+struct Timed {
+  workload::MultiflowResult result;
+  double wall_s = 0.0;
+};
+
+Timed run_timed(const workload::MultiflowConfig& config, unsigned threads) {
+  runtime::set_threads(threads);
+  const auto start = std::chrono::steady_clock::now();
+  Timed t;
+  t.result = workload::run_multiflow(config);
+  t.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           start)
+                 .count();
+  return t;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t flows = 4000;
+  std::uint64_t large_flows = 1'000'000;
+  std::string out_path;
+  if (const char* env = std::getenv("MCSS_PSIM_FLOWS")) {
+    large_flows = std::strtoull(env, nullptr, 10);
+  }
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (arg == "--flows") {
+      flows = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--large-flows") {
+      large_flows = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--out") {
+      out_path = next();
+    } else {
+      std::fprintf(stderr,
+                   "usage: parallel_sim_eval [--flows N] [--large-flows N] "
+                   "[--out FILE]\n");
+      return 2;
+    }
+  }
+
+  const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+  std::printf("parallel_sim_eval: host has %u cores\n", cores);
+  bool failed = false;
+
+  // --- determinism gate ----------------------------------------------
+  std::printf("\n== determinism: MCSS_THREADS in {1, 2, 8}, 8 LPs ==\n");
+  const auto det_config = population(std::min<std::uint64_t>(flows, 1200), 8);
+  std::uint64_t det_fingerprint = 0;
+  bool det_ok = true;
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    const auto point = run_timed(det_config, threads);
+    const std::uint64_t fp = point.result.fingerprint();
+    std::printf("  threads=%u  fingerprint=%016llx  flows=%llu  %.3fs\n",
+                threads, static_cast<unsigned long long>(fp),
+                static_cast<unsigned long long>(point.result.flows_completed),
+                point.wall_s);
+    if (threads == 1u) {
+      det_fingerprint = fp;
+    } else if (fp != det_fingerprint) {
+      det_ok = false;
+    }
+  }
+  if (det_ok) {
+    std::printf("  OK: bitwise identical across thread counts\n");
+  } else {
+    std::printf("  FAIL: fingerprints differ across thread counts\n");
+    failed = true;
+  }
+
+  // --- thread sweep ---------------------------------------------------
+  std::printf("\n== thread sweep: %llu flows, 8 LPs ==\n",
+              static_cast<unsigned long long>(flows));
+  const auto sweep_config = population(flows, 8);
+  double seq_s = 0.0;
+  double best_speedup = 0.0;
+  std::string thread_rows;
+  for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+    const auto point = run_timed(sweep_config, threads);
+    if (threads == 1u) seq_s = point.wall_s;
+    const double speedup = point.wall_s > 0.0 ? seq_s / point.wall_s : 0.0;
+    best_speedup = std::max(best_speedup, speedup);
+    std::printf("  threads=%u  %.3fs  speedup=%.2fx  windows=%llu\n", threads,
+                point.wall_s, speedup,
+                static_cast<unsigned long long>(point.result.partition.windows));
+    if (!thread_rows.empty()) thread_rows += ",";
+    thread_rows += obs::JsonRow()
+                       .field("threads", static_cast<std::uint64_t>(threads))
+                       .field("wall_s", point.wall_s)
+                       .field("speedup", speedup)
+                       .str();
+  }
+  if (cores >= 8) {
+    if (best_speedup < 2.0) {
+      std::printf("  FAIL: best speedup %.2fx < 2.0x on a %u-core host\n",
+                  best_speedup, cores);
+      failed = true;
+    } else {
+      std::printf("  OK: best speedup %.2fx (bar: 2.0x at >= 8 cores)\n",
+                  best_speedup);
+    }
+  } else if (cores >= 4) {
+    if (best_speedup < 1.3) {
+      std::printf("  FAIL: best speedup %.2fx < 1.3x on a %u-core host\n",
+                  best_speedup, cores);
+      failed = true;
+    } else {
+      std::printf("  OK: best speedup %.2fx (bar: 1.3x at >= 4 cores)\n",
+                  best_speedup);
+    }
+  } else {
+    std::printf("  note: %u-core host, speedup informational only\n", cores);
+  }
+
+  // --- LP-count sweep -------------------------------------------------
+  std::printf("\n== LP sweep: %llu flows, host-width threads ==\n",
+              static_cast<unsigned long long>(flows));
+  std::string lp_rows;
+  for (const std::uint32_t lps : {1u, 2u, 4u, 8u, 16u}) {
+    const auto point = run_timed(population(flows, lps), cores);
+    const auto& p = point.result.partition;
+    std::printf(
+        "  lps=%-2u  %.3fs  windows=%-8llu events=%-10llu cross=%-7llu "
+        "fingerprint=%016llx\n",
+        lps, point.wall_s, static_cast<unsigned long long>(p.windows),
+        static_cast<unsigned long long>(p.events_processed),
+        static_cast<unsigned long long>(p.cross_events),
+        static_cast<unsigned long long>(point.result.fingerprint()));
+    if (point.result.flows_completed != flows) {
+      std::printf("  FAIL: only %llu/%llu flows completed at lps=%u\n",
+                  static_cast<unsigned long long>(point.result.flows_completed),
+                  static_cast<unsigned long long>(flows), lps);
+      failed = true;
+    }
+    if (!lp_rows.empty()) lp_rows += ",";
+    lp_rows += obs::JsonRow()
+                   .field("lps", static_cast<std::uint64_t>(lps))
+                   .field("wall_s", point.wall_s)
+                   .field("windows", p.windows)
+                   .field("events", p.events_processed)
+                   .field("cross_events", p.cross_events)
+                   .str();
+  }
+
+  // --- large point ----------------------------------------------------
+  std::printf("\n== large point: %llu flows, 8 LPs, %u threads ==\n",
+              static_cast<unsigned long long>(large_flows), cores);
+  const auto large = run_timed(population(large_flows, 8), cores);
+  const double events_per_sec =
+      large.wall_s > 0.0
+          ? static_cast<double>(large.result.partition.events_processed) /
+                large.wall_s
+          : 0.0;
+  std::printf(
+      "  %.3fs  flows=%llu  events=%llu (%.2fM events/s)  cross=%llu  "
+      "control_rounds=%llu\n",
+      large.wall_s,
+      static_cast<unsigned long long>(large.result.flows_completed),
+      static_cast<unsigned long long>(large.result.partition.events_processed),
+      events_per_sec / 1e6,
+      static_cast<unsigned long long>(large.result.partition.cross_events),
+      static_cast<unsigned long long>(large.result.control_rounds));
+  if (large.result.flows_completed != large_flows) {
+    std::printf("  FAIL: large point incomplete\n");
+    failed = true;
+  }
+
+  if (!out_path.empty()) {
+    std::string doc = obs::JsonRow()
+                          .field("bench", "parallel_sim_eval")
+                          .field("host_cores", static_cast<std::uint64_t>(cores))
+                          .field("flows", flows)
+                          .field("deterministic", det_ok)
+                          .field("determinism_fingerprint", det_fingerprint)
+                          .field("best_speedup", best_speedup)
+                          .field_raw("thread_sweep", "[" + thread_rows + "]")
+                          .field_raw("lp_sweep", "[" + lp_rows + "]")
+                          .field_raw("large_point",
+                                     obs::JsonRow()
+                                         .field("flows", large_flows)
+                                         .field("wall_s", large.wall_s)
+                                         .field("events",
+                                                large.result.partition
+                                                    .events_processed)
+                                         .field("events_per_sec", events_per_sec)
+                                         .field("fingerprint",
+                                                large.result.fingerprint())
+                                         .str())
+                          .str();
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    std::fputs(doc.c_str(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("\nwrote %s\n", out_path.c_str());
+  }
+
+  std::printf("\n%s\n", failed ? "FAILED" : "PASSED");
+  return failed ? 1 : 0;
+}

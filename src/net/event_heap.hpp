@@ -1,0 +1,93 @@
+// Extractable event store for the discrete-event simulator.
+//
+// A binary min-heap keyed by (time, sequence number). Unlike
+// std::priority_queue — whose const top() forced the old
+// `std::move(const_cast<Event&>(queue_.top()))` pattern, undefined
+// behavior that _GLIBCXX_DEBUG rejects — pop() extracts the minimum
+// element BY VALUE: the element is moved out of the backing vector
+// before the heap is re-established, so no const object is ever
+// mutated. Shared by the sequential net::Simulator and every logical
+// process of net::psim::PartitionedSimulator.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "net/sim_time.hpp"
+
+namespace mcss::net {
+
+/// One scheduled callback. Events at equal times fire in scheduling
+/// (sequence-number) order, which keeps runs bit-reproducible.
+struct Event {
+  SimTime time = 0;
+  std::uint64_t seq = 0;
+  std::function<void()> fn;
+};
+
+class EventHeap {
+ public:
+  [[nodiscard]] bool empty() const noexcept { return slots_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return slots_.size(); }
+
+  /// Timestamp of the earliest event. Precondition: !empty().
+  [[nodiscard]] SimTime min_time() const noexcept {
+    return slots_.front().time;
+  }
+
+  void reserve(std::size_t n) { slots_.reserve(n); }
+  void clear() noexcept { slots_.clear(); }
+
+  void push(Event e) {
+    slots_.push_back(std::move(e));
+    sift_up(slots_.size() - 1);
+  }
+
+  /// Extract the (time, seq)-minimum event. Precondition: !empty().
+  [[nodiscard]] Event pop() {
+    Event out = std::move(slots_.front());
+    if (slots_.size() > 1) {
+      slots_.front() = std::move(slots_.back());
+      slots_.pop_back();
+      sift_down(0);
+    } else {
+      slots_.pop_back();
+    }
+    return out;
+  }
+
+ private:
+  [[nodiscard]] static bool before(const Event& a, const Event& b) noexcept {
+    return a.time != b.time ? a.time < b.time : a.seq < b.seq;
+  }
+
+  void sift_up(std::size_t i) {
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!before(slots_[i], slots_[parent])) break;
+      std::swap(slots_[i], slots_[parent]);
+      i = parent;
+    }
+  }
+
+  void sift_down(std::size_t i) {
+    const std::size_t n = slots_.size();
+    for (;;) {
+      const std::size_t left = 2 * i + 1;
+      if (left >= n) break;
+      const std::size_t right = left + 1;
+      std::size_t smallest = left;
+      if (right < n && before(slots_[right], slots_[left])) smallest = right;
+      if (!before(slots_[smallest], slots_[i])) break;
+      std::swap(slots_[i], slots_[smallest]);
+      i = smallest;
+    }
+  }
+
+  std::vector<Event> slots_;
+};
+
+}  // namespace mcss::net

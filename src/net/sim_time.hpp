@@ -4,6 +4,7 @@
 // are converted only at the measurement boundary.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 
 namespace mcss::net {
@@ -13,19 +14,25 @@ using SimTime = std::int64_t;
 
 inline constexpr SimTime kNanosPerSecond = 1'000'000'000;
 
-[[nodiscard]] constexpr SimTime from_seconds(double s) noexcept {
-  // Round to the nearest nanosecond; plain truncation turns exact values
-  // like 1e-4 s (which is 99999.999... in binary) into off-by-one ticks.
-  const double scaled = s * static_cast<double>(kNanosPerSecond);
-  return static_cast<SimTime>(scaled < 0 ? scaled - 0.5 : scaled + 0.5);
+// Each conversion scales by ONE exactly-representable power of ten and
+// rounds with llround (half away from zero, no double rounding). The old
+// `cast(scaled + 0.5)` idiom was subtly wrong: adding 0.5 can itself
+// round up — from_seconds(0.49999999999999994e-9) used to yield 1 ns —
+// and chaining from_millis through from_seconds double-rounded. Correct
+// rounding also makes the round trip exact: for |t| <= 2^51 ns (~26
+// days), from_seconds(to_seconds(t)) == t, so (time, seq) event order
+// survives conversion round trips (pinned by a property test).
+
+[[nodiscard]] inline SimTime from_seconds(double s) noexcept {
+  return std::llround(s * 1e9);
 }
 
-[[nodiscard]] constexpr SimTime from_millis(double ms) noexcept {
-  return from_seconds(ms * 1e-3);
+[[nodiscard]] inline SimTime from_millis(double ms) noexcept {
+  return std::llround(ms * 1e6);
 }
 
-[[nodiscard]] constexpr SimTime from_micros(double us) noexcept {
-  return from_seconds(us * 1e-6);
+[[nodiscard]] inline SimTime from_micros(double us) noexcept {
+  return std::llround(us * 1e3);
 }
 
 [[nodiscard]] constexpr double to_seconds(SimTime t) noexcept {

@@ -24,27 +24,30 @@ void Simulator::dispatch(Event&& e) {
 
 void Simulator::run() {
   while (!queue_.empty()) {
-    Event e = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    dispatch(std::move(e));
+    dispatch(queue_.pop());
   }
 }
 
 void Simulator::run_until(SimTime t) {
   MCSS_ENSURE(t >= now_, "cannot run backwards");
-  while (!queue_.empty() && queue_.top().time <= t) {
-    Event e = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    dispatch(std::move(e));
+  while (!queue_.empty() && queue_.min_time() <= t) {
+    dispatch(queue_.pop());
   }
   now_ = t;
 }
 
+std::uint64_t Simulator::run_before(SimTime t) {
+  std::uint64_t processed = 0;
+  while (!queue_.empty() && queue_.min_time() < t) {
+    dispatch(queue_.pop());
+    ++processed;
+  }
+  return processed;
+}
+
 bool Simulator::step() {
   if (queue_.empty()) return false;
-  Event e = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
-  dispatch(std::move(e));
+  dispatch(queue_.pop());
   return true;
 }
 

@@ -1,16 +1,25 @@
 // Deterministic discrete-event simulator.
 //
-// A single-threaded event loop over a priority queue keyed by
+// A single-threaded event loop over an extractable binary heap keyed by
 // (time, sequence number): events at equal times fire in scheduling
 // order, so runs are bit-reproducible. All simulated components (channels,
 // protocol endpoints, traffic sources) schedule callbacks here.
+//
+// Re-entrancy invariants the run loops guarantee (and the parallel
+// logical-process engine in net/parallel_sim relies on):
+//   - A callback may schedule new events, including at exactly now();
+//     those fire later in the SAME pass, in sequence order.
+//   - run_until(t) drains same-time cascades: events scheduled at t by
+//     events running at t still fire before the call returns.
+//   - schedule_at rejects times strictly before now(); scheduling at
+//     now() from within a dispatch is always legal.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <vector>
+#include <optional>
 
+#include "net/event_heap.hpp"
 #include "net/sim_time.hpp"
 
 namespace mcss::net {
@@ -34,27 +43,31 @@ class Simulator {
   /// Run all events with time <= `t`, then set now() = t.
   void run_until(SimTime t);
 
+  /// Run all events with time strictly < `t` (including cascades those
+  /// events schedule below `t`), leaving now() at the last dispatched
+  /// event — it never advances to `t`. This is the conservative-window
+  /// primitive of the parallel engine: events at exactly `t` stay
+  /// queued so cross-partition events injected at the window barrier
+  /// (due >= t) merge ahead of or between them purely by (time, seq).
+  /// Returns the number of events processed.
+  std::uint64_t run_before(SimTime t);
+
   /// Process a single event; returns false if the queue was empty.
   bool step();
+
+  /// Timestamp of the earliest pending event, if any.
+  [[nodiscard]] std::optional<SimTime> next_event_time() const {
+    if (queue_.empty()) return std::nullopt;
+    return queue_.min_time();
+  }
 
   [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
   [[nodiscard]] std::uint64_t processed() const noexcept { return processed_; }
 
  private:
-  struct Event {
-    SimTime time;
-    std::uint64_t seq;
-    Callback fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const noexcept {
-      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
-    }
-  };
-
   void dispatch(Event&& e);
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  EventHeap queue_;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;

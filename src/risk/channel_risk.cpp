@@ -31,7 +31,7 @@ ChannelRiskModel ChannelRiskModel::standard() {
 }
 
 double ChannelRiskModel::assess(std::span<const int> alerts) const {
-  const auto posterior = forward_filter(hmm_, alerts);
+  const auto posterior = forward_filter(hmm_, alerts, &zero_likelihood_alerts_);
   return posterior[kCompromised];
 }
 

@@ -9,6 +9,7 @@
 // evidence ages.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -36,6 +37,15 @@ class ChannelRiskModel {
   /// Posterior P(compromised) after observing the alert stream.
   [[nodiscard]] double assess(std::span<const int> alerts) const;
 
+  /// Total alerts discarded across assess() calls because they had zero
+  /// likelihood under every state (see risk::forward_filter_step). A
+  /// nonzero count means the model's emission matrix disagrees with the
+  /// sensor feed — the z estimates still hold, but the model deserves a
+  /// refit.
+  [[nodiscard]] std::uint64_t zero_likelihood_alerts() const noexcept {
+    return zero_likelihood_alerts_;
+  }
+
   /// Long-run prior P(compromised) with no evidence at all.
   [[nodiscard]] double prior() const;
 
@@ -49,6 +59,8 @@ class ChannelRiskModel {
 
  private:
   Hmm hmm_;
+  /// assess() is logically const; the diagnostic counter is bookkeeping.
+  mutable std::uint64_t zero_likelihood_alerts_ = 0;
 };
 
 /// Assess every channel's risk from per-channel alert traces; the result

@@ -45,34 +45,67 @@ void Hmm::validate() const {
   }
 }
 
-std::vector<double> forward_filter(const Hmm& hmm, std::span<const int> obs) {
+bool forward_filter_step(const Hmm& hmm, std::span<double> alpha, int obs,
+                         bool apply_transition) {
+  const std::size_t n = alpha.size();
+  // Predict: the state distribution at this observation, before
+  // conditioning. With the transition applied to a distribution this
+  // sums to 1 (up to rounding); it is the fallback posterior.
+  std::vector<double> predicted(n);
+  if (apply_transition) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        acc += alpha[i] * hmm.transition[i][j];
+      }
+      predicted[j] = acc;
+    }
+  } else {
+    for (std::size_t j = 0; j < n; ++j) predicted[j] = alpha[j];
+  }
+
+  // Condition on the observation and renormalize.
+  double total = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    alpha[j] = predicted[j] * hmm.emission[j][static_cast<std::size_t>(obs)];
+    total += alpha[j];
+  }
+  if (total > 0.0 && std::isfinite(total)) {
+    for (std::size_t j = 0; j < n; ++j) alpha[j] /= total;
+    return true;
+  }
+
+  // The observation is impossible under every state: renormalize to the
+  // predicted distribution (uniform if even that is degenerate) rather
+  // than emitting 0/0 NaNs.
+  double predicted_total = 0.0;
+  for (const double v : predicted) predicted_total += v;
+  if (predicted_total > 0.0 && std::isfinite(predicted_total)) {
+    for (std::size_t j = 0; j < n; ++j) alpha[j] = predicted[j] / predicted_total;
+  } else {
+    for (std::size_t j = 0; j < n; ++j) {
+      alpha[j] = 1.0 / static_cast<double>(n);
+    }
+  }
+  return false;
+}
+
+std::vector<double> forward_filter(const Hmm& hmm, std::span<const int> obs,
+                                   std::uint64_t* zero_likelihood_steps) {
   hmm.validate();
   check_obs(hmm, obs);
-  const auto n = static_cast<std::size_t>(hmm.num_states());
 
   std::vector<double> alpha = hmm.initial;
-  std::vector<double> next(n);
   bool first = true;
   for (const int o : obs) {
     // The initial distribution IS the state distribution at the first
     // observation (standard convention); transitions apply between
     // observations. Condition on each observation and renormalize.
-    for (std::size_t j = 0; j < n; ++j) {
-      double acc = 0.0;
-      if (first) {
-        acc = alpha[j];
-      } else {
-        for (std::size_t i = 0; i < n; ++i) {
-          acc += alpha[i] * hmm.transition[i][j];
-        }
-      }
-      next[j] = acc * hmm.emission[j][static_cast<std::size_t>(o)];
+    if (!forward_filter_step(hmm, alpha, o, !first) &&
+        zero_likelihood_steps != nullptr) {
+      ++*zero_likelihood_steps;
     }
     first = false;
-    double total = 0.0;
-    for (const double v : next) total += v;
-    MCSS_ENSURE(total > 0.0, "observation sequence has zero probability");
-    for (std::size_t j = 0; j < n; ++j) alpha[j] = next[j] / total;
   }
   return alpha;
 }
@@ -98,12 +131,20 @@ double log_likelihood(const Hmm& hmm, std::span<const int> obs) {
       }
       next[j] = acc * hmm.emission[j][static_cast<std::size_t>(o)];
     }
-    first = false;
     double total = 0.0;
     for (const double v : next) total += v;
-    MCSS_ENSURE(total > 0.0, "observation sequence has zero probability");
-    log_prob += std::log(total);
-    for (std::size_t j = 0; j < n; ++j) alpha[j] = next[j] / total;
+    if (total > 0.0) {
+      log_prob += std::log(total);
+      for (std::size_t j = 0; j < n; ++j) alpha[j] = next[j] / total;
+    } else {
+      // Impossible observation: the sequence probability is exactly 0.
+      // Keep filtering from the predicted distribution (discarding the
+      // impossible symbol) so the remaining steps stay NaN-free and the
+      // function returns a clean -infinity instead of throwing mid-run.
+      log_prob = -std::numeric_limits<double>::infinity();
+      (void)forward_filter_step(hmm, alpha, o, !first);
+    }
+    first = false;
   }
   return log_prob;
 }

@@ -8,6 +8,7 @@
 // which channel_risk.hpp builds the actual estimator.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -32,14 +33,39 @@ struct Hmm {
   void validate() const;
 };
 
+/// One forward-filtering step, in place. `alpha` (the filtered state
+/// distribution) is advanced through the transition matrix when
+/// `apply_transition` (between observations; false for the first one),
+/// then conditioned on `obs` and renormalized.
+///
+/// Zero-likelihood guard: when the observation has zero probability
+/// under EVERY state — possible with user-supplied models that put hard
+/// zeros in an emission column — the posterior would be 0/0. Dividing
+/// anyway yields NaNs that silently poison every downstream consumer
+/// (the z estimates feeding AdaptiveController's re-solves). Instead
+/// the step falls back to the predicted (pre-observation) distribution
+/// — effectively discarding the impossible observation — and returns
+/// false so the caller can count the event. Returns true on a normal
+/// step. `alpha.size()` must equal hmm.num_states(); the model and
+/// observation are assumed validated (callers do; see forward_filter).
+bool forward_filter_step(const Hmm& hmm, std::span<double> alpha, int obs,
+                         bool apply_transition);
+
 /// Filtered posterior P(state | obs[0..t]) after consuming the whole
 /// sequence, with per-step normalization for numerical stability. An
 /// empty sequence returns the (normalized) initial distribution.
-[[nodiscard]] std::vector<double> forward_filter(const Hmm& hmm,
-                                                 std::span<const int> obs);
+/// Observations with zero likelihood under every state are discarded
+/// (see forward_filter_step) and counted into *zero_likelihood_steps
+/// when non-null — never NaN posteriors, never a throw.
+[[nodiscard]] std::vector<double> forward_filter(
+    const Hmm& hmm, std::span<const int> obs,
+    std::uint64_t* zero_likelihood_steps = nullptr);
 
 /// log P(observations) under the model (natural log; 0 observations give
-/// log 1 = 0). Throws on out-of-range observation symbols.
+/// log 1 = 0). A sequence containing an observation with zero likelihood
+/// under every reachable state has probability 0: the result is -infinity
+/// (filtering continues past the impossible step so the value stays
+/// well-defined, not NaN). Throws on out-of-range observation symbols.
 [[nodiscard]] double log_likelihood(const Hmm& hmm, std::span<const int> obs);
 
 /// Most likely hidden state sequence (Viterbi, log-space).

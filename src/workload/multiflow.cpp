@@ -1,0 +1,382 @@
+#include "workload/multiflow.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/planner.hpp"
+#include "protocol/receiver.hpp"
+#include "protocol/scheduler.hpp"
+#include "protocol/sender.hpp"
+#include "util/ensure.hpp"
+#include "util/rng.hpp"
+#include "workload/traffic.hpp"
+
+namespace mcss::workload {
+
+namespace {
+
+/// One flow, wholly owned by one LP. Member order is destruction order in
+/// reverse: the source dies first (it drives the sender), the protocol
+/// endpoints next, the channels last — nothing outlives what it points at.
+struct Flow {
+  std::uint64_t id = 0;
+  net::SimTime source_stop = 0;
+  std::vector<std::unique_ptr<net::SimChannel>> channel_storage;
+  std::vector<net::SimChannel*> channels;
+  std::optional<proto::Receiver> rx;
+  std::optional<proto::Sender> tx;
+  std::optional<CbrSource> source;
+};
+
+struct LpState {
+  net::psim::LogicalProcess* lp = nullptr;
+  /// (start time, flow id), ascending; one pending arrival event walks it.
+  std::vector<std::pair<net::SimTime, std::uint64_t>> arrivals;
+  std::size_t next_arrival = 0;
+  std::deque<std::uint64_t> deferred;  ///< arrived while at capacity
+  std::map<std::uint64_t, std::unique_ptr<Flow>> active;
+
+  /// Current operating point; updated by control-plane directives and
+  /// applied to flows started afterwards.
+  double kappa = 0.0;
+  double mu = 0.0;
+
+  // Totals, accumulated at flow reap (deterministic event order).
+  std::uint64_t flows_started = 0;
+  std::uint64_t flows_completed = 0;
+  std::uint64_t packets_sent = 0;
+  std::uint64_t packets_delivered = 0;
+  std::uint64_t bytes_delivered = 0;
+  std::uint64_t shares_sent = 0;
+  double sum_kappa = 0.0;
+  double sum_mu = 0.0;
+  /// Per-channel frame counts from reaped flows, for loss reports.
+  std::vector<std::uint64_t> ch_offered;
+  std::vector<std::uint64_t> ch_delivered;
+  std::uint64_t next_report_round = 0;
+};
+
+/// Control hub on LP 0: latest cumulative per-channel counts per LP, and
+/// per-round arrival bookkeeping. Touched only by events running on LP 0.
+struct HubState {
+  std::vector<std::vector<std::uint64_t>> lp_offered;
+  std::vector<std::vector<std::uint64_t>> lp_delivered;
+  std::map<std::uint64_t, std::uint32_t> round_reports;
+  std::uint64_t rounds_committed = 0;
+  double kappa = 0.0;
+  double mu = 0.0;
+};
+
+struct Engine {
+  const MultiflowConfig* config = nullptr;
+  net::psim::PartitionedSimulator* ps = nullptr;
+  std::deque<LpState> lps;  ///< deque: LpState is neither copyable nor relocated
+  HubState hub;
+  net::SimTime flow_duration = 0;
+  net::SimTime drain_probe = 0;    ///< first quiescence check offset
+  net::SimTime drain_recheck = 0;  ///< retry interval while draining
+  net::SimTime destroy_margin = 0; ///< propagation bound before delete
+};
+
+/// Per-flow root RNG, a pure function of (seed, flow id) — identical no
+/// matter which LP, window, or thread constructs the flow.
+Rng flow_rng(std::uint64_t seed, std::uint64_t flow_id) {
+  std::uint64_t state = seed ^ (0x9e3779b97f4a7c15ULL * (flow_id + 1));
+  return Rng(splitmix64(state));
+}
+
+bool lp_has_work(const LpState& s) {
+  return s.next_arrival < s.arrivals.size() || !s.active.empty() ||
+         !s.deferred.empty();
+}
+
+void reap_flow(Engine& eng, LpState& s, std::uint64_t flow_id);
+void start_flow(Engine& eng, LpState& s, std::uint64_t flow_id);
+
+/// Quiescence probe: destroy only once the source has stopped, the send
+/// queue is empty, and every channel serializer is idle — then wait out
+/// one propagation bound so in-flight delivery events (which capture raw
+/// channel and receiver pointers) have all fired.
+void schedule_reap_check(Engine& eng, LpState& s, std::uint64_t flow_id,
+                         net::SimTime delay) {
+  s.lp->sim().schedule_in(delay, [&eng, &s, flow_id] {
+    const auto it = s.active.find(flow_id);
+    MCSS_INVARIANT(it != s.active.end(), "reap check for unknown flow");
+    Flow& flow = *it->second;
+    bool quiet = flow.tx->queued_packets() == 0;
+    for (const auto* ch : flow.channels) {
+      quiet = quiet && ch->backlog_time() == 0;
+    }
+    if (!quiet) {
+      schedule_reap_check(eng, s, flow_id, eng.drain_recheck);
+      return;
+    }
+    s.lp->sim().schedule_in(eng.destroy_margin,
+                            [&eng, &s, flow_id] { reap_flow(eng, s, flow_id); });
+  });
+}
+
+void start_flow(Engine& eng, LpState& s, std::uint64_t flow_id) {
+  const MultiflowConfig& config = *eng.config;
+  auto flow = std::make_unique<Flow>();
+  flow->id = flow_id;
+
+  net::Simulator& sim = s.lp->sim();
+  Rng root = flow_rng(config.seed, flow_id);
+
+  for (const auto& cfg : config.setup.channels) {
+    flow->channel_storage.push_back(
+        std::make_unique<net::SimChannel>(sim, cfg, root.fork()));
+    flow->channels.push_back(flow->channel_storage.back().get());
+  }
+
+  // Short reassembly timeout: evicted partials park receiver timers in
+  // the heap (harmless no-ops after teardown, but they extend the run's
+  // idle tail), so keep the window tight for churned flows.
+  proto::ReceiverConfig rx_config;
+  rx_config.reassembly_timeout = net::from_millis(10);
+  flow->rx.emplace(sim, rx_config);
+  for (auto* ch : flow->channels) flow->rx->attach(*ch);
+
+  const int n = config.setup.num_channels();
+  flow->tx.emplace(sim, flow->channels,
+                   std::make_unique<proto::DynamicScheduler>(s.kappa, s.mu, n),
+                   root.fork());
+
+  flow->source_stop = sim.now() + eng.flow_duration;
+  proto::Sender* tx = &*flow->tx;
+  flow->source.emplace(sim, config.offered_bps, config.packet_bytes,
+                       /*start=*/sim.now(), /*stop=*/flow->source_stop,
+                       [tx](std::vector<std::uint8_t> p) {
+                         return tx->send(std::move(p));
+                       },
+                       root.fork()());
+
+  ++s.flows_started;
+  s.active.emplace(flow_id, std::move(flow));
+  schedule_reap_check(eng, s, flow_id,
+                      eng.flow_duration + eng.drain_probe);
+}
+
+void reap_flow(Engine& eng, LpState& s, std::uint64_t flow_id) {
+  const auto it = s.active.find(flow_id);
+  MCSS_INVARIANT(it != s.active.end(), "reaping unknown flow");
+  const Flow& flow = *it->second;
+
+  s.packets_sent += flow.tx->stats().packets_sent;
+  s.shares_sent += flow.tx->stats().shares_sent;
+  s.sum_kappa += flow.tx->stats().achieved_kappa();
+  s.sum_mu += flow.tx->stats().achieved_mu();
+  s.packets_delivered += flow.rx->stats().packets_delivered;
+  s.bytes_delivered += flow.rx->stats().bytes_delivered;
+  for (std::size_t i = 0; i < flow.channels.size(); ++i) {
+    s.ch_offered[i] += flow.channels[i]->stats().frames_offered;
+    s.ch_delivered[i] += flow.channels[i]->stats().frames_delivered;
+  }
+
+  s.active.erase(it);
+  ++s.flows_completed;
+  if (!s.deferred.empty()) {
+    const std::uint64_t next = s.deferred.front();
+    s.deferred.pop_front();
+    start_flow(eng, s, next);
+  }
+}
+
+void schedule_next_arrival(Engine& eng, LpState& s) {
+  if (s.next_arrival >= s.arrivals.size()) return;
+  const auto [when, flow_id] = s.arrivals[s.next_arrival++];
+  s.lp->sim().schedule_at(when, [&eng, &s, flow_id] {
+    if (s.active.size() >=
+        static_cast<std::size_t>(eng.config->max_active_per_lp)) {
+      s.deferred.push_back(flow_id);
+    } else {
+      start_flow(eng, s, flow_id);
+    }
+    schedule_next_arrival(eng, s);
+  });
+}
+
+/// Hub step, running on LP 0: fold one LP's cumulative counts in; when a
+/// round has reported from every LP, re-solve the planner against the
+/// fleet-wide measured loss and broadcast the new (kappa, mu).
+void hub_on_report(Engine& eng, std::uint32_t src, std::uint64_t round,
+                   std::vector<std::uint64_t> offered,
+                   std::vector<std::uint64_t> delivered) {
+  const MultiflowConfig& config = *eng.config;
+  HubState& hub = eng.hub;
+  hub.lp_offered[src] = std::move(offered);
+  hub.lp_delivered[src] = std::move(delivered);
+  if (++hub.round_reports[round] < eng.lps.size()) return;
+  hub.round_reports.erase(round);
+
+  // Fleet-wide per-channel loss estimate; fall back to the template's
+  // configured loss where nothing has been observed yet.
+  std::vector<Channel> measured;
+  const ChannelSet base = config.setup.to_model(config.packet_bytes);
+  for (int i = 0; i < base.size(); ++i) {
+    std::uint64_t off = 0, del = 0;
+    for (const auto& per_lp : hub.lp_offered) off += per_lp[static_cast<std::size_t>(i)];
+    for (const auto& per_lp : hub.lp_delivered) del += per_lp[static_cast<std::size_t>(i)];
+    Channel ch = base[i];
+    if (off > 0) {
+      ch.loss = std::min(
+          0.99, 1.0 - static_cast<double>(del) / static_cast<double>(off));
+    }
+    measured.push_back(ch);
+  }
+
+  PlannerGoal goal;
+  goal.max_loss = config.control_max_loss;
+  goal.objective = PlannerGoal::Objective::MaxRate;
+  goal.step = 0.5;
+  const Plan plan = plan_parameters(ChannelSet(std::move(measured)), goal);
+  if (!plan.feasible) return;  // keep the current operating point
+
+  hub.kappa = plan.kappa;
+  hub.mu = plan.mu;
+  ++hub.rounds_committed;
+  for (std::uint32_t dst = 0; dst < eng.lps.size(); ++dst) {
+    const double kappa = plan.kappa, mu = plan.mu;
+    eng.ps->lp(0).send(dst, config.lookahead, [&eng, dst, kappa, mu] {
+      eng.lps[dst].kappa = kappa;
+      eng.lps[dst].mu = mu;
+    });
+  }
+}
+
+void schedule_report(Engine& eng, LpState& s, net::SimTime period) {
+  s.lp->sim().schedule_in(period, [&eng, &s, period] {
+    const std::uint64_t round = s.next_report_round++;
+    const std::uint32_t src = s.lp->id();
+    s.lp->send(0, eng.config->lookahead,
+               [&eng, src, round, offered = s.ch_offered,
+                delivered = s.ch_delivered]() mutable {
+                 hub_on_report(eng, src, round, std::move(offered),
+                               std::move(delivered));
+               });
+    if (lp_has_work(s)) schedule_report(eng, s, period);
+  });
+}
+
+}  // namespace
+
+MultiflowResult run_multiflow(const MultiflowConfig& config) {
+  MCSS_ENSURE(config.num_lps >= 1, "need at least one logical process");
+  MCSS_ENSURE(config.total_flows >= 1, "need at least one flow");
+  MCSS_ENSURE(config.max_active_per_lp >= 1, "need room for one flow per LP");
+  MCSS_ENSURE(config.packet_bytes >= 8, "payload too small for a timestamp");
+  MCSS_ENSURE(config.flow_duration_s > 0.0, "flow duration must be positive");
+  MCSS_ENSURE(config.offered_bps > 0.0, "offered load must be positive");
+  MCSS_ENSURE(!config.setup.channels.empty(), "setup has no channels");
+
+  net::psim::PartitionedSimulator ps(config.num_lps, config.lookahead);
+
+  Engine eng;
+  eng.config = &config;
+  eng.ps = &ps;
+  eng.flow_duration = net::from_seconds(config.flow_duration_s);
+  // First probe: one CBR interval past source stop (the last emit event
+  // is parked at most one interval beyond it), plus a small margin.
+  const double interval_s =
+      static_cast<double>(config.packet_bytes) * 8.0 / config.offered_bps;
+  eng.drain_probe = net::from_seconds(interval_s) + net::from_millis(1);
+  eng.drain_recheck = net::from_millis(1);
+  net::SimTime max_prop = 0;
+  for (const auto& ch : config.setup.channels) {
+    max_prop = std::max(max_prop, ch.delay + ch.jitter);
+  }
+  eng.destroy_margin = max_prop + net::from_micros(10);
+
+  eng.lps.resize(config.num_lps);
+  eng.hub.lp_offered.assign(config.num_lps,
+                            std::vector<std::uint64_t>(config.setup.channels.size(), 0));
+  eng.hub.lp_delivered = eng.hub.lp_offered;
+  eng.hub.kappa = config.kappa;
+  eng.hub.mu = config.mu;
+
+  const auto window_ns = net::from_seconds(config.arrival_window_s);
+  for (std::uint32_t i = 0; i < config.num_lps; ++i) {
+    LpState& s = eng.lps[i];
+    s.lp = &ps.lp(i);
+    s.kappa = config.kappa;
+    s.mu = config.mu;
+    s.ch_offered.assign(config.setup.channels.size(), 0);
+    s.ch_delivered.assign(config.setup.channels.size(), 0);
+  }
+  const auto total = static_cast<net::SimTime>(config.total_flows);
+  for (std::uint64_t f = 0; f < config.total_flows; ++f) {
+    // window_ns * f / total without overflow: split into quotient and
+    // remainder parts ((w % total) * f < total^2 stays in range).
+    const auto fi = static_cast<net::SimTime>(f);
+    const net::SimTime start =
+        (window_ns / total) * fi + (window_ns % total) * fi / total;
+    eng.lps[f % config.num_lps].arrivals.emplace_back(start, f);
+  }
+  for (auto& s : eng.lps) schedule_next_arrival(eng, s);
+  if (config.control_plane) {
+    const auto period = net::from_seconds(config.control_period_s);
+    MCSS_ENSURE(period > 0, "control period must be positive");
+    for (auto& s : eng.lps) schedule_report(eng, s, period);
+  }
+
+  ps.run();
+
+  MultiflowResult result;
+  for (const auto& s : eng.lps) {
+    MCSS_INVARIANT(s.active.empty() && s.deferred.empty(),
+                   "flows still alive after the run drained");
+    result.flows_started += s.flows_started;
+    result.flows_completed += s.flows_completed;
+    result.packets_sent += s.packets_sent;
+    result.packets_delivered += s.packets_delivered;
+    result.bytes_delivered += s.bytes_delivered;
+    result.shares_sent += s.shares_sent;
+    result.sum_kappa += s.sum_kappa;
+    result.sum_mu += s.sum_mu;
+  }
+  result.loss_fraction =
+      result.packets_sent
+          ? 1.0 - static_cast<double>(result.packets_delivered) /
+                      static_cast<double>(result.packets_sent)
+          : 0.0;
+  result.control_rounds = eng.hub.rounds_committed;
+  result.final_kappa = eng.hub.kappa;
+  result.final_mu = eng.hub.mu;
+  result.partition = ps.stats();
+  return result;
+}
+
+std::uint64_t MultiflowResult::fingerprint() const noexcept {
+  std::uint64_t h = 14695981039346656037ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ULL;
+    }
+  };
+  mix(flows_started);
+  mix(flows_completed);
+  mix(packets_sent);
+  mix(packets_delivered);
+  mix(bytes_delivered);
+  mix(shares_sent);
+  mix(std::bit_cast<std::uint64_t>(loss_fraction));
+  mix(std::bit_cast<std::uint64_t>(sum_kappa));
+  mix(std::bit_cast<std::uint64_t>(sum_mu));
+  mix(control_rounds);
+  mix(std::bit_cast<std::uint64_t>(final_kappa));
+  mix(std::bit_cast<std::uint64_t>(final_mu));
+  mix(partition.windows);
+  mix(partition.cross_events);
+  mix(partition.events_processed);
+  return h;
+}
+
+}  // namespace mcss::workload

@@ -1,0 +1,91 @@
+// Partitioned multi-flow population simulation.
+//
+// Scales the single-experiment harness (workload/experiment.hpp) to large
+// flow populations by running flows on a net::psim::PartitionedSimulator:
+// flow f is pinned to logical process f % num_lps, where it owns a private
+// copy of the Setup's channels, a protocol sender/receiver pair, and a CBR
+// source — nothing about a flow ever touches another LP's state, so the
+// LPs execute concurrently and MCSS_THREADS=N produces bitwise-identical
+// results to MCSS_THREADS=1 (see parallel_sim/partitioned_sim.hpp).
+//
+// Flow lifecycle is churned: arrivals are spread deterministically over an
+// arrival window, at most `max_active_per_lp` flows run concurrently per
+// LP (excess arrivals defer until a slot frees), and a finished flow is
+// torn down only after quiescence — source stopped, send queue drained,
+// channel serializers idle, plus one propagation bound — because channel
+// delivery events capture raw pointers into the flow.
+//
+// The one cross-LP coupling is an optional control plane exercising the
+// conservative lookahead path: each LP periodically reports its measured
+// per-channel loss to a hub on LP 0, which aggregates a fleet-wide loss
+// estimate, re-solves the Section IV planner for (kappa, mu) under the
+// configured loss ceiling, and broadcasts the new operating point; flows
+// started after a directive arrives use it. Every hop rides
+// LogicalProcess::send with latency = lookahead, so the whole loop is
+// deterministic under any thread count.
+#pragma once
+
+#include <cstdint>
+
+#include "net/parallel_sim/partitioned_sim.hpp"
+#include "net/sim_time.hpp"
+#include "workload/setups.hpp"
+
+namespace mcss::workload {
+
+struct MultiflowConfig {
+  std::uint32_t num_lps = 1;
+  std::uint64_t total_flows = 100;
+  /// Concurrency bound per LP; arrivals beyond it defer until a reap.
+  std::uint32_t max_active_per_lp = 32;
+
+  /// Channel template instantiated privately per flow.
+  Setup setup = diverse_setup();
+  double kappa = 2.0;
+  double mu = 3.0;
+
+  double offered_bps = 2e6;        ///< per-flow CBR load
+  std::size_t packet_bytes = 256;
+  double flow_duration_s = 0.02;   ///< per-flow source lifetime
+  double arrival_window_s = 0.5;   ///< flow starts spread over [0, this)
+  std::uint64_t seed = 1;
+
+  /// Conservative lookahead: window width and cross-LP latency floor.
+  net::SimTime lookahead = net::from_micros(250);
+
+  /// Enable the cross-LP control loop (hub on LP 0).
+  bool control_plane = true;
+  double control_period_s = 0.05;
+  /// Loss ceiling handed to the planner when re-solving (kappa, mu).
+  double control_max_loss = 0.05;
+};
+
+struct MultiflowResult {
+  std::uint64_t flows_started = 0;
+  std::uint64_t flows_completed = 0;
+  std::uint64_t packets_sent = 0;
+  std::uint64_t packets_delivered = 0;
+  std::uint64_t bytes_delivered = 0;
+  std::uint64_t shares_sent = 0;
+  double loss_fraction = 0.0;
+  /// Sums of per-flow achieved kappa/mu (exact, so they fingerprint).
+  double sum_kappa = 0.0;
+  double sum_mu = 0.0;
+
+  std::uint64_t control_rounds = 0;  ///< planner re-solves committed
+  double final_kappa = 0.0;          ///< last broadcast operating point
+  double final_mu = 0.0;
+
+  net::psim::PartitionStats partition;
+
+  /// FNV-1a over every counter and the raw bit patterns of every double
+  /// above — two runs agree on the fingerprint iff they agree bitwise.
+  [[nodiscard]] std::uint64_t fingerprint() const noexcept;
+};
+
+/// Run the population to completion. Deterministic given the config: for
+/// a fixed num_lps, bitwise-identical (fingerprint included) across all
+/// MCSS_THREADS values.
+[[nodiscard]] MultiflowResult run_multiflow(const MultiflowConfig& config);
+
+}  // namespace mcss::workload

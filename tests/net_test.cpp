@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <bit>
+#include <cstdint>
 #include <vector>
 
 #include "net/cpu_model.hpp"
@@ -22,6 +23,57 @@ TEST(SimTime, Conversions) {
   EXPECT_EQ(from_micros(3.0), 3'000);
   EXPECT_DOUBLE_EQ(to_seconds(500'000'000), 0.5);
   EXPECT_DOUBLE_EQ(to_millis(1'000'000), 1.0);
+}
+
+TEST(SimTime, RoundsHalfwayCasesCorrectly) {
+  // 0.49999999999999994 ns is the largest double below 0.5 ns: adding
+  // 0.5 to it rounds UP to 1.0 under round-to-even (the old
+  // `cast(x + 0.5)` idiom truncated that to 1 — off by one); llround
+  // returns 0.
+  EXPECT_EQ(from_seconds(0.49999999999999994e-9), 0);
+  // Halfway cases round away from zero, negatives included (the +0.5
+  // idiom rounded -2.5 ns toward zero instead).
+  EXPECT_EQ(from_seconds(2.5e-9), 3);
+  EXPECT_EQ(from_seconds(-2.5e-9), -3);
+  EXPECT_EQ(from_millis(2.5e-6), 3);
+  EXPECT_EQ(from_millis(-2.5e-6), -3);
+  EXPECT_EQ(from_micros(2.5e-3), 3);
+  EXPECT_EQ(from_micros(-2.5e-3), -3);
+}
+
+TEST(SimTime, SecondsRoundTripIsExact) {
+  // from_seconds(to_seconds(t)) == t whenever t / 1e9 is exactly
+  // representable relative to half-ULP of the product — guaranteed for
+  // |t| <= 2^51 ns (~26 days). Deterministic xorshift sweep plus edges.
+  const auto check = [](SimTime t) {
+    EXPECT_EQ(from_seconds(to_seconds(t)), t) << "t = " << t;
+  };
+  check(0);
+  check(1);
+  check(-1);
+  check((SimTime{1} << 51));
+  check(-(SimTime{1} << 51));
+  std::uint64_t x = 0x9e3779b97f4a7c15ULL;
+  for (int i = 0; i < 10'000; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    const auto t = static_cast<SimTime>(x & ((std::uint64_t{1} << 51) - 1));
+    check(t);
+    check(-t);
+  }
+}
+
+TEST(SimTime, MillisAndMicrosAvoidDoubleRounding) {
+  // from_millis/from_micros scale by a single exact power of ten; the
+  // old implementation chained through from_seconds (ms / 1e3 first),
+  // rounding twice. 1e-4 ms is exactly 100 ns.
+  EXPECT_EQ(from_millis(1e-4), 100);
+  EXPECT_EQ(from_micros(0.1), 100);
+  for (int i = -1000; i <= 1000; ++i) {
+    EXPECT_EQ(from_millis(static_cast<double>(i)), i * 1'000'000);
+    EXPECT_EQ(from_micros(static_cast<double>(i)), i * 1'000);
+  }
 }
 
 // ---------------------------------------------------------------- Simulator

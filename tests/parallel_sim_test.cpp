@@ -1,0 +1,297 @@
+// Tests for the partitioned logical-process engine and the multiflow
+// population workload built on it: conservative-window correctness,
+// cross-LP merge determinism across thread counts, and the simulator
+// primitives (run_before, extractable heap) the engine relies on.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/event_heap.hpp"
+#include "net/parallel_sim/partitioned_sim.hpp"
+#include "net/simulator.hpp"
+#include "runtime/thread_pool.hpp"
+#include "util/ensure.hpp"
+#include "workload/multiflow.hpp"
+
+namespace mcss::net {
+namespace {
+
+struct ThreadGuard {
+  explicit ThreadGuard(unsigned n) { runtime::set_threads(n); }
+  ~ThreadGuard() { runtime::set_threads(1); }
+  ThreadGuard(const ThreadGuard&) = delete;
+  ThreadGuard& operator=(const ThreadGuard&) = delete;
+};
+
+// ---------------------------------------------------------------- EventHeap
+
+TEST(EventHeap, PopsInTimeThenSequenceOrder) {
+  EventHeap heap;
+  std::vector<int> order;
+  heap.push(Event{20, 0, [&] { order.push_back(20); }});
+  heap.push(Event{10, 1, [&] { order.push_back(10); }});
+  heap.push(Event{10, 2, [&] { order.push_back(11); }});
+  heap.push(Event{5, 3, [&] { order.push_back(5); }});
+  while (!heap.empty()) heap.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{5, 10, 11, 20}));
+}
+
+TEST(EventHeap, InterleavedPushPopKeepsInvariant) {
+  EventHeap heap;
+  std::uint64_t seq = 0;
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 50; ++i) {
+      const SimTime t = (i * 7919 + round * 104729) % 1000;
+      heap.push(Event{t, seq++, [] {}});
+    }
+    SimTime last = -1;
+    for (int i = 0; i < 30; ++i) {
+      ASSERT_GE(heap.min_time(), last);
+      last = heap.min_time();
+      (void)heap.pop();
+    }
+  }
+  SimTime last = -1;
+  while (!heap.empty()) {
+    ASSERT_GE(heap.min_time(), last);
+    last = heap.min_time();
+    (void)heap.pop();
+  }
+}
+
+// ---------------------------------------------- Simulator re-entrancy
+
+TEST(Simulator, SameTimeScheduleDuringDispatchFiresThisPass) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(10, [&] {
+    order.push_back(1);
+    // Scheduled at exactly now() from inside a dispatch: legal, and it
+    // fires later in the SAME pass, after already-queued time-10 events.
+    sim.schedule_at(sim.now(), [&] { order.push_back(3); });
+  });
+  sim.schedule_at(10, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 10);
+}
+
+TEST(Simulator, RunUntilDrainsSameTimeCascades) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(10, [&] {
+    ++fired;
+    sim.schedule_at(10, [&] {
+      ++fired;
+      sim.schedule_at(10, [&] { ++fired; });
+    });
+  });
+  sim.run_until(10);
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(sim.now(), 10);
+}
+
+TEST(Simulator, RunBeforeExcludesBoundaryAndKeepsClockBehind) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(5, [&] { order.push_back(5); });
+  sim.schedule_at(9, [&] { order.push_back(9); });
+  sim.schedule_at(10, [&] { order.push_back(10); });
+  EXPECT_EQ(sim.run_before(10), 2u);
+  EXPECT_EQ(order, (std::vector<int>{5, 9}));
+  // The boundary event stays queued and now() never advances to the
+  // boundary: a barrier may still inject events at exactly 10 that must
+  // interleave with it by (time, seq).
+  EXPECT_EQ(sim.now(), 9);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.schedule_at(10, [&] { order.push_back(11); });
+  EXPECT_EQ(sim.run_before(11), 2u);
+  EXPECT_EQ(order, (std::vector<int>{5, 9, 10, 11}));
+}
+
+TEST(Simulator, RunBeforeDrainsCascadesBelowBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(5, [&] {
+    ++fired;
+    sim.schedule_at(5, [&] {
+      ++fired;
+      sim.schedule_at(9, [&] { ++fired; });
+    });
+  });
+  EXPECT_EQ(sim.run_before(10), 3u);
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulator, SchedulePastRejectedAtWindowEdges) {
+  Simulator sim;
+  sim.schedule_at(10, [&] {
+    // now() == 10: scheduling at now() is always legal...
+    EXPECT_NO_THROW(sim.schedule_at(10, [] {}));
+    // ...strictly before it never is, even mid-window.
+    EXPECT_THROW(sim.schedule_at(9, [] {}), PreconditionError);
+  });
+  (void)sim.run_before(11);
+  EXPECT_THROW(sim.schedule_at(5, [] {}), PreconditionError);
+}
+
+// ---------------------------------------------- PartitionedSimulator
+
+TEST(PartitionedSim, ValidatesConstruction) {
+  EXPECT_THROW(psim::PartitionedSimulator(0, 100), PreconditionError);
+  EXPECT_THROW(psim::PartitionedSimulator(2, 0), PreconditionError);
+  psim::PartitionedSimulator ps(2, 100);
+  EXPECT_EQ(ps.num_lps(), 2u);
+  EXPECT_THROW((void)ps.lp(2), PreconditionError);
+}
+
+TEST(PartitionedSim, SendValidatesLatencyAndDestination) {
+  psim::PartitionedSimulator ps(2, 100);
+  EXPECT_THROW(ps.lp(0).send(0, 99, [] {}), PreconditionError);
+  EXPECT_THROW(ps.lp(0).send(2, 100, [] {}), PreconditionError);
+  EXPECT_NO_THROW(ps.lp(0).send(1, 100, [] {}));
+}
+
+TEST(PartitionedSim, CrossEventsArriveAtLatency) {
+  psim::PartitionedSimulator ps(2, 100);
+  SimTime arrived_at = -1;
+  ps.lp(0).sim().schedule_at(50, [&] {
+    ps.lp(0).send(1, 100, [&] { arrived_at = ps.lp(1).sim().now(); });
+  });
+  ps.run();
+  EXPECT_EQ(arrived_at, 150);
+  EXPECT_EQ(ps.stats().cross_events, 1u);
+  EXPECT_EQ(ps.lp(0).cross_events_sent(), 1u);
+}
+
+TEST(PartitionedSim, PingPongAcrossManyWindows) {
+  psim::PartitionedSimulator ps(2, 10);
+  int hops = 0;
+  std::function<void(std::uint32_t)> hop = [&](std::uint32_t at) {
+    if (++hops >= 100) return;
+    ps.lp(at).send(1 - at, 10, [&hop, at] { hop(1 - at); });
+  };
+  ps.lp(0).sim().schedule_at(0, [&] { hop(0); });
+  ps.run();
+  EXPECT_EQ(hops, 100);
+  EXPECT_EQ(ps.stats().cross_events, 99u);
+  EXPECT_EQ(ps.lp(0).sim().now(), 980);
+  EXPECT_EQ(ps.lp(1).sim().now(), 990);
+}
+
+TEST(PartitionedSim, RunUntilAlignsAllClocks) {
+  psim::PartitionedSimulator ps(3, 10);
+  int fired = 0;
+  ps.lp(0).sim().schedule_at(5, [&] { ++fired; });
+  ps.lp(1).sim().schedule_at(50, [&] { ++fired; });
+  ps.lp(2).sim().schedule_at(51, [&] { ++fired; });
+  ps.run_until(50);
+  EXPECT_EQ(fired, 2);
+  for (std::uint32_t i = 0; i < 3; ++i) EXPECT_EQ(ps.lp(i).sim().now(), 50);
+  ps.run_until(60);
+  EXPECT_EQ(fired, 3);
+  EXPECT_THROW(ps.run_until(59), PreconditionError);
+}
+
+/// Deterministic multi-LP fan-out: every LP multicasts to every other at
+/// staggered times; each receipt appends to a per-LP log. The logs must
+/// be identical for any thread count.
+std::vector<std::string> fanout_trace(unsigned threads) {
+  ThreadGuard guard(threads);
+  constexpr std::uint32_t kLps = 5;
+  psim::PartitionedSimulator ps(kLps, 7);
+  std::vector<std::string> logs(kLps);
+  for (std::uint32_t src = 0; src < kLps; ++src) {
+    for (std::uint32_t burst = 0; burst < 20; ++burst) {
+      ps.lp(src).sim().schedule_at(burst * 3 + src, [&ps, &logs, src] {
+        const auto t = ps.lp(src).sim().now();
+        for (std::uint32_t dst = 0; dst < ps.num_lps(); ++dst) {
+          ps.lp(src).send(dst, 7 + (src + dst) % 3, [&ps, &logs, src, dst, t] {
+            logs[dst] += std::to_string(src) + "@" + std::to_string(t) + "->" +
+                         std::to_string(ps.lp(dst).sim().now()) + ";";
+          });
+        }
+      });
+    }
+  }
+  ps.run();
+  return logs;
+}
+
+TEST(PartitionedSim, FanoutTraceBitwiseIdenticalAcrossThreadCounts) {
+  const auto base = fanout_trace(1);
+  EXPECT_EQ(fanout_trace(2), base);
+  EXPECT_EQ(fanout_trace(8), base);
+}
+
+// ---------------------------------------------------------- Multiflow
+
+workload::MultiflowConfig small_population() {
+  workload::MultiflowConfig config;
+  config.num_lps = 3;
+  config.total_flows = 12;
+  config.max_active_per_lp = 2;  // forces deferrals (churn path)
+  config.offered_bps = 4e6;
+  config.packet_bytes = 128;
+  config.flow_duration_s = 0.01;
+  config.arrival_window_s = 0.05;
+  config.control_period_s = 0.01;
+  config.seed = 7;
+  return config;
+}
+
+TEST(Multiflow, RunsPopulationToCompletion) {
+  const auto result = workload::run_multiflow(small_population());
+  EXPECT_EQ(result.flows_started, 12u);
+  EXPECT_EQ(result.flows_completed, 12u);
+  EXPECT_GT(result.packets_sent, 0u);
+  EXPECT_GT(result.packets_delivered, 0u);
+  EXPECT_GE(result.loss_fraction, 0.0);
+  EXPECT_LE(result.loss_fraction, 1.0);
+  EXPECT_GT(result.partition.windows, 0u);
+  EXPECT_GT(result.partition.cross_events, 0u);  // control plane traffic
+  EXPECT_GT(result.control_rounds, 0u);
+}
+
+TEST(Multiflow, FingerprintBitwiseIdenticalAcrossThreadCounts) {
+  std::uint64_t base = 0;
+  {
+    ThreadGuard guard(1);
+    base = workload::run_multiflow(small_population()).fingerprint();
+  }
+  {
+    ThreadGuard guard(2);
+    EXPECT_EQ(workload::run_multiflow(small_population()).fingerprint(), base);
+  }
+  {
+    ThreadGuard guard(8);
+    EXPECT_EQ(workload::run_multiflow(small_population()).fingerprint(), base);
+  }
+}
+
+TEST(Multiflow, SingleLpMatchesItselfAndControlCanBeDisabled) {
+  auto config = small_population();
+  config.num_lps = 1;
+  const auto a = workload::run_multiflow(config);
+  const auto b = workload::run_multiflow(config);
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+
+  config.control_plane = false;
+  const auto quiet = workload::run_multiflow(config);
+  EXPECT_EQ(quiet.control_rounds, 0u);
+  EXPECT_EQ(quiet.partition.cross_events, 0u);
+}
+
+TEST(Multiflow, ValidatesConfig) {
+  auto config = small_population();
+  config.total_flows = 0;
+  EXPECT_THROW((void)workload::run_multiflow(config), PreconditionError);
+  config = small_population();
+  config.packet_bytes = 4;
+  EXPECT_THROW((void)workload::run_multiflow(config), PreconditionError);
+}
+
+}  // namespace
+}  // namespace mcss::net

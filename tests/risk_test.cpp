@@ -279,6 +279,83 @@ TEST(BaumWelch, SingleStateDegenerateCase) {
 
 // ---------------------------------------------------------------- channel risk
 
+/// Two-state model where symbol 2 has zero emission probability under
+/// EVERY state — the pathological column that used to 0/0 the filter.
+Hmm impossible_symbol_model() {
+  Hmm hmm;
+  hmm.transition = {{0.9, 0.1}, {0.2, 0.8}};
+  hmm.emission = {{0.7, 0.3, 0.0}, {0.4, 0.6, 0.0}};
+  hmm.initial = {0.5, 0.5};
+  return hmm;
+}
+
+TEST(Hmm, ZeroLikelihoodObservationFallsBackToPrediction) {
+  const Hmm hmm = impossible_symbol_model();
+  // First observation impossible: the fallback is the (normalized)
+  // predicted distribution, here the initial one.
+  std::uint64_t zeros = 0;
+  auto posterior = forward_filter(hmm, std::vector<int>{2}, &zeros);
+  EXPECT_EQ(zeros, 1u);
+  ASSERT_EQ(posterior.size(), 2u);
+  EXPECT_DOUBLE_EQ(posterior[0], 0.5);
+  EXPECT_DOUBLE_EQ(posterior[1], 0.5);
+
+  // Impossible mid-sequence: the step is discarded but the transition
+  // still advances the state estimate; filtering continues NaN-free and
+  // the posterior matches running the same trace without the bad symbol
+  // but with one extra transition step applied at its position.
+  zeros = 0;
+  posterior = forward_filter(hmm, std::vector<int>{0, 2, 1}, &zeros);
+  EXPECT_EQ(zeros, 1u);
+  for (const double p : posterior) {
+    EXPECT_TRUE(std::isfinite(p));
+    EXPECT_GE(p, 0.0);
+  }
+  EXPECT_NEAR(posterior[0] + posterior[1], 1.0, 1e-12);
+
+  std::vector<double> manual = forward_filter(hmm, std::vector<int>{0});
+  std::vector<double> stepped(manual);
+  EXPECT_FALSE(forward_filter_step(hmm, stepped, 2, true));
+  EXPECT_TRUE(forward_filter_step(hmm, stepped, 1, true));
+  EXPECT_DOUBLE_EQ(posterior[0], stepped[0]);
+  EXPECT_DOUBLE_EQ(posterior[1], stepped[1]);
+}
+
+TEST(Hmm, ZeroLikelihoodSequenceHasMinusInfinityLogLikelihood) {
+  const Hmm hmm = impossible_symbol_model();
+  const double ll = log_likelihood(hmm, std::vector<int>{0, 2, 1});
+  EXPECT_TRUE(std::isinf(ll));
+  EXPECT_LT(ll, 0.0);
+  // Possible sequences are unaffected.
+  EXPECT_TRUE(std::isfinite(log_likelihood(hmm, std::vector<int>{0, 1, 0})));
+}
+
+TEST(Hmm, ForwardFilterCountsAreOptional) {
+  const Hmm hmm = impossible_symbol_model();
+  // Null counter: same posterior, no crash.
+  const auto posterior = forward_filter(hmm, std::vector<int>{2, 2});
+  EXPECT_NEAR(posterior[0] + posterior[1], 1.0, 1e-12);
+}
+
+TEST(ChannelRisk, CountsZeroLikelihoodAlerts) {
+  // A risk model whose sensors can never report symbol 2.
+  Hmm hmm;
+  hmm.transition = {
+      {0.95, 0.045, 0.005}, {0.30, 0.60, 0.10}, {0.02, 0.08, 0.90}};
+  hmm.emission = {{0.9, 0.1, 0.0}, {0.5, 0.5, 0.0}, {0.3, 0.7, 0.0}};
+  hmm.initial = {0.98, 0.015, 0.005};
+  const ChannelRiskModel model{std::move(hmm)};
+
+  const std::vector<int> alerts{0, 2, 1, 2, 0};
+  const double z = model.assess(alerts);
+  EXPECT_TRUE(std::isfinite(z));
+  EXPECT_GE(z, 0.0);
+  EXPECT_LE(z, 1.0);
+  EXPECT_EQ(model.zero_likelihood_alerts(), 2u);
+  (void)model.assess(alerts);
+  EXPECT_EQ(model.zero_likelihood_alerts(), 4u);
+}
+
 TEST(ChannelRisk, QuietChannelHasLowRisk) {
   const auto model = ChannelRiskModel::standard();
   const std::vector<int> quiet(50, kNoAlert);
