@@ -1,0 +1,380 @@
+// topology_eval: correlated link-level exposure vs the independent model.
+//
+// The paper's z(k, M) treats the M channels as independently compromised
+// wires. On a routed topology the adversary taps LINKS, and channels
+// whose paths share a link are exposed together. This bench measures the
+// gap and gates the build on it appearing exactly where paths overlap:
+//
+//   model gate   exact correlated_z(k) vs independent_z(k) on the four
+//                named topologies. HARD GATES: equal (<= 1e-12) for
+//                every k on the disjoint control; correlated STRICTLY
+//                worse at the catastrophic tail k = M (and somewhere in
+//                k >= 2) on diamond, shared_bottleneck and
+//                multihomed_wan. Shared links keep every marginal fixed
+//                but shift outcome mass toward the extremes ("nothing
+//                exposed" / "everything exposed"), so intermediate k
+//                can legitimately dip below the independent curve —
+//                shared_bottleneck's z(2) does — while the full-
+//                compromise tail is always strictly worse.
+//   monte carlo  sampled link taps cross-check correlated_z(2) on every
+//                topology (agreement within 5 sigma + 1e-4).
+//   routed runs  frames through topo::Network on the sequential
+//                simulator: lossless topologies must deliver every
+//                frame, and nothing may arrive before its path's
+//                propagation delay.
+//   determinism  shared_bottleneck on the partitioned engine (one LP
+//                per router) at MCSS_THREADS in {1, 2, 8}: arrival
+//                fingerprints and per-link loss counters must be
+//                bitwise identical. HARD GATE.
+//
+//   topology_eval [--trials N] [--out FILE]    (MCSS_TOPO_TRIALS=N)
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "net/parallel_sim/partitioned_sim.hpp"
+#include "net/sim_time.hpp"
+#include "net/simulator.hpp"
+#include "obs/json.hpp"
+#include "runtime/thread_pool.hpp"
+#include "topo/network.hpp"
+#include "topo/topology.hpp"
+#include "util/link_risk.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mcss;
+
+constexpr int kChannels = 4;
+constexpr double kTapRisk = 0.05;
+
+std::vector<topo::Topology> named_topologies() {
+  std::vector<topo::Topology> out;
+  out.push_back(topo::disjoint_control(kChannels, kTapRisk));
+  out.push_back(topo::diamond(kChannels, kTapRisk));
+  out.push_back(topo::shared_bottleneck(kChannels, kTapRisk));
+  out.push_back(topo::multihomed_wan(kChannels, kTapRisk));
+  return out;
+}
+
+/// Empirical P(>= k channels exposed) from sampled independent link taps.
+double sampled_z(const topo::Topology& t, int k, std::uint64_t trials,
+                 Rng& rng) {
+  const auto risks = t.link_tap_risks();
+  const auto masks = t.channel_link_masks();
+  std::uint64_t hits = 0;
+  for (std::uint64_t trial = 0; trial < trials; ++trial) {
+    LinkMask tapped = 0;
+    for (std::size_t l = 0; l < risks.size(); ++l) {
+      if (rng.bernoulli(risks[l])) tapped |= LinkMask{1} << l;
+    }
+    const Mask exposed = exposed_channel_mask(
+        tapped, std::span<const LinkMask>(masks.data(), masks.size()));
+    if (mask_size(exposed) >= k) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(trials);
+}
+
+/// FNV-1a over arrival order, channel id, arrival time and payload —
+/// accumulated on the sink LP only, so the order is the sink
+/// simulator's deterministic (time, seq) event order.
+struct Fingerprint {
+  std::uint64_t h = 1469598103934665603ULL;
+  void mix(std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (v >> (8 * byte)) & 0xffu;
+      h *= 1099511628211ULL;
+    }
+  }
+  void mix_bytes(const std::vector<std::uint8_t>& bytes) {
+    for (const std::uint8_t b : bytes) {
+      h ^= b;
+      h *= 1099511628211ULL;
+    }
+  }
+};
+
+struct RoutedResult {
+  std::uint64_t delivered = 0;
+  std::uint64_t sent = 0;
+  bool early_arrival = false;
+};
+
+/// Drive `frames` frames per channel through the topology on the
+/// sequential backend and check completeness + propagation floor.
+RoutedResult run_routed(const topo::Topology& t, int frames) {
+  net::Simulator sim;
+  topo::Network net(sim, t, Rng(7));
+  RoutedResult result;
+  std::vector<net::SimTime> first_send(
+      static_cast<std::size_t>(t.num_channels()), -1);
+  for (int c = 0; c < net.num_channels(); ++c) {
+    topo::RoutedChannel& channel = net.channel(c);
+    const net::SimTime floor = channel.path_delay();
+    net.channel(c).set_receiver(
+        [&result, &sim, floor](std::vector<std::uint8_t>) {
+          ++result.delivered;
+          if (sim.now() < floor) result.early_arrival = true;
+        });
+  }
+  for (int c = 0; c < net.num_channels(); ++c) {
+    for (int seq = 0; seq < frames; ++seq) {
+      // Pace sends one per simulated millisecond per channel so the
+      // ingress queues never tail-drop: this phase gates delivery
+      // completeness, not overload behavior.
+      sim.schedule_at(net::from_millis(seq), [&net, &result, c, seq] {
+        std::vector<std::uint8_t> frame(256, 0);
+        frame[0] = static_cast<std::uint8_t>(c);
+        frame[1] = static_cast<std::uint8_t>(seq);
+        if (net.channel(c).try_send(std::move(frame))) ++result.sent;
+      });
+    }
+  }
+  sim.run();
+  return result;
+}
+
+struct PartitionedResult {
+  std::uint64_t fingerprint = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t cross_events = 0;
+  std::uint64_t loss_fingerprint = 0;
+};
+
+/// shared_bottleneck with one LP per router and 5% loss on every link,
+/// run to completion at `threads` pool threads. Deliveries land on the
+/// sink's LP only, so the fingerprint accumulation order is that LP's
+/// deterministic event order.
+PartitionedResult run_partitioned(unsigned threads, int frames) {
+  runtime::set_threads(threads);
+  topo::Topology t = topo::shared_bottleneck(kChannels, kTapRisk);
+  for (topo::LinkSpec& link : t.links) link.loss = 0.05;
+
+  // Nodes: 0 source, 1 sink, 2 hub, 3..6 relays -> LPs 0..6. Every
+  // link's 5 ms delay equals the lookahead, the conservative floor.
+  std::vector<std::uint32_t> node_lp;
+  for (int n = 0; n < t.num_nodes; ++n) {
+    node_lp.push_back(static_cast<std::uint32_t>(n));
+  }
+  net::psim::PartitionedSimulator psim(
+      static_cast<std::uint32_t>(t.num_nodes), net::from_millis(5));
+  topo::Network net(psim, node_lp, t, Rng(7));
+
+  Fingerprint fp;
+  PartitionedResult result;
+  const std::uint32_t sink_lp = node_lp[static_cast<std::size_t>(t.sink)];
+  net::Simulator& sink_sim = psim.lp(sink_lp).sim();
+  for (int c = 0; c < net.num_channels(); ++c) {
+    net.channel(c).set_receiver(
+        [&fp, &result, &sink_sim, c](std::vector<std::uint8_t> frame) {
+          ++result.delivered;
+          fp.mix(result.delivered);
+          fp.mix(static_cast<std::uint64_t>(c));
+          fp.mix(static_cast<std::uint64_t>(sink_sim.now()));
+          fp.mix_bytes(frame);
+        });
+  }
+  const std::uint32_t source_lp = node_lp[static_cast<std::size_t>(t.source)];
+  net::Simulator& source_sim = psim.lp(source_lp).sim();
+  for (int c = 0; c < net.num_channels(); ++c) {
+    for (int seq = 0; seq < frames; ++seq) {
+      source_sim.schedule_at(net::from_millis(seq), [&net, c, seq] {
+        std::vector<std::uint8_t> frame(256, 0);
+        frame[0] = static_cast<std::uint8_t>(c);
+        frame[1] = static_cast<std::uint8_t>(seq);
+        net.channel(c).try_send(std::move(frame));
+      });
+    }
+  }
+  psim.run();
+  result.fingerprint = fp.h;
+  result.cross_events = psim.stats().cross_events;
+  Fingerprint loss;
+  for (int l = 0; l < t.num_links(); ++l) {
+    loss.mix(net.link(l).stats().frames_dropped_loss);
+    loss.mix(net.link(l).stats().frames_delivered);
+  }
+  result.loss_fingerprint = loss.h;
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t trials = 200'000;
+  std::string out_path;
+  if (const char* env = std::getenv("MCSS_TOPO_TRIALS")) {
+    trials = std::strtoull(env, nullptr, 10);
+  }
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (arg == "--trials") {
+      trials = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--out") {
+      out_path = next();
+    } else {
+      std::fprintf(stderr, "usage: topology_eval [--trials N] [--out FILE]\n");
+      return 2;
+    }
+  }
+  bool failed = false;
+
+  // --- model gate: correlation gap exactly where paths overlap --------
+  std::printf("== correlation gap: z(k, %d) at tap risk %.2f per link ==\n",
+              kChannels, kTapRisk);
+  std::string topo_rows;
+  for (const topo::Topology& t : named_topologies()) {
+    const bool overlapping = t.shared_links() != 0;
+    std::printf("  %-18s %s\n", t.name.c_str(),
+                overlapping ? "(shared links)" : "(disjoint control)");
+    std::string k_rows;
+    double tail_gap = 0.0;
+    double best_gap = 0.0;
+    for (int k = 1; k <= kChannels; ++k) {
+      const double corr = t.correlated_z(k);
+      const double indep = t.independent_z(k);
+      const double gap = corr - indep;
+      std::printf("    k=%d  correlated=%.6f  independent=%.6f  gap=%+.6f\n",
+                  k, corr, indep, gap);
+      if (!overlapping && std::abs(gap) > 1e-12) {
+        std::printf("    FAIL: disjoint control must match the "
+                    "Poisson-binomial exactly\n");
+        failed = true;
+      }
+      if (k == kChannels) tail_gap = gap;
+      if (k >= 2) best_gap = std::max(best_gap, gap);
+      if (!k_rows.empty()) k_rows += ",";
+      k_rows += obs::JsonRow()
+                    .field("k", k)
+                    .field("correlated_z", corr)
+                    .field("independent_z", indep)
+                    .field("gap", gap)
+                    .str();
+    }
+    if (overlapping && (tail_gap <= 1e-6 || best_gap <= 1e-6)) {
+      std::printf("    FAIL: shared links must make the k=%d tail (and some "
+                  "k >= 2) strictly worse than independent\n", kChannels);
+      failed = true;
+    }
+    if (!topo_rows.empty()) topo_rows += ",";
+    topo_rows += obs::JsonRow()
+                     .field("topology", t.name)
+                     .field("links", t.num_links())
+                     .field("shared_links", link_mask_size(t.shared_links()))
+                     .field_raw("z", "[" + k_rows + "]")
+                     .str();
+  }
+
+  // --- monte carlo cross-check ----------------------------------------
+  std::printf("\n== monte carlo: %llu sampled tap draws vs exact z(2) ==\n",
+              static_cast<unsigned long long>(trials));
+  Rng mc_rng(0xD1CEu);
+  for (const topo::Topology& t : named_topologies()) {
+    const double exact = t.correlated_z(2);
+    const double sampled = sampled_z(t, 2, trials, mc_rng);
+    const double sigma =
+        std::sqrt(std::max(exact * (1.0 - exact), 1e-12) /
+                  static_cast<double>(trials));
+    const double tolerance = 5.0 * sigma + 1e-4;
+    const bool ok = std::abs(sampled - exact) <= tolerance;
+    std::printf("  %-18s exact=%.6f sampled=%.6f (tol %.6f) %s\n",
+                t.name.c_str(), exact, sampled, tolerance,
+                ok ? "OK" : "FAIL");
+    if (!ok) failed = true;
+  }
+
+  // --- routed delivery on the sequential backend ----------------------
+  std::printf("\n== routed delivery: 64 frames/channel, lossless links ==\n");
+  for (const topo::Topology& t : named_topologies()) {
+    const int frames = 64;
+    const RoutedResult r = run_routed(t, frames);
+    const std::uint64_t expected =
+        static_cast<std::uint64_t>(t.num_channels()) *
+        static_cast<std::uint64_t>(frames);
+    const bool ok =
+        r.sent == expected && r.delivered == expected && !r.early_arrival;
+    std::printf("  %-18s sent=%llu delivered=%llu %s\n", t.name.c_str(),
+                static_cast<unsigned long long>(r.sent),
+                static_cast<unsigned long long>(r.delivered),
+                ok ? "OK" : "FAIL");
+    if (!ok) {
+      if (r.early_arrival) {
+        std::printf("    FAIL: a frame arrived before its path delay\n");
+      }
+      failed = true;
+    }
+  }
+
+  // --- partitioned determinism ----------------------------------------
+  std::printf("\n== partitioned: shared_bottleneck, router per LP, "
+              "5%% link loss, MCSS_THREADS in {1, 2, 8} ==\n");
+  PartitionedResult base{};
+  bool det_ok = true;
+  std::string det_rows;
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    const PartitionedResult r = run_partitioned(threads, 200);
+    std::printf(
+        "  threads=%u  delivered=%llu  cross=%llu  fingerprint=%016llx  "
+        "loss_fp=%016llx\n",
+        threads, static_cast<unsigned long long>(r.delivered),
+        static_cast<unsigned long long>(r.cross_events),
+        static_cast<unsigned long long>(r.fingerprint),
+        static_cast<unsigned long long>(r.loss_fingerprint));
+    if (threads == 1u) {
+      base = r;
+    } else if (r.fingerprint != base.fingerprint ||
+               r.loss_fingerprint != base.loss_fingerprint ||
+               r.delivered != base.delivered) {
+      det_ok = false;
+    }
+    if (!det_rows.empty()) det_rows += ",";
+    det_rows += obs::JsonRow()
+                    .field("threads", static_cast<std::uint64_t>(threads))
+                    .field("delivered", r.delivered)
+                    .field("fingerprint", r.fingerprint)
+                    .str();
+  }
+  if (base.delivered == 0 || base.cross_events == 0) {
+    std::printf("  FAIL: partitioned run moved no cross-LP traffic\n");
+    det_ok = false;
+  }
+  std::printf("  %s\n", det_ok
+                            ? "OK: bitwise identical across thread counts"
+                            : "FAIL: thread count changed the outcome");
+  if (!det_ok) failed = true;
+
+  if (!out_path.empty()) {
+    const std::string doc =
+        obs::JsonRow()
+            .field("bench", "topology_eval")
+            .field("channels", kChannels)
+            .field("tap_risk", kTapRisk)
+            .field("trials", trials)
+            .field("deterministic", det_ok)
+            .field("determinism_fingerprint", base.fingerprint)
+            .field_raw("topologies", "[" + topo_rows + "]")
+            .field_raw("partitioned", "[" + det_rows + "]")
+            .str();
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    std::fputs(doc.c_str(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("\nwrote %s\n", out_path.c_str());
+  }
+
+  std::printf("\n%s\n", failed ? "FAILED" : "PASSED");
+  return failed ? 1 : 0;
+}

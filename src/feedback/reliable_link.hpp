@@ -18,6 +18,7 @@
 // receiver.attach() — it installs its own channel receivers.
 #pragma once
 
+#include <concepts>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -25,7 +26,7 @@
 #include "crypto/siphash.hpp"
 #include "feedback/report_builder.hpp"
 #include "feedback/retransmit.hpp"
-#include "net/sim_channel.hpp"
+#include "net/channel_port.hpp"
 #include "net/simulator.hpp"
 #include "protocol/receiver.hpp"
 #include "protocol/sender.hpp"
@@ -51,6 +52,16 @@ struct ReliableLinkConfig {
   /// retransmit (lowest first). Missing entries default to 0 (= prefer
   /// by index).
   std::vector<double> risks;
+  /// Routed-topology link mode: when channel_link_masks is non-empty,
+  /// entry i is the LinkMask (util/link_risk.hpp) of forward channel
+  /// i's path, link_risks[l] is the tap probability of link l, and
+  /// retransmit ordering generalizes from channel exposure to link
+  /// exposure — a channel whose links the packet already traversed is
+  /// free (re-using a tapped link cannot widen exposure), others are
+  /// ordered by the marginal risk of the NEW links their path adds.
+  /// The manager's link map is installed from this automatically.
+  std::vector<std::uint64_t> channel_link_masks;
+  std::vector<double> link_risks;
 };
 
 struct ReliableLinkStats {
@@ -65,8 +76,18 @@ class ReliableLink {
   /// All referents must outlive the link.
   ReliableLink(net::Simulator& sim, proto::Sender& sender,
                proto::Receiver& receiver,
-               std::vector<net::SimChannel*> forward,
-               net::SimChannel& feedback, ReliableLinkConfig config, Rng rng);
+               std::vector<net::ChannelPort*> forward,
+               net::ChannelPort& feedback, ReliableLinkConfig config, Rng rng);
+
+  /// Convenience: accept a vector of any concrete port type.
+  template <std::derived_from<net::ChannelPort> Ch>
+  ReliableLink(net::Simulator& sim, proto::Sender& sender,
+               proto::Receiver& receiver, const std::vector<Ch*>& forward,
+               net::ChannelPort& feedback, ReliableLinkConfig config, Rng rng)
+      : ReliableLink(
+            sim, sender, receiver,
+            std::vector<net::ChannelPort*>(forward.begin(), forward.end()),
+            feedback, std::move(config), rng) {}
 
   ReliableLink(const ReliableLink&) = delete;
   ReliableLink& operator=(const ReliableLink&) = delete;
@@ -94,8 +115,8 @@ class ReliableLink {
   net::Simulator& sim_;
   proto::Sender& sender_;
   proto::Receiver& receiver_;
-  std::vector<net::SimChannel*> forward_;
-  net::SimChannel& feedback_;
+  std::vector<net::ChannelPort*> forward_;
+  net::ChannelPort& feedback_;
   ReliableLinkConfig config_;
   proto::Receiver::DeliverFn deliver_;
 

@@ -4,10 +4,22 @@
 #include <limits>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "runtime/parallel.hpp"
 #include "util/ensure.hpp"
 
 namespace mcss::net::psim {
+
+void publish(obs::Registry& registry, const PartitionStats& stats) {
+  const auto add = [&](std::string_view name, std::uint64_t value) {
+    registry.add(registry.counter(name), value);
+  };
+  add("mcss_psim_windows", stats.windows);
+  add("mcss_psim_cross_events", stats.cross_events);
+  add("mcss_psim_events_processed", stats.events_processed);
+  registry.set(registry.gauge("mcss_psim_max_window_events"),
+               static_cast<double>(stats.max_window_events));
+}
 
 void LogicalProcess::send(std::uint32_t dst, SimTime latency,
                           Simulator::Callback fn) {

@@ -38,6 +38,10 @@
 #include "net/sim_time.hpp"
 #include "net/simulator.hpp"
 
+namespace mcss::obs {
+class Registry;
+}
+
 namespace mcss::net::psim {
 
 class PartitionedSimulator;
@@ -94,6 +98,12 @@ struct PartitionStats {
   std::uint64_t events_processed = 0; ///< total events across all LPs
   std::uint64_t max_window_events = 0;///< busiest single window (all LPs)
 };
+
+/// Add engine totals into the registry under mcss_psim_* names. The
+/// per-window counters are additive (several engines, or one engine
+/// published per run, aggregate); the busiest-window figure is a gauge
+/// and publishes last-writer-wins.
+void publish(obs::Registry& registry, const PartitionStats& stats);
 
 class PartitionedSimulator {
  public:

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "net/channel_port.hpp"
 #include "net/sim_time.hpp"
 #include "net/simulator.hpp"
 #include "util/rng.hpp"
@@ -55,6 +56,10 @@ struct ChannelStats {
   std::uint64_t frames_dropped_queue = 0;  ///< tail drops (queue full)
   std::uint64_t frames_dropped_loss = 0;   ///< netem-style random loss
   std::uint64_t frames_dropped_outage = 0; ///< sent while the channel was down
+  /// Dropped by a SHARED link's loss burst (the live Impairment's
+  /// transport::SharedLinkLoss mode; always 0 for SimChannel, whose
+  /// routed counterpart counts these per topo::SimLink instead).
+  std::uint64_t frames_dropped_shared_link = 0;
   std::uint64_t frames_delivered = 0;
   std::uint64_t frames_corrupted = 0;
   std::uint64_t frames_duplicated = 0;
@@ -67,10 +72,10 @@ struct ChannelStats {
 /// channels (or calling once per run per channel) aggregates them.
 void publish(obs::Registry& registry, const ChannelStats& stats);
 
-class SimChannel {
+class SimChannel final : public ChannelPort {
  public:
-  using DeliverFn = std::function<void(std::vector<std::uint8_t>)>;
-  using WritableFn = std::function<void()>;
+  using DeliverFn = ChannelPort::DeliverFn;
+  using WritableFn = ChannelPort::WritableFn;
 
   /// `rng` seeds this channel's private loss stream.
   SimChannel(Simulator& sim, ChannelConfig config, Rng rng,
@@ -80,19 +85,21 @@ class SimChannel {
   SimChannel& operator=(const SimChannel&) = delete;
 
   /// Install the delivery callback (the far end).
-  void set_receiver(DeliverFn fn) { deliver_ = std::move(fn); }
+  void set_receiver(DeliverFn fn) override { deliver_ = std::move(fn); }
 
   /// Install the epoll-like writability callback, fired when the channel
   /// transitions from not-ready to ready.
-  void set_writable_callback(WritableFn fn) { writable_ = std::move(fn); }
+  void set_writable_callback(WritableFn fn) override {
+    writable_ = std::move(fn);
+  }
 
   /// Offer a frame. Returns false (and counts a tail drop) when the
   /// transmit queue cannot take it; otherwise the frame will serialize,
   /// possibly be lost, and otherwise arrive delay + serialization later.
-  bool try_send(std::vector<std::uint8_t> frame);
+  bool try_send(std::vector<std::uint8_t> frame) override;
 
   /// epoll-style writability: backlog below the watermark.
-  [[nodiscard]] bool ready() const noexcept {
+  [[nodiscard]] bool ready() const noexcept override {
     return queued_bytes_ < watermark_;
   }
 
@@ -109,7 +116,7 @@ class SimChannel {
 
   /// Time needed to drain everything currently queued or in flight on the
   /// serializer — the dynamic scheduler's "least backlog" key.
-  [[nodiscard]] SimTime backlog_time() const noexcept;
+  [[nodiscard]] SimTime backlog_time() const noexcept override;
 
   [[nodiscard]] std::size_t queued_bytes() const noexcept { return queued_bytes_; }
   [[nodiscard]] const ChannelConfig& config() const noexcept { return config_; }

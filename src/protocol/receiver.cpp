@@ -77,7 +77,7 @@ void Receiver::set_arena(util::FramePool* arena) {
   config_.arena = arena;
 }
 
-void Receiver::attach(net::SimChannel& channel) {
+void Receiver::attach(net::ChannelPort& channel) {
   channel.set_receiver([this](std::vector<std::uint8_t> f) {
     on_frame(std::move(f));
   });

@@ -20,8 +20,8 @@
 #include <vector>
 
 #include "crypto/siphash.hpp"
+#include "net/channel_port.hpp"
 #include "net/cpu_model.hpp"
-#include "net/sim_channel.hpp"
 #include "net/simulator.hpp"
 #include "sss/share.hpp"
 #include "util/frame_pool.hpp"
@@ -101,7 +101,7 @@ class Receiver {
   void set_arena(util::FramePool* arena);
 
   /// Install this receiver as the delivery target of a channel.
-  void attach(net::SimChannel& channel);
+  void attach(net::ChannelPort& channel);
 
   void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
 

@@ -47,7 +47,7 @@ void Sender::publish_metrics(obs::Registry& registry) const {
   scheduler_->publish_metrics(registry);
 }
 
-Sender::Sender(net::Simulator& sim, std::vector<net::SimChannel*> channels,
+Sender::Sender(net::Simulator& sim, std::vector<net::ChannelPort*> channels,
                std::unique_ptr<ShareScheduler> scheduler, Rng rng,
                net::CpuModel* cpu, SenderConfig config)
     : sim_(sim),
@@ -59,7 +59,7 @@ Sender::Sender(net::Simulator& sim, std::vector<net::SimChannel*> channels,
   MCSS_ENSURE(!channels_.empty(), "sender needs at least one channel");
   MCSS_ENSURE(channels_.size() <= 32, "at most 32 channels");
   MCSS_ENSURE(scheduler_ != nullptr, "sender needs a scheduler");
-  for (net::SimChannel* ch : channels_) {
+  for (net::ChannelPort* ch : channels_) {
     MCSS_ENSURE(ch != nullptr, "null channel");
     ch->set_writable_callback([this] { pump(); });
   }
@@ -169,7 +169,7 @@ void Sender::dispatch(std::vector<std::uint8_t> payload,
         encode(frame, config_.auth_key ? &*config_.auth_key : nullptr);
     const auto ch_index =
         static_cast<std::size_t>(decision.channels[static_cast<std::size_t>(j)]);
-    net::SimChannel* ch = channels_[ch_index];
+    net::ChannelPort* ch = channels_[ch_index];
     ++stats_.shares_sent;
     const std::uint64_t span = obs::share_span_id(id, frame.share_index);
     if (obs::trace_enabled()) {

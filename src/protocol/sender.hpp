@@ -12,6 +12,7 @@
 // caps throughput in the high-bandwidth experiments (Figures 6-7).
 #pragma once
 
+#include <concepts>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -21,8 +22,8 @@
 #include <vector>
 
 #include "crypto/siphash.hpp"
+#include "net/channel_port.hpp"
 #include "net/cpu_model.hpp"
-#include "net/sim_channel.hpp"
 #include "net/simulator.hpp"
 #include "protocol/scheduler.hpp"
 #include "util/rng.hpp"
@@ -69,9 +70,20 @@ class Sender {
  public:
   /// The sender owns the TX side of the given channels: it installs their
   /// writability callbacks. `cpu` may be null (infinite processing).
-  Sender(net::Simulator& sim, std::vector<net::SimChannel*> channels,
+  Sender(net::Simulator& sim, std::vector<net::ChannelPort*> channels,
          std::unique_ptr<ShareScheduler> scheduler, Rng rng,
          net::CpuModel* cpu = nullptr, SenderConfig config = {});
+
+  /// Convenience: accept a vector of any concrete port type (the sim
+  /// call sites hold std::vector<net::SimChannel*>, the routed ones
+  /// std::vector<topo::RoutedChannel*>).
+  template <std::derived_from<net::ChannelPort> Ch>
+  Sender(net::Simulator& sim, const std::vector<Ch*>& channels,
+         std::unique_ptr<ShareScheduler> scheduler, Rng rng,
+         net::CpuModel* cpu = nullptr, SenderConfig config = {})
+      : Sender(sim,
+               std::vector<net::ChannelPort*>(channels.begin(), channels.end()),
+               std::move(scheduler), rng, cpu, config) {}
 
   Sender(const Sender&) = delete;
   Sender& operator=(const Sender&) = delete;
@@ -115,7 +127,7 @@ class Sender {
   void dispatch(std::vector<std::uint8_t> payload, const ShareDecision& decision);
 
   net::Simulator& sim_;
-  std::vector<net::SimChannel*> channels_;
+  std::vector<net::ChannelPort*> channels_;
   std::unique_ptr<ShareScheduler> scheduler_;
   Rng rng_;
   net::CpuModel* cpu_;

@@ -1,0 +1,95 @@
+#include "topo/sim_link.hpp"
+
+#include <algorithm>
+#include <string_view>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "util/ensure.hpp"
+
+namespace mcss::topo {
+
+void publish(obs::Registry& registry, const LinkStats& stats) {
+  const auto add = [&](std::string_view name, std::uint64_t value) {
+    registry.add(registry.counter(name), value);
+  };
+  add("mcss_topo_link_frames_offered", stats.frames_offered);
+  add("mcss_topo_link_frames_queued", stats.frames_queued);
+  add("mcss_topo_link_frames_dropped_queue", stats.frames_dropped_queue);
+  add("mcss_topo_link_frames_dropped_loss", stats.frames_dropped_loss);
+  add("mcss_topo_link_frames_delivered", stats.frames_delivered);
+  add("mcss_topo_link_bytes_delivered", stats.bytes_delivered);
+  add("mcss_topo_link_bytes_queued_total", stats.bytes_queued_total);
+}
+
+SimLink::SimLink(net::Simulator& sim, LinkSpec spec, Rng rng, int id)
+    : sim_(sim), spec_(spec), rng_(rng), id_(id) {
+  MCSS_ENSURE(spec_.rate_bps > 0.0, "link rate must be positive");
+  MCSS_ENSURE(spec_.loss >= 0.0 && spec_.loss < 1.0, "link loss in [0, 1)");
+  MCSS_ENSURE(spec_.queue_capacity_bytes > 0, "queue capacity must be positive");
+  watermark_ = std::max<std::size_t>(1, spec_.queue_capacity_bytes / 2);
+}
+
+net::SimTime SimLink::serialization_time(std::size_t bytes) const noexcept {
+  const double seconds = static_cast<double>(bytes) * 8.0 / spec_.rate_bps;
+  return net::from_seconds(seconds);
+}
+
+net::SimTime SimLink::backlog_time() const noexcept {
+  net::SimTime t = std::max<net::SimTime>(0, serializer_free_at_ - sim_.now());
+  t += serialization_time(queued_bytes_ - serializing_bytes_);
+  return t;
+}
+
+bool SimLink::try_send(int channel, std::vector<std::uint8_t> frame) {
+  ++stats_.frames_offered;
+  MCSS_ENSURE(!frame.empty(), "cannot send an empty frame");
+  if (queued_bytes_ + frame.size() > spec_.queue_capacity_bytes) {
+    ++stats_.frames_dropped_queue;
+    return false;
+  }
+  queued_bytes_ += frame.size();
+  stats_.bytes_queued_total += frame.size();
+  ++stats_.frames_queued;
+  was_ready_ = ready();
+  queue_.push_back({channel, std::move(frame)});
+  if (!transmitting_) start_transmission();
+  return true;
+}
+
+void SimLink::start_transmission() {
+  if (queue_.empty()) {
+    transmitting_ = false;
+    return;
+  }
+  transmitting_ = true;
+  const std::size_t bytes = queue_.front().bytes.size();
+  serializing_bytes_ = bytes;
+  const net::SimTime done = sim_.now() + serialization_time(bytes);
+  serializer_free_at_ = done;
+  sim_.schedule_at(done, [this] {
+    QueuedFrame frame = std::move(queue_.front());
+    queue_.pop_front();
+    queued_bytes_ -= frame.bytes.size();
+    serializing_bytes_ = 0;
+
+    // netem-equivalent loss: decided as the frame leaves the serializer.
+    if (rng_.bernoulli(spec_.loss)) {
+      ++stats_.frames_dropped_loss;
+    } else {
+      ++stats_.frames_delivered;
+      stats_.bytes_delivered += frame.bytes.size();
+      if (depart_) depart_(frame.channel, std::move(frame.bytes));
+    }
+
+    if (!was_ready_ && ready()) {
+      was_ready_ = true;
+      for (const auto& fn : writable_) fn();
+    } else {
+      was_ready_ = ready();
+    }
+    start_transmission();
+  });
+}
+
+}  // namespace mcss::topo

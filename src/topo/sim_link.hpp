@@ -1,0 +1,119 @@
+// One simulated directed link of a routed topology.
+//
+// Mirrors net::SimChannel's arithmetic exactly — FIFO transmit queue
+// with tail drop, 8B/rate serialization, Bernoulli loss decided as the
+// frame leaves the serializer — but differs in two ways a router needs:
+//
+//   - frames carry their logical channel id through the queue, so the
+//     owning Network can route each departure to the next hop of THAT
+//     channel's path (several channels multiplex one link, which is
+//     exactly how shared links correlate loss: their frames contend
+//     for the same serializer and the same queue),
+//   - propagation is the owner's job: depart fires at serializer exit
+//     (post-loss), and the Network applies the link delay itself —
+//     schedule_in on the same LP, LogicalProcess::send across LPs —
+//     so one SimLink type serves both DES backends.
+//
+// Writability fans out: every channel whose path ENTERS the network on
+// this link subscribes to the not-ready -> ready edge.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "net/sim_time.hpp"
+#include "net/simulator.hpp"
+#include "topo/topology.hpp"
+#include "util/rng.hpp"
+
+namespace mcss::obs {
+class Registry;
+}
+
+namespace mcss::topo {
+
+/// Counters per link, aggregated into mcss_topo_link_* by publish().
+struct LinkStats {
+  std::uint64_t frames_offered = 0;
+  std::uint64_t frames_queued = 0;
+  std::uint64_t frames_dropped_queue = 0;  ///< tail drop
+  std::uint64_t frames_dropped_loss = 0;
+  std::uint64_t frames_delivered = 0;  ///< left the serializer intact
+  std::uint64_t bytes_delivered = 0;
+  std::uint64_t bytes_queued_total = 0;
+};
+
+/// Add one link's totals into the registry under mcss_topo_link_*
+/// names (additive across links and calls).
+void publish(obs::Registry& registry, const LinkStats& stats);
+
+class SimLink {
+ public:
+  /// Fired when a frame leaves the serializer and survived loss. The
+  /// owner applies propagation delay and next-hop routing.
+  using DepartFn = std::function<void(int channel, std::vector<std::uint8_t>)>;
+
+  /// `rng` seeds this link's private loss stream.
+  SimLink(net::Simulator& sim, LinkSpec spec, Rng rng, int id);
+
+  SimLink(const SimLink&) = delete;
+  SimLink& operator=(const SimLink&) = delete;
+
+  void set_depart(DepartFn fn) { depart_ = std::move(fn); }
+
+  /// Subscribe to the not-ready -> ready writability edge. Several
+  /// channels may enter the network on one link; each gets the edge.
+  void add_writable_subscriber(std::function<void()> fn) {
+    writable_.push_back(std::move(fn));
+  }
+
+  /// Offer a frame of logical channel `channel`. False = tail drop.
+  bool try_send(int channel, std::vector<std::uint8_t> frame);
+
+  /// epoll-style writability: backlog below half the queue capacity
+  /// (SimChannel's default watermark).
+  [[nodiscard]] bool ready() const noexcept {
+    return queued_bytes_ < watermark_;
+  }
+
+  /// Serializer drain time for everything queued (propagation delay is
+  /// the owner's, as in SimChannel::backlog_time).
+  [[nodiscard]] net::SimTime backlog_time() const noexcept;
+
+  [[nodiscard]] int id() const noexcept { return id_; }
+  [[nodiscard]] const LinkSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] const LinkStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t queued_bytes() const noexcept {
+    return queued_bytes_;
+  }
+
+ private:
+  void start_transmission();
+  [[nodiscard]] net::SimTime serialization_time(
+      std::size_t bytes) const noexcept;
+
+  net::Simulator& sim_;
+  LinkSpec spec_;
+  Rng rng_;
+  int id_ = 0;
+  DepartFn depart_;
+  std::vector<std::function<void()>> writable_;
+
+  struct QueuedFrame {
+    int channel = 0;
+    std::vector<std::uint8_t> bytes;
+  };
+
+  std::deque<QueuedFrame> queue_;
+  std::size_t queued_bytes_ = 0;
+  std::size_t serializing_bytes_ = 0;
+  std::size_t watermark_ = 0;
+  bool transmitting_ = false;
+  bool was_ready_ = true;
+  net::SimTime serializer_free_at_ = 0;
+  LinkStats stats_;
+};
+
+}  // namespace mcss::topo

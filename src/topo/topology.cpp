@@ -1,0 +1,207 @@
+#include "topo/topology.hpp"
+
+#include "util/ensure.hpp"
+
+namespace mcss::topo {
+
+void Topology::validate() const {
+  MCSS_ENSURE(num_nodes >= 2, "topology needs at least source and sink");
+  MCSS_ENSURE(source >= 0 && source < num_nodes, "source node out of range");
+  MCSS_ENSURE(sink >= 0 && sink < num_nodes, "sink node out of range");
+  MCSS_ENSURE(!paths.empty(), "topology needs at least one channel path");
+  MCSS_ENSURE(paths.size() <= 32, "at most 32 channels");
+  MCSS_ENSURE(links.size() <= 64, "at most 64 links");
+  for (const LinkSpec& link : links) {
+    MCSS_ENSURE(link.src >= 0 && link.src < num_nodes, "link src out of range");
+    MCSS_ENSURE(link.dst >= 0 && link.dst < num_nodes, "link dst out of range");
+    MCSS_ENSURE(link.rate_bps > 0.0, "link rate must be positive");
+    MCSS_ENSURE(link.loss >= 0.0 && link.loss < 1.0, "link loss in [0, 1)");
+    MCSS_ENSURE(link.delay >= 0, "link delay must be nonnegative");
+    MCSS_ENSURE(link.queue_capacity_bytes > 0, "link queue must be positive");
+    MCSS_ENSURE(link.tap_risk >= 0.0 && link.tap_risk <= 1.0,
+                "tap risk in [0, 1]");
+  }
+  for (const std::vector<int>& path : paths) {
+    MCSS_ENSURE(!path.empty(), "a path needs at least one link");
+    LinkMask seen = 0;
+    int at = source;
+    for (const int id : path) {
+      MCSS_ENSURE(id >= 0 && static_cast<std::size_t>(id) < links.size(),
+                  "path references an unknown link");
+      MCSS_ENSURE(!link_mask_contains(seen, id),
+                  "a path may use each link at most once");
+      seen |= LinkMask{1} << id;
+      MCSS_ENSURE(links[static_cast<std::size_t>(id)].src == at,
+                  "path is not contiguous");
+      at = links[static_cast<std::size_t>(id)].dst;
+    }
+    MCSS_ENSURE(at == sink, "path does not end at the sink");
+  }
+}
+
+LinkMask Topology::channel_link_mask(int i) const {
+  MCSS_ENSURE(i >= 0 && i < num_channels(), "channel out of range");
+  LinkMask mask = 0;
+  for (const int id : paths[static_cast<std::size_t>(i)]) {
+    mask |= LinkMask{1} << id;
+  }
+  return mask;
+}
+
+std::vector<std::uint64_t> Topology::channel_link_masks() const {
+  std::vector<std::uint64_t> masks;
+  masks.reserve(paths.size());
+  for (int i = 0; i < num_channels(); ++i) {
+    masks.push_back(channel_link_mask(i));
+  }
+  return masks;
+}
+
+std::vector<double> Topology::link_tap_risks() const {
+  std::vector<double> risks;
+  risks.reserve(links.size());
+  for (const LinkSpec& link : links) risks.push_back(link.tap_risk);
+  return risks;
+}
+
+LinkMask Topology::shared_links() const {
+  LinkMask seen = 0;
+  LinkMask shared = 0;
+  for (int i = 0; i < num_channels(); ++i) {
+    const LinkMask mask = channel_link_mask(i);
+    shared |= seen & mask;
+    seen |= mask;
+  }
+  return shared;
+}
+
+net::SimTime Topology::path_delay(int i) const {
+  MCSS_ENSURE(i >= 0 && i < num_channels(), "channel out of range");
+  net::SimTime total = 0;
+  for (const int id : paths[static_cast<std::size_t>(i)]) {
+    total += links[static_cast<std::size_t>(id)].delay;
+  }
+  return total;
+}
+
+std::vector<double> Topology::marginal_risks() const {
+  return marginal_channel_risks(link_tap_risks(), channel_link_masks());
+}
+
+double Topology::correlated_z(int k) const {
+  return correlated_subset_risk(link_tap_risks(), channel_link_masks(), k);
+}
+
+double Topology::independent_z(int k) const {
+  return independent_subset_risk(link_tap_risks(), channel_link_masks(), k);
+}
+
+namespace {
+
+/// Shared knobs of the named setups: 20 Mbit/s links, 5 ms hops, no
+/// baseline loss (the bench layers loss separately where it wants it).
+LinkSpec hop(int src, int dst, double tap_risk) {
+  LinkSpec link;
+  link.src = src;
+  link.dst = dst;
+  link.rate_bps = 20e6;
+  link.delay = net::from_millis(5);
+  link.tap_risk = tap_risk;
+  return link;
+}
+
+}  // namespace
+
+Topology disjoint_control(int m, double tap_risk) {
+  MCSS_ENSURE(m >= 1 && m <= 31, "disjoint_control supports 1..31 channels");
+  Topology t;
+  t.name = "disjoint";
+  t.num_nodes = 2 + m;  // source, sink, m relays
+  t.source = 0;
+  t.sink = 1;
+  for (int i = 0; i < m; ++i) {
+    const int relay = 2 + i;
+    t.links.push_back(hop(t.source, relay, tap_risk));
+    t.links.push_back(hop(relay, t.sink, tap_risk));
+    t.paths.push_back({2 * i, 2 * i + 1});
+  }
+  t.validate();
+  return t;
+}
+
+Topology diamond(int m, double tap_risk) {
+  MCSS_ENSURE(m >= 2 && m <= 32, "diamond supports 2..32 channels");
+  Topology t;
+  t.name = "diamond";
+  t.num_nodes = 4;  // source, sink, relay A, relay B
+  t.source = 0;
+  t.sink = 1;
+  // 0: source->A  1: A->sink  2: source->B  3: B->sink
+  t.links.push_back(hop(0, 2, tap_risk));
+  t.links.push_back(hop(2, 1, tap_risk));
+  t.links.push_back(hop(0, 3, tap_risk));
+  t.links.push_back(hop(3, 1, tap_risk));
+  for (int i = 0; i < m; ++i) {
+    if (i % 2 == 0) {
+      t.paths.push_back({0, 1});
+    } else {
+      t.paths.push_back({2, 3});
+    }
+  }
+  t.validate();
+  return t;
+}
+
+Topology shared_bottleneck(int m, double tap_risk) {
+  MCSS_ENSURE(m >= 1 && m <= 31, "shared_bottleneck supports 1..31 channels");
+  Topology t;
+  t.name = "shared_bottleneck";
+  t.num_nodes = 3 + m;  // source, sink, hub, m relays
+  t.source = 0;
+  t.sink = 1;
+  const int hub = 2;
+  // Link 0 is the bottleneck every path crosses; give it the capacity
+  // to carry all channels so the bench's delivery runs are apples to
+  // apples with the fan-out stages.
+  LinkSpec bottleneck = hop(t.source, hub, tap_risk);
+  bottleneck.rate_bps = 20e6 * m;
+  bottleneck.queue_capacity_bytes = 64 * 1024 * static_cast<std::size_t>(m);
+  t.links.push_back(bottleneck);
+  for (int i = 0; i < m; ++i) {
+    const int relay = 3 + i;
+    t.links.push_back(hop(hub, relay, tap_risk));
+    t.links.push_back(hop(relay, t.sink, tap_risk));
+    t.paths.push_back({0, 2 * i + 1, 2 * i + 2});
+  }
+  t.validate();
+  return t;
+}
+
+Topology multihomed_wan(int m, double tap_risk) {
+  MCSS_ENSURE(m >= 2 && m <= 30, "multihomed_wan supports 2..30 channels");
+  Topology t;
+  t.name = "multihomed_wan";
+  // source, sink, provider ingress x2, provider egress x2, then one
+  // private relay pair per channel is NOT needed — access/egress links
+  // are private per channel, the provider core link is shared.
+  t.num_nodes = 6;
+  t.source = 0;
+  t.sink = 1;
+  const int in[2] = {2, 3};   // provider ingress routers
+  const int out[2] = {4, 5};  // provider egress routers
+  // Links 0/1: the two provider core links (shared per provider).
+  t.links.push_back(hop(in[0], out[0], tap_risk));
+  t.links.push_back(hop(in[1], out[1], tap_risk));
+  for (int i = 0; i < m; ++i) {
+    const int p = i % 2;
+    const int access = static_cast<int>(t.links.size());
+    t.links.push_back(hop(t.source, in[p], tap_risk));  // private access
+    const int egress = static_cast<int>(t.links.size());
+    t.links.push_back(hop(out[p], t.sink, tap_risk));  // private egress
+    t.paths.push_back({access, p, egress});
+  }
+  t.validate();
+  return t;
+}
+
+}  // namespace mcss::topo

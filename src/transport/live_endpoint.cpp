@@ -243,7 +243,8 @@ void LiveEndpoint::fold_closed() {
   for (const feedback::ClosedPacket& packet : closed) {
     closed_scratch_.push_back({packet.k, packet.initial_mask,
                                packet.exposure_mask, packet.retransmits,
-                               packet.acked});
+                               packet.acked, packet.initial_link_mask,
+                               packet.link_exposure_mask});
   }
   telemetry_->privacy().on_closed(closed_scratch_);
 }

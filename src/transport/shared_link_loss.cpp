@@ -1,0 +1,46 @@
+#include "transport/shared_link_loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/ensure.hpp"
+
+namespace mcss::transport {
+
+SharedLinkLoss::SharedLinkLoss(SharedLinkLossConfig config, Rng rng)
+    : config_(config), rng_(rng) {
+  MCSS_ENSURE(config_.mean_good_ns > 0, "mean good sojourn must be positive");
+  MCSS_ENSURE(config_.mean_bad_ns > 0, "mean bad sojourn must be positive");
+  MCSS_ENSURE(config_.drop_in_bad >= 0.0 && config_.drop_in_bad <= 1.0,
+              "drop_in_bad must be in [0, 1]");
+  // The chain starts good; draw the first sojourn now so advance()
+  // does not flip to bad at time zero.
+  state_until_ns_ = sojourn(config_.mean_good_ns);
+}
+
+std::int64_t SharedLinkLoss::sojourn(std::int64_t mean_ns) {
+  // Exponential sojourn via inversion; clamp the uniform away from 0 so
+  // the log stays finite, and floor at 1 ns so the chain always moves.
+  const double u = std::max(rng_.uniform(), 1e-12);
+  const double ns = -static_cast<double>(mean_ns) * std::log(u);
+  return std::max<std::int64_t>(1, static_cast<std::int64_t>(ns));
+}
+
+void SharedLinkLoss::advance(std::int64_t now_ns) {
+  while (state_until_ns_ <= now_ns) {
+    bad_ = !bad_;
+    if (bad_) ++stats_.bursts;
+    state_until_ns_ += sojourn(bad_ ? config_.mean_bad_ns : config_.mean_good_ns);
+  }
+}
+
+bool SharedLinkLoss::should_drop(std::int64_t now_ns) {
+  ++stats_.frames_seen;
+  advance(now_ns);
+  if (!bad_) return false;
+  if (!rng_.bernoulli(config_.drop_in_bad)) return false;
+  ++stats_.frames_dropped;
+  return true;
+}
+
+}  // namespace mcss::transport

@@ -1,0 +1,76 @@
+// Correlated loss from a shared physical link, for the live path.
+//
+// The routed simulator (src/topo) gets shared-link correlation for
+// free: frames of every channel crossing a link contend for one
+// serializer and one loss stream. The live Impairment shim models each
+// channel independently, and independent Bernoulli draws stay
+// independent no matter how the RNGs are seeded — so correlation has
+// to come from SHARED STATE. SharedLinkLoss is that state: a two-state
+// (good/bad) continuous-time chain — the link-level Gilbert model —
+// advanced lazily on the monotonic clock. Every Impairment subscribed
+// to the same instance consults the same chain at frame departure, so
+// when the link enters a bad sojourn (a tap, a flap, a congested
+// span), drops co-occur across all subscribed channels within the
+// same wall-clock window — exactly the signature a shared tapped link
+// produces and per-channel netem cannot.
+//
+// Sojourns are exponential with the configured means; frames departing
+// during a bad sojourn drop with probability drop_in_bad (1.0 = hard
+// outage burst). The long-run drop fraction each subscriber sees is
+//   drop_in_bad * mean_bad / (mean_good + mean_bad).
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace mcss::transport {
+
+struct SharedLinkLossConfig {
+  std::int64_t mean_good_ns = 50'000'000;  ///< mean between-burst gap
+  std::int64_t mean_bad_ns = 2'000'000;    ///< mean burst length
+  double drop_in_bad = 1.0;  ///< per-frame drop probability while bad
+};
+
+struct SharedLinkLossStats {
+  std::uint64_t bursts = 0;          ///< good -> bad transitions
+  std::uint64_t frames_dropped = 0;  ///< across all subscribers
+  std::uint64_t frames_seen = 0;
+};
+
+class SharedLinkLoss {
+ public:
+  /// `rng` drives sojourn lengths and in-burst drops; the chain starts
+  /// in the good state at time 0 and materializes sojourns on demand.
+  SharedLinkLoss(SharedLinkLossConfig config, Rng rng);
+
+  SharedLinkLoss(const SharedLinkLoss&) = delete;
+  SharedLinkLoss& operator=(const SharedLinkLoss&) = delete;
+
+  /// Advance the chain to `now_ns` and decide one frame's fate. Called
+  /// by each subscribed Impairment at serializer departure; `now_ns`
+  /// must be monotone across ALL subscribers (they share one clock).
+  [[nodiscard]] bool should_drop(std::int64_t now_ns);
+
+  /// Chain state after the most recent should_drop.
+  [[nodiscard]] bool in_burst() const noexcept { return bad_; }
+
+  [[nodiscard]] const SharedLinkLossStats& stats() const noexcept {
+    return stats_;
+  }
+  [[nodiscard]] const SharedLinkLossConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  void advance(std::int64_t now_ns);
+  [[nodiscard]] std::int64_t sojourn(std::int64_t mean_ns);
+
+  SharedLinkLossConfig config_;
+  Rng rng_;
+  bool bad_ = false;
+  std::int64_t state_until_ns_ = 0;  ///< current sojourn's end
+  SharedLinkLossStats stats_;
+};
+
+}  // namespace mcss::transport

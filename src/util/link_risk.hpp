@@ -1,0 +1,191 @@
+// Correlated subset risk over shared links.
+//
+// The paper's z(k, M) assumes channels are compromised independently, so
+// the subset risk is a Poisson-binomial tail over per-channel z_i. On a
+// routed topology the adversary taps LINKS, not channels: link l is
+// tapped independently with probability w_l, and a channel is exposed
+// iff ANY link on its path is tapped. Channels whose paths share a link
+// are exposed together — positively correlated — and the independent
+// model is optimistic exactly there.
+//
+// Exact computation: group the links by their channel-coverage mask
+// (the set of channels whose paths traverse the link). All links in one
+// group are exchangeable for exposure purposes — what matters is
+// whether AT LEAST one of them is tapped, which happens with
+// probability p_g = 1 - prod_{l in g} (1 - w_l). Exposure outcomes are
+// then a product measure over the G groups; enumerating the 2^G group
+// subsets and unioning coverage masks gives the exact distribution of
+// the exposed-channel set. G is at most min(#links, 2^M - 1) and in
+// practice small (each distinct path-overlap pattern is one group);
+// enumeration is capped at kMaxLinkGroups like the model's exact
+// subset-risk cap.
+//
+// When no two paths share a link every group covers exactly one
+// channel, the measure factorizes, and correlated_subset_risk equals
+// poisson_binomial_tail_geq over the marginal path risks — the
+// disjoint-path control the topology bench gates on.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "util/ensure.hpp"
+#include "util/poisson_binomial.hpp"
+#include "util/subset.hpp"
+
+namespace mcss {
+
+/// A subset of link ids, bit l set <=> link l is a member. Links are
+/// 64-wide (channels stay 32-wide, see util/subset.hpp).
+using LinkMask = std::uint64_t;
+
+/// Number of links in the subset.
+[[nodiscard]] constexpr int link_mask_size(LinkMask m) noexcept {
+  return std::popcount(m);
+}
+
+/// Mask containing links [0, n).
+[[nodiscard]] constexpr LinkMask full_link_mask(int n) noexcept {
+  return n >= 64 ? ~LinkMask{0} : (LinkMask{1} << n) - 1;
+}
+
+/// True if link l is in the subset.
+[[nodiscard]] constexpr bool link_mask_contains(LinkMask m, int l) noexcept {
+  return (m >> l) & 1u;
+}
+
+/// Channels exposed when exactly the links in `tapped` are tapped: the
+/// union over channels whose path intersects the tapped set.
+[[nodiscard]] inline Mask exposed_channel_mask(
+    LinkMask tapped, std::span<const LinkMask> channel_links) {
+  Mask exposed = 0;
+  for (std::size_t i = 0; i < channel_links.size(); ++i) {
+    if ((channel_links[i] & tapped) != 0) {
+      exposed |= Mask{1} << i;
+    }
+  }
+  return exposed;
+}
+
+/// Marginal per-channel exposure probability: P(any link of channel i's
+/// path is tapped) = 1 - prod_{l in path_i} (1 - w_l). Feeding these to
+/// poisson_binomial_tail_geq yields the INDEPENDENT-channel prediction,
+/// which ignores that shared links expose several channels at once.
+[[nodiscard]] inline std::vector<double> marginal_channel_risks(
+    std::span<const double> link_risks,
+    std::span<const LinkMask> channel_links) {
+  std::vector<double> z(channel_links.size(), 0.0);
+  for (std::size_t i = 0; i < channel_links.size(); ++i) {
+    double survive = 1.0;
+    LinkMask m = channel_links[i];
+    while (m != 0) {
+      const int l = std::countr_zero(m);
+      m &= m - 1;
+      MCSS_ENSURE(static_cast<std::size_t>(l) < link_risks.size(),
+                  "channel path references an unknown link");
+      survive *= 1.0 - link_risks[static_cast<std::size_t>(l)];
+    }
+    z[i] = 1.0 - survive;
+  }
+  return z;
+}
+
+/// Exact-enumeration cap: at most this many coverage groups (2^20 group
+/// subsets), mirroring the model's 20-channel exact subset-risk cap.
+inline constexpr int kMaxLinkGroups = 20;
+
+/// One coverage group: the channels its links expose, and the
+/// probability that at least one of its links is tapped.
+struct LinkGroup {
+  Mask covers = 0;
+  double tap_probability = 0.0;
+};
+
+/// Collapse links into coverage groups (see the header comment). Links
+/// with empty coverage (on no channel's path) are dropped — they can
+/// never expose anything. Groups come out keyed by ascending coverage
+/// mask so the result is deterministic.
+[[nodiscard]] inline std::vector<LinkGroup> link_coverage_groups(
+    std::span<const double> link_risks,
+    std::span<const LinkMask> channel_links) {
+  MCSS_ENSURE(channel_links.size() <= 32, "at most 32 channels");
+  MCSS_ENSURE(link_risks.size() <= 64, "at most 64 links");
+  // survive[mask] = prod over links covering exactly `mask` of (1 - w_l)
+  std::unordered_map<Mask, double> survive;
+  for (std::size_t l = 0; l < link_risks.size(); ++l) {
+    MCSS_ENSURE(link_risks[l] >= 0.0 && link_risks[l] <= 1.0,
+                "link risk outside [0, 1]");
+    Mask covers = 0;
+    for (std::size_t i = 0; i < channel_links.size(); ++i) {
+      if (link_mask_contains(channel_links[i], static_cast<int>(l))) {
+        covers |= Mask{1} << i;
+      }
+    }
+    if (covers == 0) continue;
+    auto [it, inserted] = survive.try_emplace(covers, 1.0);
+    it->second *= 1.0 - link_risks[l];
+  }
+  std::vector<LinkGroup> groups;
+  groups.reserve(survive.size());
+  for (const auto& [covers, s] : survive) {
+    groups.push_back({covers, 1.0 - s});
+  }
+  std::sort(groups.begin(), groups.end(),
+            [](const LinkGroup& a, const LinkGroup& b) {
+              return a.covers < b.covers;
+            });
+  return groups;
+}
+
+/// Exact P(at least k channels exposed) when link l is tapped
+/// independently with probability link_risks[l] and channel i's path is
+/// channel_links[i]. This is the correlated generalization of the
+/// paper's z(k, M); with disjoint paths it reduces to the
+/// Poisson-binomial tail over marginal_channel_risks.
+[[nodiscard]] inline double correlated_subset_risk(
+    std::span<const double> link_risks,
+    std::span<const LinkMask> channel_links, int k) {
+  if (k <= 0) return 1.0;
+  if (static_cast<std::size_t>(k) > channel_links.size()) return 0.0;
+  const auto groups = link_coverage_groups(link_risks, channel_links);
+  const int g = static_cast<int>(groups.size());
+  MCSS_ENSURE(g <= kMaxLinkGroups,
+              "too many distinct link-coverage groups for exact "
+              "enumeration (cap 20)");
+  double risk = 0.0;
+  // Enumerate which GROUPS fire (have >= 1 tapped link); outcomes are
+  // independent across groups, and the exposed set is the union of the
+  // firing groups' coverage masks.
+  for_each_subset(full_mask(g), [&](Mask fired) {
+    double p = 1.0;
+    Mask exposed = 0;
+    for (int j = 0; j < g; ++j) {
+      const auto& grp = groups[static_cast<std::size_t>(j)];
+      if (mask_contains(fired, j)) {
+        p *= grp.tap_probability;
+        exposed |= grp.covers;
+      } else {
+        p *= 1.0 - grp.tap_probability;
+      }
+    }
+    if (mask_size(exposed) >= k) risk += p;
+  });
+  return risk;
+}
+
+/// The independent-channel prediction for the same inputs — what the
+/// paper's model would report if it saw only per-channel marginals.
+/// correlated_subset_risk >= this wherever paths overlap (for k >= 2),
+/// with equality on disjoint paths; the topology bench gates on the gap.
+[[nodiscard]] inline double independent_subset_risk(
+    std::span<const double> link_risks,
+    std::span<const LinkMask> channel_links, int k) {
+  const auto z = marginal_channel_risks(link_risks, channel_links);
+  return poisson_binomial_tail_geq(z, k);
+}
+
+}  // namespace mcss

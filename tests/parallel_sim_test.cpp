@@ -4,13 +4,16 @@
 // primitives (run_before, extractable heap) the engine relies on.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "net/event_heap.hpp"
 #include "net/parallel_sim/partitioned_sim.hpp"
 #include "net/simulator.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/thread_pool.hpp"
 #include "util/ensure.hpp"
 #include "workload/multiflow.hpp"
@@ -224,6 +227,91 @@ TEST(PartitionedSim, FanoutTraceBitwiseIdenticalAcrossThreadCounts) {
   const auto base = fanout_trace(1);
   EXPECT_EQ(fanout_trace(2), base);
   EXPECT_EQ(fanout_trace(8), base);
+}
+
+TEST(PartitionedSim, PublishExportsEngineTotals) {
+  obs::Registry::global().reset();
+  obs::set_metrics_enabled(true);
+  psim::PartitionedSimulator ps(2, 100);
+  ps.lp(0).sim().schedule_at(50, [&] { ps.lp(0).send(1, 100, [] {}); });
+  ps.run();
+  psim::publish(obs::Registry::global(), ps.stats());
+  const auto snap = obs::Registry::global().snapshot();
+  EXPECT_EQ(snap.counter_value("mcss_psim_windows"), ps.stats().windows);
+  EXPECT_EQ(snap.counter_value("mcss_psim_cross_events"), 1u);
+  EXPECT_EQ(snap.counter_value("mcss_psim_events_processed"),
+            ps.stats().events_processed);
+  bool saw_gauge = false;
+  for (const auto& gauge : snap.gauges) {
+    if (gauge.name == "mcss_psim_max_window_events") {
+      saw_gauge = true;
+      EXPECT_EQ(gauge.value,
+                static_cast<double>(ps.stats().max_window_events));
+    }
+  }
+  EXPECT_TRUE(saw_gauge);
+  obs::Registry::global().reset();
+  obs::set_metrics_enabled(false);
+}
+
+/// LP events record counters and histogram observations whose
+/// magnitudes span nine decades: any change in the order the per-LP
+/// metric shards are folded at the window barrier would change the
+/// bits of the committed double sum. Returns every order-sensitive
+/// piece of the committed registry state.
+std::tuple<std::uint64_t, std::uint64_t, double, double, double,
+           std::vector<std::uint64_t>>
+registry_merge_run(unsigned threads) {
+  ThreadGuard guard(threads);
+  obs::Registry& reg = obs::Registry::global();
+  reg.reset();
+  obs::set_metrics_enabled(true);
+  const auto events = reg.counter("mcss_test_lp_events");
+  const auto hist =
+      reg.histogram("mcss_test_lp_value", {1.0, 100.0, 10'000.0, 1e6});
+
+  constexpr std::uint32_t kLps = 5;
+  psim::PartitionedSimulator ps(kLps, 7);
+  for (std::uint32_t src = 0; src < kLps; ++src) {
+    for (std::uint32_t burst = 0; burst < 20; ++burst) {
+      ps.lp(src).sim().schedule_at(burst * 3 + src, [&, events, hist, src] {
+        reg.add(events);
+        reg.observe(hist, std::pow(10.0, src * 2) *
+                              (1.0 + 1e-9 * static_cast<double>(
+                                                 ps.lp(src).sim().now())));
+        for (std::uint32_t dst = 0; dst < ps.num_lps(); ++dst) {
+          ps.lp(src).send(dst, 7, [&reg, &ps, events, hist, dst] {
+            reg.add(events);
+            reg.observe(hist,
+                        1e-3 * static_cast<double>(ps.lp(dst).sim().now()));
+          });
+        }
+      });
+    }
+  }
+  ps.run();
+
+  const auto snap = reg.snapshot();
+  std::tuple<std::uint64_t, std::uint64_t, double, double, double,
+             std::vector<std::uint64_t>>
+      out;
+  std::get<0>(out) = snap.counter_value("mcss_test_lp_events");
+  for (const auto& h : snap.histograms) {
+    if (h.name == "mcss_test_lp_value") {
+      out = {std::get<0>(out), h.count, h.sum, h.min, h.max, h.buckets};
+    }
+  }
+  reg.reset();
+  obs::set_metrics_enabled(false);
+  return out;
+}
+
+TEST(PartitionedSim, RegistryMergeBitwiseIdenticalAcrossThreadCounts) {
+  const auto base = registry_merge_run(1);
+  EXPECT_EQ(std::get<0>(base), 600u);  // 100 direct + 500 cross events
+  EXPECT_EQ(std::get<1>(base), 600u);
+  EXPECT_EQ(registry_merge_run(2), base);
+  EXPECT_EQ(registry_merge_run(8), base);
 }
 
 // ---------------------------------------------------------- Multiflow

@@ -584,6 +584,85 @@ TEST(Impairment, SeededBernoulliLossLandsNearTheConfiguredRate) {
   EXPECT_NEAR(measured, 0.3, 0.05);
 }
 
+// ------------------------------------------------------ shared-link loss
+
+TEST(SharedLinkLoss, BadSojournsDropEveryFrameAndCluster) {
+  // Hard-outage chain (drop_in_bad = 1): a frame drops exactly when the
+  // link is in a bad sojourn, and with mean sojourns of 200us good /
+  // 100us bad sampled every 10us the drops must arrive in runs, not as
+  // independent coin flips.
+  SharedLinkLoss shared({.mean_good_ns = 200'000,
+                         .mean_bad_ns = 100'000,
+                         .drop_in_bad = 1.0},
+                        Rng(5));
+  const int kSamples = 20'000;
+  int drops = 0;
+  int runs = 0;
+  bool prev = false;
+  for (int i = 0; i < kSamples; ++i) {
+    const bool drop = shared.should_drop(static_cast<std::int64_t>(i) * 10'000);
+    EXPECT_EQ(drop, shared.in_burst());
+    if (drop && !prev) ++runs;
+    prev = drop;
+    if (drop) ++drops;
+  }
+  EXPECT_EQ(shared.stats().frames_seen, static_cast<std::uint64_t>(kSamples));
+  EXPECT_EQ(shared.stats().frames_dropped, static_cast<std::uint64_t>(drops));
+  // The chain may enter and leave a burst between samples; the observed
+  // run count can only undercount the true transitions.
+  EXPECT_GE(shared.stats().bursts, static_cast<std::uint64_t>(runs));
+  // Long-run drop fraction: mean_bad / (mean_good + mean_bad) = 1/3.
+  EXPECT_NEAR(static_cast<double>(drops) / kSamples, 1.0 / 3.0, 0.1);
+  ASSERT_GT(runs, 0);
+  // Clustering: each burst spans ~10 samples, so runs << drops.
+  EXPECT_LT(runs * 3, drops);
+}
+
+TEST(Impairment, SharedLinkLossCorrelatesDropsAcrossChannels) {
+  // Two channels over one shared link: with a hard-outage chain their
+  // drops must co-occur frame-for-frame — the signature per-channel
+  // netem loss cannot produce.
+  TimerWheel wheel(100'000, 64);
+  wheel.advance(0);
+  ChannelConfig cfg;
+  cfg.rate_bps = 8e9;  // 100 bytes = 100 ns; drains between offers
+  SharedLinkLoss shared({.mean_good_ns = 200'000,
+                         .mean_bad_ns = 100'000,
+                         .drop_in_bad = 1.0},
+                        Rng(11));
+  FramePool pool(256, 8);
+  Impairment a(cfg, Rng(1), wheel, [](FrameRef, std::int64_t) {});
+  Impairment b(cfg, Rng(2), wheel, [](FrameRef, std::int64_t) {});
+  a.set_shared_loss(&shared);
+  b.set_shared_loss(&shared);
+  EXPECT_EQ(a.shared_loss(), &shared);
+
+  const int kFrames = 2000;
+  int either = 0;
+  int both = 0;
+  for (int i = 0; i < kFrames; ++i) {
+    const std::int64_t t = static_cast<std::int64_t>(i) * 10'000;
+    const auto da = a.stats().frames_dropped_shared_link;
+    const auto db = b.stats().frames_dropped_shared_link;
+    ASSERT_TRUE(a.offer(make_frame(pool, 100, 1), t));
+    ASSERT_TRUE(b.offer(make_frame(pool, 100, 2), t));
+    wheel.advance(t + 5'000);
+    const bool dropped_a = a.stats().frames_dropped_shared_link > da;
+    const bool dropped_b = b.stats().frames_dropped_shared_link > db;
+    if (dropped_a || dropped_b) ++either;
+    if (dropped_a && dropped_b) ++both;
+  }
+  ASSERT_GT(either, 0);
+  // Both frames depart at the same instant, so they see the same chain
+  // state: every drop is a joint drop.
+  EXPECT_EQ(both, either);
+  EXPECT_NEAR(static_cast<double>(either) / kFrames, 1.0 / 3.0, 0.1);
+  EXPECT_EQ(a.stats().frames_dropped_loss, 0u);
+  EXPECT_EQ(b.stats().frames_dropped_loss, 0u);
+  EXPECT_EQ(shared.stats().frames_seen,
+            static_cast<std::uint64_t>(2 * kFrames));
+}
+
 // ---------------------------------------------------------- udp channel
 
 /// Span consumer that materializes each forwarded frame for comparison.

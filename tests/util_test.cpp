@@ -9,6 +9,7 @@
 
 #include "util/backoff.hpp"
 #include "util/ensure.hpp"
+#include "util/link_risk.hpp"
 #include "util/poisson_binomial.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -525,6 +526,88 @@ TEST(Backoff, RejectsBadConfig) {
   EXPECT_THROW(
       Backoff({.base_ns = 10, .cap_ns = 20, .multiplier = 0.5}, Rng(1)),
       PreconditionError);
+}
+
+// ---------------------------------------------------------- link risk
+
+TEST(LinkRisk, ExposedChannelMaskUnionsOverPaths) {
+  // ch0 over links {0,1}, ch1 over {1,2}, ch2 over {3}.
+  const std::vector<LinkMask> paths{0b0011, 0b0110, 0b1000};
+  EXPECT_EQ(exposed_channel_mask(0b0000, paths), 0u);
+  EXPECT_EQ(exposed_channel_mask(0b0001, paths), 0b001u);  // link 0 -> ch0
+  EXPECT_EQ(exposed_channel_mask(0b0010, paths), 0b011u);  // shared link 1
+  EXPECT_EQ(exposed_channel_mask(0b1000, paths), 0b100u);
+  EXPECT_EQ(exposed_channel_mask(0b1111, paths), 0b111u);
+}
+
+TEST(LinkRisk, MarginalRisksAreSurvivalComplements) {
+  const std::vector<double> w{0.1, 0.2, 0.5};
+  const std::vector<LinkMask> paths{0b011, 0b100};
+  const auto z = marginal_channel_risks(w, paths);
+  ASSERT_EQ(z.size(), 2u);
+  EXPECT_NEAR(z[0], 1.0 - 0.9 * 0.8, 1e-15);
+  EXPECT_NEAR(z[1], 0.5, 1e-15);
+}
+
+TEST(LinkRisk, CoverageGroupsMergeSameCoverageLinks) {
+  // Links 0 and 1 both cover only ch0; link 2 covers both channels.
+  const std::vector<double> w{0.1, 0.2, 0.3};
+  const std::vector<LinkMask> paths{0b111, 0b100};
+  const auto groups = link_coverage_groups(w, paths);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].covers, 0b01u);  // ascending coverage order
+  EXPECT_NEAR(groups[0].tap_probability, 1.0 - 0.9 * 0.8, 1e-15);
+  EXPECT_EQ(groups[1].covers, 0b11u);
+  EXPECT_NEAR(groups[1].tap_probability, 0.3, 1e-15);
+}
+
+TEST(LinkRisk, DisjointPathsReduceToPoissonBinomial) {
+  const std::vector<double> w{0.1, 0.2, 0.3, 0.05, 0.4, 0.15};
+  const std::vector<LinkMask> paths{0b000011, 0b001100, 0b110000};
+  const auto marginals = marginal_channel_risks(w, paths);
+  for (int k = 0; k <= 4; ++k) {
+    EXPECT_NEAR(correlated_subset_risk(w, paths, k),
+                poisson_binomial_tail_geq(marginals, k), 1e-14)
+        << "k=" << k;
+  }
+}
+
+TEST(LinkRisk, SharedLinkRaisesTheJointTail) {
+  // Both channels cross link 0; private links 1 and 2 complete them.
+  const std::vector<double> w{0.2, 0.1, 0.1};
+  const std::vector<LinkMask> paths{0b011, 0b101};
+  const double corr = correlated_subset_risk(w, paths, 2);
+  const double indep = independent_subset_risk(w, paths, 2);
+  EXPECT_GT(corr, indep);
+  // Exact by hand: both exposed <=> link 0 tapped, or both privates.
+  const double expected = 0.2 + 0.8 * 0.1 * 0.1;
+  EXPECT_NEAR(corr, expected, 1e-15);
+  EXPECT_EQ(correlated_subset_risk(w, paths, 0), 1.0);
+  EXPECT_EQ(correlated_subset_risk(w, paths, 3), 0.0);
+}
+
+TEST(LinkRisk, MonteCarloAgreesWithExactEnumeration) {
+  const std::vector<double> w{0.05, 0.3, 0.1, 0.2, 0.15};
+  const std::vector<LinkMask> paths{0b00011, 0b00110, 0b11000};
+  Rng rng(77);
+  constexpr int kTrials = 200'000;
+  std::array<int, 4> hits{};
+  for (int trial = 0; trial < kTrials; ++trial) {
+    LinkMask tapped = 0;
+    for (std::size_t l = 0; l < w.size(); ++l) {
+      if (rng.bernoulli(w[l])) tapped |= LinkMask{1} << l;
+    }
+    const int exposed = mask_size(exposed_channel_mask(tapped, paths));
+    for (int k = 1; k <= exposed && k <= 3; ++k) {
+      ++hits[static_cast<std::size_t>(k)];
+    }
+  }
+  for (int k = 1; k <= 3; ++k) {
+    const double sampled =
+        static_cast<double>(hits[static_cast<std::size_t>(k)]) / kTrials;
+    EXPECT_NEAR(sampled, correlated_subset_risk(w, paths, k), 0.01)
+        << "k=" << k;
+  }
 }
 
 }  // namespace
